@@ -1,0 +1,17 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper via the
+drivers in :mod:`repro.analysis.experiments`, times it with
+pytest-benchmark, prints the regenerated rows (run with ``-s`` to see
+them), and asserts the *shape* the paper reports.  Scales are reduced
+relative to the defaults so the whole benchmark suite completes in
+minutes; the EXPERIMENTS.md write-up uses the default scales.
+"""
+
+from __future__ import annotations
+
+
+def show(output) -> None:
+    """Print a rendered experiment (visible with pytest -s)."""
+    print()
+    print(output.render())

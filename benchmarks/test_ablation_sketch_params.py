@@ -1,0 +1,53 @@
+"""Ablation — Count-Sketch shape (t x b) vs solution quality.
+
+§5.1 fixes t=5 and varies b; this ablation also varies t to show the
+median-of-t estimator's contribution, extending Table 4.
+"""
+
+from conftest import show
+
+from repro.analysis.tables import render_table
+from repro.core.undirected import densest_subgraph
+from repro.datasets import load
+from repro.streaming.sketch_engine import sketch_densest_subgraph
+from repro.streaming.stream import GraphEdgeStream
+
+
+def test_ablation_sketch_params(benchmark):
+    graph = load("flickr_sim", scale=0.2)
+    exact = densest_subgraph(graph, 0.5)
+    tables_grid = (1, 3, 5)
+    buckets_grid = (
+        max(8, graph.num_nodes // 50),
+        max(8, graph.num_nodes // 10),
+        graph.num_nodes,
+    )
+
+    def run():
+        out = {}
+        for t in tables_grid:
+            for b in buckets_grid:
+                result = sketch_densest_subgraph(
+                    GraphEdgeStream(graph), 0.5, buckets=b, tables=t, seed=3
+                )
+                out[(t, b)] = result.density / exact.density
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [f"t={t}"] + [ratios[(t, b)] for b in buckets_grid] for t in tables_grid
+    ]
+    print()
+    print(
+        render_table(
+            ["tables"] + [f"b={b}" for b in buckets_grid],
+            rows,
+            title="[ablation] sketch shape vs rho_sketch/rho_exact",
+        )
+    )
+
+    # Big sketches approach exact quality.
+    assert ratios[(5, buckets_grid[-1])] >= 0.9
+    # Quality ratios stay in a sane band everywhere.
+    assert all(0.2 <= v <= 1.3 for v in ratios.values())

@@ -1,0 +1,29 @@
+"""Figure 6.1 — effect of eps on approximation and number of passes.
+
+Paper's shape: relative density stays within ~[0.7, 1.2] of eps=0
+(non-monotone), while passes drop roughly in half by eps in [0.5, 1].
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig61
+
+EPSILONS = (0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5)
+
+
+def test_fig61_eps_tradeoff(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig61(scale=0.3, epsilons=EPSILONS), rounds=1, iterations=1
+    )
+    show(out)
+    for name in ("flickr_sim", "im_sim"):
+        rows = [r for r in out.rows if r[0] == name]
+        assert len(rows) == len(EPSILONS)
+        rel = [r[3] for r in rows]
+        passes = [r[4] for r in rows]
+        assert rel[0] == 1.0
+        # Quality band of the paper's figure.
+        assert all(0.55 <= v <= 1.25 for v in rel), (name, rel)
+        # Pass counts never increase much and end clearly below eps=0's.
+        assert passes[-1] < passes[0]
+        assert min(passes) >= 2

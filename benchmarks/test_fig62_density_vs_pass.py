@@ -1,0 +1,31 @@
+"""Figure 6.2 — density (relative to the run's max) vs pass number.
+
+Paper's shape: the density trajectory is non-monotone; flickr rises to
+a unimodal peak then collapses; the peak is the returned answer.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig62
+
+
+def test_fig62_density_vs_pass(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig62(scale=0.3, epsilons=(0.0, 1.0, 2.0)), rounds=1, iterations=1
+    )
+    show(out)
+    for name in ("flickr_sim", "im_sim"):
+        for eps in ("0", "1", "2"):
+            rel = [r[4] for r in out.rows if r[0] == name and r[1] == eps]
+            assert rel, (name, eps)
+            assert max(rel) == 1.0
+            # Non-monotone: the density *rises* after the first pass as
+            # low-degree fringe is stripped away (the peak is never the
+            # starting density).
+            assert rel.index(1.0) > 0
+    # With eps=0 (many fine passes) both graphs show the full
+    # rise-then-fall: the peak sits strictly inside the trajectory.
+    for name in ("flickr_sim", "im_sim"):
+        rel0 = [r[4] for r in out.rows if r[0] == name and r[1] == "0"]
+        peak = rel0.index(1.0)
+        assert 0 < peak < len(rel0) - 1, (name, rel0)

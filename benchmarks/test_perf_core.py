@@ -1,0 +1,87 @@
+"""Performance microbenchmarks of the core algorithm implementations.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the hot paths: Algorithm 1 and 3 per pass, the streaming engine, and
+the exact baselines, so regressions in the peeling loops show up as
+numbers rather than vibes.
+"""
+
+import pytest
+
+from repro.core.directed import densest_subgraph_directed
+from repro.core.undirected import densest_subgraph
+from repro.core.charikar import greedy_densest_subgraph
+from repro.datasets import load
+from repro.exact.goldberg import goldberg_densest_subgraph
+from repro.exact.lp import lp_density
+from repro.streaming.engine import stream_densest_subgraph
+from repro.streaming.sketch_engine import sketch_densest_subgraph
+from repro.streaming.stream import GraphEdgeStream
+
+
+@pytest.fixture(scope="module")
+def flickr_small():
+    return load("flickr_sim", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def lj_small():
+    return load("livejournal_sim", scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def grqc_tiny():
+    return load("grqc_sim", scale=0.3)
+
+
+def test_perf_algorithm1(benchmark, flickr_small):
+    result = benchmark(lambda: densest_subgraph(flickr_small, 0.5))
+    assert result.density > 0
+
+
+def test_perf_algorithm1_eps2(benchmark, flickr_small):
+    result = benchmark(lambda: densest_subgraph(flickr_small, 2.0))
+    assert result.density > 0
+
+
+def test_perf_greedy_charikar(benchmark, flickr_small):
+    result = benchmark(lambda: greedy_densest_subgraph(flickr_small))
+    assert result.density > 0
+
+
+def test_perf_algorithm3(benchmark, lj_small):
+    result = benchmark(
+        lambda: densest_subgraph_directed(lj_small, ratio=1.0, epsilon=1.0)
+    )
+    assert result.density > 0
+
+
+def test_perf_streaming_engine(benchmark, flickr_small):
+    def run():
+        return stream_densest_subgraph(GraphEdgeStream(flickr_small), 0.5)
+
+    result = benchmark(run)
+    assert result.density > 0
+
+
+def test_perf_sketch_engine(benchmark, flickr_small):
+    def run():
+        return sketch_densest_subgraph(
+            GraphEdgeStream(flickr_small),
+            0.5,
+            buckets=flickr_small.num_nodes // 10,
+            tables=5,
+        )
+
+    result = benchmark(run)
+    assert result.density > 0
+
+
+def test_perf_goldberg_exact(benchmark, grqc_tiny):
+    _, rho = benchmark(lambda: goldberg_densest_subgraph(grqc_tiny))
+    assert rho > 0
+
+
+def test_perf_lp_exact(benchmark, grqc_tiny):
+    rho = benchmark(lambda: lp_density(grqc_tiny))
+    assert rho > 0

@@ -1,0 +1,48 @@
+"""Scaling behaviour of Algorithm 1 — the paper's headline property.
+
+Each pass is one linear scan, and on heavy-tailed graphs the pass count
+stays essentially flat as n grows, so total work scales near-linearly
+in the edge count.  This bench measures runtime and pass counts across
+a geometric size ladder and asserts both trends.
+"""
+
+import time
+
+from conftest import show
+
+from repro.analysis.tables import render_table
+from repro.core.undirected import densest_subgraph
+from repro.graph.generators import chung_lu
+
+
+def test_perf_scaling(benchmark):
+    sizes = (2_000, 8_000, 32_000)
+
+    def run():
+        rows = []
+        for n in sizes:
+            graph = chung_lu(n, exponent=2.3, average_degree=8, seed=1)
+            t0 = time.perf_counter()
+            result = densest_subgraph(graph, 0.5)
+            elapsed = time.perf_counter() - t0
+            rows.append(
+                [n, graph.num_edges, result.passes, elapsed, elapsed / graph.num_edges * 1e6]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["n", "m", "passes", "seconds", "us / edge"],
+            rows,
+            title="[scaling] Algorithm 1 across a 16x size ladder (eps=0.5)",
+        )
+    )
+    passes = [r[2] for r in rows]
+    per_edge = [r[4] for r in rows]
+    # Pass counts stay flat (within +/-2) across a 16x size increase.
+    assert max(passes) - min(passes) <= 2
+    # Per-edge cost does not blow up with n (near-linear total work):
+    # allow 3x drift for allocator/cache effects.
+    assert per_edge[-1] <= 3 * per_edge[0]

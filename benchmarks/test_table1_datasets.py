@@ -1,0 +1,19 @@
+"""Table 1 — parameters of the evaluation graphs."""
+
+from conftest import show
+
+from repro.analysis.experiments import table1
+
+
+def test_table1_datasets(benchmark):
+    out = benchmark.pedantic(lambda: table1(scale=0.3), rounds=1, iterations=1)
+    show(out)
+    assert len(out.rows) == 4
+    kinds = {row[0]: row[1] for row in out.rows}
+    assert kinds["flickr_sim"] == "undirected"
+    assert kinds["im_sim"] == "undirected"
+    assert kinds["livejournal_sim"] == "directed"
+    assert kinds["twitter_sim"] == "directed"
+    # im is the largest undirected graph, as in the paper.
+    sizes = {row[0]: row[2] for row in out.rows}
+    assert sizes["im_sim"] > sizes["flickr_sim"]

@@ -1,0 +1,28 @@
+"""Table 2 — empirical approximation factor vs the exact LP optimum.
+
+Paper's shape: every ratio rho*/rho~ lies in [1.0, 1.43] — dramatically
+better than the 2(1+eps) guarantee — and even eps = 1 barely hurts.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import table2
+
+EPSILONS = (0.001, 0.1, 1.0)
+
+
+def test_table2_approximation(benchmark):
+    out = benchmark.pedantic(
+        lambda: table2(scale=0.35, epsilons=EPSILONS), rounds=1, iterations=1
+    )
+    show(out)
+    assert len(out.rows) == 7
+    for row in out.rows:
+        rho_star = row[3]
+        assert rho_star > 0
+        for col, eps in enumerate(EPSILONS, start=4):
+            ratio = row[col]
+            # Sound: never better than optimal, never past the bound.
+            assert 1.0 - 1e-9 <= ratio <= 2 * (1 + eps) + 1e-9
+            # Paper's shape: far better than the worst case.
+            assert ratio <= 1.6, (row[0], eps, ratio)

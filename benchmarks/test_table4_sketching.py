@@ -1,0 +1,41 @@
+"""Table 4 — Count-Sketch quality/memory trade-off on flickr.
+
+Paper's shape: with t=5 and b chosen so the sketch uses 16-25% of the
+exact counters' memory, small eps keeps rho_sketch/rho_exact near 1
+(occasionally above 1, 'when lucky'), larger eps degrades toward ~0.7;
+memory ratio grows with b and stays well below 1.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import table4
+
+EPSILONS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+def test_table4_sketching(benchmark):
+    out = benchmark.pedantic(
+        lambda: table4(scale=0.35, epsilons=EPSILONS, tables=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    show(out)
+    *quality_rows, memory_row = out.rows
+    assert memory_row[0] == "Memory"
+    memories = memory_row[1:]
+    assert memories == sorted(memories)
+    assert all(m < 0.6 for m in memories)
+    # Paper's band is [0.71, 1.05]; at our (much smaller) scale the
+    # collision noise is proportionally larger, so the band is wider,
+    # but the sketch must never collapse or inflate wildly.
+    for row in quality_rows:
+        for ratio in row[1:]:
+            assert 0.35 <= ratio <= 1.3, row
+    # The eps=0 row stays strong (paper: ~1.0 at all b).
+    assert min(quality_rows[0][1:]) >= 0.6
+    # Averaged over eps, more buckets should not hurt (monotone trend).
+    col_means = [
+        sum(row[i] for row in quality_rows) / len(quality_rows)
+        for i in range(1, len(memory_row))
+    ]
+    assert col_means[-1] >= col_means[0] - 0.05

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Community mining: enumerate node-disjoint dense communities.
+
+Application (1) in the paper's introduction: dense subgraphs identify
+communities in social networks.  We plant three communities of
+different strength into a power-law background, then use the paper's
+enumeration loop (Section 6 remark) to pull them out one at a time,
+scoring each against the ground truth.
+
+Run:  python examples/community_mining.py
+"""
+
+import random
+
+from repro import enumerate_dense_subgraphs
+from repro.graph.generators import chung_lu
+
+
+def plant_community(graph, members, p, rng) -> None:
+    """Wire up a node subset with edge probability p."""
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v) and rng.random() < p:
+                graph.add_edge(u, v)
+
+
+def jaccard(a, b) -> float:
+    """Set overlap score in [0, 1]."""
+    a, b = set(a), set(b)
+    return len(a & b) / len(a | b)
+
+
+def main() -> None:
+    rng = random.Random(42)
+    graph = chung_lu(4000, exponent=2.5, average_degree=4, seed=1)
+
+    # Densities are well separated (rho ~ p*(|C|-1)/2: about 22, 10, 5)
+    # so the enumeration peels them off in order.
+    planted = {
+        "tight-50": (rng.sample(range(0, 1000), 50), 0.9),
+        "medium-40": (rng.sample(range(1000, 2000), 40), 0.5),
+        "loose-45": (rng.sample(range(2000, 3000), 45), 0.25),
+    }
+    for name, (members, p) in planted.items():
+        plant_community(graph, members, p, rng)
+        rho = graph.density(members)
+        print(f"planted {name:<10}: |C|={len(members):<3d} rho(C)={rho:.2f}")
+    print(f"background density rho(V) = {graph.density():.2f}")
+    print()
+
+    print("enumerating node-disjoint dense subgraphs (eps=0.1) ...")
+    found = list(
+        enumerate_dense_subgraphs(graph, epsilon=0.1, max_subgraphs=5, min_density=2.0)
+    )
+    for i, result in enumerate(found, 1):
+        best_match = max(
+            planted.items(), key=lambda kv: jaccard(result.nodes, kv[1][0])
+        )
+        name, (members, _) = best_match
+        score = jaccard(result.nodes, members)
+        print(
+            f"  community #{i}: |S|={result.size:<4d} rho={result.density:6.2f} "
+            f"passes={result.passes}  best match: {name} (jaccard={score:.2f})"
+        )
+
+    # The two strong communities should be recovered with high overlap.
+    strong = [planted["tight-50"][0], planted["medium-40"][0]]
+    recovered = sum(
+        1
+        for members in strong
+        if any(jaccard(r.nodes, members) > 0.6 for r in found)
+    )
+    print()
+    print(f"strong communities recovered with jaccard > 0.6: {recovered}/2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""True semi-streaming from disk, with pass and memory accounting.
+
+Demonstrates the execution model the paper is designed for: the edge
+list lives in a file, the algorithm re-reads it once per pass keeping
+only O(n) state, and the Count-Sketch variant (§5.1) shrinks even that.
+
+Run:  python examples/streaming_from_disk.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import load
+from repro.graph.io import write_undirected
+from repro.streaming.engine import stream_densest_subgraph
+from repro.streaming.memory import MemoryAccountant
+from repro.streaming.sketch_engine import sketch_densest_subgraph
+from repro.streaming.stream import FileEdgeStream
+
+
+def main() -> None:
+    graph = load("flickr_sim", scale=0.4)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "flickr_sim.txt"
+        write_undirected(graph, path, header="flickr stand-in, see DESIGN.md")
+        size_mb = path.stat().st_size / 1e6
+        print(f"edge list on disk: {path.name} ({size_mb:.1f} MB, "
+              f"{graph.num_edges} edges, {graph.num_nodes} nodes)")
+        print()
+
+        # ---- exact degree counters (n words) --------------------------
+        exact_acc = MemoryAccountant()
+        stream = FileEdgeStream(path, nodes=graph.nodes())
+        result = stream_densest_subgraph(stream, epsilon=0.5, accountant=exact_acc)
+        print("exact streaming engine:")
+        print(f"  rho        : {result.density:.3f}  (|S|={result.size})")
+        print(f"  passes     : {stream.passes_made} full scans of the file")
+        print(f"  edges read : {stream.edges_streamed}")
+        print(f"  state      : {exact_acc.summary()}")
+        print()
+
+        # ---- Count-Sketch counters (t*b words, §5.1) -------------------
+        # t*b = 5*(n/25) = n/5: the paper's ~20%-of-exact-memory regime.
+        buckets = graph.num_nodes // 25
+        sketch_acc = MemoryAccountant()
+        stream = FileEdgeStream(path, nodes=graph.nodes())
+        sketched = sketch_densest_subgraph(
+            stream, epsilon=0.5, buckets=buckets, tables=5, accountant=sketch_acc
+        )
+        print(f"sketched engine (t=5, b={buckets}):")
+        print(f"  rho        : {sketched.density:.3f}")
+        print(f"  quality    : {sketched.density / result.density:.3f} of exact")
+        print(f"  state      : {sketch_acc.summary()}")
+        print(
+            f"  memory     : {sketch_acc.ratio_to(exact_acc):.2%} of the exact "
+            f"engine's footprint (paper's Table 4 regime)"
+        )
+
+
+if __name__ == "__main__":
+    main()

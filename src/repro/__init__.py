@@ -1,0 +1,77 @@
+"""repro — a reproduction of *Densest Subgraph in Streaming and MapReduce*.
+
+Bahmani, Kumar, Vassilvitskii; PVLDB 5(5):454–465, VLDB 2012
+(arXiv:1201.6567).
+
+The package implements the paper's few-pass greedy peeling algorithms
+(undirected, size-constrained, and directed), the streaming and
+MapReduce execution models they are designed for, the exact baselines
+(Charikar's LP, Goldberg's flow algorithm, greedy peeling), the
+Count-Sketch memory heuristic, the worst-case gadgets behind the
+paper's lower bounds, and an experiment harness regenerating every
+table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import densest_subgraph
+>>> from repro.graph.generators import clique, star, disjoint_union
+>>> g = disjoint_union([clique(6), star(50, offset=100)])
+>>> result = densest_subgraph(g, epsilon=0.1)
+>>> sorted(result.nodes), result.density
+([0, 1, 2, 3, 4, 5], 2.5)
+
+See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the
+system inventory.
+"""
+
+from .core import (
+    DensestSubgraphResult,
+    DirectedDensestSubgraphResult,
+    RatioSweepResult,
+    densest_subgraph,
+    densest_subgraph_atleast_k,
+    densest_subgraph_directed,
+    enumerate_dense_subgraphs,
+    greedy_densest_subgraph,
+    ratio_sweep,
+)
+from .errors import (
+    DatasetError,
+    EmptyGraphError,
+    GraphError,
+    MapReduceError,
+    ParameterError,
+    ReproError,
+    SolverError,
+    StreamError,
+)
+from .graph import DirectedGraph, UndirectedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "UndirectedGraph",
+    "DirectedGraph",
+    # algorithms
+    "densest_subgraph",
+    "densest_subgraph_atleast_k",
+    "densest_subgraph_directed",
+    "ratio_sweep",
+    "greedy_densest_subgraph",
+    "enumerate_dense_subgraphs",
+    # results
+    "DensestSubgraphResult",
+    "DirectedDensestSubgraphResult",
+    "RatioSweepResult",
+    # errors
+    "ReproError",
+    "GraphError",
+    "EmptyGraphError",
+    "ParameterError",
+    "StreamError",
+    "MapReduceError",
+    "SolverError",
+    "DatasetError",
+]

@@ -1,0 +1,25 @@
+"""Experiment harness: sweeps, table rendering, per-figure drivers.
+
+:mod:`~repro.analysis.experiments` has one driver per table/figure of
+the paper's evaluation section; each returns a structured result with a
+``render()`` method producing the rows/series the paper reports.  The
+benchmarks and the CLI are thin wrappers over these drivers.
+"""
+
+from .tables import render_table
+from .sweep import (
+    EpsilonPoint,
+    epsilon_sweep,
+    delta_epsilon_grid,
+    sketch_quality_sweep,
+)
+from . import experiments
+
+__all__ = [
+    "render_table",
+    "EpsilonPoint",
+    "epsilon_sweep",
+    "delta_epsilon_grid",
+    "sketch_quality_sweep",
+    "experiments",
+]

@@ -1,0 +1,501 @@
+"""One driver per table/figure of the paper's evaluation (§6).
+
+Every driver returns an :class:`ExperimentOutput` whose ``rows`` are the
+same quantities the paper reports, with a ``paper_claim`` string
+recording the *shape* the reproduction is expected to match (absolute
+numbers differ: the datasets are synthetic stand-ins and the cluster is
+a simulator — see DESIGN.md §3).
+
+Drivers take a ``scale`` so benchmarks can trade fidelity for runtime;
+``scale=1.0`` is the default laptop-sized configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.directed import densest_subgraph_directed, ratio_sweep
+from ..core.undirected import densest_subgraph
+from ..datasets import load, summary_rows
+from ..exact.lp import lp_density
+from ..graph.generators import lemma5_gadget
+from ..mapreduce.cost import CostModel
+from ..mapreduce.densest import mr_densest_subgraph
+from ..mapreduce.runtime import MapReduceRuntime
+from .sweep import delta_epsilon_grid, epsilon_sweep, sketch_quality_sweep
+from .tables import render_table
+
+
+@dataclass
+class ExperimentOutput:
+    """Structured result of one reproduced table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        e.g. ``"table2"`` or ``"fig61"``.
+    title:
+        Human-readable description.
+    paper_claim:
+        The shape/result the paper reports for this experiment.
+    headers / rows:
+        The regenerated data.
+    notes:
+        Reproduction caveats (scaling, substitutions).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: str = ""
+
+    def render(self, *, float_digits: int = 3) -> str:
+        """The table plus claim/notes, ready to print."""
+        parts = [
+            render_table(
+                self.headers,
+                self.rows,
+                title=f"[{self.experiment_id}] {self.title}",
+                float_digits=float_digits,
+            ),
+            f"paper: {self.paper_claim}",
+        ]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — dataset parameters
+# ----------------------------------------------------------------------
+def table1(*, scale: float = 1.0) -> ExperimentOutput:
+    """Table 1: parameters of the evaluation graphs (ours vs paper's)."""
+    rows = [list(r) for r in summary_rows(scale=scale, group="evaluation")]
+    return ExperimentOutput(
+        experiment_id="table1",
+        title="Parameters of the graphs used in the experiments",
+        paper_claim=(
+            "flickr 976K/7.6M undirected, im 645M/6.1B undirected, "
+            "livejournal 4.84M/68.9M directed, twitter 50.7M/2.7B directed"
+        ),
+        headers=["dataset", "type", "|V|", "|E|", "stands in for", "paper |V|", "paper |E|"],
+        rows=rows,
+        notes="synthetic stand-ins at laptop scale; see DESIGN.md section 4",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — empirical approximation vs the exact LP optimum
+# ----------------------------------------------------------------------
+def table2(
+    *,
+    scale: float = 1.0,
+    epsilons: Sequence[float] = (0.001, 0.1, 1.0),
+) -> ExperimentOutput:
+    """Table 2: ρ*(G) and ρ*/ρ̃ for several ε on the seven small graphs."""
+    headers = ["graph", "|V|", "|E|", "rho*"] + [f"ratio eps={e:g}" for e in epsilons]
+    rows: List[List[Any]] = []
+    for name in (
+        "as_sim",
+        "astroph_sim",
+        "condmat_sim",
+        "grqc_sim",
+        "hepph_sim",
+        "hepth_sim",
+        "enron_sim",
+    ):
+        graph = load(name, scale=scale)
+        optimum = lp_density(graph)
+        row: List[Any] = [name, graph.num_nodes, graph.num_edges, optimum]
+        for eps in epsilons:
+            result = densest_subgraph(graph, eps)
+            row.append(optimum / result.density if result.density > 0 else math.inf)
+        rows.append(row)
+    return ExperimentOutput(
+        experiment_id="table2",
+        title="Empirical approximation bounds for various eps",
+        paper_claim=(
+            "all ratios between 1.00 and 1.43 — far better than the 2(1+eps) "
+            "worst case; even eps=1 barely hurts quality"
+        ),
+        headers=headers,
+        rows=rows,
+        notes="rho* from Charikar's LP (scipy HiGHS = paper's CLP); graphs are scaled stand-ins",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3 — directed: delta vs eps grid (livejournal)
+# ----------------------------------------------------------------------
+def table3(
+    *,
+    scale: float = 1.0,
+    deltas: Sequence[float] = (2.0, 10.0, 100.0),
+    epsilons: Sequence[float] = (0.0, 1.0, 2.0),
+) -> ExperimentOutput:
+    """Table 3: best directed density per (δ, ε) on livejournal_sim."""
+    graph = load("livejournal_sim", scale=scale)
+    grid = delta_epsilon_grid(graph, deltas, epsilons)
+    headers = ["eps"] + [f"delta={d:g}" for d in deltas]
+    rows = [
+        [f"{eps:g}"] + [grid[(float(d), float(eps))] for d in deltas]
+        for eps in epsilons
+    ]
+    return ExperimentOutput(
+        experiment_id="table3",
+        title="livejournal: rho for different delta and eps",
+        paper_claim=(
+            "coarser delta loses little until it gets extreme (paper: 325->308 "
+            "from delta=2 to 100 at eps=0, bigger drop at eps=2); eps behaves "
+            "as in the undirected case for reasonable delta"
+        ),
+        headers=headers,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 4 — Count-Sketch quality/memory trade-off (flickr)
+# ----------------------------------------------------------------------
+def table4(
+    *,
+    scale: float = 1.0,
+    buckets: Optional[Sequence[int]] = None,
+    epsilons: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5),
+    tables: int = 5,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Table 4: ρ_sketch/ρ_exact per (b, ε), plus the memory ratio row.
+
+    The paper uses b ∈ {30000, 40000, 50000} against n = 976K (memory
+    ratios 0.16/0.20/0.25 with t = 5); defaults here pick b giving the
+    same ratios against the stand-in's n.
+    """
+    graph = load("flickr_sim", scale=scale)
+    n = graph.num_nodes
+    if buckets is None:
+        # Match the paper's t*b/n fractions: 0.16, 0.20, 0.25.
+        buckets = [
+            max(8, int(round(0.16 * n / tables))),
+            max(8, int(round(0.20 * n / tables))),
+            max(8, int(round(0.25 * n / tables))),
+        ]
+    sweep = sketch_quality_sweep(
+        graph, buckets, epsilons, tables=tables, seed=seed
+    )
+    headers = ["eps"] + [f"b={b}" for b in buckets]
+    rows: List[List[Any]] = [
+        [f"{eps:g}"] + [sweep.quality[(int(b), float(eps))] for b in buckets]
+        for eps in epsilons
+    ]
+    rows.append(["Memory"] + [sweep.memory_ratio[int(b)] for b in buckets])
+    return ExperimentOutput(
+        experiment_id="table4",
+        title=f"flickr: ratio of rho with and without sketching (t={tables})",
+        paper_claim=(
+            "small eps keeps the ratio near 1 even at 16% memory; quality "
+            "degrades (0.7-0.95) as eps grows; occasionally ratio > 1 "
+            "('when lucky')"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=f"buckets chosen so t*b/n matches the paper's 0.16/0.20/0.25 (n={n})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6.1 — eps vs approximation and eps vs passes (flickr, im)
+# ----------------------------------------------------------------------
+def fig61(
+    *,
+    scale: float = 1.0,
+    epsilons: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5),
+) -> ExperimentOutput:
+    """Figure 6.1: per-ε density (relative to ε=0) and pass counts."""
+    rows: List[List[Any]] = []
+    for name in ("flickr_sim", "im_sim"):
+        graph = load(name, scale=scale)
+        points = epsilon_sweep(graph, epsilons)
+        base = points[0].density if points[0].epsilon == 0 else None
+        for p in points:
+            rel = p.density / base if base else math.nan
+            rows.append([name, f"{p.epsilon:g}", p.density, rel, p.passes])
+    return ExperimentOutput(
+        experiment_id="fig61",
+        title="Effect of eps on the approximation and the number of passes",
+        paper_claim=(
+            "density stays within ~0.7-1.15 of the eps=0 value (non-monotone "
+            "in eps); passes drop from ~10-11 at eps~0 to ~4-6 at eps>=1; "
+            "eps in [0.5,1] halves the passes while losing <=10%"
+        ),
+        headers=["dataset", "eps", "rho", "rho / rho(eps=0)", "passes"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6.2 and 6.3 — per-pass trajectories (flickr, im)
+# ----------------------------------------------------------------------
+def _trace_rows(scale: float, epsilons: Sequence[float]) -> Dict[str, Dict[float, Any]]:
+    """Algorithm 1 traces per dataset and ε (shared by fig62/fig63)."""
+    traces: Dict[str, Dict[float, Any]] = {}
+    for name in ("flickr_sim", "im_sim"):
+        graph = load(name, scale=scale)
+        traces[name] = {}
+        for eps in epsilons:
+            traces[name][float(eps)] = densest_subgraph(graph, eps)
+    return traces
+
+
+def fig62(
+    *,
+    scale: float = 1.0,
+    epsilons: Sequence[float] = (0.0, 1.0, 2.0),
+) -> ExperimentOutput:
+    """Figure 6.2: density (relative to the run's max) vs pass number."""
+    rows: List[List[Any]] = []
+    for name, by_eps in _trace_rows(scale, epsilons).items():
+        for eps, result in by_eps.items():
+            densities = [r.density_before for r in result.trace]
+            peak = max(densities) if densities else 1.0
+            for record in result.trace:
+                rows.append(
+                    [
+                        name,
+                        f"{eps:g}",
+                        record.pass_index,
+                        record.density_before,
+                        record.density_before / peak if peak > 0 else math.nan,
+                    ]
+                )
+    return ExperimentOutput(
+        experiment_id="fig62",
+        title="Density as a function of the number of passes",
+        paper_claim=(
+            "density is non-monotone over passes; flickr shows a unimodal "
+            "rise-then-fall, im is flatter; the peak is the returned answer"
+        ),
+        headers=["dataset", "eps", "pass", "rho", "rho / max"],
+        rows=rows,
+    )
+
+
+def fig63(
+    *,
+    scale: float = 1.0,
+    epsilons: Sequence[float] = (0.0, 1.0, 2.0),
+) -> ExperimentOutput:
+    """Figure 6.3: remaining nodes and edges after each pass."""
+    rows: List[List[Any]] = []
+    for name, by_eps in _trace_rows(scale, epsilons).items():
+        for eps, result in by_eps.items():
+            for record in result.trace:
+                rows.append(
+                    [
+                        name,
+                        f"{eps:g}",
+                        record.pass_index,
+                        record.nodes_after,
+                        int(record.edges_after),
+                    ]
+                )
+    return ExperimentOutput(
+        experiment_id="fig63",
+        title="Number of nodes and edges in the graph after each pass",
+        paper_claim=(
+            "the graph shrinks dramatically in the first passes (orders of "
+            "magnitude), so later passes could run in main memory; the "
+            "worst-case O(log n) pass bound is never attained"
+        ),
+        headers=["dataset", "eps", "pass", "nodes remaining", "edges remaining"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6.4 / 6.6 — directed c-sweeps (livejournal, twitter)
+# ----------------------------------------------------------------------
+def fig64(
+    *,
+    scale: float = 1.0,
+    epsilons: Sequence[float] = (0.0, 1.0),
+    delta: float = 2.0,
+) -> ExperimentOutput:
+    """Figure 6.4: livejournal density and passes vs c at δ=2."""
+    graph = load("livejournal_sim", scale=scale)
+    rows: List[List[Any]] = []
+    for eps in epsilons:
+        sweep = ratio_sweep(graph, epsilon=eps, delta=delta)
+        for result in sweep.by_ratio:
+            rows.append(
+                [f"{eps:g}", result.ratio, result.density, result.passes]
+            )
+    return ExperimentOutput(
+        experiment_id="fig64",
+        title="livejournal: density and passes vs c (delta=2)",
+        paper_claim=(
+            "complex density-vs-c curve with the optimum at a non-skewed c "
+            "(paper's best c = 0.436, near 1); passes 8-21 depending on c"
+        ),
+        headers=["eps", "c", "rho", "passes"],
+        rows=rows,
+    )
+
+
+def fig66(
+    *,
+    scale: float = 1.0,
+    epsilon: float = 1.0,
+    delta: float = 2.0,
+) -> ExperimentOutput:
+    """Figure 6.6: twitter density and passes vs c at ε=1, δ=2."""
+    graph = load("twitter_sim", scale=scale)
+    sweep = ratio_sweep(graph, epsilon=epsilon, delta=delta)
+    rows = [
+        [result.ratio, result.density, result.passes]
+        for result in sweep.by_ratio
+    ]
+    return ExperimentOutput(
+        experiment_id="fig66",
+        title="twitter: density and passes vs c (eps=1, delta=2)",
+        paper_claim=(
+            "unlike livejournal the best c is far from 1 (celebrity skew: "
+            "~600 users followed by >30M); passes stay in a narrow 4-7 band"
+        ),
+        headers=["c", "rho", "passes"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6.5 — directed per-pass trace at the best c (livejournal)
+# ----------------------------------------------------------------------
+def fig65(
+    *,
+    scale: float = 1.0,
+    epsilon: float = 1.0,
+    delta: float = 2.0,
+) -> ExperimentOutput:
+    """Figure 6.5: |S|, |T|, |E(S,T)| per pass at the sweep's best c."""
+    graph = load("livejournal_sim", scale=scale)
+    sweep = ratio_sweep(graph, epsilon=epsilon, delta=delta)
+    best = sweep.best
+    rows: List[List[Any]] = []
+    for record in best.trace:
+        rows.append(
+            [
+                record.pass_index,
+                record.side,
+                record.s_after,
+                record.t_after,
+                int(record.edges_after),
+            ]
+        )
+    return ExperimentOutput(
+        experiment_id="fig65",
+        title=f"livejournal: |S|, |T|, |E(S,T)| for the best c={best.ratio:g} (eps={epsilon:g})",
+        paper_claim=(
+            "the 'alternate' nature of Algorithm 3 is visible (S-passes and "
+            "T-passes interleave) and nodes/edges fall dramatically with the "
+            "passes"
+        ),
+        headers=["pass", "side", "|S|", "|T|", "|E(S,T)|"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6.7 — MapReduce wall-clock per pass (im)
+# ----------------------------------------------------------------------
+def fig67(
+    *,
+    scale: float = 0.25,
+    epsilons: Sequence[float] = (0.0, 1.0, 2.0),
+    cost_model: Optional[CostModel] = None,
+) -> ExperimentOutput:
+    """Figure 6.7: simulated per-pass MapReduce time on im_sim.
+
+    The default scale is smaller than other experiments because every
+    pass executes three metered MapReduce rounds in-process.
+    """
+    graph = load("im_sim", scale=scale)
+    model = cost_model if cost_model is not None else CostModel(
+        # Calibrated so the first pass of the im stand-in lands in the
+        # tens-of-minutes regime of the paper's Figure 6.7 when scaled
+        # by the edge ratio; only the declining shape is the claim.
+        round_overhead_s=100.0,
+        map_cost_s=0.5,
+        shuffle_cost_s_per_byte=0.02,
+        reduce_cost_s=0.5,
+        num_mappers=2000,
+        num_reducers=2000,
+    )
+    rows: List[List[Any]] = []
+    for eps in epsilons:
+        runtime = MapReduceRuntime(num_mappers=8, num_reducers=8, seed=1)
+        report = mr_densest_subgraph(graph, eps, runtime=runtime)
+        for pass_idx, seconds in enumerate(report.pass_times(model), start=1):
+            rows.append([f"{eps:g}", pass_idx, seconds / 60.0])
+    return ExperimentOutput(
+        experiment_id="fig67",
+        title="im: simulated MapReduce time per pass (minutes)",
+        paper_claim=(
+            "per-pass time decreases as the graph shrinks, from ~60 min early "
+            "to a fixed overhead floor; total under 260 min; smaller eps -> "
+            "more passes but similar per-pass shape"
+        ),
+        headers=["eps", "pass", "minutes (simulated)"],
+        rows=rows,
+        notes="cost model calibrated for shape only; see repro.mapreduce.cost",
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.1.1 — pass lower bound demonstration (Lemma 5 gadget)
+# ----------------------------------------------------------------------
+def lowerbound_passes(
+    *,
+    ks: Sequence[int] = (2, 3, 4, 5, 6),
+    epsilon: float = 0.5,
+    scale: float = 1.0,
+) -> ExperimentOutput:
+    """Passes of Algorithm 1 on the Lemma 5 layered-regular gadget.
+
+    ``scale`` is accepted for driver-interface uniformity but ignored:
+    the gadget's size is fixed by ``ks``.
+    """
+    rows: List[List[Any]] = []
+    for k in ks:
+        gadget = lemma5_gadget(k)
+        result = densest_subgraph(gadget, epsilon)
+        rows.append([k, gadget.num_nodes, gadget.num_edges, result.passes])
+    return ExperimentOutput(
+        experiment_id="lowerbound",
+        title="Lemma 5 gadget: passes grow with k (n ~ 2^(2k+1))",
+        paper_claim=(
+            "the gadget forces Omega(log n / log log n) passes — pass count "
+            "must grow with k, unlike the ~constant passes on social graphs"
+        ),
+        headers=["k", "|V|", "|E|", "passes"],
+        rows=rows,
+    )
+
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig61": fig61,
+    "fig62": fig62,
+    "fig63": fig63,
+    "fig64": fig64,
+    "fig65": fig65,
+    "fig66": fig66,
+    "fig67": fig67,
+    "lowerbound": lowerbound_passes,
+}

@@ -1,0 +1,94 @@
+"""Terminal plots for the figure experiments.
+
+The paper's figures are line charts; rendering them as ASCII lets the
+benchmark output and EXPERIMENTS.md show the *shape* (unimodal density,
+collapsing node counts, skewed best-c) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, log_scale: bool = False) -> str:
+    """One-line bar chart of a series.
+
+    Examples
+    --------
+    >>> sparkline([0, 1, 2, 3])
+    ' ▃▅█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if log_scale:
+        vals = [math.log10(max(v, 1e-12)) for v in vals]
+    lo = min(vals)
+    hi = max(vals)
+    if hi == lo:
+        return _BARS[-1] * len(vals)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        idx = int(round((v - lo) / span * (len(_BARS) - 1)))
+        chars.append(_BARS[idx])
+    return "".join(chars)
+
+
+def line_chart(
+    values: Sequence[float],
+    *,
+    height: int = 8,
+    title: Optional[str] = None,
+    log_scale: bool = False,
+    x_labels: Optional[Sequence] = None,
+) -> str:
+    """Multi-line ASCII chart of a series (column per point).
+
+    Parameters
+    ----------
+    values:
+        The y series.
+    height:
+        Chart height in rows.
+    title:
+        Optional title line.
+    log_scale:
+        Plot log10(y) instead of y (the paper's Figures 6.3–6.6 are
+        log-scale).
+    x_labels:
+        Optional labels printed below the axis (first and last only, to
+        stay narrow).
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return title or ""
+    plot_vals = (
+        [math.log10(max(v, 1e-12)) for v in vals] if log_scale else list(vals)
+    )
+    lo = min(plot_vals)
+    hi = max(plot_vals)
+    span = hi - lo if hi > lo else 1.0
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    for level in range(height, 0, -1):
+        cutoff = lo + span * (level - 0.5) / height
+        line = "".join("█" if v >= cutoff else " " for v in plot_vals)
+        rows.append(f"{_format_axis(lo + span * level / height, log_scale):>9} |{line}")
+    rows.append(" " * 10 + "+" + "-" * len(vals))
+    if x_labels is not None and len(x_labels) == len(vals):
+        rows.append(
+            " " * 11 + f"{x_labels[0]!s:<{max(1, len(vals) - 1)}}{x_labels[-1]!s}"
+        )
+    return "\n".join(rows)
+
+
+def _format_axis(value: float, log_scale: bool) -> str:
+    """Axis tick label (undo the log for display)."""
+    if log_scale:
+        return f"{10 ** value:.3g}"
+    return f"{value:.3g}"

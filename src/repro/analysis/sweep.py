@@ -1,0 +1,132 @@
+"""Parameter sweeps used by the paper's evaluation.
+
+* :func:`epsilon_sweep` — Algorithm 1 across a grid of ε (Figure 6.1).
+* :func:`delta_epsilon_grid` — directed density across (δ, ε) pairs
+  (Table 3).
+* :func:`sketch_quality_sweep` — sketched vs exact density across
+  (buckets, ε) (Table 4), including the memory ratio row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.directed import ratio_sweep
+from ..core.result import DensestSubgraphResult
+from ..core.undirected import densest_subgraph
+from ..graph.directed import DirectedGraph
+from ..graph.undirected import UndirectedGraph
+from ..streaming.engine import stream_densest_subgraph
+from ..streaming.memory import MemoryAccountant
+from ..streaming.sketch_engine import sketch_densest_subgraph
+from ..streaming.stream import GraphEdgeStream
+
+
+@dataclass(frozen=True)
+class EpsilonPoint:
+    """One point of an ε sweep."""
+
+    epsilon: float
+    density: float
+    passes: int
+    size: int
+    result: DensestSubgraphResult
+
+
+def epsilon_sweep(
+    graph: UndirectedGraph, epsilons: Iterable[float]
+) -> List[EpsilonPoint]:
+    """Run Algorithm 1 for each ε and collect density/pass statistics."""
+    points: List[EpsilonPoint] = []
+    for eps in epsilons:
+        result = densest_subgraph(graph, eps)
+        points.append(
+            EpsilonPoint(
+                epsilon=float(eps),
+                density=result.density,
+                passes=result.passes,
+                size=result.size,
+                result=result,
+            )
+        )
+    return points
+
+
+def delta_epsilon_grid(
+    graph: DirectedGraph,
+    deltas: Sequence[float],
+    epsilons: Sequence[float],
+) -> Dict[Tuple[float, float], float]:
+    """Best directed density for every (δ, ε) pair — Table 3's grid.
+
+    Each cell runs a full powers-of-δ ratio sweep of Algorithm 3.
+    """
+    grid: Dict[Tuple[float, float], float] = {}
+    for delta in deltas:
+        for eps in epsilons:
+            sweep = ratio_sweep(graph, epsilon=eps, delta=delta)
+            grid[(float(delta), float(eps))] = sweep.density
+    return grid
+
+
+@dataclass(frozen=True)
+class SketchSweepResult:
+    """Sketched-vs-exact quality grid plus the memory ratio row.
+
+    ``quality[(buckets, epsilon)]`` is ρ_sketch / ρ_exact (Table 4's
+    body); ``memory_ratio[buckets]`` is sketch words / exact words
+    (Table 4's bottom row).
+    """
+
+    quality: Dict[Tuple[int, float], float]
+    memory_ratio: Dict[int, float]
+    tables: int
+
+
+def sketch_quality_sweep(
+    graph: UndirectedGraph,
+    buckets_list: Sequence[int],
+    epsilons: Sequence[float],
+    *,
+    tables: int = 5,
+    seed: int = 0,
+) -> SketchSweepResult:
+    """Measure the Count-Sketch engine against the exact engine.
+
+    For each ε the exact streaming density is computed once; each
+    (buckets, ε) cell then reruns the sketched engine.  Memory ratios
+    use the engines' own accountants.
+    """
+    exact_density: Dict[float, float] = {}
+    exact_acc = MemoryAccountant()
+    for i, eps in enumerate(epsilons):
+        stream = GraphEdgeStream(graph)
+        result = stream_densest_subgraph(
+            stream, eps, accountant=exact_acc if i == 0 else None
+        )
+        exact_density[float(eps)] = result.density
+
+    quality: Dict[Tuple[int, float], float] = {}
+    memory_ratio: Dict[int, float] = {}
+    for buckets in buckets_list:
+        sketch_acc = MemoryAccountant()
+        for i, eps in enumerate(epsilons):
+            stream = GraphEdgeStream(graph)
+            result = sketch_densest_subgraph(
+                stream,
+                eps,
+                buckets=buckets,
+                tables=tables,
+                seed=seed,
+                accountant=sketch_acc if i == 0 else None,
+            )
+            quality[(int(buckets), float(eps))] = (
+                result.density / exact_density[float(eps)]
+                if exact_density[float(eps)] > 0
+                else float("nan")
+            )
+        memory_ratio[int(buckets)] = sketch_acc.ratio_to(exact_acc)
+    return SketchSweepResult(
+        quality=quality, memory_ratio=memory_ratio, tables=tables
+    )

@@ -1,0 +1,71 @@
+"""Monospace table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any, float_digits: int) -> str:
+    """Render one cell; floats get fixed precision, the rest str().
+
+    Floats whose magnitude would round away (or overflow the column)
+    under fixed precision fall back to compact %g notation — the
+    directed c-sweeps span 1e-4 .. 1e4.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        magnitude = abs(value)
+        if value != 0.0 and (magnitude < 10 ** (-float_digits) or magnitude >= 1e6):
+            return f"{value:.{float_digits}g}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values (any mix of str/int/float).
+    title:
+        Optional title line printed above the table.
+    float_digits:
+        Precision for float cells.
+
+    Examples
+    --------
+    >>> print(render_table(["x", "y"], [[1, 2.0]], title="t"))
+    t
+    x | y
+    --+------
+    1 | 2.000
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        cells.append([_format_cell(v, float_digits) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths)).rstrip()
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row_cells in cells[1:]:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row_cells, widths)).rstrip()
+        )
+    return "\n".join(lines)

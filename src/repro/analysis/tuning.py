@@ -1,0 +1,72 @@
+"""Choosing ε for a pass budget.
+
+Lemma 4 gives passes ≈ log_{1+ε} n, so a target pass budget P implies
+ε ≈ n^{1/P} - 1.  Real graphs finish far earlier than the bound
+(Figure 6.3), so the analytic value is conservative; the empirical
+tuner binary-searches the actual run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .._validation import check_positive_int
+from ..core.undirected import densest_subgraph
+from ..errors import ParameterError
+from ..graph.undirected import UndirectedGraph
+
+
+def epsilon_for_pass_budget(num_nodes: int, passes: int) -> float:
+    """Analytic ε from Lemma 4's bound: log_{1+ε} n <= passes.
+
+    Returns the smallest ε whose worst-case pass bound fits the budget;
+    real graphs will finish in fewer passes.
+
+    Examples
+    --------
+    >>> eps = epsilon_for_pass_budget(10**6, 10)
+    >>> round(eps, 3)
+    2.981
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    check_positive_int(passes, "passes")
+    if num_nodes == 1:
+        return 0.0
+    return num_nodes ** (1.0 / passes) - 1.0
+
+
+def tune_epsilon(
+    graph: UndirectedGraph,
+    max_passes: int,
+    *,
+    tolerance: float = 0.01,
+    epsilon_hi: Optional[float] = None,
+) -> float:
+    """Smallest ε (to ``tolerance``) that meets the pass budget *on this
+    graph*, found by binary search over actual runs.
+
+    Smaller ε means better density (generally), so the tuner pushes ε
+    as low as the budget allows.  Raises if even the analytic worst-case
+    ε cannot meet the budget (can only happen for budgets < 2 or so).
+    """
+    check_positive_int(max_passes, "max_passes")
+    if tolerance <= 0:
+        raise ParameterError(f"tolerance must be > 0, got {tolerance}")
+    if densest_subgraph(graph, 0.0).passes <= max_passes:
+        return 0.0
+    hi = epsilon_hi if epsilon_hi is not None else epsilon_for_pass_budget(
+        max(graph.num_nodes, 2), max_passes
+    )
+    if densest_subgraph(graph, hi).passes > max_passes:
+        raise ParameterError(
+            f"even eps={hi:g} needs more than {max_passes} passes on this graph"
+        )
+    lo = 0.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if densest_subgraph(graph, mid).passes <= max_passes:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,17 @@
+"""Applications of the densest subgraph primitive.
+
+The paper's introduction motivates the problem with four applications;
+this subpackage implements the most algorithmically interesting one as
+a complete system:
+
+* :mod:`~repro.applications.twohop` — 2-hop reachability labeling
+  (Cohen–Halperin–Kaplan–Zwick), whose index construction repeatedly
+  extracts dense bipartite subgraphs of the uncovered transitive
+  closure.  The paper's §1 notes that the authors of the 2-hop paper
+  specifically preferred Charikar's practical approximation over exact
+  algorithms — which is exactly the primitive built here.
+"""
+
+from .twohop import TwoHopIndex, build_two_hop_index, transitive_closure_pairs
+
+__all__ = ["TwoHopIndex", "build_two_hop_index", "transitive_closure_pairs"]

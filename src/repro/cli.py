@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Examples
+--------
+List datasets::
+
+    repro-densest datasets
+
+Run Algorithm 1 on a dataset or an edge-list file::
+
+    repro-densest run --dataset flickr_sim --epsilon 0.5
+    repro-densest run --edge-list graph.txt --epsilon 1 --k 100
+
+Run a directed sweep::
+
+    repro-densest run-directed --dataset twitter_sim --epsilon 1 --delta 2
+
+Regenerate a paper table/figure::
+
+    repro-densest experiment table2 --scale 0.5
+    repro-densest experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.experiments import ALL_EXPERIMENTS
+from .analysis.tables import render_table
+from .core.atleast_k import densest_subgraph_atleast_k
+from .core.directed import ratio_sweep
+from .core.undirected import densest_subgraph
+from .datasets import info as dataset_info
+from .datasets import load as dataset_load
+from .datasets import names as dataset_names
+from .errors import ReproError
+from .graph.directed import DirectedGraph
+from .graph.io import read_directed, read_undirected
+from .graph.undirected import UndirectedGraph
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-densest",
+        description="Densest subgraph in streaming and MapReduce (VLDB 2012 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="list registered datasets")
+    p_datasets.add_argument("--group", choices=["evaluation", "table2"], default=None)
+
+    p_run = sub.add_parser("run", help="run Algorithm 1 (or 2 with --k) on an undirected graph")
+    src = p_run.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", help="registered dataset name")
+    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    p_run.add_argument("--epsilon", type=float, default=0.5)
+    p_run.add_argument("--k", type=int, default=None, help="minimum subgraph size (Algorithm 2)")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--show-nodes", type=int, default=0, help="print up to N member nodes")
+
+    p_dir = sub.add_parser("run-directed", help="run Algorithm 3 with a ratio sweep")
+    src = p_dir.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", help="registered dataset name")
+    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    p_dir.add_argument("--epsilon", type=float, default=0.5)
+    p_dir.add_argument("--delta", type=float, default=2.0)
+    p_dir.add_argument("--scale", type=float, default=1.0)
+    p_dir.add_argument("--seed", type=int, default=None)
+
+    p_exact = sub.add_parser("exact", help="exact rho* via LP and Goldberg's flow algorithm")
+    src = p_exact.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", help="registered dataset name")
+    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    p_exact.add_argument("--scale", type=float, default=1.0)
+    p_exact.add_argument("--seed", type=int, default=None)
+    p_exact.add_argument(
+        "--solver", choices=["lp", "flow", "both"], default="both"
+    )
+
+    p_enum = sub.add_parser(
+        "enumerate", help="enumerate node-disjoint dense subgraphs (Section 6 remark)"
+    )
+    src = p_enum.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", help="registered dataset name")
+    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    p_enum.add_argument("--epsilon", type=float, default=0.3)
+    p_enum.add_argument("--max-subgraphs", type=int, default=5)
+    p_enum.add_argument("--min-density", type=float, default=1.0)
+    p_enum.add_argument("--scale", type=float, default=1.0)
+    p_enum.add_argument("--seed", type=int, default=None)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "name",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment id (or 'all')",
+    )
+    p_exp.add_argument("--scale", type=float, default=None, help="override the experiment's default scale")
+    return parser
+
+
+def _load_undirected(args) -> UndirectedGraph:
+    if args.dataset:
+        graph = dataset_load(args.dataset, scale=args.scale, seed=args.seed)
+        if not isinstance(graph, UndirectedGraph):
+            raise ReproError(f"dataset {args.dataset!r} is directed; use run-directed")
+        return graph
+    return read_undirected(args.edge_list)
+
+
+def _load_directed(args) -> DirectedGraph:
+    if args.dataset:
+        graph = dataset_load(args.dataset, scale=args.scale, seed=args.seed)
+        if not isinstance(graph, DirectedGraph):
+            raise ReproError(f"dataset {args.dataset!r} is undirected; use run")
+        return graph
+    return read_directed(args.edge_list)
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name in dataset_names(args.group):
+        meta = dataset_info(name)
+        rows.append([name, meta.kind, meta.group, meta.stands_in_for, meta.description])
+    print(render_table(["name", "type", "group", "stands in for", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = _load_undirected(args)
+    if args.k is not None:
+        result = densest_subgraph_atleast_k(graph, args.k, args.epsilon)
+        algo = f"Algorithm 2 (k={args.k})"
+    else:
+        result = densest_subgraph(graph, args.epsilon)
+        algo = "Algorithm 1"
+    print(f"{algo} on |V|={graph.num_nodes}, |E|={graph.num_edges}, eps={args.epsilon:g}")
+    print(f"  density : {result.density:.4f}")
+    print(f"  size    : {result.size}")
+    print(f"  passes  : {result.passes} (best after pass {result.best_pass})")
+    if args.show_nodes:
+        sample = sorted(result.nodes, key=repr)[: args.show_nodes]
+        print(f"  nodes   : {sample}{' ...' if result.size > args.show_nodes else ''}")
+    return 0
+
+
+def _cmd_run_directed(args) -> int:
+    graph = _load_directed(args)
+    sweep = ratio_sweep(graph, epsilon=args.epsilon, delta=args.delta)
+    best = sweep.best
+    print(
+        f"Algorithm 3 sweep on |V|={graph.num_nodes}, |E|={graph.num_edges}, "
+        f"eps={args.epsilon:g}, delta={args.delta:g} ({len(sweep.by_ratio)} ratios)"
+    )
+    print(f"  best c   : {best.ratio:g}")
+    print(f"  density  : {best.density:.4f}")
+    print(f"  |S|, |T| : {best.s_size}, {best.t_size}")
+    print(f"  passes   : {best.passes} (total across sweep: {sweep.total_passes()})")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    graph = _load_undirected(args)
+    print(f"exact solvers on |V|={graph.num_nodes}, |E|={graph.num_edges}")
+    if args.solver in ("lp", "both"):
+        from .exact.lp import lp_densest_subgraph
+
+        nodes, rho = lp_densest_subgraph(graph)
+        print(f"  LP (HiGHS)     : rho* = {rho:.6f}, |S*| = {len(nodes)}")
+    if args.solver in ("flow", "both"):
+        from .exact.goldberg import goldberg_densest_subgraph
+
+        nodes, rho = goldberg_densest_subgraph(graph)
+        print(f"  Goldberg flow  : rho* = {rho:.6f}, |S*| = {len(nodes)}")
+    return 0
+
+
+def _cmd_enumerate(args) -> int:
+    from .core.enumerate_ import enumerate_dense_subgraphs
+
+    graph = _load_undirected(args)
+    print(
+        f"enumerating dense subgraphs of |V|={graph.num_nodes}, "
+        f"|E|={graph.num_edges} (eps={args.epsilon:g})"
+    )
+    for i, result in enumerate(
+        enumerate_dense_subgraphs(
+            graph,
+            args.epsilon,
+            max_subgraphs=args.max_subgraphs,
+            min_density=args.min_density,
+        ),
+        start=1,
+    ):
+        print(
+            f"  #{i}: rho={result.density:.3f} |S|={result.size} "
+            f"passes={result.passes}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        driver = ALL_EXPERIMENTS[name]
+        output = driver(scale=args.scale) if args.scale is not None else driver()
+        print(output.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "run": _cmd_run,
+        "run-directed": _cmd_run_directed,
+        "exact": _cmd_exact,
+        "enumerate": _cmd_enumerate,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

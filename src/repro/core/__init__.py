@@ -1,0 +1,41 @@
+"""The paper's core contribution: few-pass greedy peeling algorithms.
+
+* :func:`~repro.core.undirected.densest_subgraph` — Algorithm 1, the
+  (2+2ε)-approximation for undirected graphs.
+* :func:`~repro.core.atleast_k.densest_subgraph_atleast_k` —
+  Algorithm 2, the (3+3ε)-approximation under a minimum-size constraint.
+* :func:`~repro.core.directed.densest_subgraph_directed` — Algorithm 3
+  for directed graphs at a fixed ratio c, plus
+  :func:`~repro.core.directed.ratio_sweep` implementing the paper's
+  powers-of-δ search over c.
+* :func:`~repro.core.charikar.greedy_densest_subgraph` — Charikar's
+  one-node-per-step greedy baseline.
+* :func:`~repro.core.enumerate_.enumerate_dense_subgraphs` — the
+  node-disjoint enumeration loop sketched in Section 6.
+
+All algorithms record a per-pass :class:`~repro.core.trace.PassRecord`
+trace, which is what the paper's Figures 6.2–6.5 plot.
+"""
+
+from .trace import PassRecord, DirectedPassRecord
+from .result import DensestSubgraphResult, DirectedDensestSubgraphResult, RatioSweepResult
+from .undirected import densest_subgraph
+from .atleast_k import densest_subgraph_atleast_k
+from .directed import densest_subgraph_directed, ratio_sweep, default_ratio_grid
+from .charikar import greedy_densest_subgraph
+from .enumerate_ import enumerate_dense_subgraphs
+
+__all__ = [
+    "PassRecord",
+    "DirectedPassRecord",
+    "DensestSubgraphResult",
+    "DirectedDensestSubgraphResult",
+    "RatioSweepResult",
+    "densest_subgraph",
+    "densest_subgraph_atleast_k",
+    "densest_subgraph_directed",
+    "ratio_sweep",
+    "default_ratio_grid",
+    "greedy_densest_subgraph",
+    "enumerate_dense_subgraphs",
+]

@@ -1,0 +1,108 @@
+"""Charikar's greedy baseline, wrapped in the core result type.
+
+Charikar (2000) removes the single minimum-degree node per step and
+returns the densest intermediate subgraph — a 2-approximation.  The
+paper's Algorithm 1 is the batched relaxation of exactly this greedy;
+having both behind the same result type makes the quality-vs-passes
+ablation (`benchmarks/test_ablation_batch_vs_greedy.py`) a one-liner.
+
+Note on "passes": the greedy needs one pass over the edges per removal
+when run in a streaming fashion, so its pass count equals the number of
+nodes — the O(n) cost the paper is designed to avoid.  The trace here
+records one :class:`PassRecord` per removal step.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from ..errors import EmptyGraphError
+from ..exact.peeling import charikar_peeling
+from ..graph.cores import peeling_order
+from ..graph.undirected import UndirectedGraph
+from .result import DensestSubgraphResult
+from .trace import PassRecord
+
+Node = Hashable
+
+
+def greedy_densest_subgraph(
+    graph: UndirectedGraph, *, record_trace: bool = False
+) -> DensestSubgraphResult:
+    """Charikar's exact greedy peeling as a :class:`DensestSubgraphResult`.
+
+    Parameters
+    ----------
+    graph:
+        Undirected (optionally weighted) graph with at least one node.
+    record_trace:
+        When True, record a :class:`PassRecord` per removal step (O(n)
+        records); default False keeps the result light.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import clique, star, disjoint_union
+    >>> g = disjoint_union([clique(6), star(50, offset=100)])
+    >>> result = greedy_densest_subgraph(g)
+    >>> result.density
+    2.5
+    """
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("graph has no nodes")
+    if graph.num_edges == 0:
+        return DensestSubgraphResult(
+            nodes=frozenset(graph.nodes()),
+            density=0.0,
+            passes=0,
+            epsilon=0.0,
+            best_pass=0,
+            trace=(),
+        )
+    nodes, density = charikar_peeling(graph)
+    n = graph.num_nodes
+    trace: tuple = ()
+    best_pass = n - len(nodes)
+    if record_trace:
+        trace = tuple(_greedy_trace(graph))
+    return DensestSubgraphResult(
+        nodes=frozenset(nodes),
+        density=density,
+        passes=n,
+        epsilon=0.0,
+        best_pass=best_pass,
+        trace=trace,
+    )
+
+
+def _greedy_trace(graph: UndirectedGraph) -> List[PassRecord]:
+    """Per-removal trace of the (unweighted) greedy peel."""
+    order = peeling_order(graph)
+    # Replay the removals, tracking degree/weight incrementally.
+    alive = {u: True for u in graph.nodes()}
+    weight = graph.total_weight
+    count = graph.num_nodes
+    records: List[PassRecord] = []
+    for step, node in enumerate(order, start=1):
+        weight_before = weight
+        count_before = count
+        density_before = weight / count if count else 0.0
+        removed_weight = sum(
+            graph.edge_weight(node, v) for v in graph.neighbors(node) if alive[v]
+        )
+        alive[node] = False
+        weight -= removed_weight
+        count -= 1
+        records.append(
+            PassRecord(
+                pass_index=step,
+                nodes_before=count_before,
+                edges_before=weight_before,
+                density_before=density_before,
+                threshold=removed_weight,
+                removed=1,
+                nodes_after=count,
+                edges_after=weight,
+                density_after=weight / count if count else 0.0,
+            )
+        )
+    return records

@@ -1,0 +1,267 @@
+"""Algorithm 3 — (2+2ε)-approximate densest subgraph, directed.
+
+For directed density ρ(S, T) = w(E(S, T)) / sqrt(|S||T|) and a known
+ratio c = |S*|/|T*|, Algorithm 3 starts from S = T = V and in each pass
+peels whichever side is over-represented relative to c:
+
+* if |S|/|T| ≥ c, remove A(S) = {i ∈ S : w(E(i,T)) ≤ (1+ε)·w(E(S,T))/|S|};
+* otherwise remove B(T) = {j ∈ T : w(E(S,j)) ≤ (1+ε)·w(E(S,T))/|T|}.
+
+The size-ratio-driven choice of side is the paper's simplification over
+the naive max-degree comparison; the naive rule is also implemented
+(``side_rule="max_degree"``) as an ablation target.  In practice c is
+unknown, so :func:`ratio_sweep` tries powers of δ, which worsens the
+guarantee by at most a factor δ (§4.3, Figure 6.4/6.6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .._validation import check_epsilon, check_positive_float
+from ..errors import EmptyGraphError, ParameterError
+from ..graph.directed import DirectedGraph
+from ._compact import CompactDirected
+from .result import DirectedDensestSubgraphResult, RatioSweepResult
+from .trace import DirectedPassRecord
+
+Node = Hashable
+
+_SIDE_RULES = ("size_ratio", "max_degree")
+
+
+def densest_subgraph_directed(
+    graph: DirectedGraph,
+    ratio: float = 1.0,
+    epsilon: float = 0.5,
+    *,
+    side_rule: str = "size_ratio",
+) -> DirectedDensestSubgraphResult:
+    """Run Algorithm 3 on ``graph`` for a fixed ratio ``c``.
+
+    Parameters
+    ----------
+    graph:
+        Directed (optionally weighted) graph with at least one node.
+    ratio:
+        The assumed c = |S|/|T| of the optimal pair.
+    epsilon:
+        Slack parameter ε ≥ 0.
+    side_rule:
+        ``"size_ratio"`` (the paper's simplified rule, default) chooses
+        the side to peel from |S|/|T| vs c; ``"max_degree"`` uses the
+        naive rule comparing max in/out degrees (slower, kept as an
+        ablation of the design choice discussed in §4.3).
+
+    Returns
+    -------
+    DirectedDensestSubgraphResult
+        Best (S̃, T̃) pair, its density, and the per-pass trace.
+
+    Examples
+    --------
+    >>> g = DirectedGraph([(i, j) for i in range(4) for j in range(4) if i != j])
+    >>> result = densest_subgraph_directed(g, ratio=1.0, epsilon=0.5)
+    >>> result.s_size, result.t_size, result.density
+    (4, 4, 3.0)
+    """
+    epsilon = check_epsilon(epsilon)
+    check_positive_float(ratio, "ratio")
+    if side_rule not in _SIDE_RULES:
+        raise ParameterError(f"side_rule must be one of {_SIDE_RULES}, got {side_rule!r}")
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("graph has no nodes")
+
+    compact = CompactDirected(graph)
+    n = compact.num_nodes
+    in_s = [True] * n
+    in_t = [True] * n
+    s_size = n
+    t_size = n
+    # out_to_t[i] = w(E(i, T)); in_from_s[j] = w(E(S, j)).
+    out_to_t = [sum(ws) for ws in compact.out_weights]
+    in_from_s = [sum(ws) for ws in compact.in_weights]
+    edge_weight = compact.total_weight
+
+    best_s = list(range(n))
+    best_t = list(range(n))
+    best_density = edge_weight / math.sqrt(n * n)
+    best_pass = 0
+
+    trace: List[DirectedPassRecord] = []
+    pass_index = 0
+    one_plus_eps = 1.0 + epsilon
+
+    while s_size > 0 and t_size > 0:
+        pass_index += 1
+        density = edge_weight / math.sqrt(s_size * t_size)
+        if side_rule == "size_ratio":
+            peel_s = s_size / t_size >= ratio
+        else:
+            peel_s = _max_degree_rule(
+                out_to_t, in_from_s, in_s, in_t, ratio
+            )
+
+        s_before, t_before = s_size, t_size
+        weight_before = edge_weight
+        if peel_s:
+            threshold = one_plus_eps * edge_weight / s_size
+            to_remove = [
+                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + 1e-12
+            ]
+            for i in to_remove:
+                in_s[i] = False
+                s_size -= 1
+                nbrs = compact.out_neighbors[i]
+                wts = compact.out_weights[i]
+                for k in range(len(nbrs)):
+                    j = nbrs[k]
+                    if in_t[j]:
+                        in_from_s[j] -= wts[k]
+                        edge_weight -= wts[k]
+            side = "S"
+        else:
+            threshold = one_plus_eps * edge_weight / t_size
+            to_remove = [
+                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + 1e-12
+            ]
+            for j in to_remove:
+                in_t[j] = False
+                t_size -= 1
+                nbrs = compact.in_neighbors[j]
+                wts = compact.in_weights[j]
+                for k in range(len(nbrs)):
+                    i = nbrs[k]
+                    if in_s[i]:
+                        out_to_t[i] -= wts[k]
+                        edge_weight -= wts[k]
+            side = "T"
+
+        if s_size > 0 and t_size > 0:
+            density_after = edge_weight / math.sqrt(s_size * t_size)
+        else:
+            density_after = 0.0
+        trace.append(
+            DirectedPassRecord(
+                pass_index=pass_index,
+                side=side,
+                s_before=s_before,
+                t_before=t_before,
+                edges_before=weight_before,
+                density_before=density,
+                threshold=threshold,
+                removed=len(to_remove),
+                s_after=s_size,
+                t_after=t_size,
+                edges_after=edge_weight,
+                density_after=density_after,
+            )
+        )
+        if density_after > best_density:
+            best_density = density_after
+            best_s = [i for i in range(n) if in_s[i]]
+            best_t = [j for j in range(n) if in_t[j]]
+            best_pass = pass_index
+
+    return DirectedDensestSubgraphResult(
+        s_nodes=frozenset(compact.to_labels(best_s)),
+        t_nodes=frozenset(compact.to_labels(best_t)),
+        density=best_density,
+        ratio=ratio,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+
+
+def _max_degree_rule(
+    out_to_t: Sequence[float],
+    in_from_s: Sequence[float],
+    in_s: Sequence[bool],
+    in_t: Sequence[bool],
+    ratio: float,
+) -> bool:
+    """The naive side-choice rule from §4.3.
+
+    Compare the maximum out-degree E(i*, T) over S with the maximum
+    in-degree E(S, j*) over T: remove A(S) iff E(S, j*)/E(i*, T) ≥ c.
+    Requires scanning both sides every pass — the reason the paper
+    prefers the size-ratio rule.
+    """
+    max_out = max(
+        (out_to_t[i] for i in range(len(out_to_t)) if in_s[i]), default=0.0
+    )
+    max_in = max(
+        (in_from_s[j] for j in range(len(in_from_s)) if in_t[j]), default=0.0
+    )
+    if max_out <= 0.0:
+        return True
+    return max_in / max_out >= ratio
+
+
+def default_ratio_grid(
+    num_nodes: int, delta: float = 2.0
+) -> List[float]:
+    """The paper's powers-of-δ grid of candidate ratios.
+
+    Covers [1/n, n] with c = δ^j; trying only these grid points worsens
+    the approximation by at most a factor δ (§4.3).
+    """
+    check_positive_float(delta, "delta")
+    if delta <= 1.0:
+        raise ParameterError(f"delta must be > 1, got {delta}")
+    if num_nodes < 1:
+        raise ParameterError(f"num_nodes must be >= 1, got {num_nodes}")
+    if num_nodes == 1:
+        return [1.0]
+    j_max = math.ceil(math.log(num_nodes) / math.log(delta))
+    return [delta**j for j in range(-j_max, j_max + 1)]
+
+
+def ratio_sweep(
+    graph: DirectedGraph,
+    epsilon: float = 0.5,
+    *,
+    delta: float = 2.0,
+    ratios: Optional[Iterable[float]] = None,
+    side_rule: str = "size_ratio",
+) -> RatioSweepResult:
+    """Search over c and return the best Algorithm 3 run (§4.3).
+
+    Parameters
+    ----------
+    graph:
+        Directed input graph.
+    epsilon:
+        ε passed to each per-ratio run.
+    delta:
+        Grid resolution; candidate ratios are powers of δ spanning
+        [1/n, n].  Ignored when ``ratios`` is given.
+    ratios:
+        Explicit candidate ratios (overrides ``delta``).
+    side_rule:
+        Passed through to :func:`densest_subgraph_directed`.
+
+    Returns
+    -------
+    RatioSweepResult
+        Best run plus the full per-ratio series (Figures 6.4 and 6.6).
+    """
+    if ratios is None:
+        grid = default_ratio_grid(graph.num_nodes, delta)
+        grid_delta: Optional[float] = delta
+    else:
+        grid = sorted(set(float(c) for c in ratios))
+        grid_delta = None
+        if not grid:
+            raise ParameterError("ratios must be non-empty")
+    results = [
+        densest_subgraph_directed(
+            graph, ratio=c, epsilon=epsilon, side_rule=side_rule
+        )
+        for c in grid
+    ]
+    best = max(results, key=lambda r: r.density)
+    return RatioSweepResult(best=best, by_ratio=tuple(results), delta=grid_delta)

@@ -1,0 +1,156 @@
+"""Result containers returned by the core algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from .trace import DirectedPassRecord, PassRecord
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DensestSubgraphResult:
+    """Output of the undirected algorithms (Algorithms 1 and 2).
+
+    Attributes
+    ----------
+    nodes:
+        The best node set S̃ found.
+    density:
+        ρ(S̃).
+    passes:
+        Number of passes the algorithm made over the edge set.
+    epsilon:
+        The ε the run used.
+    best_pass:
+        The pass index after which the returned set was current
+        (0 means the initial full node set was never improved upon).
+    trace:
+        One :class:`PassRecord` per pass.
+    """
+
+    nodes: FrozenSet[Node]
+    density: float
+    passes: int
+    epsilon: float
+    best_pass: int
+    trace: Tuple[PassRecord, ...]
+
+    @property
+    def size(self) -> int:
+        """|S̃|."""
+        return len(self.nodes)
+
+    def densities_by_pass(self) -> List[float]:
+        """ρ(S) after each pass — the series of Figure 6.2."""
+        return [record.density_after for record in self.trace]
+
+    def nodes_by_pass(self) -> List[int]:
+        """Remaining node count after each pass — Figure 6.3 (top)."""
+        return [record.nodes_after for record in self.trace]
+
+    def edges_by_pass(self) -> List[float]:
+        """Remaining edge weight after each pass — Figure 6.3 (bottom)."""
+        return [record.edges_after for record in self.trace]
+
+    def approximation_ratio(self, optimum: float) -> float:
+        """ρ*/ρ(S̃) given a known optimum (Table 2's ρ*/ρ̃ column)."""
+        if self.density <= 0:
+            return float("inf")
+        return optimum / self.density
+
+
+@dataclass(frozen=True)
+class DirectedDensestSubgraphResult:
+    """Output of Algorithm 3 for a single ratio c.
+
+    Attributes
+    ----------
+    s_nodes / t_nodes:
+        The best (S̃, T̃) pair found.
+    density:
+        ρ(S̃, T̃).
+    ratio:
+        The ratio c = |S|/|T| this run assumed.
+    passes:
+        Number of passes over the edge set.
+    epsilon:
+        The ε the run used.
+    best_pass:
+        Pass index after which the returned pair was current.
+    trace:
+        One :class:`DirectedPassRecord` per pass.
+    """
+
+    s_nodes: FrozenSet[Node]
+    t_nodes: FrozenSet[Node]
+    density: float
+    ratio: float
+    passes: int
+    epsilon: float
+    best_pass: int
+    trace: Tuple[DirectedPassRecord, ...]
+
+    @property
+    def s_size(self) -> int:
+        """|S̃|."""
+        return len(self.s_nodes)
+
+    @property
+    def t_size(self) -> int:
+        """|T̃|."""
+        return len(self.t_nodes)
+
+    def sizes_by_pass(self) -> List[Tuple[int, int, float]]:
+        """(|S|, |T|, w(E(S,T))) after each pass — Figure 6.5's series."""
+        return [(r.s_after, r.t_after, r.edges_after) for r in self.trace]
+
+    def approximation_ratio(self, optimum: float) -> float:
+        """ρ*/ρ(S̃, T̃) given a known optimum."""
+        if self.density <= 0:
+            return float("inf")
+        return optimum / self.density
+
+
+@dataclass(frozen=True)
+class RatioSweepResult:
+    """Output of the powers-of-δ search over c (Section 4.3 / Figure 6.4).
+
+    Attributes
+    ----------
+    best:
+        The single best :class:`DirectedDensestSubgraphResult`.
+    by_ratio:
+        All per-ratio results in ratio order — the Figure 6.4/6.6 series.
+    delta:
+        The grid resolution δ used to build the ratio grid (None when an
+        explicit grid was supplied).
+    """
+
+    best: DirectedDensestSubgraphResult
+    by_ratio: Tuple[DirectedDensestSubgraphResult, ...]
+    delta: Optional[float]
+
+    @property
+    def density(self) -> float:
+        """Best density over the sweep."""
+        return self.best.density
+
+    @property
+    def best_ratio(self) -> float:
+        """The c achieving the best density."""
+        return self.best.ratio
+
+    def densities(self) -> List[Tuple[float, float]]:
+        """(c, ρ) pairs — Figure 6.4/6.6's density series."""
+        return [(r.ratio, r.density) for r in self.by_ratio]
+
+    def passes(self) -> List[Tuple[float, int]]:
+        """(c, passes) pairs — Figure 6.4/6.6's pass-count series."""
+        return [(r.ratio, r.passes) for r in self.by_ratio]
+
+    def total_passes(self) -> int:
+        """Total passes across the whole sweep."""
+        return sum(r.passes for r in self.by_ratio)

@@ -1,0 +1,90 @@
+"""Per-pass execution traces.
+
+The paper's evaluation plots the *trajectory* of the peeling process:
+density vs. pass (Figure 6.2), remaining nodes/edges vs. pass
+(Figure 6.3), and |S|, |T|, |E(S,T)| vs. pass for directed graphs
+(Figure 6.5).  Every algorithm in :mod:`repro.core` therefore records
+one immutable record per pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """State of one pass of the undirected peeling (Algorithms 1 and 2).
+
+    Attributes
+    ----------
+    pass_index:
+        1-based pass number.
+    nodes_before / edges_before:
+        Node count and total edge weight of S at the start of the pass.
+    density_before:
+        ρ(S) at the start of the pass (what the threshold is based on).
+    threshold:
+        The removal threshold 2(1+ε)·ρ(S) used this pass.
+    removed:
+        Number of nodes removed in this pass.
+    nodes_after / edges_after:
+        Remaining node count / edge weight after removal.
+    density_after:
+        ρ(S) after removal (0 if S became empty).
+    """
+
+    pass_index: int
+    nodes_before: int
+    edges_before: float
+    density_before: float
+    threshold: float
+    removed: int
+    nodes_after: int
+    edges_after: float
+    density_after: float
+
+    @property
+    def removal_fraction(self) -> float:
+        """Fraction of the pass's nodes removed (Lemma 4 lower-bounds this)."""
+        if self.nodes_before == 0:
+            return 0.0
+        return self.removed / self.nodes_before
+
+
+@dataclass(frozen=True)
+class DirectedPassRecord:
+    """State of one pass of the directed peeling (Algorithm 3).
+
+    Attributes
+    ----------
+    pass_index:
+        1-based pass number.
+    side:
+        Which side was peeled this pass: ``"S"`` or ``"T"``.
+    s_before / t_before:
+        |S| and |T| at the start of the pass.
+    edges_before:
+        w(E(S, T)) at the start of the pass.
+    density_before:
+        ρ(S, T) at the start of the pass.
+    threshold:
+        The removal threshold (1+ε)·w(E(S,T))/|side| used this pass.
+    removed:
+        Number of nodes removed from the peeled side.
+    s_after / t_after / edges_after / density_after:
+        State after the removal.
+    """
+
+    pass_index: int
+    side: str
+    s_before: int
+    t_before: int
+    edges_before: float
+    density_before: float
+    threshold: float
+    removed: int
+    s_after: int
+    t_after: int
+    edges_after: float
+    density_after: float

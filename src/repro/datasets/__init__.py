@@ -1,0 +1,15 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+No network access is available (and the paper's im/twitter graphs were
+never public), so every graph in the evaluation is replaced by a
+deterministic synthetic analog of the same *type* and *shape* —
+heavy-tailed degrees, embedded dense communities, directed skew — at
+laptop scale.  See DESIGN.md §3–4 for the substitution rationale.
+
+Use :func:`~repro.datasets.registry.load` to build a dataset by name and
+:func:`~repro.datasets.registry.names` to enumerate them.
+"""
+
+from .registry import DatasetInfo, load, info, names, summary_rows
+
+__all__ = ["DatasetInfo", "load", "info", "names", "summary_rows"]

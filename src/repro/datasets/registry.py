@@ -1,0 +1,204 @@
+"""Named dataset registry.
+
+Maps dataset names to builders plus the metadata of the real graph each
+one stands in for (the paper's Tables 1 and 2).  Everything is built on
+demand and deterministic for a given ``(scale, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import DatasetError
+from ..graph.directed import DirectedGraph
+from ..graph.undirected import UndirectedGraph
+from . import synthetic
+
+Graph = Union[UndirectedGraph, DirectedGraph]
+Builder = Callable[[float, int], Graph]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata of a registered dataset.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"flickr_sim"``).
+    kind:
+        ``"undirected"`` or ``"directed"``.
+    stands_in_for:
+        The paper's dataset this replaces.
+    paper_nodes / paper_edges:
+        Size of the original (from Table 1 / Table 2 of the paper).
+    description:
+        One-line description of the construction.
+    default_seed:
+        Seed used when none is supplied.
+    builder:
+        ``builder(scale, seed) -> graph``.
+    group:
+        ``"evaluation"`` (Table 1 graphs) or ``"table2"`` (the seven
+        SNAP graphs used for the approximation-quality study).
+    """
+
+    name: str
+    kind: str
+    stands_in_for: str
+    paper_nodes: int
+    paper_edges: int
+    description: str
+    default_seed: int
+    builder: Builder
+    group: str
+
+
+_REGISTRY: Dict[str, DatasetInfo] = {}
+
+
+def _register(info: DatasetInfo) -> None:
+    if info.name in _REGISTRY:
+        raise DatasetError(f"duplicate dataset name {info.name!r}")
+    _REGISTRY[info.name] = info
+
+
+_register(
+    DatasetInfo(
+        name="flickr_sim",
+        kind="undirected",
+        stands_in_for="flickr",
+        paper_nodes=976_000,
+        paper_edges=7_600_000,
+        description="power-law friendships + one planted near-clique community",
+        default_seed=0,
+        builder=synthetic.flickr_sim,
+        group="evaluation",
+    )
+)
+_register(
+    DatasetInfo(
+        name="im_sim",
+        kind="undirected",
+        stands_in_for="im (Yahoo! Messenger)",
+        paper_nodes=645_000_000,
+        paper_edges=6_100_000_000,
+        description="flatter power-law contacts + weak planted community",
+        default_seed=1,
+        builder=synthetic.im_sim,
+        group="evaluation",
+    )
+)
+_register(
+    DatasetInfo(
+        name="livejournal_sim",
+        kind="directed",
+        stands_in_for="livejournal",
+        paper_nodes=4_840_000,
+        paper_edges=68_900_000,
+        description="reciprocal directed power-law + symmetric dense block (best c near 1)",
+        default_seed=2,
+        builder=synthetic.livejournal_sim,
+        group="evaluation",
+    )
+)
+_register(
+    DatasetInfo(
+        name="twitter_sim",
+        kind="directed",
+        stands_in_for="twitter",
+        paper_nodes=50_700_000,
+        paper_edges=2_700_000_000,
+        description="celebrity-skewed follower graph + fan->celebrity block (best c far from 1)",
+        default_seed=3,
+        builder=synthetic.twitter_sim,
+        group="evaluation",
+    )
+)
+for _name, _stands, _pn, _pe, _desc, _seed, _builder in [
+    ("as_sim", "as20000102", 6_474, 13_233, "sparse AS-style topology", 10, synthetic.as_sim),
+    ("astroph_sim", "ca-AstroPh", 18_772, 396_160, "dense collaboration cliques", 11, synthetic.astroph_sim),
+    ("condmat_sim", "ca-CondMat", 23_133, 186_936, "medium collaboration cliques", 12, synthetic.condmat_sim),
+    ("grqc_sim", "ca-GrQc", 5_242, 28_980, "small community, tight clique core", 13, synthetic.grqc_sim),
+    ("hepph_sim", "ca-HepPh", 12_008, 237_010, "collaboration + one huge author-list clique", 14, synthetic.hepph_sim),
+    ("hepth_sim", "ca-HepTh", 9_877, 51_971, "sparse theory collaborations", 15, synthetic.hepth_sim),
+    ("enron_sim", "email-Enron", 36_692, 367_662, "email graph with dense executive core", 16, synthetic.enron_sim),
+]:
+    _register(
+        DatasetInfo(
+            name=_name,
+            kind="undirected",
+            stands_in_for=_stands,
+            paper_nodes=_pn,
+            paper_edges=_pe,
+            description=_desc,
+            default_seed=_seed,
+            builder=_builder,
+            group="table2",
+        )
+    )
+
+
+def names(group: Optional[str] = None) -> List[str]:
+    """Registered dataset names, optionally filtered by group."""
+    if group is None:
+        return sorted(_REGISTRY)
+    return sorted(n for n, i in _REGISTRY.items() if i.group == group)
+
+
+def info(name: str) -> DatasetInfo:
+    """Metadata for a dataset name.
+
+    Raises
+    ------
+    DatasetError
+        For unknown names (with the list of valid ones).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def load(name: str, *, scale: float = 1.0, seed: Optional[int] = None) -> Graph:
+    """Build a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        A registered dataset name (see :func:`names`).
+    scale:
+        Node-count multiplier (1.0 = default laptop-sized instance).
+    seed:
+        Overrides the dataset's default seed.
+    """
+    meta = info(name)
+    use_seed = meta.default_seed if seed is None else seed
+    return meta.builder(scale, use_seed)
+
+
+def summary_rows(*, scale: float = 1.0, group: Optional[str] = None) -> List[Tuple]:
+    """(name, type, |V|, |E|, stands-in-for, paper |V|, paper |E|) rows.
+
+    Builds every requested dataset at ``scale`` — this is the data
+    behind the reproduction of Table 1.
+    """
+    rows = []
+    for name in names(group):
+        meta = info(name)
+        graph = load(name, scale=scale)
+        rows.append(
+            (
+                name,
+                meta.kind,
+                graph.num_nodes,
+                graph.num_edges,
+                meta.stands_in_for,
+                meta.paper_nodes,
+                meta.paper_edges,
+            )
+        )
+    return rows

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting genuine bugs (e.g. ``TypeError``
+from misuse of internals) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural graph problems (unknown node, bad edge, ...)."""
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an algorithm needs at least one edge/node but got none."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when an algorithm parameter is out of its valid range."""
+
+
+class StreamError(ReproError):
+    """Raised for edge-stream protocol violations (e.g. exhausted stream)."""
+
+
+class MapReduceError(ReproError):
+    """Raised for MapReduce job specification or runtime errors."""
+
+
+class SolverError(ReproError):
+    """Raised when an exact solver (LP / max-flow) fails to converge."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid dataset parameters."""

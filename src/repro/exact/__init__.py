@@ -1,0 +1,38 @@
+"""Exact solvers and classical baselines for the densest subgraph problem.
+
+The paper compares its streaming algorithms against the optimal density
+ρ*(G) computed by a linear program (Section 6.2) and mentions the
+flow-based exact algorithm of Goldberg.  This subpackage implements all
+of them from scratch:
+
+* :mod:`~repro.exact.maxflow` — Dinic's max-flow (the substrate).
+* :mod:`~repro.exact.goldberg` — Goldberg's binary-search exact solver.
+* :mod:`~repro.exact.lp` — Charikar's LP for undirected graphs
+  (solved with scipy's HiGHS backend).
+* :mod:`~repro.exact.directed_lp` — Charikar's LP for directed graphs
+  at a fixed ratio c, and the exact sweep over candidate ratios.
+* :mod:`~repro.exact.peeling` — Charikar's greedy 2-approximation
+  (exact min-degree peeling), the paper's ε→0 reference point.
+"""
+
+from .maxflow import FlowNetwork, max_flow, min_cut
+from .goldberg import goldberg_densest_subgraph
+from .lp import lp_densest_subgraph, lp_density
+from .directed_lp import directed_lp_density_at_ratio, directed_lp_densest_subgraph
+from .peeling import charikar_peeling, charikar_directed_peeling
+from .atleast_k_baselines import brute_force_atleast_k, greedy_suffix_atleast_k
+
+__all__ = [
+    "brute_force_atleast_k",
+    "greedy_suffix_atleast_k",
+    "FlowNetwork",
+    "max_flow",
+    "min_cut",
+    "goldberg_densest_subgraph",
+    "lp_densest_subgraph",
+    "lp_density",
+    "directed_lp_density_at_ratio",
+    "directed_lp_densest_subgraph",
+    "charikar_peeling",
+    "charikar_directed_peeling",
+]

@@ -1,0 +1,180 @@
+"""Dinic's maximum-flow algorithm.
+
+A from-scratch max-flow implementation used by the Goldberg exact
+densest-subgraph solver.  Dinic's algorithm runs in O(V^2 E) in general
+and much faster on the shallow networks produced by the densest-
+subgraph reduction (three BFS levels).
+
+The network is stored as a flat edge array with twinned residual arcs
+(edge ``i`` and ``i ^ 1`` are a forward/backward pair), the standard
+competitive-programming layout, which keeps the inner loops allocation
+free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Set, Tuple
+
+from ..errors import SolverError
+
+INF = float("inf")
+
+
+class FlowNetwork:
+    """A capacitated directed network over arbitrary hashable node labels.
+
+    Examples
+    --------
+    >>> net = FlowNetwork()
+    >>> net.add_edge('s', 'a', 3.0)
+    >>> net.add_edge('a', 't', 2.0)
+    >>> max_flow(net, 's', 't')
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._labels: List[Hashable] = []
+        # head[e]: target node of edge e; cap[e]: residual capacity.
+        self._head: List[int] = []
+        self._cap: List[float] = []
+        # adjacency: node -> list of edge ids
+        self._adj: List[List[int]] = []
+
+    def _node_id(self, label: Hashable) -> int:
+        """Intern a node label, creating it on first use."""
+        node = self._index.get(label)
+        if node is None:
+            node = len(self._labels)
+            self._index[label] = node
+            self._labels.append(label)
+            self._adj.append([])
+        return node
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: float) -> None:
+        """Add a directed edge u -> v with the given capacity.
+
+        A zero-capacity reverse arc is added automatically.
+        """
+        if capacity < 0:
+            raise SolverError(f"capacity must be >= 0, got {capacity}")
+        ui = self._node_id(u)
+        vi = self._node_id(v)
+        self._adj[ui].append(len(self._head))
+        self._head.append(vi)
+        self._cap.append(float(capacity))
+        self._adj[vi].append(len(self._head))
+        self._head.append(ui)
+        self._cap.append(0.0)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes seen so far."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of forward edges added."""
+        return len(self._head) // 2
+
+    def has_node(self, label: Hashable) -> bool:
+        """True if the label has been interned."""
+        return label in self._index
+
+    # ------------------------------------------------------------------
+    # Dinic
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> List[int]:
+        """Level graph BFS on residual capacities; level -1 = unreachable."""
+        levels = [-1] * len(self._labels)
+        levels[source] = 0
+        queue = deque([source])
+        head, cap = self._head, self._cap
+        while queue:
+            u = queue.popleft()
+            for e in self._adj[u]:
+                v = head[e]
+                if cap[e] > 1e-12 and levels[v] < 0:
+                    levels[v] = levels[u] + 1
+                    queue.append(v)
+        return levels
+
+    def _dfs_augment(
+        self,
+        u: int,
+        sink: int,
+        pushed: float,
+        levels: List[int],
+        iters: List[int],
+    ) -> float:
+        """Blocking-flow DFS with iteration pointers."""
+        if u == sink:
+            return pushed
+        head, cap, adj = self._head, self._cap, self._adj
+        while iters[u] < len(adj[u]):
+            e = adj[u][iters[u]]
+            v = head[e]
+            if cap[e] > 1e-12 and levels[v] == levels[u] + 1:
+                flow = self._dfs_augment(v, sink, min(pushed, cap[e]), levels, iters)
+                if flow > 1e-12:
+                    cap[e] -= flow
+                    cap[e ^ 1] += flow
+                    return flow
+            iters[u] += 1
+        return 0.0
+
+    def solve(self, source: Hashable, sink: Hashable) -> float:
+        """Compute the maximum s-t flow value (mutates residual capacities)."""
+        if source not in self._index or sink not in self._index:
+            raise SolverError("source/sink not present in network")
+        s = self._index[source]
+        t = self._index[sink]
+        if s == t:
+            raise SolverError("source and sink must differ")
+        total = 0.0
+        while True:
+            levels = self._bfs_levels(s, t)
+            if levels[t] < 0:
+                return total
+            iters = [0] * len(self._labels)
+            while True:
+                flow = self._dfs_augment(s, t, INF, levels, iters)
+                if flow <= 1e-12:
+                    break
+                total += flow
+
+    def source_side_min_cut(self, source: Hashable) -> Set[Hashable]:
+        """Nodes reachable from the source in the residual graph.
+
+        Valid after :meth:`solve`; this is the source side of a minimum
+        cut by max-flow/min-cut duality.
+        """
+        if source not in self._index:
+            raise SolverError("source not present in network")
+        s = self._index[source]
+        seen = [False] * len(self._labels)
+        seen[s] = True
+        queue = deque([s])
+        head, cap = self._head, self._cap
+        while queue:
+            u = queue.popleft()
+            for e in self._adj[u]:
+                v = head[e]
+                if cap[e] > 1e-12 and not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        return {self._labels[i] for i, flag in enumerate(seen) if flag}
+
+
+def max_flow(network: FlowNetwork, source: Hashable, sink: Hashable) -> float:
+    """Maximum flow value from ``source`` to ``sink``."""
+    return network.solve(source, sink)
+
+
+def min_cut(
+    network: FlowNetwork, source: Hashable, sink: Hashable
+) -> Tuple[float, Set[Hashable]]:
+    """Max-flow value and the source side of a minimum cut."""
+    value = network.solve(source, sink)
+    return value, network.source_side_min_cut(source)

@@ -1,0 +1,33 @@
+"""Graph substrate: in-memory graphs, views, cores, I/O and generators.
+
+This subpackage implements everything the paper's algorithms need from a
+graph library, built from scratch on plain dictionaries:
+
+* :class:`~repro.graph.undirected.UndirectedGraph` — weighted undirected
+  multigraph-free graph with O(1) degree queries.
+* :class:`~repro.graph.directed.DirectedGraph` — weighted directed graph
+  with separate in/out adjacency.
+* :mod:`~repro.graph.cores` — d-cores (Definition 8 of the paper) and the
+  full core decomposition.
+* :mod:`~repro.graph.io` — SNAP-style edge-list readers/writers.
+* :mod:`~repro.graph.generators` — seeded synthetic graph generators,
+  including the paper's lower-bound gadgets (Lemmas 5–7).
+"""
+
+from .undirected import UndirectedGraph
+from .directed import DirectedGraph
+from .views import InducedSubgraphView
+from .cores import core_decomposition, d_core, degeneracy, densest_core
+from . import generators, io
+
+__all__ = [
+    "UndirectedGraph",
+    "DirectedGraph",
+    "InducedSubgraphView",
+    "core_decomposition",
+    "d_core",
+    "degeneracy",
+    "densest_core",
+    "generators",
+    "io",
+]

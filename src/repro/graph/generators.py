@@ -1,0 +1,502 @@
+"""Seeded synthetic graph generators.
+
+Everything the experiments need that the paper got from real data or
+from theoretical constructions:
+
+* standard random models (Erdős–Rényi, Barabási–Albert, Chung–Lu
+  power-law) used to build the dataset stand-ins;
+* planted dense subgraphs (for ground-truth community/spam scenarios);
+* the paper's worst-case gadgets — the Lemma 5 layered-regular graph,
+  the Lemma 6 weighted preferential-attachment graph, and the Lemma 7
+  set-disjointness graph.
+
+All generators take an explicit ``seed`` and are deterministic for a
+given seed, so tests, examples, and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .._validation import (
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+from ..errors import ParameterError
+from .directed import DirectedGraph
+from .undirected import UndirectedGraph
+
+
+# ----------------------------------------------------------------------
+# Classic random models
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, p: float, *, seed: int = 0) -> UndirectedGraph:
+    """G(n, p): each of the C(n,2) edges present independently with prob p.
+
+    Uses the geometric skipping trick so the cost is O(n + m) rather
+    than O(n^2) for sparse graphs.
+    """
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    rng = random.Random(seed)
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(n))
+    if p == 0.0:
+        return graph
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    # Geometric skipping over the implicit edge enumeration (u < v).
+    import math
+
+    log_q = math.log(1.0 - p)
+    v = 1
+    u = -1
+    while v < n:
+        r = rng.random()
+        skip = int(math.log(max(r, 1e-300)) / log_q)
+        u += skip + 1
+        while u >= v and v < n:
+            u -= v
+            v += 1
+        if v < n:
+            graph.add_edge(u, v)
+    return graph
+
+
+def gnm_random(n: int, m: int, *, seed: int = 0) -> UndirectedGraph:
+    """G(n, m): exactly m distinct uniform random edges."""
+    check_positive_int(n, "n")
+    check_nonnegative_int(m, "m")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ParameterError(f"m={m} exceeds max possible edges {max_edges}")
+    rng = random.Random(seed)
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(n))
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+    return graph
+
+
+def barabasi_albert(n: int, m: int, *, seed: int = 0) -> UndirectedGraph:
+    """Preferential attachment: each new node attaches to m existing nodes.
+
+    Produces the heavy-tailed degree distributions typical of the social
+    networks the paper evaluates on.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(m, "m")
+    if n <= m:
+        raise ParameterError(f"need n > m, got n={n}, m={m}")
+    rng = random.Random(seed)
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(n))
+    # Attachment pool: node ids repeated once per incident edge endpoint.
+    pool: List[int] = []
+    # Seed the process with a star on the first m+1 nodes.
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        pool.extend((0, v))
+    for new in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            targets.add(pool[rng.randrange(len(pool))])
+        for t in targets:
+            graph.add_edge(new, t)
+            pool.extend((new, t))
+    return graph
+
+
+def power_law_degree_weights(n: int, exponent: float) -> List[float]:
+    """Expected-degree weights ``w_i ∝ (i+1)^(-1/(exponent-1))``.
+
+    ``exponent`` is the exponent of the resulting degree distribution
+    tail (classic Chung–Lu parameterization); values in (2, 3) give the
+    heavy tails seen in social graphs.
+    """
+    check_positive_int(n, "n")
+    check_positive_float(exponent, "exponent")
+    if exponent <= 1.0:
+        raise ParameterError(f"exponent must be > 1, got {exponent}")
+    gamma = 1.0 / (exponent - 1.0)
+    return [(i + 1.0) ** (-gamma) for i in range(n)]
+
+
+def chung_lu(
+    n: int,
+    *,
+    exponent: float = 2.5,
+    average_degree: float = 10.0,
+    seed: int = 0,
+) -> UndirectedGraph:
+    """Chung–Lu power-law random graph with the given average degree.
+
+    Edge (i, j) appears with probability ``min(1, w_i w_j / W)`` where
+    the weights follow a power law with the given tail exponent, scaled
+    so that the expected average degree matches ``average_degree``.
+    Implemented with the efficient Miller–Hagberg style per-row skipping
+    (cost roughly O(n + m)).
+    """
+    import math
+
+    check_positive_float(average_degree, "average_degree")
+    weights = power_law_degree_weights(n, exponent)
+    scale = average_degree * n / sum(weights)
+    weights = [w * scale for w in weights]
+    total = sum(weights)
+    rng = random.Random(seed)
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(n))
+    # Weights are sorted descending by construction; per-row skipping.
+    for i in range(n - 1):
+        wi = weights[i]
+        if wi <= 0:
+            break
+        j = i + 1
+        p = min(1.0, wi * weights[j] / total)
+        while j < n and p > 0:
+            if p != 1.0:
+                r = rng.random()
+                j += int(math.log(max(r, 1e-300)) / math.log(1.0 - p))
+            if j < n:
+                q = min(1.0, wi * weights[j] / total)
+                if rng.random() < q / p:
+                    graph.add_edge(i, j)
+                p = q
+                j += 1
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Planted structures
+# ----------------------------------------------------------------------
+def planted_dense_subgraph(
+    n: int,
+    k: int,
+    *,
+    p_in: float = 0.5,
+    p_out: float = 0.01,
+    seed: int = 0,
+) -> Tuple[UndirectedGraph, List[int]]:
+    """A sparse G(n, p_out) background with a planted G(k, p_in) block.
+
+    Returns ``(graph, planted_nodes)`` where the planted nodes are
+    ``[0, k)``.  With ``p_in >> p_out`` the planted block is the densest
+    subgraph with high probability — a ground-truth instance for the
+    community-mining and spam-detection examples.
+    """
+    check_positive_int(k, "k")
+    if k > n:
+        raise ParameterError(f"need k <= n, got k={k}, n={n}")
+    graph = erdos_renyi(n, p_out, seed=seed)
+    rng = random.Random(seed + 1)
+    for u in range(k):
+        for v in range(u + 1, k):
+            if not graph.has_edge(u, v) and rng.random() < p_in:
+                graph.add_edge(u, v)
+    return graph, list(range(k))
+
+
+def planted_clique(n: int, k: int, *, p: float = 0.05, seed: int = 0) -> Tuple[UndirectedGraph, List[int]]:
+    """G(n, p) with a planted k-clique on nodes ``[0, k)``."""
+    check_positive_int(k, "k")
+    if k > n:
+        raise ParameterError(f"need k <= n, got k={k}, n={n}")
+    graph = erdos_renyi(n, p, seed=seed)
+    for u in range(k):
+        for v in range(u + 1, k):
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    return graph, list(range(k))
+
+
+def directed_power_law(
+    n: int,
+    m: int,
+    *,
+    in_exponent: float = 2.2,
+    out_exponent: float = 2.8,
+    reciprocity: float = 0.0,
+    seed: int = 0,
+) -> DirectedGraph:
+    """Directed graph with independently skewed in/out degree weights.
+
+    Mimics follower graphs: small ``in_exponent`` concentrates in-degree
+    on a few "celebrities" (twitter-like); ``reciprocity`` is the chance
+    each generated edge is mirrored (livejournal-like friendship).
+    """
+    check_positive_int(n, "n")
+    check_nonnegative_int(m, "m")
+    check_probability(reciprocity, "reciprocity")
+    rng = random.Random(seed)
+    out_w = power_law_degree_weights(n, out_exponent)
+    in_w = power_law_degree_weights(n, in_exponent)
+    # Shuffle the out-weight assignment so in- and out-hubs differ.
+    out_perm = list(range(n))
+    rng.shuffle(out_perm)
+    out_cum = _cumulative(out_w)
+    in_cum = _cumulative(in_w)
+    graph = DirectedGraph()
+    graph.add_nodes_from(range(n))
+    added = 0
+    attempts = 0
+    max_attempts = 50 * m + 1000
+    while added < m and attempts < max_attempts:
+        attempts += 1
+        u = out_perm[_sample_cumulative(out_cum, rng)]
+        v = _sample_cumulative(in_cum, rng)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+        if reciprocity > 0 and not graph.has_edge(v, u) and rng.random() < reciprocity:
+            graph.add_edge(v, u)
+    return graph
+
+
+def _cumulative(weights: Sequence[float]) -> List[float]:
+    """Prefix sums of a weight vector (for inverse-CDF sampling)."""
+    cum: List[float] = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cum.append(total)
+    return cum
+
+
+def _sample_cumulative(cum: Sequence[float], rng: random.Random) -> int:
+    """Sample an index proportionally to the weights behind ``cum``."""
+    import bisect
+
+    r = rng.random() * cum[-1]
+    return bisect.bisect_right(cum, r)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    directed: bool = False,
+) -> Union["UndirectedGraph", "DirectedGraph"]:
+    """R-MAT / Kronecker recursive-matrix graph (Chakrabarti et al.).
+
+    The standard synthetic benchmark for skewed web/social graphs (the
+    Graph500 generator): 2^scale nodes, ~edge_factor * 2^scale edges
+    placed by recursively descending into quadrants with probabilities
+    (a, b, c, d = 1 - a - b - c).  Duplicate edges and self-loops are
+    dropped, so the final count is slightly below the nominal one.
+    """
+    check_positive_int(scale, "scale")
+    check_positive_int(edge_factor, "edge_factor")
+    if scale > 22:
+        raise ParameterError(f"scale={scale} would allocate 2^{scale} nodes")
+    for name, val in (("a", a), ("b", b), ("c", c)):
+        check_probability(val, name)
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ParameterError("a + b + c must be <= 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    target_edges = edge_factor * n
+    graph = DirectedGraph() if directed else UndirectedGraph()
+    graph.add_nodes_from(range(n))
+    attempts = 0
+    max_attempts = 20 * target_edges
+    while graph.num_edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph
+
+
+def random_dag(n: int, p: float, *, seed: int = 0) -> DirectedGraph:
+    """Random DAG: edge i -> j present with probability p for i < j.
+
+    Used by the 2-hop labeling application (reachability indexing needs
+    acyclic-ish inputs to be interesting).
+    """
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    rng = random.Random(seed)
+    graph = DirectedGraph()
+    graph.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Regular / structured graphs
+# ----------------------------------------------------------------------
+def circulant(n: int, d: int, *, offset: int = 0) -> UndirectedGraph:
+    """A d-regular circulant graph on n nodes (node ids offset by ``offset``).
+
+    For even d, connects each node to the d/2 nearest on each side; for
+    odd d, additionally to the antipodal node (requires even n).
+    """
+    check_positive_int(n, "n")
+    check_nonnegative_int(d, "d")
+    if d >= n:
+        raise ParameterError(f"need d < n, got d={d}, n={n}")
+    if d % 2 == 1 and n % 2 == 1:
+        raise ParameterError("odd-degree circulant requires even n")
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(offset, offset + n))
+    for step in range(1, d // 2 + 1):
+        for i in range(n):
+            graph.add_edge(offset + i, offset + (i + step) % n)
+    if d % 2 == 1:
+        for i in range(n // 2):
+            graph.add_edge(offset + i, offset + i + n // 2)
+    return graph
+
+
+def clique(n: int, *, offset: int = 0) -> UndirectedGraph:
+    """The complete graph K_n."""
+    check_positive_int(n, "n")
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(offset, offset + n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(offset + u, offset + v)
+    return graph
+
+
+def star(n: int, *, offset: int = 0) -> UndirectedGraph:
+    """A star with one hub and n-1 leaves."""
+    check_positive_int(n, "n")
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(offset, offset + n))
+    for leaf in range(1, n):
+        graph.add_edge(offset, offset + leaf)
+    return graph
+
+
+def disjoint_union(graphs: Sequence[UndirectedGraph]) -> UndirectedGraph:
+    """Union of graphs assumed to have disjoint node sets."""
+    merged = UndirectedGraph()
+    for g in graphs:
+        merged.add_nodes_from(g.nodes())
+        for u, v, w in g.weighted_edges():
+            merged.add_edge(u, v, w)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The paper's lower-bound gadgets (Section 4.1.1)
+# ----------------------------------------------------------------------
+def lemma5_gadget(k: int) -> UndirectedGraph:
+    """The Lemma 5 pass-lower-bound graph.
+
+    k disjoint subgraphs G_1..G_k where G_i is 2^(i-1)-regular on
+    2^(2k+1-i) nodes, so every G_i has exactly 2^(2k-1) edges.  On this
+    family Algorithm 1 needs Omega(log n / log log n) passes.
+
+    The graph has 2^(2k) + ... + 2^(k+1) ≈ 2^(2k+1) nodes, so keep
+    k <= 8 or so for in-memory experiments.
+    """
+    check_positive_int(k, "k")
+    if k > 10:
+        raise ParameterError(f"k={k} would build a graph with ~2^{2 * k + 1} nodes")
+    blocks: List[UndirectedGraph] = []
+    offset = 0
+    for i in range(1, k + 1):
+        n_i = 2 ** (2 * k + 1 - i)
+        d_i = 2 ** (i - 1)
+        blocks.append(circulant(n_i, d_i, offset=offset))
+        offset += n_i
+    return disjoint_union(blocks)
+
+
+def lemma6_gadget(n: int) -> UndirectedGraph:
+    """The Lemma 6 weighted pass-lower-bound graph.
+
+    Deterministic preferential attachment: node u (arriving in order
+    1..n-1) connects to every existing node v with an edge of weight
+    proportional to v's current weighted degree.  The weighted degree
+    sequence follows a power law, forcing Omega(log n) passes of the
+    weighted variant of Algorithm 1.
+    """
+    check_positive_int(n, "n")
+    if n < 2:
+        raise ParameterError("need n >= 2")
+    graph = UndirectedGraph()
+    graph.add_nodes_from(range(n))
+    wdeg = [0.0] * n
+    # First edge bootstraps degrees.
+    graph.add_edge(0, 1, 1.0)
+    wdeg[0] = wdeg[1] = 1.0
+    for u in range(2, n):
+        total = sum(wdeg[:u])
+        for v in range(u):
+            weight = wdeg[v] / total
+            graph.add_edge(u, v, weight)
+        # Update after adding all of u's edges (u contributes weight 1 total).
+        for v in range(u):
+            wdeg[v] += graph.edge_weight(u, v)
+        wdeg[u] = 1.0
+    return graph
+
+
+def disjointness_gadget(
+    n_blocks: int,
+    q: int,
+    *,
+    yes_instance: bool,
+    yes_block: int = 0,
+) -> UndirectedGraph:
+    """The Lemma 7 space-lower-bound graph.
+
+    ``n_blocks`` disjoint blocks of ``q`` nodes each.  In a NO instance
+    every block is a star (density (q-1)/q < 1); in a YES instance the
+    block ``yes_block`` is a complete K_q (density (q-1)/2) and the rest
+    are stars.  Any streaming algorithm distinguishing the two with an
+    alpha < q approximation solves q-party set disjointness.
+    """
+    check_positive_int(n_blocks, "n_blocks")
+    check_positive_int(q, "q")
+    if q < 2:
+        raise ParameterError("need q >= 2")
+    if not 0 <= yes_block < n_blocks:
+        raise ParameterError(f"yes_block must be in [0, {n_blocks}), got {yes_block}")
+    blocks: List[UndirectedGraph] = []
+    for b in range(n_blocks):
+        offset = b * q
+        if yes_instance and b == yes_block:
+            blocks.append(clique(q, offset=offset))
+        else:
+            blocks.append(star(q, offset=offset))
+    return disjoint_union(blocks)

@@ -1,0 +1,119 @@
+"""SNAP-style edge-list I/O.
+
+The paper's public datasets ship as whitespace-separated edge lists with
+``#`` comment lines (the SNAP format).  These helpers read and write
+that format for both graph types, with optional gzip compression and
+optional weights as a third column.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+from ..errors import GraphError
+from .directed import DirectedGraph
+from .undirected import UndirectedGraph
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str):
+    """Open a possibly-gzipped text file."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_list(path: PathLike) -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(u, v, weight)`` from a SNAP-style edge list.
+
+    Node identifiers are returned as strings; callers may map them to
+    ints.  Lines starting with ``#`` (or ``%``) and blank lines are
+    skipped.  A missing third column means weight 1.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines (one token, or a non-numeric weight).
+    """
+    with _open_text(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) == 2:
+                yield parts[0], parts[1], 1.0
+            elif len(parts) >= 3:
+                try:
+                    weight = float(parts[2])
+                except ValueError:
+                    raise GraphError(
+                        f"{path}:{lineno}: non-numeric weight {parts[2]!r}"
+                    ) from None
+                yield parts[0], parts[1], weight
+            else:
+                raise GraphError(f"{path}:{lineno}: malformed edge line {line!r}")
+
+
+def read_undirected(path: PathLike, *, int_nodes: bool = True) -> UndirectedGraph:
+    """Read an undirected graph from a SNAP-style edge list.
+
+    Self-loop lines are skipped (SNAP dumps contain a few); duplicate
+    edges collapse with accumulated weight.
+    """
+    graph = UndirectedGraph()
+    for u, v, w in iter_edge_list(path):
+        if int_nodes:
+            u, v = int(u), int(v)
+        if u == v:
+            continue
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def read_directed(path: PathLike, *, int_nodes: bool = True) -> DirectedGraph:
+    """Read a directed graph from a SNAP-style edge list."""
+    graph = DirectedGraph()
+    for u, v, w in iter_edge_list(path):
+        if int_nodes:
+            u, v = int(u), int(v)
+        if u == v:
+            continue
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def write_undirected(graph: UndirectedGraph, path: PathLike, *, header: str = "") -> None:
+    """Write an undirected graph as an edge list (weights written when != 1)."""
+    with _open_text(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v, w in graph.weighted_edges():
+            if w == 1.0:
+                handle.write(f"{u}\t{v}\n")
+            else:
+                handle.write(f"{u}\t{v}\t{w:g}\n")
+
+
+def write_directed(graph: DirectedGraph, path: PathLike, *, header: str = "") -> None:
+    """Write a directed graph as an edge list (weights written when != 1)."""
+    with _open_text(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v, w in graph.weighted_edges():
+            if w == 1.0:
+                handle.write(f"{u}\t{v}\n")
+            else:
+                handle.write(f"{u}\t{v}\t{w:g}\n")

@@ -1,0 +1,111 @@
+"""Read-only induced-subgraph views.
+
+A view exposes the subgraph induced by a node subset without copying the
+underlying adjacency structure.  The peeling algorithms conceptually
+operate on a shrinking sequence of induced subgraphs; views let tests
+and examples express that directly while the optimized implementations
+keep their own degree arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Set
+
+from ..errors import GraphError
+from .undirected import UndirectedGraph
+
+Node = Hashable
+
+
+class InducedSubgraphView:
+    """Read-only view of ``graph`` restricted to ``nodes``.
+
+    The view reflects later mutations of the *base graph* (it holds a
+    reference, not a copy), but its node set is fixed at construction.
+
+    Examples
+    --------
+    >>> g = UndirectedGraph([(0, 1), (1, 2), (2, 3)])
+    >>> view = InducedSubgraphView(g, [0, 1, 2])
+    >>> view.num_edges
+    2
+    """
+
+    __slots__ = ("_graph", "_nodes")
+
+    def __init__(self, graph: UndirectedGraph, nodes: Iterable[Node]) -> None:
+        self._graph = graph
+        self._nodes: Set[Node] = set(nodes)
+        for node in self._nodes:
+            if node not in graph:
+                raise GraphError(f"node {node!r} not in base graph")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the view."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of base-graph edges with both endpoints in the view."""
+        return self._graph.induced_edge_count(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over view nodes."""
+        return iter(self._nodes)
+
+    def node_set(self) -> Set[Node]:
+        """A copy of the view's node set."""
+        return set(self._nodes)
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node`` inside the view (induced degree)."""
+        if node not in self._nodes:
+            raise GraphError(f"node {node!r} not in view")
+        return sum(1 for v in self._graph.neighbors(node) if v in self._nodes)
+
+    def weighted_degree(self, node: Node) -> float:
+        """Weighted induced degree of ``node``."""
+        if node not in self._nodes:
+            raise GraphError(f"node {node!r} not in view")
+        graph = self._graph
+        return sum(
+            graph.edge_weight(node, v)
+            for v in graph.neighbors(node)
+            if v in self._nodes
+        )
+
+    def edges(self):
+        """Iterate over induced edges (each once)."""
+        seen: Set[Node] = set()
+        for u in self._nodes:
+            for v in self._graph.neighbors(u):
+                if v in self._nodes and v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def density(self) -> float:
+        """Density of the induced subgraph (Definition 1)."""
+        if not self._nodes:
+            return 0.0
+        return self._graph.induced_edge_weight(self._nodes) / len(self._nodes)
+
+    def restrict(self, nodes: Iterable[Node]) -> "InducedSubgraphView":
+        """A further-restricted view (intersection of node sets)."""
+        return InducedSubgraphView(self._graph, self._nodes & set(nodes))
+
+    def materialize(self) -> UndirectedGraph:
+        """Copy the view into a standalone :class:`UndirectedGraph`."""
+        return self._graph.subgraph(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InducedSubgraphView(num_nodes={self.num_nodes})"

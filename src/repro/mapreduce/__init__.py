@@ -1,0 +1,40 @@
+"""A faithful single-process MapReduce simulator and the §5.2 jobs.
+
+The paper realizes its algorithms in Hadoop; with no cluster available
+we simulate the programming model exactly — user-supplied mappers,
+combiners, partitioned shuffle, sorted reduce — and meter every round
+(records in/out, shuffle bytes) so a calibrated cost model can
+translate counters into simulated wall-clock (Figure 6.7).
+
+* :mod:`~repro.mapreduce.job` — job specifications (mapper, combiner,
+  reducer) and typed counters.
+* :mod:`~repro.mapreduce.runtime` — the execution engine: input splits,
+  map tasks, combiner, hash-partitioned shuffle, sorted reduce tasks.
+* :mod:`~repro.mapreduce.cost` — the wall-clock cost model.
+* :mod:`~repro.mapreduce.densest` — the paper's §5.2 realization of the
+  peeling algorithms as MapReduce job chains (degree job + two-round
+  node-removal job per pass).
+"""
+
+from .job import JobCounters, MapReduceJob
+from .runtime import MapReduceRuntime
+from .cost import CostModel
+from .densest import (
+    mr_densest_subgraph,
+    mr_densest_subgraph_atleast_k,
+    mr_densest_subgraph_directed,
+    MapReduceRunReport,
+)
+from .runtime import TransientTaskError
+
+__all__ = [
+    "MapReduceJob",
+    "JobCounters",
+    "MapReduceRuntime",
+    "TransientTaskError",
+    "CostModel",
+    "mr_densest_subgraph",
+    "mr_densest_subgraph_atleast_k",
+    "mr_densest_subgraph_directed",
+    "MapReduceRunReport",
+]

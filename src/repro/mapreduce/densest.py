@@ -1,0 +1,544 @@
+"""The paper's §5.2 MapReduce realization of the peeling algorithms.
+
+Edge records are key-value pairs ``(u, (v, w))`` — an edge from u to v
+of weight w, keyed by its first endpoint.  Each peeling pass is the
+exact job pipeline the paper describes:
+
+1. **Degree job** (1 round): map each edge to ``⟨u; w⟩`` and ``⟨v; w⟩``
+   (for directed graphs, ``⟨('out', u); w⟩`` and ``⟨('in', v); w⟩``),
+   combine/reduce by summing.  The driver derives the surviving edge
+   weight and density from the degree output — the "trivial counting"
+   the paper mentions.
+
+2. **Node-removal job** (2 rounds undirected, 1 round directed): the
+   driver injects a marker record ``⟨r; '$'⟩`` for every node r slated
+   for removal; the reducer for a key that saw a marker emits nothing,
+   otherwise it copies its edges through, re-keyed on the other
+   endpoint so the second round (or the next pass) can filter on it.
+   Only edges with both endpoints unmarked survive — exactly the
+   paper's two-phase filter.
+
+The driver keeps O(n) state (alive flags, best set) and makes the same
+threshold decisions as :func:`repro.core.densest_subgraph` /
+:func:`repro.core.densest_subgraph_directed`; tests assert the outputs
+are identical.  All rounds are metered, and
+:class:`MapReduceRunReport` groups counters by peeling pass so a
+:class:`~repro.mapreduce.cost.CostModel` can regenerate Figure 6.7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from .._validation import check_epsilon, check_positive_float
+from ..core.result import DensestSubgraphResult, DirectedDensestSubgraphResult
+from ..core.trace import DirectedPassRecord, PassRecord
+from ..errors import MapReduceError
+from ..graph.directed import DirectedGraph
+from ..graph.undirected import UndirectedGraph
+from .cost import CostModel
+from .job import JobCounters, MapReduceJob
+from .runtime import MapReduceRuntime
+
+Node = Hashable
+_MARKER = "$"
+
+
+# ----------------------------------------------------------------------
+# Job definitions
+# ----------------------------------------------------------------------
+def _degree_mapper(u, edge):
+    """Edge (u, (v, w)) -> one weight contribution per endpoint."""
+    v, w = edge
+    return [(u, w), (v, w)]
+
+
+def _sum_reducer(key, values):
+    """Classic sum reducer (doubles as the combiner)."""
+    return [(key, sum(values))]
+
+
+DEGREE_JOB = MapReduceJob(
+    name="degree",
+    mapper=_degree_mapper,
+    reducer=_sum_reducer,
+    combiner=_sum_reducer,
+)
+
+
+def _directed_degree_mapper(u, edge):
+    """Edge (u, (v, w)) -> out-contribution for u, in-contribution for v."""
+    v, w = edge
+    return [(("out", u), w), (("in", v), w)]
+
+
+DIRECTED_DEGREE_JOB = MapReduceJob(
+    name="directed-degree",
+    mapper=_directed_degree_mapper,
+    reducer=_sum_reducer,
+    combiner=_sum_reducer,
+)
+
+
+def _identity_mapper(key, value):
+    """Pass records through unchanged."""
+    return [(key, value)]
+
+
+def _filter_and_pivot_reducer(key, values):
+    """Drop all edges of a marked node; re-key survivors on the other endpoint.
+
+    Values are either the marker string or ``(other, w)`` tuples; if any
+    marker is present the whole group (all edges incident on ``key``
+    from this side) is dropped.
+    """
+    if any(v == _MARKER for v in values):
+        return []
+    return [(other, (key, w)) for other, w in values]
+
+
+REMOVAL_JOB = MapReduceJob(
+    name="remove-marked",
+    mapper=_identity_mapper,
+    reducer=_filter_and_pivot_reducer,
+)
+
+
+def _filter_keep_key_reducer(key, values):
+    """Drop all edges of a marked node; keep survivors keyed as-is."""
+    if any(v == _MARKER for v in values):
+        return []
+    return [(key, value) for value in values]
+
+
+REMOVAL_JOB_KEEP_KEY = MapReduceJob(
+    name="remove-marked-keep-key",
+    mapper=_identity_mapper,
+    reducer=_filter_keep_key_reducer,
+)
+
+
+def _pivot_mapper(key, value):
+    """Re-key an edge (u, (v, w)) on its second endpoint -> (v, (u, w)).
+
+    Marker records ``(r, '$')`` pass through unchanged so the reducer can
+    filter on the pivoted key.
+    """
+    if value == _MARKER:
+        return [(key, value)]
+    v, w = value
+    return [(v, (key, w))]
+
+
+REMOVAL_JOB_PIVOT_SECOND = MapReduceJob(
+    name="remove-marked-second",
+    mapper=_pivot_mapper,
+    reducer=_filter_and_pivot_reducer,
+)
+
+
+# ----------------------------------------------------------------------
+# Run report
+# ----------------------------------------------------------------------
+@dataclass
+class MapReduceRunReport:
+    """Result of an MR peeling run plus per-pass round counters.
+
+    Attributes
+    ----------
+    result:
+        The algorithm result (undirected or directed variant).
+    rounds_per_pass:
+        ``rounds_per_pass[p]`` lists the :class:`JobCounters` of every
+        MapReduce round executed during peeling pass p.
+    """
+
+    result: Union[DensestSubgraphResult, DirectedDensestSubgraphResult]
+    rounds_per_pass: List[List[JobCounters]]
+
+    def pass_times(self, cost_model: Optional[CostModel] = None) -> List[float]:
+        """Simulated per-pass wall-clock seconds (Figure 6.7's series)."""
+        model = cost_model if cost_model is not None else CostModel()
+        return model.pass_seconds(self.rounds_per_pass)
+
+    def total_rounds(self) -> int:
+        """Total MapReduce rounds across the run."""
+        return sum(len(rounds) for rounds in self.rounds_per_pass)
+
+    def total_time(self, cost_model: Optional[CostModel] = None) -> float:
+        """Simulated total wall-clock seconds."""
+        return sum(self.pass_times(cost_model))
+
+
+# ----------------------------------------------------------------------
+# Undirected driver (Algorithm 1 in MapReduce)
+# ----------------------------------------------------------------------
+def mr_densest_subgraph(
+    graph: UndirectedGraph,
+    epsilon: float = 0.5,
+    *,
+    runtime: Optional[MapReduceRuntime] = None,
+) -> MapReduceRunReport:
+    """Algorithm 1 as a chain of MapReduce rounds (§5.2).
+
+    Per pass: one degree round, then the two-round removal filter.
+    Returns the same node set, density, and per-pass trace as
+    :func:`repro.core.densest_subgraph`.
+    """
+    epsilon = check_epsilon(epsilon)
+    if runtime is None:
+        runtime = MapReduceRuntime()
+    labels = list(graph.nodes())
+    if not labels:
+        raise MapReduceError("graph has no nodes")
+    alive: Dict[Node, bool] = {u: True for u in labels}
+    remaining = len(labels)
+    edges: List[Tuple[Node, Tuple[Node, float]]] = [
+        (u, (v, w)) for u, v, w in graph.weighted_edges()
+    ]
+
+    best_set = list(labels)
+    best_density: Optional[float] = None
+    best_pass = 0
+    factor = 2.0 * (1.0 + epsilon)
+    pending: Optional[dict] = None
+    trace: List[PassRecord] = []
+    rounds_per_pass: List[List[JobCounters]] = []
+    pass_index = 0
+
+    while remaining > 0:
+        pass_index += 1
+        pass_rounds: List[JobCounters] = []
+
+        # Round 1: degrees (and, via their sum, the surviving weight).
+        degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
+        pass_rounds.append(counters)
+        degrees: Dict[Node, float] = dict(degree_pairs)
+        weight = sum(degrees.values()) / 2.0
+        density = weight / remaining
+
+        if pending is not None:
+            trace.append(
+                PassRecord(edges_after=weight, density_after=density, **pending)
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_set = [u for u in labels if alive[u]]
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+
+        threshold = factor * density
+        to_remove = [
+            u
+            for u in labels
+            if alive[u] and degrees.get(u, 0.0) <= threshold + 1e-12
+        ]
+
+        pending = {
+            "pass_index": pass_index,
+            "nodes_before": remaining,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": len(to_remove),
+            "nodes_after": remaining - len(to_remove),
+        }
+        for u in to_remove:
+            alive[u] = False
+        remaining -= len(to_remove)
+
+        # Rounds 2-3: drop edges incident to removed nodes.  Markers are
+        # injected into the job input; the first round filters on the
+        # first endpoint and re-keys on the second, the second round
+        # filters on the (new) first key and re-keys back.
+        markers = [(u, _MARKER) for u in to_remove]
+        half_filtered, counters = runtime.run(REMOVAL_JOB, edges + markers)
+        pass_rounds.append(counters)
+        edges, counters = runtime.run(REMOVAL_JOB, half_filtered + markers)
+        pass_rounds.append(counters)
+        rounds_per_pass.append(pass_rounds)
+
+    if pending is not None:
+        trace.append(PassRecord(edges_after=0.0, density_after=0.0, **pending))
+
+    result = DensestSubgraphResult(
+        nodes=frozenset(best_set),
+        density=best_density if best_density is not None else 0.0,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+    return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
+
+
+# ----------------------------------------------------------------------
+# Size-constrained driver (Algorithm 2 in MapReduce)
+# ----------------------------------------------------------------------
+def mr_densest_subgraph_atleast_k(
+    graph: UndirectedGraph,
+    k: int,
+    epsilon: float = 0.5,
+    *,
+    runtime: Optional[MapReduceRuntime] = None,
+) -> MapReduceRunReport:
+    """Algorithm 2 as a chain of MapReduce rounds.
+
+    Identical round structure to :func:`mr_densest_subgraph` (degree
+    round + two removal rounds per pass); the driver restricts the
+    removal batch to the ε/(1+ε)·|S| lowest-degree members of the
+    threshold set and stops once |S| < k, matching
+    :func:`repro.core.densest_subgraph_atleast_k`.
+    """
+    from .._validation import check_positive_int
+
+    epsilon = check_epsilon(epsilon)
+    check_positive_int(k, "k")
+    if runtime is None:
+        runtime = MapReduceRuntime()
+    labels = list(graph.nodes())
+    if not labels:
+        raise MapReduceError("graph has no nodes")
+    if k > len(labels):
+        raise MapReduceError(f"k={k} exceeds the graph's {len(labels)} nodes")
+    alive: Dict[Node, bool] = {u: True for u in labels}
+    remaining = len(labels)
+    edges: List[Tuple[Node, Tuple[Node, float]]] = [
+        (u, (v, w)) for u, v, w in graph.weighted_edges()
+    ]
+
+    best_set = list(labels)
+    best_density: Optional[float] = None
+    best_pass = 0
+    factor = 2.0 * (1.0 + epsilon)
+    batch_fraction = epsilon / (1.0 + epsilon)
+    pending: Optional[dict] = None
+    trace: List[PassRecord] = []
+    rounds_per_pass: List[List[JobCounters]] = []
+    pass_index = 0
+
+    while remaining >= k and remaining > 0:
+        pass_index += 1
+        pass_rounds: List[JobCounters] = []
+        degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
+        pass_rounds.append(counters)
+        degrees: Dict[Node, float] = dict(degree_pairs)
+        weight = sum(degrees.values()) / 2.0
+        density = weight / remaining
+
+        if pending is not None:
+            trace.append(
+                PassRecord(edges_after=weight, density_after=density, **pending)
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_set = [u for u in labels if alive[u]]
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+
+        threshold = factor * density
+        candidates = [
+            u
+            for u in labels
+            if alive[u] and degrees.get(u, 0.0) <= threshold + 1e-12
+        ]
+        batch_size = min(
+            len(candidates), max(1, math.floor(batch_fraction * remaining))
+        )
+        candidates.sort(key=lambda u: degrees.get(u, 0.0))
+        to_remove = candidates[:batch_size]
+
+        pending = {
+            "pass_index": pass_index,
+            "nodes_before": remaining,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": len(to_remove),
+            "nodes_after": remaining - len(to_remove),
+        }
+        for u in to_remove:
+            alive[u] = False
+        remaining -= len(to_remove)
+
+        markers = [(u, _MARKER) for u in to_remove]
+        half_filtered, counters = runtime.run(REMOVAL_JOB, edges + markers)
+        pass_rounds.append(counters)
+        edges, counters = runtime.run(REMOVAL_JOB, half_filtered + markers)
+        pass_rounds.append(counters)
+        rounds_per_pass.append(pass_rounds)
+
+    if pending is not None:
+        if remaining == 0:
+            edges_after, density_after = 0.0, 0.0
+        else:
+            # |S| fell below k; value the final state with one more
+            # degree round so the trace is complete (cannot win).
+            degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
+            if rounds_per_pass:
+                rounds_per_pass[-1].append(counters)
+            edges_after = sum(dict(degree_pairs).values()) / 2.0
+            density_after = edges_after / remaining
+            if remaining >= k and density_after > (best_density or 0.0):
+                best_density = density_after
+                best_set = [u for u in labels if alive[u]]
+                best_pass = pending["pass_index"]
+        trace.append(
+            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
+        )
+
+    result = DensestSubgraphResult(
+        nodes=frozenset(best_set),
+        density=best_density if best_density is not None else 0.0,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+    return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
+
+
+# ----------------------------------------------------------------------
+# Directed driver (Algorithm 3 in MapReduce)
+# ----------------------------------------------------------------------
+def mr_densest_subgraph_directed(
+    graph: DirectedGraph,
+    ratio: float = 1.0,
+    epsilon: float = 0.5,
+    *,
+    runtime: Optional[MapReduceRuntime] = None,
+) -> MapReduceRunReport:
+    """Algorithm 3 as a chain of MapReduce rounds.
+
+    Per pass: one directed-degree round plus one removal round on the
+    peeled side (S-peels filter on the first endpoint, T-peels pivot
+    and filter on the second).  Returns the same pair and trace as
+    :func:`repro.core.densest_subgraph_directed`.
+    """
+    epsilon = check_epsilon(epsilon)
+    check_positive_float(ratio, "ratio")
+    if runtime is None:
+        runtime = MapReduceRuntime()
+    labels = list(graph.nodes())
+    if not labels:
+        raise MapReduceError("graph has no nodes")
+    in_s: Dict[Node, bool] = {u: True for u in labels}
+    in_t: Dict[Node, bool] = {u: True for u in labels}
+    s_size = t_size = len(labels)
+    edges: List[Tuple[Node, Tuple[Node, float]]] = [
+        (u, (v, w)) for u, v, w in graph.weighted_edges()
+    ]
+
+    best_s = list(labels)
+    best_t = list(labels)
+    best_density: Optional[float] = None
+    best_pass = 0
+    one_plus_eps = 1.0 + epsilon
+    pending: Optional[dict] = None
+    trace: List[DirectedPassRecord] = []
+    rounds_per_pass: List[List[JobCounters]] = []
+    pass_index = 0
+
+    while s_size > 0 and t_size > 0:
+        pass_index += 1
+        pass_rounds: List[JobCounters] = []
+
+        degree_pairs, counters = runtime.run(DIRECTED_DEGREE_JOB, edges)
+        pass_rounds.append(counters)
+        out_to_t: Dict[Node, float] = {}
+        in_from_s: Dict[Node, float] = {}
+        weight = 0.0
+        for (kind, node), value in degree_pairs:
+            if kind == "out":
+                out_to_t[node] = value
+                weight += value
+            else:
+                in_from_s[node] = value
+        density = weight / math.sqrt(s_size * t_size)
+
+        if pending is not None:
+            trace.append(
+                DirectedPassRecord(
+                    edges_after=weight, density_after=density, **pending
+                )
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_s = [u for u in labels if in_s[u]]
+                best_t = [u for u in labels if in_t[u]]
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+
+        peel_s = s_size / t_size >= ratio
+        if peel_s:
+            threshold = one_plus_eps * weight / s_size
+            to_remove = [
+                u
+                for u in labels
+                if in_s[u] and out_to_t.get(u, 0.0) <= threshold + 1e-12
+            ]
+            side = "S"
+        else:
+            threshold = one_plus_eps * weight / t_size
+            to_remove = [
+                u
+                for u in labels
+                if in_t[u] and in_from_s.get(u, 0.0) <= threshold + 1e-12
+            ]
+            side = "T"
+
+        pending = {
+            "pass_index": pass_index,
+            "side": side,
+            "s_before": s_size,
+            "t_before": t_size,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": len(to_remove),
+            "s_after": s_size - len(to_remove) if side == "S" else s_size,
+            "t_after": t_size - len(to_remove) if side == "T" else t_size,
+        }
+        markers = [(u, _MARKER) for u in to_remove]
+        if side == "S":
+            for u in to_remove:
+                in_s[u] = False
+            s_size -= len(to_remove)
+            # Edges are keyed on the first endpoint already: one round
+            # filters the marked sources, keeping the key orientation.
+            edges, counters = runtime.run(REMOVAL_JOB_KEEP_KEY, edges + markers)
+            pass_rounds.append(counters)
+        else:
+            for u in to_remove:
+                in_t[u] = False
+            t_size -= len(to_remove)
+            # Pivot onto the second endpoint in the mapper, filter the
+            # marked targets, and the reducer re-keys survivors back on
+            # the first endpoint — one round.
+            edges, counters = runtime.run(
+                REMOVAL_JOB_PIVOT_SECOND, edges + markers
+            )
+            pass_rounds.append(counters)
+        rounds_per_pass.append(pass_rounds)
+
+    if pending is not None:
+        trace.append(
+            DirectedPassRecord(edges_after=0.0, density_after=0.0, **pending)
+        )
+
+    result = DirectedDensestSubgraphResult(
+        s_nodes=frozenset(best_s),
+        t_nodes=frozenset(best_t),
+        density=best_density if best_density is not None else 0.0,
+        ratio=ratio,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+    return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)

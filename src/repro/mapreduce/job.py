@@ -1,0 +1,74 @@
+"""MapReduce job specifications and counters.
+
+A job is three pure functions in the classic Dean–Ghemawat signatures:
+
+* ``mapper(key, value) -> iterable of (key2, value2)``
+* ``combiner(key2, values) -> iterable of (key2, value2)`` (optional,
+  run per map task on its local output, must be reducer-compatible)
+* ``reducer(key2, values) -> iterable of (key3, value3)``
+
+Jobs must not close over mutable state that they modify — the runtime
+may run tasks in any order (it shuffles task order deliberately to
+shake out order dependence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+KV = Tuple[Any, Any]
+Mapper = Callable[[Any, Any], Iterable[KV]]
+Reducer = Callable[[Any, list], Iterable[KV]]
+Combiner = Callable[[Any, list], Iterable[KV]]
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """Specification of one MapReduce round.
+
+    Attributes
+    ----------
+    name:
+        Human-readable job name (appears in reports).
+    mapper / reducer / combiner:
+        The user functions; ``combiner`` may be None.
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Optional[Combiner] = None
+
+
+@dataclass
+class JobCounters:
+    """Per-round metering, in records and (approximate) bytes.
+
+    ``shuffle_bytes`` charges ``repr``-length bytes per shuffled record —
+    a stable, deterministic proxy for serialized size.
+    """
+
+    job_name: str = ""
+    map_input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    reduce_groups: int = 0
+    reduce_output_records: int = 0
+
+    def merge(self, other: "JobCounters") -> "JobCounters":
+        """Sum of two counter sets (job_name taken from self)."""
+        return JobCounters(
+            job_name=self.job_name,
+            map_input_records=self.map_input_records + other.map_input_records,
+            map_output_records=self.map_output_records + other.map_output_records,
+            combine_output_records=self.combine_output_records
+            + other.combine_output_records,
+            shuffle_records=self.shuffle_records + other.shuffle_records,
+            shuffle_bytes=self.shuffle_bytes + other.shuffle_bytes,
+            reduce_groups=self.reduce_groups + other.reduce_groups,
+            reduce_output_records=self.reduce_output_records
+            + other.reduce_output_records,
+        )

@@ -1,0 +1,239 @@
+"""The MapReduce execution engine.
+
+Simulates the full model on one process:
+
+1. the input key-value list is split round-robin into ``num_mappers``
+   input splits;
+2. each map task applies the mapper to its split, then (optionally) the
+   combiner to its local output grouped by key — exactly the Hadoop
+   combiner contract;
+3. map outputs are hash-partitioned by key into ``num_reducers``
+   partitions (the shuffle; records and bytes are metered here);
+4. each reduce task groups its partition by key, sorts groups by key
+   (deterministic output order), and applies the reducer.
+
+Tasks are executed in a deliberately shuffled order (seeded) so jobs
+that accidentally depend on task execution order fail loudly in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+from typing import Optional
+
+from .._validation import check_positive_int
+from ..errors import MapReduceError, ParameterError
+from .job import JobCounters, KV, MapReduceJob
+
+
+class TransientTaskError(Exception):
+    """Raised by user task code to simulate a recoverable task failure.
+
+    The runtime re-executes the failing task up to ``max_task_retries``
+    times (Hadoop's retry semantics) before failing the whole job with
+    :class:`~repro.errors.MapReduceError`.
+    """
+
+
+def _default_partitioner(key: Any, num_reducers: int) -> int:
+    """Hash partitioner with a stable hash for common key types."""
+    return _stable_hash(key) % num_reducers
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic hash across runs (no PYTHONHASHSEED dependence)."""
+    if isinstance(key, int):
+        return key * 2654435761 % (1 << 32)
+    if isinstance(key, str):
+        h = 2166136261
+        for ch in key:
+            h = (h ^ ord(ch)) * 16777619 % (1 << 32)
+        return h
+    if isinstance(key, tuple):
+        h = 1099511628211
+        for part in key:
+            h = (h * 31 + _stable_hash(part)) % (1 << 61)
+        return h
+    raise MapReduceError(
+        f"keys must be int, str, or tuples thereof; got {type(key).__name__}"
+    )
+
+
+class MapReduceRuntime:
+    """A metered, deterministic MapReduce simulator.
+
+    Parameters
+    ----------
+    num_mappers / num_reducers:
+        Degree of task parallelism being simulated (the paper ran 2000
+        of each on Hadoop).
+    seed:
+        Seed for the task-order shuffling.
+    max_task_retries:
+        How many times a failed task is re-executed before the job is
+        declared failed — Hadoop's speculative/retry semantics.  Task
+        failures are injected by raising :class:`TransientTaskError`
+        from a mapper/combiner/reducer (tests use this to verify the
+        retry path); exhausting the retries raises
+        :class:`~repro.errors.MapReduceError`.
+
+    Examples
+    --------
+    >>> runtime = MapReduceRuntime(num_mappers=4, num_reducers=2)
+    >>> job = MapReduceJob(
+    ...     name="wordcount",
+    ...     mapper=lambda _, word: [(word, 1)],
+    ...     reducer=lambda word, ones: [(word, sum(ones))],
+    ... )
+    >>> output, counters = runtime.run(job, [(None, w) for w in ["a", "b", "a"]])
+    >>> sorted(output)
+    [('a', 2), ('b', 1)]
+    """
+
+    def __init__(
+        self,
+        num_mappers: int = 8,
+        num_reducers: int = 8,
+        *,
+        seed: int = 0,
+        max_task_retries: int = 3,
+    ) -> None:
+        check_positive_int(num_mappers, "num_mappers")
+        check_positive_int(num_reducers, "num_reducers")
+        if max_task_retries < 0:
+            raise ParameterError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        self.num_mappers = num_mappers
+        self.num_reducers = num_reducers
+        self.max_task_retries = max_task_retries
+        self._rng = random.Random(seed)
+        self.history: List[JobCounters] = []
+        self.task_retries: int = 0
+
+    def _run_task_with_retries(self, description: str, task_fn):
+        """Execute a task body, re-running it on TransientTaskError."""
+        attempts = self.max_task_retries + 1
+        last_error: Optional[TransientTaskError] = None
+        for _ in range(attempts):
+            try:
+                return task_fn()
+            except TransientTaskError as exc:
+                self.task_retries += 1
+                last_error = exc
+        raise MapReduceError(
+            f"{description} failed after {attempts} attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, job: MapReduceJob, input_pairs: List[KV]
+    ) -> Tuple[List[KV], JobCounters]:
+        """Execute one job; returns (output pairs, counters)."""
+        counters = JobCounters(job_name=job.name)
+        counters.map_input_records = len(input_pairs)
+
+        # 1. Input splits (round-robin keeps splits balanced).
+        splits: List[List[KV]] = [[] for _ in range(self.num_mappers)]
+        for i, pair in enumerate(input_pairs):
+            splits[i % self.num_mappers].append(pair)
+
+        # 2. Map tasks (+ per-task combiner), in shuffled order, each
+        #    with Hadoop-style retry-on-transient-failure semantics.
+        task_order = list(range(self.num_mappers))
+        self._rng.shuffle(task_order)
+        map_outputs: List[List[KV]] = [[] for _ in range(self.num_mappers)]
+        for task in task_order:
+
+            def map_task(task=task) -> tuple:
+                local: List[KV] = []
+                for key, value in splits[task]:
+                    for out in job.mapper(key, value):
+                        _check_pair(out, job.name, "mapper")
+                        local.append(out)
+                raw_count = len(local)
+                if job.combiner is not None:
+                    grouped: Dict[Any, list] = defaultdict(list)
+                    for k, v in local:
+                        grouped[k].append(v)
+                    combined: List[KV] = []
+                    for k in grouped:
+                        for out in job.combiner(k, grouped[k]):
+                            _check_pair(out, job.name, "combiner")
+                            combined.append(out)
+                    local = combined
+                return raw_count, local
+
+            raw_count, local = self._run_task_with_retries(
+                f"job {job.name!r} map task {task}", map_task
+            )
+            counters.map_output_records += raw_count
+            counters.combine_output_records += len(local)
+            map_outputs[task] = local
+
+        # 3. Shuffle: partition by key.
+        partitions: List[List[KV]] = [[] for _ in range(self.num_reducers)]
+        for local in map_outputs:
+            for key, value in local:
+                partitions[_default_partitioner(key, self.num_reducers)].append(
+                    (key, value)
+                )
+                counters.shuffle_records += 1
+                counters.shuffle_bytes += len(repr(key)) + len(repr(value))
+
+        # 4. Reduce tasks, in shuffled order; output concatenated in
+        #    deterministic (partition, key-sorted) order.
+        reduce_order = list(range(self.num_reducers))
+        self._rng.shuffle(reduce_order)
+        outputs_by_partition: List[List[KV]] = [[] for _ in range(self.num_reducers)]
+        for task in reduce_order:
+            grouped = defaultdict(list)
+            for k, v in partitions[task]:
+                grouped[k].append(v)
+            counters.reduce_groups += len(grouped)
+
+            def reduce_task(grouped=grouped) -> List[KV]:
+                out_local: List[KV] = []
+                for k in sorted(grouped, key=repr):
+                    for out in job.reducer(k, grouped[k]):
+                        _check_pair(out, job.name, "reducer")
+                        out_local.append(out)
+                return out_local
+
+            out_local = self._run_task_with_retries(
+                f"job {job.name!r} reduce task {task}", reduce_task
+            )
+            counters.reduce_output_records += len(out_local)
+            outputs_by_partition[task] = out_local
+
+        output: List[KV] = []
+        for part in outputs_by_partition:
+            output.extend(part)
+        self.history.append(counters)
+        return output, counters
+
+    def run_chain(
+        self, jobs: List[MapReduceJob], input_pairs: List[KV]
+    ) -> Tuple[List[KV], List[JobCounters]]:
+        """Run jobs sequentially, feeding each job's output to the next."""
+        counters: List[JobCounters] = []
+        pairs = input_pairs
+        for job in jobs:
+            pairs, c = self.run(job, pairs)
+            counters.append(c)
+        return pairs, counters
+
+    def reset_history(self) -> None:
+        """Clear the per-job counter history."""
+        self.history = []
+
+
+def _check_pair(out: Any, job: str, stage: str) -> None:
+    """Validate that a user function emitted a (key, value) pair."""
+    if not isinstance(out, tuple) or len(out) != 2:
+        raise MapReduceError(
+            f"job {job!r}: {stage} must emit (key, value) pairs, got {out!r}"
+        )

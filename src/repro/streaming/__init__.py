@@ -1,0 +1,53 @@
+"""Streaming substrate: edge streams, the semi-streaming engine, sketches.
+
+The streaming model of the paper (§1.1): node set known in advance,
+edges arrive one at a time, the algorithm may take multiple passes over
+the stream but can only keep O(n) state between passes.  This package
+provides:
+
+* :mod:`~repro.streaming.stream` — edge-stream abstractions (in-memory,
+  file-backed, regenerating) with pass/edge accounting.
+* :mod:`~repro.streaming.engine` — Algorithms 1–3 implemented strictly
+  against the stream interface with O(n) state; verified to match the
+  in-memory reference implementations pass-for-pass.
+* :mod:`~repro.streaming.countsketch` — the Count-Sketch frequency
+  estimator of Charikar–Chen–Farach-Colton (§5.1).
+* :mod:`~repro.streaming.sketch_engine` — Algorithm 1 with sketched
+  degree counters, reproducing Table 4.
+* :mod:`~repro.streaming.memory` — between-pass memory accounting in
+  words, used for the paper's space comparisons.
+"""
+
+from .stream import (
+    EdgeStream,
+    MemoryEdgeStream,
+    FileEdgeStream,
+    GraphEdgeStream,
+    DirectedGraphEdgeStream,
+    GeneratorEdgeStream,
+)
+from .engine import (
+    stream_densest_subgraph,
+    stream_densest_subgraph_atleast_k,
+    stream_densest_subgraph_directed,
+)
+from .countsketch import CountSketch
+from .sketch_engine import sketch_densest_subgraph
+from .memory import MemoryAccountant
+from .sweep import stream_ratio_sweep
+
+__all__ = [
+    "EdgeStream",
+    "MemoryEdgeStream",
+    "FileEdgeStream",
+    "GraphEdgeStream",
+    "DirectedGraphEdgeStream",
+    "GeneratorEdgeStream",
+    "stream_densest_subgraph",
+    "stream_densest_subgraph_atleast_k",
+    "stream_densest_subgraph_directed",
+    "CountSketch",
+    "sketch_densest_subgraph",
+    "MemoryAccountant",
+    "stream_ratio_sweep",
+]

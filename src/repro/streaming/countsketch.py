@@ -1,0 +1,149 @@
+"""Count-Sketch (Charikar, Chen, Farach-Colton 2004).
+
+The sketch keeps ``t`` independent hash tables of ``b`` counters.  Each
+table i has a bucket hash h_i : U → [b] and a sign hash g_i : U → {±1};
+an update of item x by Δ adds g_i(x)·Δ to counter ``c[i][h_i(x)]``, and
+the point query returns the *median* over i of ``g_i(x)·c[i][h_i(x)]``.
+High-frequency items are estimated accurately — exactly the property
+§5.1 exploits, since only high-degree nodes must survive the peel.
+
+Implementation notes
+--------------------
+Hashes are multiply-shift: ``h(x) = ((a·x) mod 2^64) >> 33 mod b`` with
+per-table random odd multipliers ``a``, and the sign is the top bit of
+a second multiply.  Multiply-shift is 2-universal, runs entirely in
+``numpy`` uint64 arithmetic (the mod-2^64 is free via wraparound), and
+makes batched updates (:meth:`CountSketch.add_many`) and batched
+queries (:meth:`CountSketch.estimate_many`) vectorized — the streaming
+engines feed edges through in chunks for throughput, which does not
+change semantics because sketch updates are commutative.
+
+A sketch is deterministic given ``(tables, buckets, seed)``.  Items
+must be non-negative Python ints (the engines intern node labels to
+dense indices first).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+_SHIFT = np.uint64(33)
+_SIGN_SHIFT = np.uint64(63)
+
+
+class CountSketch:
+    """A Count-Sketch frequency estimator over integer items.
+
+    Parameters
+    ----------
+    tables:
+        Number of independent estimates t (the median is taken over
+        these).  The paper's experiments use t = 5.
+    buckets:
+        Counters per table b.  Total space is t·b words.
+    seed:
+        Seed for the hash multipliers.
+
+    Examples
+    --------
+    >>> sketch = CountSketch(tables=5, buckets=256, seed=1)
+    >>> for _ in range(100):
+    ...     sketch.add(42)
+    >>> 90 <= sketch.estimate(42) <= 110
+    True
+    """
+
+    __slots__ = ("tables", "buckets", "_counters", "_bucket_mult", "_sign_mult")
+
+    def __init__(self, tables: int = 5, buckets: int = 1024, *, seed: int = 0) -> None:
+        check_positive_int(tables, "tables")
+        check_positive_int(buckets, "buckets")
+        self.tables = tables
+        self.buckets = buckets
+        rng = random.Random(seed)
+        # Odd 64-bit multipliers, one pair per table; shape (t, 1) so
+        # they broadcast against item row-vectors.
+        self._bucket_mult = np.array(
+            [[rng.randrange(1, 1 << 64) | 1] for _ in range(tables)],
+            dtype=np.uint64,
+        )
+        self._sign_mult = np.array(
+            [[rng.randrange(1, 1 << 64) | 1] for _ in range(tables)],
+            dtype=np.uint64,
+        )
+        self._counters = np.zeros((tables, buckets), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _hash(self, items: np.ndarray) -> tuple:
+        """(bucket indices, signs) for an item vector; shapes (t, n)."""
+        with np.errstate(over="ignore"):
+            mixed = self._bucket_mult * items  # mod 2^64 via wraparound
+            sign_mix = self._sign_mult * items
+        bucket = (mixed >> _SHIFT) % np.uint64(self.buckets)
+        signs = np.where((sign_mix >> _SIGN_SHIFT).astype(bool), 1.0, -1.0)
+        return bucket.astype(np.int64), signs
+
+    # ------------------------------------------------------------------
+    def add(self, item: int, delta: float = 1.0) -> None:
+        """Update item's frequency by ``delta`` (negative allowed)."""
+        self.add_many([item], [delta])
+
+    def add_many(
+        self,
+        items: Union[Sequence[int], np.ndarray],
+        deltas: Union[Sequence[float], np.ndarray, None] = None,
+    ) -> None:
+        """Batched update; equivalent to ``add`` per element.
+
+        ``deltas=None`` means +1 per item.  Updates commute, so batching
+        never changes the final sketch state.
+        """
+        item_vec = np.asarray(items, dtype=np.uint64)
+        if item_vec.size == 0:
+            return
+        if deltas is None:
+            delta_vec = np.ones(item_vec.shape, dtype=np.float64)
+        else:
+            delta_vec = np.asarray(deltas, dtype=np.float64)
+        buckets, signs = self._hash(item_vec[None, :])
+        rows = np.repeat(
+            np.arange(self.tables, dtype=np.int64), item_vec.shape[0]
+        )
+        np.add.at(
+            self._counters,
+            (rows, buckets.reshape(-1)),
+            (signs * delta_vec[None, :]).reshape(-1),
+        )
+
+    def estimate(self, item: int) -> float:
+        """Median-of-estimates point query for item's frequency."""
+        return float(self.estimate_many([item])[0])
+
+    def estimate_many(
+        self, items: Union[Sequence[int], np.ndarray, Iterable[int]]
+    ) -> np.ndarray:
+        """Batched point queries; returns a float array."""
+        item_vec = np.asarray(list(items) if not hasattr(items, "__len__") else items, dtype=np.uint64)
+        if item_vec.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        buckets, signs = self._hash(item_vec[None, :])
+        rows = np.arange(self.tables, dtype=np.int64)[:, None]
+        per_table = signs * self._counters[rows, buckets]
+        return np.median(per_table, axis=0)
+
+    def clear(self) -> None:
+        """Zero all counters (hash functions are kept)."""
+        self._counters.fill(0.0)
+
+    @property
+    def words(self) -> int:
+        """Space in machine words (t·b counters)."""
+        return self.tables * self.buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountSketch(tables={self.tables}, buckets={self.buckets})"

@@ -1,0 +1,393 @@
+"""Semi-streaming implementations of Algorithms 1–3.
+
+These engines touch the input *only* through the :class:`EdgeStream`
+interface and keep O(n) state between passes:
+
+* a label → dense-index map and an alive bitmap (both O(n));
+* one degree counter per alive node (O(n) words);
+* a copy of the best node set seen so far (O(n));
+* O(1) scalars (remaining node count, remaining edge weight).
+
+Every while-loop iteration of the paper's algorithms costs exactly one
+stream pass, during which the degree counters and the edge weight of
+the surviving subgraph are recomputed from scratch; removals then
+update only in-memory state.  ρ(S) after pass p's removal is observed
+at the start of pass p+1, which is when the best-set bookkeeping
+happens — the same values, one pass later, as the in-memory reference
+in :mod:`repro.core`.  The test suite asserts the engines return
+identical sets and traces to the reference implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .._validation import check_epsilon, check_positive_float, check_positive_int
+from ..core.result import DensestSubgraphResult, DirectedDensestSubgraphResult
+from ..core.trace import DirectedPassRecord, PassRecord
+from ..errors import ParameterError, StreamError
+from .memory import MemoryAccountant
+from .stream import EdgeStream
+
+Node = Hashable
+
+
+def _index_nodes(stream: EdgeStream) -> Tuple[List[Node], Dict[Node, int]]:
+    """The node universe and its dense index (semi-streaming O(n) state)."""
+    labels = stream.nodes()
+    if not labels:
+        raise StreamError("stream has an empty node universe")
+    return labels, {node: i for i, node in enumerate(labels)}
+
+
+def _charge_exact_memory(accountant: Optional[MemoryAccountant], n: int) -> None:
+    """Standard footprint of the exact-degree engines."""
+    if accountant is None:
+        return
+    accountant.charge_words("degrees", n)
+    accountant.charge_bits("alive_bitmap", n)
+    # The best-set snapshot needs only membership, i.e. one bit per node.
+    accountant.charge_bits("best_set_bitmap", n)
+    accountant.charge_words("scalars", 4)
+
+
+class _UndirectedPassState:
+    """Shared per-pass machinery of the undirected streaming engines."""
+
+    def __init__(self, stream: EdgeStream) -> None:
+        self.stream = stream
+        self.labels, self.index = _index_nodes(stream)
+        self.n = len(self.labels)
+        self.alive = [True] * self.n
+        self.remaining = self.n
+
+    def scan(self) -> Tuple[List[float], float]:
+        """One stream pass: degrees of alive nodes and surviving weight."""
+        degrees = [0.0] * self.n
+        weight = 0.0
+        alive = self.alive
+        index = self.index
+        for u, v, w in self.stream.edges():
+            ui = index[u]
+            vi = index[v]
+            if alive[ui] and alive[vi]:
+                degrees[ui] += w
+                degrees[vi] += w
+                weight += w
+        return degrees, weight
+
+    def kill(self, to_remove: List[int]) -> None:
+        """Remove nodes from the alive set."""
+        for i in to_remove:
+            self.alive[i] = False
+        self.remaining -= len(to_remove)
+
+    def alive_indices(self) -> List[int]:
+        """Indices of currently alive nodes."""
+        return [i for i in range(self.n) if self.alive[i]]
+
+
+def stream_densest_subgraph(
+    stream: EdgeStream,
+    epsilon: float = 0.5,
+    *,
+    max_passes: Optional[int] = None,
+    accountant: Optional[MemoryAccountant] = None,
+) -> DensestSubgraphResult:
+    """Algorithm 1 in the semi-streaming model.
+
+    Parameters
+    ----------
+    stream:
+        Undirected edge stream; each triple is one undirected edge.
+    epsilon:
+        Slack parameter ε ≥ 0 (see :func:`repro.core.densest_subgraph`).
+    max_passes:
+        Optional cap on peeling passes.
+    accountant:
+        Optional :class:`MemoryAccountant` charged with the engine's
+        between-pass state.
+
+    Returns
+    -------
+    DensestSubgraphResult
+        Same node set and trace as the in-memory reference.
+    """
+    epsilon = check_epsilon(epsilon)
+    state = _UndirectedPassState(stream)
+    _charge_exact_memory(accountant, state.n)
+
+    best_set = state.alive_indices()
+    best_density: Optional[float] = None
+    best_pass = 0
+    factor = 2.0 * (1.0 + epsilon)
+    pending: Optional[dict] = None  # trace fields awaiting "after" values
+    trace: List[PassRecord] = []
+    pass_index = 0
+
+    while state.remaining > 0:
+        if max_passes is not None and pass_index >= max_passes:
+            break
+        pass_index += 1
+        degrees, weight = state.scan()
+        density = weight / state.remaining
+        if pending is not None:
+            trace.append(
+                PassRecord(
+                    edges_after=weight, density_after=density, **pending
+                )
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_set = state.alive_indices()
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density  # ρ(V), the paper's initial S̃
+        threshold = factor * density
+        to_remove = [
+            i
+            for i in range(state.n)
+            if state.alive[i] and degrees[i] <= threshold + 1e-12
+        ]
+        pending = {
+            "pass_index": pass_index,
+            "nodes_before": state.remaining,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": len(to_remove),
+            "nodes_after": state.remaining - len(to_remove),
+        }
+        state.kill(to_remove)
+
+    if pending is not None:
+        if state.remaining == 0:
+            edges_after, density_after = 0.0, 0.0
+        else:
+            # max_passes truncation: one extra counted pass values the
+            # final surviving subgraph.
+            degrees, edges_after = state.scan()
+            density_after = edges_after / state.remaining
+            if density_after > (best_density or 0.0):
+                best_density = density_after
+                best_set = state.alive_indices()
+                best_pass = pending["pass_index"]
+        trace.append(
+            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
+        )
+
+    return DensestSubgraphResult(
+        nodes=frozenset(state.labels[i] for i in best_set),
+        density=best_density if best_density is not None else 0.0,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+
+
+def stream_densest_subgraph_atleast_k(
+    stream: EdgeStream,
+    k: int,
+    epsilon: float = 0.5,
+    *,
+    accountant: Optional[MemoryAccountant] = None,
+) -> DensestSubgraphResult:
+    """Algorithm 2 in the semi-streaming model (size lower bound k).
+
+    Mirrors :func:`repro.core.densest_subgraph_atleast_k`: per pass the
+    ε/(1+ε)·|S| lowest-degree members of the threshold set are removed,
+    and peeling stops when |S| < k (Lemma 11's pass bound).
+    """
+    epsilon = check_epsilon(epsilon)
+    check_positive_int(k, "k")
+    state = _UndirectedPassState(stream)
+    if k > state.n:
+        raise ParameterError(f"k={k} exceeds the universe of {state.n} nodes")
+    _charge_exact_memory(accountant, state.n)
+
+    best_set = state.alive_indices()
+    best_density: Optional[float] = None
+    best_pass = 0
+    factor = 2.0 * (1.0 + epsilon)
+    batch_fraction = epsilon / (1.0 + epsilon)
+    pending: Optional[dict] = None
+    trace: List[PassRecord] = []
+    pass_index = 0
+
+    while state.remaining >= k and state.remaining > 0:
+        pass_index += 1
+        degrees, weight = state.scan()
+        density = weight / state.remaining
+        if pending is not None:
+            trace.append(
+                PassRecord(edges_after=weight, density_after=density, **pending)
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_set = state.alive_indices()
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+        threshold = factor * density
+        candidates = [
+            i
+            for i in range(state.n)
+            if state.alive[i] and degrees[i] <= threshold + 1e-12
+        ]
+        batch_size = min(
+            len(candidates), max(1, math.floor(batch_fraction * state.remaining))
+        )
+        candidates.sort(key=lambda i: degrees[i])
+        to_remove = candidates[:batch_size]
+        pending = {
+            "pass_index": pass_index,
+            "nodes_before": state.remaining,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": len(to_remove),
+            "nodes_after": state.remaining - len(to_remove),
+        }
+        state.kill(to_remove)
+
+    if pending is not None:
+        if state.remaining == 0:
+            edges_after, density_after = 0.0, 0.0
+        else:
+            # |S| dropped below k; value the final set with one counted
+            # pass so the trace is complete (it can no longer win, but
+            # Figure-6.2-style plots want the endpoint).
+            _, edges_after = state.scan()
+            density_after = edges_after / state.remaining
+            if state.remaining >= k and density_after > (best_density or 0.0):
+                best_density = density_after
+                best_set = state.alive_indices()
+                best_pass = pending["pass_index"]
+        trace.append(
+            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
+        )
+
+    return DensestSubgraphResult(
+        nodes=frozenset(state.labels[i] for i in best_set),
+        density=best_density if best_density is not None else 0.0,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+
+
+def stream_densest_subgraph_directed(
+    stream: EdgeStream,
+    ratio: float = 1.0,
+    epsilon: float = 0.5,
+    *,
+    accountant: Optional[MemoryAccountant] = None,
+) -> DirectedDensestSubgraphResult:
+    """Algorithm 3 in the semi-streaming model at a fixed ratio c.
+
+    Keeps two O(n) counter arrays — w(E(i, T)) and w(E(S, j)) — plus the
+    two alive bitmaps; one stream pass per peeling pass recomputes them.
+    """
+    epsilon = check_epsilon(epsilon)
+    check_positive_float(ratio, "ratio")
+    labels, index = _index_nodes(stream)
+    n = len(labels)
+    if accountant is not None:
+        accountant.charge_words("out_counters", n)
+        accountant.charge_words("in_counters", n)
+        accountant.charge_bits("s_bitmap", n)
+        accountant.charge_bits("t_bitmap", n)
+        accountant.charge_bits("best_set_bitmaps", 2 * n)
+        accountant.charge_words("scalars", 5)
+
+    in_s = [True] * n
+    in_t = [True] * n
+    s_size = n
+    t_size = n
+    best_s = list(range(n))
+    best_t = list(range(n))
+    best_density: Optional[float] = None
+    best_pass = 0
+    one_plus_eps = 1.0 + epsilon
+    pending: Optional[dict] = None
+    trace: List[DirectedPassRecord] = []
+    pass_index = 0
+
+    while s_size > 0 and t_size > 0:
+        pass_index += 1
+        out_to_t = [0.0] * n
+        in_from_s = [0.0] * n
+        weight = 0.0
+        for u, v, w in stream.edges():
+            ui = index[u]
+            vi = index[v]
+            if in_s[ui] and in_t[vi]:
+                out_to_t[ui] += w
+                in_from_s[vi] += w
+                weight += w
+        density = weight / math.sqrt(s_size * t_size)
+        if pending is not None:
+            trace.append(
+                DirectedPassRecord(
+                    edges_after=weight, density_after=density, **pending
+                )
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_s = [i for i in range(n) if in_s[i]]
+                best_t = [j for j in range(n) if in_t[j]]
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+        peel_s = s_size / t_size >= ratio
+        if peel_s:
+            threshold = one_plus_eps * weight / s_size
+            to_remove = [
+                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + 1e-12
+            ]
+            side = "S"
+        else:
+            threshold = one_plus_eps * weight / t_size
+            to_remove = [
+                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + 1e-12
+            ]
+            side = "T"
+        pending = {
+            "pass_index": pass_index,
+            "side": side,
+            "s_before": s_size,
+            "t_before": t_size,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": len(to_remove),
+            "s_after": s_size - len(to_remove) if side == "S" else s_size,
+            "t_after": t_size - len(to_remove) if side == "T" else t_size,
+        }
+        if side == "S":
+            for i in to_remove:
+                in_s[i] = False
+            s_size -= len(to_remove)
+        else:
+            for j in to_remove:
+                in_t[j] = False
+            t_size -= len(to_remove)
+
+    if pending is not None:
+        trace.append(
+            DirectedPassRecord(edges_after=0.0, density_after=0.0, **pending)
+        )
+
+    return DirectedDensestSubgraphResult(
+        s_nodes=frozenset(labels[i] for i in best_s),
+        t_nodes=frozenset(labels[j] for j in best_t),
+        density=best_density if best_density is not None else 0.0,
+        ratio=ratio,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )

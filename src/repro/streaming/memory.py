@@ -1,0 +1,60 @@
+"""Between-pass memory accounting.
+
+The streaming model's budget is the number of machine *words* retained
+between passes.  The engines report their footprint through a
+:class:`MemoryAccountant`, which is what Table 4's memory row and the
+Lemma 7 space-bound discussions are measured against.
+
+Conventions (matching the paper's accounting in §6.5):
+
+* one word per live degree counter (exact engine: n words);
+* one word per sketch counter (sketch engine: t·b words);
+* the alive/removed bitmap is n *bits*, charged as n/64 words;
+* O(1) scalars (density, counts) are charged exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+BITS_PER_WORD = 64
+
+
+@dataclass
+class MemoryAccountant:
+    """Tracks the words of state an engine keeps between passes.
+
+    Attributes
+    ----------
+    components:
+        Named word counts (e.g. ``{"degrees": n, "scalars": 4}``).
+    """
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def charge_words(self, name: str, words: float) -> None:
+        """Record ``words`` machine words for component ``name``."""
+        if words < 0:
+            raise ValueError(f"words must be >= 0, got {words}")
+        self.components[name] = self.components.get(name, 0.0) + words
+
+    def charge_bits(self, name: str, bits: float) -> None:
+        """Record ``bits`` of state, converted to words."""
+        self.charge_words(name, bits / BITS_PER_WORD)
+
+    @property
+    def total_words(self) -> float:
+        """Total words across all components."""
+        return sum(self.components.values())
+
+    def ratio_to(self, other: "MemoryAccountant") -> float:
+        """This footprint as a fraction of another's (Table 4 bottom row)."""
+        if other.total_words <= 0:
+            raise ValueError("reference accountant has zero footprint")
+        return self.total_words / other.total_words
+
+    def summary(self) -> str:
+        """Human-readable one-line breakdown."""
+        parts = ", ".join(f"{k}={v:g}" for k, v in sorted(self.components.items()))
+        return f"{self.total_words:g} words ({parts})"

@@ -1,0 +1,180 @@
+"""Edge-stream abstractions with pass accounting.
+
+An :class:`EdgeStream` models the semi-streaming input: the node
+universe is known (or discoverable in one counted pass) and each call
+to :meth:`EdgeStream.edges` performs one *pass*, yielding
+``(u, v, weight)`` triples one at a time.  Implementations must be
+re-iterable — the peeling algorithms take O(log n) passes.
+
+The base class counts passes and streamed edges so tests and benchmarks
+can assert the pass complexity the paper proves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Callable, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import StreamError
+from ..graph.directed import DirectedGraph
+from ..graph.io import iter_edge_list
+from ..graph.undirected import UndirectedGraph
+
+Node = Hashable
+EdgeTriple = Tuple[Node, Node, float]
+
+
+class EdgeStream(ABC):
+    """Abstract multi-pass edge stream.
+
+    Subclasses implement :meth:`_generate` (one pass worth of edges);
+    the base class wraps it with pass/edge accounting.
+    """
+
+    def __init__(self, nodes: Optional[Iterable[Node]] = None) -> None:
+        self._nodes: Optional[List[Node]] = list(nodes) if nodes is not None else None
+        self.passes_made: int = 0
+        self.edges_streamed: int = 0
+
+    @abstractmethod
+    def _generate(self) -> Iterator[EdgeTriple]:
+        """Yield one pass worth of ``(u, v, weight)`` triples."""
+
+    def edges(self) -> Iterator[EdgeTriple]:
+        """One accounting-wrapped pass over the stream."""
+        self.passes_made += 1
+        for triple in self._generate():
+            self.edges_streamed += 1
+            yield triple
+
+    def __iter__(self) -> Iterator[EdgeTriple]:
+        return self.edges()
+
+    def nodes(self) -> List[Node]:
+        """The node universe (semi-streaming assumption: known up front).
+
+        If the stream was built without an explicit node list, a
+        *counted* discovery pass collects the endpoints.
+        """
+        if self._nodes is None:
+            discovered: dict = {}
+            for u, v, _ in self.edges():
+                discovered.setdefault(u)
+                discovered.setdefault(v)
+            self._nodes = list(discovered)
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the node universe (may trigger a discovery pass)."""
+        return len(self.nodes())
+
+    def reset_accounting(self) -> None:
+        """Zero the pass/edge counters (does not touch the data)."""
+        self.passes_made = 0
+        self.edges_streamed = 0
+
+
+class MemoryEdgeStream(EdgeStream):
+    """Stream over an in-memory edge list.
+
+    Accepts ``(u, v)`` or ``(u, v, weight)`` tuples.  Mainly for tests
+    and small experiments.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Union[Tuple[Node, Node], EdgeTriple]],
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> None:
+        super().__init__(nodes)
+        self._edges: List[EdgeTriple] = []
+        for edge in edges:
+            if len(edge) == 2:
+                self._edges.append((edge[0], edge[1], 1.0))
+            elif len(edge) == 3:
+                self._edges.append((edge[0], edge[1], float(edge[2])))
+            else:
+                raise StreamError(f"edges must be 2- or 3-tuples, got {edge!r}")
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+class FileEdgeStream(EdgeStream):
+    """Stream re-read from a SNAP-style edge-list file on every pass.
+
+    This is the honest streaming setup: nothing but the file handle and
+    O(n) state in memory.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        nodes: Optional[Iterable[Node]] = None,
+        *,
+        int_nodes: bool = True,
+    ) -> None:
+        super().__init__(nodes)
+        self._path = Path(path)
+        if not self._path.exists():
+            raise StreamError(f"edge list not found: {self._path}")
+        self._int_nodes = int_nodes
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        for u, v, w in iter_edge_list(self._path):
+            if self._int_nodes:
+                yield int(u), int(v), w
+            else:
+                yield u, v, w
+
+
+class GraphEdgeStream(EdgeStream):
+    """Stream the edges of an in-memory undirected graph.
+
+    Convenient glue for comparing streaming runs against the in-memory
+    reference on the same graph object.
+    """
+
+    def __init__(self, graph: UndirectedGraph) -> None:
+        super().__init__(graph.nodes())
+        self._graph = graph
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        return self._graph.weighted_edges()
+
+
+class DirectedGraphEdgeStream(EdgeStream):
+    """Stream the edges of an in-memory directed graph (u -> v order)."""
+
+    def __init__(self, graph: DirectedGraph) -> None:
+        super().__init__(graph.nodes())
+        self._graph = graph
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        return self._graph.weighted_edges()
+
+
+class GeneratorEdgeStream(EdgeStream):
+    """Stream regenerated from a factory on every pass.
+
+    ``factory()`` must return an iterator of ``(u, v, weight)`` triples
+    and must be deterministic (same edges every pass) — e.g. a seeded
+    synthetic generator.  This allows experiments on streams much larger
+    than memory without materializing them.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[EdgeTriple]],
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> None:
+        super().__init__(nodes)
+        self._factory = factory
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        return iter(self._factory())

@@ -1,0 +1,176 @@
+"""Tests for the analysis layer: tables, sweeps, experiment drivers."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    fig61,
+    fig62,
+    fig63,
+    fig64,
+    fig65,
+    fig66,
+    fig67,
+    lowerbound_passes,
+    table1,
+    table3,
+    table4,
+)
+from repro.analysis.sweep import (
+    delta_epsilon_grid,
+    epsilon_sweep,
+    sketch_quality_sweep,
+)
+from repro.analysis.tables import render_table
+from repro.datasets import load
+from repro.graph.generators import chung_lu, directed_power_law
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "v"], [["a", 1.5], ["bb", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.500" in text
+        assert "bb" in text
+
+    def test_float_digits(self):
+        text = render_table(["x"], [[1.23456]], float_digits=1)
+        assert "1.2" in text and "1.23" not in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def social(self):
+        return chung_lu(800, exponent=2.3, average_degree=8, seed=2)
+
+    def test_epsilon_sweep(self, social):
+        points = epsilon_sweep(social, [0.0, 0.5, 1.0])
+        assert [p.epsilon for p in points] == [0.0, 0.5, 1.0]
+        assert all(p.density > 0 for p in points)
+        assert points[-1].passes <= points[0].passes
+
+    def test_delta_epsilon_grid(self):
+        g = directed_power_law(200, 1200, seed=3)
+        grid = delta_epsilon_grid(g, deltas=[2.0, 10.0], epsilons=[0.5, 1.0])
+        assert len(grid) == 4
+        # Finer delta can only help (denser grid of candidate ratios).
+        for eps in (0.5, 1.0):
+            assert grid[(2.0, eps)] >= grid[(10.0, eps)] - 1e-9
+
+    def test_sketch_quality_sweep(self, social):
+        result = sketch_quality_sweep(
+            social, buckets_list=[100, 400], epsilons=[0.5], tables=5, seed=1
+        )
+        assert set(result.memory_ratio) == {100, 400}
+        assert result.memory_ratio[100] < result.memory_ratio[400]
+        for ratio in result.quality.values():
+            assert 0.0 < ratio <= 1.5
+
+
+class TestExperimentDrivers:
+    """Each driver is exercised at a tiny scale; assertions target the
+    paper's qualitative claims (the 'shape')."""
+
+    def test_table1_rows(self):
+        out = table1(scale=0.05)
+        assert len(out.rows) == 4
+        assert out.experiment_id == "table1"
+        assert "flickr" in out.render()
+
+    def test_table3_grid_shape(self):
+        out = table3(scale=0.08, deltas=(2.0, 10.0), epsilons=(0.5, 1.0))
+        assert len(out.rows) == 2
+        assert len(out.rows[0]) == 3
+        # delta=2 beats delta=10 (finer grid) in each row.
+        for row in out.rows:
+            assert row[1] >= row[2] - 1e-9
+
+    def test_table4_shape(self):
+        out = table4(scale=0.08, epsilons=(0.0, 1.0), tables=5)
+        # Two eps rows + the memory row.
+        assert len(out.rows) == 3
+        assert out.rows[-1][0] == "Memory"
+        mems = out.rows[-1][1:]
+        assert mems == sorted(mems)  # more buckets -> more memory
+        assert all(m < 1.0 for m in mems)  # always cheaper than exact
+
+    def test_fig61_shape(self):
+        out = fig61(scale=0.08, epsilons=(0.0, 1.0, 2.0))
+        flickr_rows = [r for r in out.rows if r[0] == "flickr_sim"]
+        assert len(flickr_rows) == 3
+        # Relative density column is 1.0 at eps=0.
+        assert flickr_rows[0][3] == pytest.approx(1.0)
+        # Passes shrink as eps grows.
+        assert flickr_rows[-1][4] <= flickr_rows[0][4]
+
+    def test_fig62_relative_peak_is_one(self):
+        out = fig62(scale=0.08, epsilons=(1.0,))
+        for name in ("flickr_sim", "im_sim"):
+            rel = [r[4] for r in out.rows if r[0] == name]
+            assert max(rel) == pytest.approx(1.0)
+
+    def test_fig63_monotone_shrink(self):
+        out = fig63(scale=0.08, epsilons=(1.0,))
+        nodes = [r[3] for r in out.rows if r[0] == "flickr_sim"]
+        assert nodes == sorted(nodes, reverse=True)
+        assert nodes[-1] == 0
+
+    def test_fig64_has_both_series(self):
+        out = fig64(scale=0.08, epsilons=(1.0,), delta=4.0)
+        assert all(len(r) == 4 for r in out.rows)
+        cs = [r[1] for r in out.rows]
+        assert cs == sorted(cs)
+
+    def test_fig65_trace(self):
+        out = fig65(scale=0.08, epsilon=1.0, delta=4.0)
+        assert out.rows[0][0] == 1
+        sides = {r[1] for r in out.rows}
+        assert sides <= {"S", "T"}
+
+    def test_fig66_best_far_from_one(self):
+        out = fig66(scale=0.15, epsilon=1.0, delta=2.0)
+        best = max(out.rows, key=lambda r: r[1])
+        assert best[0] >= 8.0 or best[0] <= 1 / 8.0
+
+    def test_fig67_declining_times(self):
+        out = fig67(scale=0.05, epsilons=(1.0,))
+        minutes = [r[2] for r in out.rows]
+        assert len(minutes) >= 2
+        assert minutes[-1] <= minutes[0]
+        assert all(m > 0 for m in minutes)
+
+    def test_lowerbound_growth(self):
+        out = lowerbound_passes(ks=(2, 4, 6))
+        passes = [r[3] for r in out.rows]
+        assert passes == sorted(passes)
+        assert passes[-1] > passes[0]
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig61",
+            "fig62",
+            "fig63",
+            "fig64",
+            "fig65",
+            "fig66",
+            "fig67",
+            "lowerbound",
+        }
+
+    def test_render_includes_claim(self):
+        out = table1(scale=0.05)
+        text = out.render()
+        assert "paper:" in text
+        assert "notes:" in text

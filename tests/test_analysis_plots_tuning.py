@@ -1,0 +1,130 @@
+"""Tests for ASCII plots, the epsilon tuner, and the R-MAT generator."""
+
+import pytest
+
+from repro.analysis.plots import line_chart, sparkline
+from repro.analysis.tuning import epsilon_for_pass_budget, tune_epsilon
+from repro.errors import ParameterError
+from repro.graph.generators import chung_lu, rmat
+
+
+class TestSparkline:
+    def test_monotone(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_log_scale_compresses(self):
+        linear = sparkline([1, 10, 100, 1000])
+        logged = sparkline([1, 10, 100, 1000], log_scale=True)
+        # On a log scale the steps are equal; linear jumps to max fast.
+        assert logged != linear
+        assert logged[1] != logged[0]
+
+
+class TestLineChart:
+    def test_shape(self):
+        chart = line_chart([1, 4, 2, 8], height=4, title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 4 + 1  # title + rows + axis
+
+    def test_peak_column_tallest(self):
+        chart = line_chart([1, 9, 1], height=5)
+        top_row = chart.splitlines()[0]
+        # Only the middle column reaches the top band.
+        assert top_row.endswith("|" + " █ ") or "█" in top_row
+
+    def test_x_labels(self):
+        chart = line_chart([1, 2, 3], height=2, x_labels=["a", "b", "c"])
+        assert chart.splitlines()[-1].strip().startswith("a")
+
+    def test_empty(self):
+        assert line_chart([], title="empty") == "empty"
+
+
+class TestEpsilonForPassBudget:
+    def test_formula(self):
+        # log_{1+eps} n == passes at equality.
+        import math
+
+        n, p = 10**6, 10
+        eps = epsilon_for_pass_budget(n, p)
+        assert math.log(n) / math.log(1 + eps) == pytest.approx(p)
+
+    def test_single_node(self):
+        assert epsilon_for_pass_budget(1, 5) == 0.0
+
+    def test_more_passes_smaller_eps(self):
+        assert epsilon_for_pass_budget(10**6, 20) < epsilon_for_pass_budget(10**6, 5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            epsilon_for_pass_budget(0, 5)
+        with pytest.raises(ParameterError):
+            epsilon_for_pass_budget(10, 0)
+
+
+class TestTuneEpsilon:
+    @pytest.fixture(scope="class")
+    def social(self):
+        return chung_lu(1500, exponent=2.3, average_degree=8, seed=3)
+
+    def test_budget_met(self, social):
+        from repro.core.undirected import densest_subgraph
+
+        budget = 4
+        eps = tune_epsilon(social, budget)
+        assert densest_subgraph(social, eps).passes <= budget
+
+    def test_loose_budget_gives_zero(self, social):
+        from repro.core.undirected import densest_subgraph
+
+        passes_at_zero = densest_subgraph(social, 0.0).passes
+        assert tune_epsilon(social, passes_at_zero) == 0.0
+
+    def test_tighter_budget_larger_eps(self, social):
+        loose = tune_epsilon(social, 6)
+        tight = tune_epsilon(social, 3)
+        assert tight >= loose
+
+    def test_validation(self, social):
+        with pytest.raises(ParameterError):
+            tune_epsilon(social, 3, tolerance=0.0)
+
+
+class TestRmat:
+    def test_sizes(self):
+        g = rmat(8, 4, seed=1)
+        assert g.num_nodes == 256
+        assert g.num_edges > 0.7 * 4 * 256
+
+    def test_deterministic(self):
+        a = rmat(7, 4, seed=5)
+        b = rmat(7, 4, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_skewed_degrees(self):
+        g = rmat(10, 8, seed=2)
+        degrees = g.degree_sequence()
+        assert degrees[0] > 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_directed_variant(self):
+        g = rmat(6, 4, seed=3, directed=True)
+        from repro.graph.directed import DirectedGraph
+
+        assert isinstance(g, DirectedGraph)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            rmat(0)
+        with pytest.raises(ParameterError):
+            rmat(23)
+        with pytest.raises(ParameterError):
+            rmat(5, a=0.5, b=0.4, c=0.3)

@@ -1,0 +1,139 @@
+"""Tests for the 2-hop reachability labeling application."""
+
+import pytest
+
+from repro.applications.twohop import (
+    TwoHopIndex,
+    build_two_hop_index,
+    transitive_closure_pairs,
+)
+from repro.errors import GraphError, ParameterError
+from repro.graph.directed import DirectedGraph
+from repro.graph.generators import random_dag
+
+
+def bfs_reaches(graph, u, v):
+    """Ground-truth reachability by BFS."""
+    from collections import deque
+
+    if u == v:
+        return True
+    seen = {u}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        for y in graph.successors(x):
+            if y == v:
+                return True
+            if y not in seen:
+                seen.add(y)
+                queue.append(y)
+    return False
+
+
+class TestClosure:
+    def test_chain(self):
+        g = DirectedGraph([(0, 1), (1, 2)])
+        assert transitive_closure_pairs(g) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_cycle(self):
+        g = DirectedGraph([(0, 1), (1, 2), (2, 0)])
+        pairs = transitive_closure_pairs(g)
+        assert len(pairs) == 6  # every ordered pair of distinct nodes
+
+    def test_disconnected(self):
+        g = DirectedGraph([(0, 1)])
+        g.add_node(5)
+        assert transitive_closure_pairs(g) == {(0, 1)}
+
+    def test_size_guard(self):
+        g = DirectedGraph()
+        g.add_nodes_from(range(601))
+        with pytest.raises(ParameterError):
+            transitive_closure_pairs(g)
+
+
+class TestIndexCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bfs_exhaustively(self, seed):
+        g = random_dag(30, 0.12, seed=seed)
+        index = build_two_hop_index(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert index.reaches(u, v) == bfs_reaches(g, u, v), (u, v)
+
+    def test_with_cycles(self):
+        g = DirectedGraph([(0, 1), (1, 2), (2, 0), (2, 3), (4, 0)])
+        index = build_two_hop_index(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert index.reaches(u, v) == bfs_reaches(g, u, v), (u, v)
+
+    def test_chain(self):
+        g = DirectedGraph([(i, i + 1) for i in range(10)])
+        index = build_two_hop_index(g)
+        assert index.reaches(0, 10)
+        assert not index.reaches(10, 0)
+
+    def test_self_reachability_convention(self):
+        g = DirectedGraph([(0, 1)])
+        index = build_two_hop_index(g)
+        assert index.reaches(0, 0)
+        assert index.reaches(1, 1)
+
+    def test_unknown_node_raises(self):
+        g = DirectedGraph([(0, 1)])
+        index = build_two_hop_index(g)
+        with pytest.raises(GraphError):
+            index.reaches(0, 99)
+        with pytest.raises(GraphError):
+            index.reaches(99, 99)
+
+    def test_edgeless(self):
+        g = DirectedGraph()
+        g.add_nodes_from(range(4))
+        index = build_two_hop_index(g)
+        assert index.rounds == 0
+        assert not index.reaches(0, 1)
+
+
+class TestIndexQuality:
+    def test_labels_beat_closure_materialization(self):
+        # The whole point of 2-hop: total label size far below the
+        # closure size on layered DAGs.
+        g = random_dag(60, 0.15, seed=7)
+        closure = len(transitive_closure_pairs(g))
+        index = build_two_hop_index(g)
+        assert index.label_size() < closure
+        assert index.average_label_size() < 20
+
+    def test_hub_topology_is_cheap(self):
+        # A -> hub -> B: the hub is a perfect 2-hop center, so the
+        # densest-rectangle greedy should cover the A x B block in one
+        # shot with ~1 label per node.
+        hub = 99
+        g = DirectedGraph(
+            [(a, hub) for a in range(10)] + [(hub, b) for b in range(10, 20)]
+        )
+        index = build_two_hop_index(g)
+        assert index.rounds <= 4
+        assert index.label_size() <= 3 * g.num_nodes
+
+    def test_bipartite_without_hub_needs_linear_labels(self):
+        # Complete bipartite A -> B has no middle vertex: every pair
+        # (a, b) can only be hopped through a or b, so the optimal cover
+        # costs ~|A|*(|B|+1); the greedy should land near it.
+        g = DirectedGraph([(a, b) for a in range(10) for b in range(10, 20)])
+        index = build_two_hop_index(g)
+        optimal = 10 * 11
+        assert index.label_size() <= 1.3 * optimal
+
+    def test_rounds_positive_when_pairs_exist(self):
+        g = DirectedGraph([(0, 1)])
+        index = build_two_hop_index(g)
+        assert index.rounds >= 1
+
+    def test_candidates_validation(self):
+        g = DirectedGraph([(0, 1)])
+        with pytest.raises(ParameterError):
+            build_two_hop_index(g, candidates_per_round=0)

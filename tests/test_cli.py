@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import clique, disjoint_union, star
+from repro.graph.io import write_directed, write_undirected
+from repro.graph.directed import DirectedGraph
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "flickr_sim" in out
+        assert "twitter_sim" in out
+
+    def test_group_filter(self, capsys):
+        assert main(["datasets", "--group", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "grqc_sim" in out
+        assert "flickr_sim" not in out
+
+
+class TestRunCommand:
+    def test_run_on_dataset(self, capsys):
+        code = main(["run", "--dataset", "as_sim", "--scale", "0.3", "--epsilon", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "density" in out and "passes" in out
+
+    def test_run_with_k(self, capsys):
+        code = main(
+            ["run", "--dataset", "as_sim", "--scale", "0.3", "--k", "50"]
+        )
+        assert code == 0
+        assert "Algorithm 2" in capsys.readouterr().out
+
+    def test_run_on_edge_list(self, tmp_path, capsys):
+        g = disjoint_union([clique(5), star(20, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        code = main(["run", "--edge-list", str(path), "--epsilon", "0.1", "--show-nodes", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "density : 2.0" in out
+        assert "nodes" in out
+
+    def test_run_directed_dataset_errors(self, capsys):
+        code = main(["run", "--dataset", "twitter_sim", "--scale", "0.1"])
+        assert code == 2
+        assert "directed" in capsys.readouterr().err
+
+    def test_unknown_dataset_errors(self, capsys):
+        code = main(["run", "--dataset", "bogus"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestRunDirectedCommand:
+    def test_run_directed(self, capsys):
+        code = main(
+            ["run-directed", "--dataset", "twitter_sim", "--scale", "0.1", "--epsilon", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best c" in out
+
+    def test_on_edge_list(self, tmp_path, capsys):
+        g = DirectedGraph([(i, 9) for i in range(6)])
+        path = tmp_path / "d.txt"
+        write_directed(g, path)
+        code = main(["run-directed", "--edge-list", str(path)])
+        assert code == 0
+        assert "density" in capsys.readouterr().out
+
+    def test_undirected_dataset_errors(self, capsys):
+        code = main(["run-directed", "--dataset", "as_sim"])
+        assert code == 2
+
+
+class TestExactCommand:
+    def test_both_solvers_agree(self, tmp_path, capsys):
+        g = disjoint_union([clique(5), star(15, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        assert main(["exact", "--edge-list", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "LP (HiGHS)" in out and "Goldberg flow" in out
+        assert out.count("rho* = 2.000000") == 2
+
+    def test_single_solver(self, tmp_path, capsys):
+        g = clique(4)
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        assert main(["exact", "--edge-list", str(path), "--solver", "flow"]) == 0
+        out = capsys.readouterr().out
+        assert "Goldberg" in out and "LP" not in out
+
+
+class TestEnumerateCommand:
+    def test_enumerates(self, tmp_path, capsys):
+        g = disjoint_union([clique(8), clique(6, offset=20)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        code = main(
+            ["enumerate", "--edge-list", str(path), "--epsilon", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "#2:" in out
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        code = main(["experiment", "table1", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out
+
+    def test_lowerbound(self, capsys):
+        code = main(["experiment", "lowerbound"])
+        assert code == 0
+        assert "[lowerbound]" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "bogus"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

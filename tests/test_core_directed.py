@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.directed (Algorithm 3 and the c-sweep)."""
+
+import math
+
+import pytest
+
+from repro.core.directed import (
+    default_ratio_grid,
+    densest_subgraph_directed,
+    ratio_sweep,
+)
+from repro.errors import EmptyGraphError, ParameterError
+from repro.exact.directed_lp import (
+    directed_lp_densest_subgraph,
+    directed_lp_density_at_ratio,
+)
+from repro.graph.directed import DirectedGraph
+from repro.graph.generators import directed_power_law
+
+
+class TestBasics:
+    def test_bowtie_at_true_ratio(self, directed_bowtie):
+        result = densest_subgraph_directed(directed_bowtie, ratio=1.5, epsilon=0.5)
+        assert result.density == pytest.approx(6 / math.sqrt(6))
+        assert result.s_nodes == frozenset({0, 1, 2})
+        assert result.t_nodes == frozenset({10, 11})
+
+    def test_density_matches_sets(self, directed_bowtie):
+        result = densest_subgraph_directed(directed_bowtie, ratio=1.0, epsilon=0.5)
+        assert directed_bowtie.density(
+            result.s_nodes, result.t_nodes
+        ) == pytest.approx(result.density)
+
+    def test_complete_digraph(self):
+        g = DirectedGraph([(i, j) for i in range(4) for j in range(4) if i != j])
+        result = densest_subgraph_directed(g, ratio=1.0, epsilon=0.5)
+        assert result.density == pytest.approx(12 / 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyGraphError):
+            densest_subgraph_directed(DirectedGraph(), 1.0, 0.5)
+
+    def test_bad_ratio_rejected(self, directed_cycle):
+        with pytest.raises(ParameterError):
+            densest_subgraph_directed(directed_cycle, ratio=-1.0)
+
+    def test_bad_side_rule_rejected(self, directed_cycle):
+        with pytest.raises(ParameterError):
+            densest_subgraph_directed(directed_cycle, side_rule="bogus")
+
+    def test_deterministic(self, directed_bowtie):
+        a = densest_subgraph_directed(directed_bowtie, 1.0, 0.5)
+        b = densest_subgraph_directed(directed_bowtie, 1.0, 0.5)
+        assert a.s_nodes == b.s_nodes and a.t_nodes == b.t_nodes
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("epsilon", [0.001, 0.5, 1.0])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lemma12_bound_via_sweep(self, epsilon, seed):
+        # Sweeping the exact candidate ratios, the best run must be a
+        # (2+2eps)-approximation of the global directed optimum.
+        g = directed_power_law(25, 110, seed=seed)
+        _, _, rho_star = directed_lp_densest_subgraph(
+            g, ratios=[a / b for a in range(1, 26) for b in range(1, 26)][::7]
+        )
+        sweep = ratio_sweep(
+            g,
+            epsilon=epsilon,
+            ratios=[a / b for a in (1, 2, 3, 5, 8, 13, 25) for b in (1, 2, 3, 5, 8, 13, 25)],
+        )
+        assert sweep.density >= rho_star / (2 * (1 + epsilon)) / 1.05 - 1e-9
+
+    def test_at_ratio_bound(self, directed_bowtie):
+        eps = 0.5
+        optimum = directed_lp_density_at_ratio(directed_bowtie, 1.5)
+        result = densest_subgraph_directed(directed_bowtie, 1.5, eps)
+        assert result.density >= optimum / (2 + 2 * eps) - 1e-9
+
+
+class TestPasses:
+    def test_pass_bound(self):
+        g = directed_power_law(1000, 6000, seed=3)
+        eps = 0.5
+        result = densest_subgraph_directed(g, 1.0, eps)
+        n = g.num_nodes
+        # Lemma 13: O(log_{1+eps} n) passes; each pass shrinks S or T.
+        bound = 2 * math.log(n) / math.log(1 + eps) + 4
+        assert result.passes <= bound
+
+    def test_progress_every_pass(self, directed_bowtie):
+        result = densest_subgraph_directed(directed_bowtie, 1.0, 0.5)
+        for record in result.trace:
+            assert record.removed >= 1
+
+    def test_sides_shrink_monotonically(self):
+        g = directed_power_law(300, 1500, seed=4)
+        result = densest_subgraph_directed(g, 1.0, 0.5)
+        for record in result.trace:
+            if record.side == "S":
+                assert record.s_after < record.s_before
+                assert record.t_after == record.t_before
+            else:
+                assert record.t_after < record.t_before
+                assert record.s_after == record.s_before
+
+    def test_alternation_visible(self):
+        # With c = 1 and a roughly balanced graph both sides get peeled
+        # (the "alternate nature" of Figure 6.5).
+        g = directed_power_law(400, 2400, reciprocity=0.5, seed=5)
+        result = densest_subgraph_directed(g, 1.0, 1.0)
+        sides = {record.side for record in result.trace}
+        assert sides == {"S", "T"}
+
+
+class TestSideRules:
+    def test_max_degree_rule_runs(self, directed_bowtie):
+        result = densest_subgraph_directed(
+            directed_bowtie, 1.0, 0.5, side_rule="max_degree"
+        )
+        assert result.density > 0
+
+    def test_rules_comparable_quality(self):
+        g = directed_power_law(300, 1800, seed=6)
+        fast = densest_subgraph_directed(g, 1.0, 1.0, side_rule="size_ratio")
+        naive = densest_subgraph_directed(g, 1.0, 1.0, side_rule="max_degree")
+        # The paper reports the simplified rule matches the naive one in
+        # quality (it was adopted for speed, not quality).
+        assert fast.density >= 0.5 * naive.density
+
+
+class TestRatioSweep:
+    def test_default_grid_spans(self):
+        grid = default_ratio_grid(1000, 2.0)
+        assert min(grid) <= 1 / 1000
+        assert max(grid) >= 1000
+        assert 1.0 in grid
+
+    def test_grid_delta_validation(self):
+        with pytest.raises(ParameterError):
+            default_ratio_grid(100, 1.0)
+        with pytest.raises(ParameterError):
+            default_ratio_grid(0, 2.0)
+
+    def test_sweep_returns_best(self, directed_bowtie):
+        sweep = ratio_sweep(directed_bowtie, epsilon=0.5, delta=2.0)
+        assert sweep.density == max(r.density for r in sweep.by_ratio)
+        assert sweep.best_ratio == sweep.best.ratio
+        assert sweep.delta == 2.0
+
+    def test_sweep_explicit_ratios(self, directed_bowtie):
+        sweep = ratio_sweep(directed_bowtie, ratios=[1.5, 1.0])
+        assert sweep.delta is None
+        assert len(sweep.by_ratio) == 2
+        assert sweep.total_passes() == sum(r.passes for r in sweep.by_ratio)
+
+    def test_empty_ratio_list_rejected(self, directed_bowtie):
+        with pytest.raises(ParameterError):
+            ratio_sweep(directed_bowtie, ratios=[])
+
+    def test_series_helpers(self, directed_bowtie):
+        sweep = ratio_sweep(directed_bowtie, ratios=[0.5, 1.0, 2.0])
+        densities = sweep.densities()
+        passes = sweep.passes()
+        assert [c for c, _ in densities] == [0.5, 1.0, 2.0]
+        assert all(p >= 1 for _, p in passes)

@@ -1,0 +1,185 @@
+"""Unit tests for repro.core.undirected (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core.undirected import densest_subgraph
+from repro.errors import EmptyGraphError, ParameterError
+from repro.exact.goldberg import goldberg_densest_subgraph
+from repro.graph.generators import (
+    chung_lu,
+    clique,
+    disjoint_union,
+    gnm_random,
+    lemma5_gadget,
+    lemma6_gadget,
+    star,
+)
+from repro.graph.undirected import UndirectedGraph
+
+
+class TestBasics:
+    def test_triangle(self, triangle):
+        result = densest_subgraph(triangle, 0.5)
+        assert result.density == pytest.approx(1.0)
+        assert result.nodes == frozenset({0, 1, 2})
+
+    def test_finds_planted_clique(self, clique_plus_star):
+        result = densest_subgraph(clique_plus_star, 0.1)
+        assert result.nodes == frozenset(range(5))
+        assert result.density == pytest.approx(2.0)
+
+    def test_density_matches_set(self, random_medium):
+        result = densest_subgraph(random_medium, 0.5)
+        assert random_medium.density(result.nodes) == pytest.approx(result.density)
+
+    def test_deterministic(self, random_medium):
+        a = densest_subgraph(random_medium, 0.5)
+        b = densest_subgraph(random_medium, 0.5)
+        assert a.nodes == b.nodes and a.density == b.density
+
+    def test_single_node_graph(self):
+        g = UndirectedGraph()
+        g.add_node("only")
+        result = densest_subgraph(g, 0.5)
+        assert result.density == 0.0
+        assert result.nodes == frozenset({"only"})
+
+    def test_edgeless_graph(self):
+        g = UndirectedGraph()
+        g.add_nodes_from(range(5))
+        result = densest_subgraph(g, 0.5)
+        assert result.density == 0.0
+        assert result.passes == 1  # everything removed in one pass
+
+    def test_no_nodes_raises(self):
+        with pytest.raises(EmptyGraphError):
+            densest_subgraph(UndirectedGraph(), 0.5)
+
+    def test_negative_epsilon_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            densest_subgraph(triangle, -0.1)
+
+    def test_nan_epsilon_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            densest_subgraph(triangle, float("nan"))
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.001, 0.1, 0.5, 1.0, 2.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lemma3_bound(self, epsilon, seed):
+        g = gnm_random(40, 140, seed=seed)
+        _, rho_star = goldberg_densest_subgraph(g)
+        result = densest_subgraph(g, epsilon)
+        bound = 2 * (1 + epsilon)
+        assert result.density >= rho_star / bound - 1e-9
+        assert result.density <= rho_star + 1e-9
+
+    def test_weighted_guarantee(self):
+        g = lemma6_gadget(40)
+        _, rho_star = goldberg_densest_subgraph(g)
+        for eps in (0.1, 0.5, 1.0):
+            result = densest_subgraph(g, eps)
+            assert result.density >= rho_star / (2 * (1 + eps)) - 1e-9
+
+
+class TestPassComplexity:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_lemma4_bound(self, epsilon):
+        g = chung_lu(2000, exponent=2.3, average_degree=8, seed=4)
+        result = densest_subgraph(g, epsilon)
+        n = g.num_nodes
+        bound = math.log(n) / math.log(1 + epsilon) + 2
+        assert result.passes <= bound
+
+    def test_epsilon_reduces_passes(self):
+        g = chung_lu(3000, exponent=2.3, average_degree=8, seed=5)
+        p_small = densest_subgraph(g, 0.05).passes
+        p_large = densest_subgraph(g, 2.0).passes
+        assert p_large < p_small
+
+    def test_removal_fraction_lemma4(self):
+        # Lemma 4: each pass removes > eps/(1+eps) of the nodes.
+        g = gnm_random(200, 800, seed=6)
+        eps = 0.5
+        result = densest_subgraph(g, eps)
+        for record in result.trace:
+            assert record.removal_fraction > eps / (1 + eps) - 1e-12
+
+    def test_lemma5_gadget_needs_many_passes(self):
+        # The layered gadget forces pass counts growing with k while a
+        # social-like graph of comparable size finishes in ~4.
+        passes = []
+        for k in (3, 4, 5):
+            result = densest_subgraph(lemma5_gadget(k), 0.5)
+            passes.append(result.passes)
+        assert passes == sorted(passes)
+        assert passes[-1] > passes[0]
+
+    def test_max_passes_cap(self):
+        g = chung_lu(1000, exponent=2.3, average_degree=8, seed=7)
+        result = densest_subgraph(g, 0.5, max_passes=2)
+        assert result.passes == 2
+
+
+class TestTrace:
+    def test_trace_consistency(self, random_medium):
+        result = densest_subgraph(random_medium, 0.5)
+        assert len(result.trace) == result.passes
+        for i, record in enumerate(result.trace):
+            assert record.pass_index == i + 1
+            assert record.nodes_after == record.nodes_before - record.removed
+            assert record.removed >= 1  # progress every pass
+            if i > 0:
+                assert record.nodes_before == result.trace[i - 1].nodes_after
+                assert record.edges_before == pytest.approx(
+                    result.trace[i - 1].edges_after
+                )
+
+    def test_threshold_formula(self, random_medium):
+        eps = 0.7
+        result = densest_subgraph(random_medium, eps)
+        for record in result.trace:
+            assert record.threshold == pytest.approx(
+                2 * (1 + eps) * record.density_before
+            )
+
+    def test_final_pass_empties(self, random_medium):
+        result = densest_subgraph(random_medium, 0.5)
+        assert result.trace[-1].nodes_after == 0
+        assert result.trace[-1].edges_after == pytest.approx(0.0)
+
+    def test_best_pass_matches_density(self, random_medium):
+        result = densest_subgraph(random_medium, 0.5)
+        if result.best_pass > 0:
+            record = result.trace[result.best_pass - 1]
+            assert record.density_after == pytest.approx(result.density)
+        else:
+            assert result.nodes == frozenset(random_medium.nodes())
+
+    def test_result_helpers(self, random_medium):
+        result = densest_subgraph(random_medium, 0.5)
+        assert result.densities_by_pass() == [r.density_after for r in result.trace]
+        assert result.nodes_by_pass() == [r.nodes_after for r in result.trace]
+        assert result.edges_by_pass() == [r.edges_after for r in result.trace]
+        assert result.size == len(result.nodes)
+        assert result.approximation_ratio(result.density * 2) == pytest.approx(2.0)
+
+
+class TestWeighted:
+    def test_heavy_edge_wins(self, weighted_pair):
+        result = densest_subgraph(weighted_pair, 0.1)
+        assert result.nodes == frozenset({"a", "b"})
+        assert result.density == pytest.approx(5.0)
+
+    def test_weight_scaling_invariance(self):
+        # Scaling all weights by x scales the density by x but should
+        # not change the chosen set (thresholds scale together).
+        g1 = gnm_random(30, 90, seed=8)
+        g2 = UndirectedGraph([(u, v, 7.0) for u, v in g1.edges()])
+        r1 = densest_subgraph(g1, 0.5)
+        r2 = densest_subgraph(g2, 0.5)
+        assert r1.nodes == r2.nodes
+        assert r2.density == pytest.approx(7.0 * r1.density)

@@ -1,0 +1,48 @@
+"""Run the doctests embedded in public docstrings.
+
+Docstring examples are part of the documented API contract; running
+them keeps the docs honest.  Only modules with deterministic examples
+are included.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.plots
+import repro.analysis.tables
+import repro.analysis.tuning
+import repro.core.charikar
+import repro.core.enumerate_
+import repro.core.undirected
+import repro.exact.goldberg
+import repro.exact.peeling
+import repro.graph.undirected
+import repro.graph.views
+import repro.mapreduce.runtime
+import repro.streaming.countsketch
+
+MODULES = [
+    repro,
+    repro.analysis.plots,
+    repro.analysis.tables,
+    repro.analysis.tuning,
+    repro.core.charikar,
+    repro.core.enumerate_,
+    repro.core.undirected,
+    repro.exact.goldberg,
+    repro.exact.peeling,
+    repro.graph.undirected,
+    repro.graph.views,
+    repro.mapreduce.runtime,
+    repro.streaming.countsketch,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    # Modules in this list are expected to actually contain examples.
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

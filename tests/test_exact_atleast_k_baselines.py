@@ -1,0 +1,95 @@
+"""Tests for the at-least-k baselines and their relation to Algorithm 2."""
+
+import pytest
+
+from repro.core.atleast_k import densest_subgraph_atleast_k
+from repro.errors import ParameterError
+from repro.exact.atleast_k_baselines import (
+    brute_force_atleast_k,
+    greedy_suffix_atleast_k,
+)
+from repro.graph.generators import clique, disjoint_union, gnm_random, star
+from repro.graph.undirected import UndirectedGraph
+
+
+class TestBruteForce:
+    def test_small_known(self):
+        g = disjoint_union([clique(4), star(6, offset=10)])
+        nodes, rho = brute_force_atleast_k(g, 1)
+        assert nodes == set(range(4))
+        assert rho == pytest.approx(1.5)
+
+    def test_size_constraint_binds(self):
+        # K4 (rho 1.5) + sparse rest: with k=8 the clique alone is
+        # infeasible, the optimum must include fillers.
+        g = disjoint_union([clique(4), star(6, offset=10)])
+        nodes, rho = brute_force_atleast_k(g, 8)
+        assert len(nodes) >= 8
+        assert rho < 1.5
+
+    def test_guard_rails(self):
+        g = gnm_random(20, 40, seed=1)
+        with pytest.raises(ParameterError):
+            brute_force_atleast_k(g, 1)
+        with pytest.raises(ParameterError):
+            brute_force_atleast_k(clique(3), 5)
+
+
+class TestGreedySuffix:
+    def test_matches_unconstrained_peel_at_k1(self, clique_plus_star):
+        from repro.exact.peeling import charikar_peeling
+
+        nodes_a, rho_a = greedy_suffix_atleast_k(clique_plus_star, 1)
+        nodes_b, rho_b = charikar_peeling(clique_plus_star)
+        assert rho_a == pytest.approx(rho_b)
+        assert nodes_a == nodes_b
+
+    @pytest.mark.parametrize("k", [1, 3, 6, 10])
+    def test_size_constraint(self, k):
+        g = gnm_random(30, 100, seed=2)
+        nodes, rho = greedy_suffix_atleast_k(g, k)
+        assert len(nodes) >= k
+        assert g.density(nodes) == pytest.approx(rho)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_three_approximation_vs_bruteforce(self, seed):
+        g = gnm_random(12, 30, seed=seed)
+        for k in (3, 6, 9):
+            _, rho_star = brute_force_atleast_k(g, k)
+            _, rho = greedy_suffix_atleast_k(g, k)
+            assert rho >= rho_star / 3 - 1e-9
+            assert rho <= rho_star + 1e-9
+
+    def test_weighted(self):
+        g = UndirectedGraph([("a", "b", 10.0), ("b", "c", 1.0), ("c", "d", 1.0)])
+        nodes, rho = greedy_suffix_atleast_k(g, 2)
+        assert nodes == {"a", "b"}
+        assert rho == pytest.approx(5.0)
+
+    def test_k_too_large_raises(self):
+        with pytest.raises(ParameterError):
+            greedy_suffix_atleast_k(clique(3), 4)
+
+
+class TestAlgorithm2VsBaseline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_algorithm2_close_to_baseline(self, seed):
+        # The paper's trade: Algorithm 2 runs in O(log n) passes instead
+        # of the baseline's O(n), at a bounded quality cost.  Empirically
+        # the gap should be well within the (3+3eps)/3 theory gap.
+        g = gnm_random(60, 220, seed=seed)
+        for k in (10, 25):
+            _, rho_baseline = greedy_suffix_atleast_k(g, k)
+            result = densest_subgraph_atleast_k(g, k, 0.5)
+            assert result.density >= rho_baseline / 2.5 - 1e-9
+
+    def test_both_exact_against_bruteforce_small(self):
+        g = gnm_random(12, 28, seed=9)
+        k = 5
+        _, rho_star = brute_force_atleast_k(g, k)
+        _, rho_greedy = greedy_suffix_atleast_k(g, k)
+        result = densest_subgraph_atleast_k(g, k, 0.3)
+        assert rho_greedy <= rho_star + 1e-9
+        assert result.density <= rho_star + 1e-9
+        # Theorem 9's bound for Algorithm 2:
+        assert result.density >= rho_star / (3 * 1.3) - 1e-9

@@ -1,0 +1,68 @@
+"""Unit tests for repro.exact.directed_lp."""
+
+import math
+
+import pytest
+
+from repro.errors import EmptyGraphError
+from repro.exact.directed_lp import (
+    candidate_ratios,
+    directed_lp_densest_subgraph,
+    directed_lp_density_at_ratio,
+)
+from repro.graph.directed import DirectedGraph
+
+
+class TestFixedRatio:
+    def test_bowtie_at_true_ratio(self, directed_bowtie):
+        # Optimal pair: S = {0,1,2}, T = {10,11}, c = 3/2.
+        value = directed_lp_density_at_ratio(directed_bowtie, 1.5)
+        assert value == pytest.approx(6 / math.sqrt(6), abs=1e-6)
+
+    def test_wrong_ratio_is_weaker(self, directed_bowtie):
+        at_true = directed_lp_density_at_ratio(directed_bowtie, 1.5)
+        at_wrong = directed_lp_density_at_ratio(directed_bowtie, 0.01)
+        assert at_wrong < at_true + 1e-9
+
+    def test_cycle(self, directed_cycle):
+        # For the 5-cycle, S = T = V gives 5/5 = 1; at c=1 the LP should
+        # find at least that.
+        value = directed_lp_density_at_ratio(directed_cycle, 1.0)
+        assert value >= 1.0 - 1e-6
+
+    def test_bad_ratio_rejected(self, directed_cycle):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            directed_lp_density_at_ratio(directed_cycle, 0.0)
+
+    def test_empty_raises(self):
+        g = DirectedGraph()
+        g.add_node(0)
+        with pytest.raises(EmptyGraphError):
+            directed_lp_density_at_ratio(g, 1.0)
+
+
+class TestSweep:
+    def test_candidate_ratios_cover(self, directed_bowtie):
+        ratios = candidate_ratios(directed_bowtie, max_nodes=4)
+        assert 1.5 in ratios
+        assert 1.0 in ratios
+        assert all(r > 0 for r in ratios)
+
+    def test_full_sweep_finds_bowtie(self, directed_bowtie):
+        s, t, rho = directed_lp_densest_subgraph(directed_bowtie)
+        assert rho == pytest.approx(6 / math.sqrt(6), abs=1e-4)
+        assert s == {0, 1, 2}
+        assert t == {10, 11}
+
+    def test_single_hub(self):
+        # Everything points at node 9: best pair is (all sources, {9}).
+        g = DirectedGraph([(i, 9) for i in range(6)])
+        s, t, rho = directed_lp_densest_subgraph(g)
+        assert t == {9}
+        assert rho == pytest.approx(6 / math.sqrt(6), abs=1e-4)
+
+    def test_explicit_ratio_grid(self, directed_bowtie):
+        s, t, rho = directed_lp_densest_subgraph(directed_bowtie, ratios=[1.5])
+        assert rho == pytest.approx(6 / math.sqrt(6), abs=1e-4)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.exact.goldberg (exact densest subgraph)."""
+
+import pytest
+
+from repro.errors import EmptyGraphError
+from repro.exact.goldberg import exact_density, goldberg_densest_subgraph
+from repro.graph.generators import (
+    clique,
+    disjoint_union,
+    gnm_random,
+    star,
+)
+from repro.graph.undirected import UndirectedGraph
+
+
+class TestKnownOptima:
+    def test_single_edge(self):
+        g = UndirectedGraph([(0, 1)])
+        nodes, rho = goldberg_densest_subgraph(g)
+        assert rho == pytest.approx(0.5)
+        assert nodes == {0, 1}
+
+    def test_triangle(self, triangle):
+        nodes, rho = goldberg_densest_subgraph(triangle)
+        assert rho == pytest.approx(1.0)
+        assert nodes == {0, 1, 2}
+
+    def test_clique_in_noise(self, clique_plus_star):
+        nodes, rho = goldberg_densest_subgraph(clique_plus_star)
+        assert rho == pytest.approx(2.0)
+        assert nodes == set(range(5))
+
+    def test_two_cliques_picks_larger(self, two_cliques):
+        nodes, rho = goldberg_densest_subgraph(two_cliques)
+        assert rho == pytest.approx(2.5)
+        assert nodes == set(range(6))
+
+    def test_path(self, path4):
+        _, rho = goldberg_densest_subgraph(path4)
+        assert rho == pytest.approx(0.75)
+
+    def test_star_optimum_is_whole_star(self):
+        g = star(11)
+        nodes, rho = goldberg_densest_subgraph(g)
+        assert rho == pytest.approx(10 / 11)
+        assert nodes == set(range(11))
+
+    def test_clique_exact_value(self):
+        for n in (3, 5, 8):
+            _, rho = goldberg_densest_subgraph(clique(n))
+            assert rho == pytest.approx((n - 1) / 2)
+
+
+class TestWeighted:
+    def test_heavy_edge_dominates(self, weighted_pair):
+        nodes, rho = goldberg_densest_subgraph(weighted_pair)
+        assert nodes == {"a", "b"}
+        assert rho == pytest.approx(5.0)
+
+    def test_uniform_weights_scale(self):
+        g = clique(4)
+        weighted = UndirectedGraph([(u, v, 3.0) for u, v in g.edges()])
+        _, rho = goldberg_densest_subgraph(weighted)
+        assert rho == pytest.approx(3.0 * 1.5)
+
+
+class TestAgreementWithLP:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_graphs(self, seed):
+        from repro.exact.lp import lp_density
+
+        g = gnm_random(35, 110, seed=seed)
+        _, rho_flow = goldberg_densest_subgraph(g)
+        rho_lp = lp_density(g)
+        assert rho_flow == pytest.approx(rho_lp, abs=1e-6)
+
+
+class TestEdgeCases:
+    def test_empty_graph_raises(self):
+        g = UndirectedGraph()
+        g.add_node(0)
+        with pytest.raises(EmptyGraphError):
+            goldberg_densest_subgraph(g)
+
+    def test_exact_density_wrapper(self, triangle):
+        assert exact_density(triangle) == pytest.approx(1.0)
+
+    def test_exact_density_empty_raises(self):
+        g = UndirectedGraph()
+        g.add_node(0)
+        with pytest.raises(EmptyGraphError):
+            exact_density(g)
+
+    def test_custom_tolerance(self, triangle):
+        _, rho = goldberg_densest_subgraph(triangle, tolerance=0.25)
+        # Looser tolerance still returns a valid (possibly suboptimal)
+        # set; here it cannot do worse than the whole triangle.
+        assert rho == pytest.approx(1.0)
+
+    def test_returned_set_has_claimed_density(self):
+        g = gnm_random(30, 90, seed=11)
+        nodes, rho = goldberg_densest_subgraph(g)
+        assert g.density(nodes) == pytest.approx(rho)

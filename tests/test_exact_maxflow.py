@@ -1,0 +1,108 @@
+"""Unit tests for repro.exact.maxflow (Dinic)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.exact.maxflow import FlowNetwork, max_flow, min_cut
+
+
+def build(edges):
+    net = FlowNetwork()
+    for u, v, c in edges:
+        net.add_edge(u, v, c)
+    return net
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = build([("s", "t", 5.0)])
+        assert max_flow(net, "s", "t") == 5.0
+
+    def test_series_bottleneck(self):
+        net = build([("s", "a", 3.0), ("a", "t", 2.0)])
+        assert max_flow(net, "s", "t") == 2.0
+
+    def test_parallel_paths(self):
+        net = build([("s", "a", 2.0), ("a", "t", 2.0), ("s", "b", 3.0), ("b", "t", 3.0)])
+        assert max_flow(net, "s", "t") == 5.0
+
+    def test_classic_diamond(self):
+        # CLRS-style example with a cross edge.
+        net = build(
+            [
+                ("s", "a", 10.0),
+                ("s", "b", 10.0),
+                ("a", "b", 1.0),
+                ("a", "t", 8.0),
+                ("b", "t", 9.0),
+            ]
+        )
+        assert max_flow(net, "s", "t") == 17.0
+
+    def test_disconnected(self):
+        net = build([("s", "a", 4.0)])
+        net.add_edge("b", "t", 4.0)
+        assert max_flow(net, "s", "t") == 0.0
+
+    def test_zero_capacity(self):
+        net = build([("s", "t", 0.0)])
+        assert max_flow(net, "s", "t") == 0.0
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(SolverError):
+            net.add_edge("s", "t", -1.0)
+
+    def test_missing_nodes_rejected(self):
+        net = build([("s", "t", 1.0)])
+        with pytest.raises(SolverError):
+            net.solve("s", "zzz")
+
+    def test_same_source_sink_rejected(self):
+        net = build([("s", "t", 1.0)])
+        with pytest.raises(SolverError):
+            net.solve("s", "s")
+
+    def test_fractional_capacities(self):
+        net = build([("s", "a", 0.5), ("a", "t", 0.25)])
+        assert max_flow(net, "s", "t") == pytest.approx(0.25)
+
+    def test_counts(self):
+        net = build([("s", "a", 1.0), ("a", "t", 1.0)])
+        assert net.num_nodes == 3
+        assert net.num_edges == 2
+
+
+class TestMinCut:
+    def test_cut_value_equals_flow(self):
+        net = build(
+            [("s", "a", 2.0), ("s", "b", 4.0), ("a", "t", 3.0), ("b", "t", 1.0)]
+        )
+        value, source_side = min_cut(net, "s", "t")
+        assert value == 3.0
+        assert "s" in source_side
+        assert "t" not in source_side
+
+    def test_cut_separates(self):
+        net = build([("s", "a", 1.0), ("a", "b", 10.0), ("b", "t", 1.0)])
+        value, side = min_cut(net, "s", "t")
+        assert value == 1.0
+        # Either the first or the last unit edge is cut.
+        assert side in ({"s"}, {"s", "a", "b"})
+
+    def test_against_networkx(self):
+        nx = pytest.importorskip("networkx")
+        import random
+
+        rng = random.Random(42)
+        for trial in range(5):
+            g = nx.gnm_random_graph(12, 30, seed=trial, directed=True)
+            net = FlowNetwork()
+            for u, v in g.edges():
+                cap = rng.randint(1, 10)
+                g[u][v]["capacity"] = cap
+                net.add_edge(u, v, float(cap))
+            if 0 not in g or 11 not in g:
+                continue
+            expected = nx.maximum_flow_value(g, 0, 11)
+            assert max_flow(net, 0, 11) == pytest.approx(expected)

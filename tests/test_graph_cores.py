@@ -1,0 +1,135 @@
+"""Unit tests for repro.graph.cores (Definition 8 machinery)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.cores import (
+    core_decomposition,
+    d_core,
+    degeneracy,
+    densest_core,
+    peeling_order,
+)
+from repro.graph.generators import clique, disjoint_union, gnm_random, star
+from repro.graph.undirected import UndirectedGraph
+
+
+class TestCoreDecomposition:
+    def test_empty(self):
+        assert core_decomposition(UndirectedGraph()) == {}
+
+    def test_clique(self):
+        cores = core_decomposition(clique(5))
+        assert all(c == 4 for c in cores.values())
+
+    def test_star(self):
+        cores = core_decomposition(star(10))
+        assert all(c == 1 for c in cores.values())
+
+    def test_path(self, path4):
+        cores = core_decomposition(path4)
+        assert all(c == 1 for c in cores.values())
+
+    def test_clique_with_pendant(self):
+        g = clique(4)
+        g.add_edge(0, 99)
+        cores = core_decomposition(g)
+        assert cores[99] == 1
+        assert all(cores[u] == 3 for u in range(4))
+
+    def test_mixed_components(self, clique_plus_star):
+        cores = core_decomposition(clique_plus_star)
+        assert all(cores[u] == 4 for u in range(5))
+        assert all(cores[u] == 1 for u in range(100, 131))
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = gnm_random(60, 200, seed=5)
+        ours = core_decomposition(g)
+        ng = nx.Graph(list(g.edges()))
+        ng.add_nodes_from(g.nodes())
+        theirs = nx.core_number(ng)
+        assert ours == theirs
+
+
+class TestDCore:
+    def test_definition_holds(self):
+        g = gnm_random(50, 160, seed=2)
+        for d in range(0, 8):
+            core = d_core(g, d)
+            if not core:
+                continue
+            # Every node's induced degree inside the d-core is >= d.
+            for u in core:
+                induced = sum(1 for v in g.neighbors(u) if v in core)
+                assert induced >= d
+
+    def test_maximality(self):
+        # The d-core contains every subgraph with min degree >= d:
+        # clique(5) has min degree 4, so it must be inside the 4-core.
+        g = disjoint_union([clique(5), star(20, offset=50)])
+        assert set(range(5)) <= d_core(g, 4)
+
+    def test_zero_core_is_everything(self, clique_plus_star):
+        assert d_core(clique_plus_star, 0) == set(clique_plus_star.nodes())
+
+    def test_too_deep_core_empty(self, triangle):
+        assert d_core(triangle, 10) == set()
+
+    def test_negative_d_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            d_core(triangle, -1)
+
+
+class TestDegeneracy:
+    def test_clique(self):
+        assert degeneracy(clique(6)) == 5
+
+    def test_forest(self, path4):
+        assert degeneracy(path4) == 1
+
+    def test_empty(self):
+        assert degeneracy(UndirectedGraph()) == 0
+
+
+class TestPeelingOrder:
+    def test_is_permutation(self, clique_plus_star):
+        order = peeling_order(clique_plus_star)
+        assert sorted(order, key=repr) == sorted(clique_plus_star.nodes(), key=repr)
+
+    def test_min_degree_first(self):
+        g = clique(4)
+        g.add_edge(0, 99)  # pendant has degree 1
+        assert peeling_order(g)[0] == 99
+
+    def test_greedy_invariant(self):
+        # At each step the removed node has minimum degree in the
+        # remaining graph.
+        g = gnm_random(30, 80, seed=7)
+        order = peeling_order(g)
+        remaining = set(g.nodes())
+        for node in order:
+            deg = {u: sum(1 for v in g.neighbors(u) if v in remaining) for u in remaining}
+            assert deg[node] == min(deg.values())
+            remaining.discard(node)
+
+
+class TestDensestCore:
+    def test_finds_clique(self, clique_plus_star):
+        nodes, density = densest_core(clique_plus_star)
+        assert nodes == set(range(5))
+        assert density == 2.0
+
+    def test_edgeless(self):
+        g = UndirectedGraph()
+        g.add_node(1)
+        assert densest_core(g) == (set(), 0.0)
+
+    def test_two_approximation(self):
+        from repro.exact.goldberg import goldberg_densest_subgraph
+
+        g = gnm_random(40, 130, seed=9)
+        _, rho_star = goldberg_densest_subgraph(g)
+        _, rho_core = densest_core(g)
+        assert rho_core >= rho_star / 2 - 1e-9
+        assert rho_core <= rho_star + 1e-9

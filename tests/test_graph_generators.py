@@ -1,0 +1,228 @@
+"""Unit tests for repro.graph.generators, including the paper's gadgets."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import generators as gen
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        a = gen.erdos_renyi(100, 0.05, seed=7)
+        b = gen.erdos_renyi(100, 0.05, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_seed_changes_graph(self):
+        a = gen.erdos_renyi(100, 0.05, seed=1)
+        b = gen.erdos_renyi(100, 0.05, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_p_zero_and_one(self):
+        assert gen.erdos_renyi(20, 0.0, seed=0).num_edges == 0
+        assert gen.erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        g = gen.erdos_renyi(300, 0.05, seed=3)
+        expected = 0.05 * 300 * 299 / 2
+        assert 0.8 * expected < g.num_edges < 1.2 * expected
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.erdos_renyi(10, 1.5)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gen.gnm_random(50, 123, seed=4)
+        assert g.num_edges == 123
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.gnm_random(5, 11)
+
+    def test_simple(self):
+        g = gen.gnm_random(30, 100, seed=1)
+        for u, v in g.edges():
+            assert u != v
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = gen.barabasi_albert(200, 3, seed=2)
+        # m seed edges + m per node after the first m+1 nodes.
+        assert g.num_edges == 3 + 3 * (200 - 4)
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(500, 2, seed=8)
+        degrees = g.degree_sequence()
+        # The max degree should far exceed the median (hub formation).
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_requires_n_gt_m(self):
+        with pytest.raises(ParameterError):
+            gen.barabasi_albert(3, 3)
+
+
+class TestChungLu:
+    def test_average_degree_close(self):
+        g = gen.chung_lu(2000, exponent=2.5, average_degree=10.0, seed=1)
+        assert 7.0 < g.average_degree() < 13.0
+
+    def test_power_law_skew(self):
+        g = gen.chung_lu(2000, exponent=2.1, average_degree=8.0, seed=1)
+        degrees = g.degree_sequence()
+        assert degrees[0] > 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_exponent_validation(self):
+        with pytest.raises(ParameterError):
+            gen.power_law_degree_weights(10, 0.9)
+
+
+class TestStructured:
+    def test_clique_counts(self):
+        g = gen.clique(6)
+        assert g.num_nodes == 6 and g.num_edges == 15
+
+    def test_clique_offset(self):
+        g = gen.clique(3, offset=10)
+        assert set(g.nodes()) == {10, 11, 12}
+
+    def test_star(self):
+        g = gen.star(8)
+        assert g.degree(0) == 7
+        assert all(g.degree(i) == 1 for i in range(1, 8))
+
+    def test_circulant_regularity(self):
+        for n, d in [(10, 2), (12, 4), (8, 3), (16, 5)]:
+            g = gen.circulant(n, d)
+            assert all(g.degree(u) == d for u in g.nodes()), (n, d)
+            assert g.num_edges == n * d // 2
+
+    def test_circulant_odd_degree_odd_n_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.circulant(9, 3)
+
+    def test_disjoint_union(self):
+        g = gen.disjoint_union([gen.clique(3), gen.clique(4, offset=10)])
+        assert g.num_nodes == 7
+        assert g.num_edges == 3 + 6
+
+
+class TestPlanted:
+    def test_planted_dense_subgraph_ground_truth(self):
+        g, members = gen.planted_dense_subgraph(300, 25, p_in=0.9, p_out=0.01, seed=5)
+        assert members == list(range(25))
+        inside = g.density(members)
+        overall = g.density()
+        assert inside > 3 * overall
+
+    def test_planted_clique_complete(self):
+        g, members = gen.planted_clique(100, 10, p=0.02, seed=3)
+        for i in members:
+            for j in members:
+                if i < j:
+                    assert g.has_edge(i, j)
+
+    def test_k_gt_n_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.planted_clique(5, 10)
+
+
+class TestDirectedPowerLaw:
+    def test_edge_count(self):
+        g = gen.directed_power_law(300, 1500, seed=2)
+        assert g.num_edges >= 1500  # reciprocity 0 -> exactly, else more
+
+    def test_in_degree_skew(self):
+        g = gen.directed_power_law(1000, 6000, in_exponent=1.8, out_exponent=3.0, seed=4)
+        in_degrees = sorted((g.in_degree(u) for u in g.nodes()), reverse=True)
+        assert in_degrees[0] > 10 * max(1, in_degrees[len(in_degrees) // 2])
+
+    def test_reciprocity_adds_back_edges(self):
+        g = gen.directed_power_law(200, 800, reciprocity=1.0, seed=6)
+        mutual = sum(1 for u, v in g.edges() if g.has_edge(v, u))
+        assert mutual / g.num_edges > 0.8
+
+
+class TestLemma5Gadget:
+    def test_block_structure(self):
+        k = 4
+        g = gen.lemma5_gadget(k)
+        # Total nodes: sum over i of 2^(2k+1-i).
+        expected_nodes = sum(2 ** (2 * k + 1 - i) for i in range(1, k + 1))
+        assert g.num_nodes == expected_nodes
+        # Every block has exactly 2^(2k-1) edges.
+        assert g.num_edges == k * 2 ** (2 * k - 1)
+
+    def test_blocks_are_regular(self):
+        k = 3
+        g = gen.lemma5_gadget(k)
+        offset = 0
+        for i in range(1, k + 1):
+            n_i = 2 ** (2 * k + 1 - i)
+            d_i = 2 ** (i - 1)
+            for node in range(offset, offset + n_i):
+                assert g.degree(node) == d_i, (i, node)
+            offset += n_i
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.lemma5_gadget(11)
+
+
+class TestLemma6Gadget:
+    def test_structure(self):
+        g = gen.lemma6_gadget(20)
+        assert g.num_nodes == 20
+        # Complete graph: each arriving node connects to all predecessors.
+        assert g.num_edges == 20 * 19 // 2
+
+    def test_weighted_degrees_skewed(self):
+        g = gen.lemma6_gadget(60)
+        wdeg = sorted((g.weighted_degree(u) for u in g.nodes()), reverse=True)
+        # Early nodes accumulate weight: top degree far above median
+        # (the power-law property Lemma 6 needs).
+        assert wdeg[0] > 3 * wdeg[len(wdeg) // 2]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.lemma6_gadget(1)
+
+
+class TestDisjointnessGadget:
+    def test_no_instance_all_stars(self):
+        g = gen.disjointness_gadget(8, 5, yes_instance=False)
+        assert g.num_nodes == 40
+        assert g.num_edges == 8 * 4
+        # Star density is (q-1)/q < 1.
+        from repro.exact.goldberg import goldberg_densest_subgraph
+
+        _, rho = goldberg_densest_subgraph(g)
+        assert rho < 1.0
+
+    def test_yes_instance_has_clique(self):
+        q = 5
+        g = gen.disjointness_gadget(8, q, yes_instance=True, yes_block=3)
+        from repro.exact.goldberg import goldberg_densest_subgraph
+
+        nodes, rho = goldberg_densest_subgraph(g)
+        assert rho == pytest.approx((q - 1) / 2)
+        assert nodes == set(range(3 * q, 4 * q))
+
+    def test_gap_matches_lemma7(self):
+        # YES/NO density gap is (q-1)/2 vs (q-1)/q — a factor ~q/2,
+        # which is what makes an alpha < q approximation distinguish them.
+        q = 6
+        yes = gen.disjointness_gadget(4, q, yes_instance=True)
+        no = gen.disjointness_gadget(4, q, yes_instance=False)
+        from repro.exact.goldberg import goldberg_densest_subgraph
+
+        _, rho_yes = goldberg_densest_subgraph(yes)
+        _, rho_no = goldberg_densest_subgraph(no)
+        assert rho_yes / rho_no > q / 2 - 1e-9
+
+    def test_bad_yes_block_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.disjointness_gadget(3, 4, yes_instance=True, yes_block=5)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.graph.io (SNAP edge-list I/O)."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import gnm_random
+from repro.graph.io import (
+    iter_edge_list,
+    read_directed,
+    read_undirected,
+    write_directed,
+    write_undirected,
+)
+from repro.graph.directed import DirectedGraph
+from repro.graph.undirected import UndirectedGraph
+
+
+class TestIterEdgeList:
+    def test_basic(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n0 1\n1 2 2.5\n\n% other comment\n2 0\n")
+        triples = list(iter_edge_list(p))
+        assert triples == [("0", "1", 1.0), ("1", "2", 2.5), ("2", "0", 1.0)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("0\n")
+        with pytest.raises(GraphError):
+            list(iter_edge_list(p))
+
+    def test_bad_weight_raises(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("0 1 xyz\n")
+        with pytest.raises(GraphError):
+            list(iter_edge_list(p))
+
+    def test_gzip(self, tmp_path):
+        p = tmp_path / "g.txt.gz"
+        with gzip.open(p, "wt") as f:
+            f.write("0 1\n1 2\n")
+        assert len(list(iter_edge_list(p))) == 2
+
+
+class TestReadUndirected:
+    def test_reads(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n1 2\n")
+        g = read_undirected(p)
+        assert g.num_nodes == 3 and g.num_edges == 2
+
+    def test_skips_self_loops_and_duplicates(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 0\n0 1\n1 0\n0 1\n")
+        g = read_undirected(p)
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_string_nodes(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("alice bob\n")
+        g = read_undirected(p, int_nodes=False)
+        assert g.has_edge("alice", "bob")
+
+
+class TestRoundTrip:
+    def test_undirected_roundtrip(self, tmp_path):
+        g = gnm_random(30, 60, seed=3)
+        p = tmp_path / "out.txt"
+        write_undirected(g, p, header="test graph")
+        back = read_undirected(p)
+        assert back.num_nodes == sum(1 for u in g.nodes() if g.degree(u) > 0)
+        assert back.num_edges == g.num_edges
+        for u, v in g.edges():
+            assert back.has_edge(u, v)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = UndirectedGraph([(0, 1, 2.5), (1, 2, 1.0)])
+        p = tmp_path / "w.txt"
+        write_undirected(g, p)
+        back = read_undirected(p)
+        assert back.edge_weight(0, 1) == 2.5
+        assert back.edge_weight(1, 2) == 1.0
+
+    def test_directed_roundtrip(self, tmp_path):
+        g = DirectedGraph([(0, 1), (1, 0), (2, 0, 3.0)])
+        p = tmp_path / "d.txt"
+        write_directed(g, p)
+        back = read_directed(p)
+        assert back.num_edges == 3
+        assert back.edge_weight(2, 0) == 3.0
+        assert back.has_edge(0, 1) and back.has_edge(1, 0)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        g = gnm_random(20, 40, seed=1)
+        p = tmp_path / "g.txt.gz"
+        write_undirected(g, p)
+        back = read_undirected(p)
+        assert back.num_edges == g.num_edges

@@ -1,0 +1,72 @@
+"""Unit tests for repro.graph.views."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.undirected import UndirectedGraph
+from repro.graph.views import InducedSubgraphView
+
+
+@pytest.fixture
+def base():
+    return UndirectedGraph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+
+class TestView:
+    def test_counts(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2])
+        assert view.num_nodes == 3
+        assert view.num_edges == 3
+
+    def test_unknown_node_raises(self, base):
+        with pytest.raises(GraphError):
+            InducedSubgraphView(base, [0, 99])
+
+    def test_membership_iteration(self, base):
+        view = InducedSubgraphView(base, [0, 1])
+        assert 0 in view and 2 not in view
+        assert sorted(view) == [0, 1]
+        assert len(view) == 2
+
+    def test_induced_degree(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2])
+        assert view.degree(0) == 2  # edges to 1 and 2; edge to 3 excluded
+        assert view.degree(1) == 2
+
+    def test_degree_outside_view_raises(self, base):
+        view = InducedSubgraphView(base, [0, 1])
+        with pytest.raises(GraphError):
+            view.degree(3)
+
+    def test_weighted_degree(self):
+        g = UndirectedGraph([(0, 1, 2.0), (0, 2, 5.0)])
+        view = InducedSubgraphView(g, [0, 1])
+        assert view.weighted_degree(0) == 2.0
+
+    def test_density_matches_subgraph(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2])
+        assert view.density() == base.density([0, 1, 2])
+
+    def test_empty_view_density(self, base):
+        assert InducedSubgraphView(base, []).density() == 0.0
+
+    def test_edges_once(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2])
+        edges = {frozenset(e) for e in view.edges()}
+        assert edges == {frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})}
+
+    def test_reflects_base_mutation(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2])
+        base.add_edge(1, 3)  # outside view: no change
+        assert view.num_edges == 3
+
+    def test_restrict(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2, 3])
+        smaller = view.restrict([1, 2, 3, 99])
+        assert smaller.node_set() == {1, 2, 3}
+
+    def test_materialize(self, base):
+        view = InducedSubgraphView(base, [0, 1, 2])
+        solid = view.materialize()
+        assert solid.num_nodes == 3
+        assert solid.num_edges == 3

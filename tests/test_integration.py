@@ -1,0 +1,81 @@
+"""End-to-end integration tests across all execution substrates.
+
+The defining consistency property of this reproduction: the in-memory
+reference, the semi-streaming engine (from a file on disk!), and the
+MapReduce driver must produce *identical* results, because they
+implement the same algorithm under different execution models.
+"""
+
+import pytest
+
+from repro.core.directed import densest_subgraph_directed, ratio_sweep
+from repro.core.undirected import densest_subgraph
+from repro.datasets import load
+from repro.exact.goldberg import goldberg_densest_subgraph
+from repro.exact.lp import lp_density
+from repro.graph.io import write_undirected
+from repro.mapreduce.densest import mr_densest_subgraph
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.streaming.engine import stream_densest_subgraph
+from repro.streaming.stream import FileEdgeStream, GraphEdgeStream
+
+
+class TestThreeSubstratesAgree:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.5])
+    def test_memory_file_mapreduce_identical(self, tmp_path, epsilon):
+        graph = load("as_sim", scale=0.4)
+        # 1. In-memory reference.
+        ref = densest_subgraph(graph, epsilon)
+        # 2. Semi-streaming from an edge list on disk.
+        path = tmp_path / "edges.txt"
+        write_undirected(graph, path)
+        isolated = {u for u in graph.nodes() if graph.degree(u) == 0}
+        stream = FileEdgeStream(path, nodes=graph.nodes())
+        streamed = stream_densest_subgraph(stream, epsilon)
+        # 3. Simulated MapReduce.
+        mr = mr_densest_subgraph(
+            graph, epsilon, runtime=MapReduceRuntime(6, 4, seed=5)
+        ).result
+
+        assert streamed.nodes == ref.nodes == mr.nodes
+        assert streamed.density == pytest.approx(ref.density)
+        assert mr.density == pytest.approx(ref.density)
+        assert streamed.passes == ref.passes == mr.passes
+        del isolated
+
+    def test_stream_pass_budget(self, tmp_path):
+        # The whole point of the paper: few passes over on-disk data.
+        graph = load("flickr_sim", scale=0.2)
+        path = tmp_path / "flickr.txt"
+        write_undirected(graph, path)
+        stream = FileEdgeStream(path, nodes=graph.nodes())
+        result = stream_densest_subgraph(stream, epsilon=1.0)
+        assert stream.passes_made == result.passes
+        assert stream.passes_made <= 8
+
+
+class TestQualityPipeline:
+    def test_approximation_vs_exact_on_dataset(self):
+        graph = load("grqc_sim", scale=0.5)
+        optimum = lp_density(graph)
+        for epsilon in (0.001, 0.1, 1.0):
+            result = densest_subgraph(graph, epsilon)
+            ratio = optimum / result.density
+            # Paper's Table 2: empirical ratios far below 2(1+eps).
+            assert 1.0 - 1e-9 <= ratio <= 1.6
+
+    def test_flow_lp_peel_agree(self):
+        graph = load("as_sim", scale=0.25)
+        _, rho_flow = goldberg_densest_subgraph(graph)
+        rho_lp = lp_density(graph)
+        assert rho_flow == pytest.approx(rho_lp, abs=1e-5)
+
+
+class TestDirectedPipeline:
+    def test_sweep_beats_single_ratio_on_skewed_graph(self):
+        graph = load("twitter_sim", scale=0.15)
+        sweep = ratio_sweep(graph, epsilon=1.0, delta=2.0)
+        at_one = densest_subgraph_directed(graph, ratio=1.0, epsilon=1.0)
+        # The c-search matters on celebrity-skewed graphs (Figure 6.6).
+        assert sweep.density >= at_one.density - 1e-9
+        assert sweep.best_ratio != 1.0

@@ -1,0 +1,242 @@
+"""Unit tests for the MapReduce simulator (runtime, jobs, counters, cost)."""
+
+import pytest
+
+from repro.errors import MapReduceError, ParameterError
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.job import JobCounters, MapReduceJob
+from repro.mapreduce.runtime import MapReduceRuntime, _stable_hash
+
+
+def wordcount_job(with_combiner=False):
+    return MapReduceJob(
+        name="wordcount",
+        mapper=lambda _, word: [(word, 1)],
+        reducer=lambda word, ones: [(word, sum(ones))],
+        combiner=(lambda word, ones: [(word, sum(ones))]) if with_combiner else None,
+    )
+
+
+class TestRuntime:
+    def test_wordcount(self):
+        runtime = MapReduceRuntime(num_mappers=3, num_reducers=2)
+        words = ["a", "b", "a", "c", "b", "a"]
+        output, counters = runtime.run(wordcount_job(), [(None, w) for w in words])
+        assert dict(output) == {"a": 3, "b": 2, "c": 1}
+        assert counters.map_input_records == 6
+        assert counters.map_output_records == 6
+        assert counters.reduce_groups == 3
+
+    def test_combiner_reduces_shuffle(self):
+        words = ["a"] * 50 + ["b"] * 50
+        pairs = [(None, w) for w in words]
+        without = MapReduceRuntime(num_mappers=4, num_reducers=2).run(
+            wordcount_job(False), pairs
+        )[1]
+        with_comb = MapReduceRuntime(num_mappers=4, num_reducers=2).run(
+            wordcount_job(True), pairs
+        )[1]
+        assert with_comb.shuffle_records < without.shuffle_records
+        # Same final answer either way.
+        assert with_comb.reduce_groups == without.reduce_groups == 2
+
+    def test_output_independent_of_task_count(self):
+        pairs = [(None, f"w{i % 7}") for i in range(100)]
+        results = []
+        for mappers, reducers in [(1, 1), (3, 2), (16, 16)]:
+            runtime = MapReduceRuntime(num_mappers=mappers, num_reducers=reducers)
+            output, _ = runtime.run(wordcount_job(True), pairs)
+            results.append(sorted(output))
+        assert results[0] == results[1] == results[2]
+
+    def test_output_independent_of_task_order_seed(self):
+        pairs = [(None, f"w{i % 5}") for i in range(40)]
+        outs = [
+            sorted(MapReduceRuntime(4, 4, seed=s).run(wordcount_job(), pairs)[0])
+            for s in (0, 1, 2)
+        ]
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_bad_mapper_output_raises(self):
+        job = MapReduceJob(
+            name="bad", mapper=lambda k, v: ["oops"], reducer=lambda k, vs: []
+        )
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime(2, 2).run(job, [(None, 1)])
+
+    def test_bad_reducer_output_raises(self):
+        job = MapReduceJob(
+            name="bad", mapper=lambda k, v: [(k, v)], reducer=lambda k, vs: [k]
+        )
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime(2, 2).run(job, [("k", 1)])
+
+    def test_unhashable_key_type_raises(self):
+        job = MapReduceJob(
+            name="floatkey", mapper=lambda k, v: [(1.5, v)], reducer=lambda k, vs: []
+        )
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime(2, 2).run(job, [(None, 1)])
+
+    def test_run_chain(self):
+        # Chain: wordcount, then filter counts >= 2.
+        job1 = wordcount_job()
+        job2 = MapReduceJob(
+            name="filter",
+            mapper=lambda word, count: [(word, count)] if count >= 2 else [],
+            reducer=lambda word, counts: [(word, counts[0])],
+        )
+        runtime = MapReduceRuntime(2, 2)
+        pairs = [(None, w) for w in ["a", "a", "b"]]
+        output, counters = runtime.run_chain([job1, job2], pairs)
+        assert dict(output) == {"a": 2}
+        assert len(counters) == 2
+
+    def test_history(self):
+        runtime = MapReduceRuntime(2, 2)
+        runtime.run(wordcount_job(), [(None, "a")])
+        runtime.run(wordcount_job(), [(None, "b")])
+        assert len(runtime.history) == 2
+        runtime.reset_history()
+        assert runtime.history == []
+
+    def test_parallelism_validation(self):
+        with pytest.raises(ParameterError):
+            MapReduceRuntime(num_mappers=0)
+
+
+class TestFaultTolerance:
+    """Hadoop-style task retries via TransientTaskError injection."""
+
+    def _flaky_mapper(self, failures_left):
+        state = {"remaining": failures_left}
+
+        def mapper(key, value):
+            from repro.mapreduce.runtime import TransientTaskError
+
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                raise TransientTaskError("injected map failure")
+            return [(value, 1)]
+
+        return mapper
+
+    def test_map_task_retried_and_succeeds(self):
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.runtime import MapReduceRuntime
+
+        job = MapReduceJob(
+            name="flaky",
+            mapper=self._flaky_mapper(2),
+            reducer=lambda k, vs: [(k, sum(vs))],
+        )
+        runtime = MapReduceRuntime(num_mappers=1, num_reducers=1, max_task_retries=3)
+        output, _ = runtime.run(job, [(None, "a"), (None, "a")])
+        assert dict(output) == {"a": 2}
+        assert runtime.task_retries == 2
+
+    def test_retries_exhausted_fails_job(self):
+        from repro.errors import MapReduceError
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.runtime import MapReduceRuntime
+
+        job = MapReduceJob(
+            name="hopeless",
+            mapper=self._flaky_mapper(10),
+            reducer=lambda k, vs: [(k, sum(vs))],
+        )
+        runtime = MapReduceRuntime(num_mappers=1, num_reducers=1, max_task_retries=2)
+        with pytest.raises(MapReduceError, match="failed after 3 attempts"):
+            runtime.run(job, [(None, "a")])
+
+    def test_reduce_task_retried(self):
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.runtime import MapReduceRuntime, TransientTaskError
+
+        state = {"remaining": 1}
+
+        def flaky_reducer(key, values):
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                raise TransientTaskError("injected reduce failure")
+            return [(key, sum(values))]
+
+        job = MapReduceJob(
+            name="flaky-reduce", mapper=lambda k, v: [(v, 1)], reducer=flaky_reducer
+        )
+        runtime = MapReduceRuntime(num_mappers=2, num_reducers=1)
+        output, _ = runtime.run(job, [(None, "x")])
+        assert dict(output) == {"x": 1}
+        assert runtime.task_retries == 1
+
+    def test_counters_not_double_counted_on_retry(self):
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.runtime import MapReduceRuntime
+
+        job = MapReduceJob(
+            name="flaky",
+            mapper=self._flaky_mapper(1),
+            reducer=lambda k, vs: [(k, sum(vs))],
+        )
+        runtime = MapReduceRuntime(num_mappers=1, num_reducers=1)
+        _, counters = runtime.run(job, [(None, "a"), (None, "b")])
+        assert counters.map_output_records == 2  # counted once, post-retry
+
+    def test_negative_retries_rejected(self):
+        from repro.mapreduce.runtime import MapReduceRuntime
+
+        with pytest.raises(ParameterError):
+            MapReduceRuntime(max_task_retries=-1)
+
+
+class TestStableHash:
+    def test_types(self):
+        assert _stable_hash(5) == _stable_hash(5)
+        assert _stable_hash("abc") == _stable_hash("abc")
+        assert _stable_hash(("out", 3)) == _stable_hash(("out", 3))
+
+    def test_spread(self):
+        buckets = {_stable_hash(i) % 16 for i in range(1000)}
+        assert len(buckets) == 16
+
+
+class TestCounters:
+    def test_merge(self):
+        a = JobCounters(job_name="x", map_input_records=3, shuffle_bytes=10)
+        b = JobCounters(job_name="y", map_input_records=4, shuffle_bytes=5)
+        merged = a.merge(b)
+        assert merged.job_name == "x"
+        assert merged.map_input_records == 7
+        assert merged.shuffle_bytes == 15
+
+
+class TestCostModel:
+    def test_round_floor_is_overhead(self):
+        model = CostModel(round_overhead_s=30.0)
+        empty = JobCounters()
+        assert model.round_seconds(empty) == 30.0
+
+    def test_monotone_in_records(self):
+        model = CostModel()
+        small = JobCounters(map_input_records=10)
+        big = JobCounters(map_input_records=10_000_000)
+        assert model.round_seconds(big) > model.round_seconds(small)
+
+    def test_parallelism_divides_cost(self):
+        slow = CostModel(num_mappers=1, num_reducers=1, round_overhead_s=0.0)
+        fast = CostModel(num_mappers=100, num_reducers=100, round_overhead_s=0.0)
+        counters = JobCounters(
+            map_input_records=10_000, shuffle_bytes=10_000, reduce_groups=100
+        )
+        assert slow.round_seconds(counters) == pytest.approx(
+            100 * fast.round_seconds(counters)
+        )
+
+    def test_total_and_pass_seconds(self):
+        model = CostModel(round_overhead_s=1.0)
+        rounds = [JobCounters(), JobCounters()]
+        assert model.total_seconds(rounds) == pytest.approx(2.0)
+        assert model.pass_seconds([rounds, rounds]) == [
+            pytest.approx(2.0),
+            pytest.approx(2.0),
+        ]

@@ -1,0 +1,81 @@
+"""Tests for the execution-model parity extensions:
+
+* Algorithm 2 as MapReduce rounds;
+* the directed ratio sweep in the streaming model.
+"""
+
+import pytest
+
+from repro.core.atleast_k import densest_subgraph_atleast_k
+from repro.core.directed import ratio_sweep
+from repro.errors import MapReduceError
+from repro.graph.generators import chung_lu, directed_power_law
+from repro.mapreduce.densest import mr_densest_subgraph_atleast_k
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.streaming.stream import DirectedGraphEdgeStream
+from repro.streaming.sweep import stream_ratio_sweep
+
+
+@pytest.fixture(scope="module")
+def social():
+    return chung_lu(500, exponent=2.3, average_degree=7, seed=31)
+
+
+@pytest.fixture(scope="module")
+def directed_social():
+    return directed_power_law(300, 1800, seed=32)
+
+
+class TestMapReduceAtLeastK:
+    @pytest.mark.parametrize("k", [5, 80, 300])
+    def test_matches_reference(self, social, k):
+        ref = densest_subgraph_atleast_k(social, k, 0.5)
+        report = mr_densest_subgraph_atleast_k(
+            social, k, 0.5, runtime=MapReduceRuntime(4, 3, seed=7)
+        )
+        result = report.result
+        assert result.nodes == ref.nodes
+        assert result.density == pytest.approx(ref.density)
+        assert result.passes == ref.passes
+
+    def test_three_rounds_per_pass(self, social):
+        report = mr_densest_subgraph_atleast_k(
+            social, 50, 0.5, runtime=MapReduceRuntime(4, 4)
+        )
+        for rounds in report.rounds_per_pass[:-1]:
+            assert len(rounds) == 3
+
+    def test_size_constraint(self, social):
+        report = mr_densest_subgraph_atleast_k(social, 200, 1.0)
+        assert len(report.result.nodes) >= 200
+
+    def test_k_too_large_raises(self, social):
+        with pytest.raises(MapReduceError):
+            mr_densest_subgraph_atleast_k(social, social.num_nodes + 1, 0.5)
+
+
+class TestStreamRatioSweep:
+    def test_matches_in_memory_sweep(self, directed_social):
+        ref = ratio_sweep(directed_social, epsilon=1.0, ratios=[0.5, 1.0, 2.0])
+        stream = DirectedGraphEdgeStream(directed_social)
+        ours = stream_ratio_sweep(stream, epsilon=1.0, ratios=[0.5, 1.0, 2.0])
+        assert ours.best.s_nodes == ref.best.s_nodes
+        assert ours.best.t_nodes == ref.best.t_nodes
+        assert ours.density == pytest.approx(ref.density)
+        assert ours.best_ratio == ref.best_ratio
+
+    def test_pass_accounting_totals(self, directed_social):
+        stream = DirectedGraphEdgeStream(directed_social)
+        sweep = stream_ratio_sweep(stream, epsilon=1.0, ratios=[0.5, 1.0, 2.0])
+        assert stream.passes_made == sweep.total_passes()
+
+    def test_delta_grid(self, directed_social):
+        stream = DirectedGraphEdgeStream(directed_social)
+        sweep = stream_ratio_sweep(stream, epsilon=1.0, delta=4.0)
+        assert sweep.delta == 4.0
+        assert len(sweep.by_ratio) >= 3
+
+    def test_empty_ratios_rejected(self, directed_social):
+        stream = DirectedGraphEdgeStream(directed_social)
+        with pytest.raises(Exception):
+            stream_ratio_sweep(stream, ratios=[])

@@ -1,0 +1,138 @@
+"""Unit tests for the Count-Sketch and the sketched engine (§5.1)."""
+
+import random
+
+import pytest
+
+from repro.core.undirected import densest_subgraph
+from repro.errors import ParameterError
+from repro.graph.generators import chung_lu, clique, disjoint_union, star
+from repro.streaming.countsketch import CountSketch
+from repro.streaming.memory import MemoryAccountant
+from repro.streaming.sketch_engine import sketch_densest_subgraph
+from repro.streaming.stream import GraphEdgeStream
+
+
+class TestCountSketch:
+    def test_single_item_exact_when_alone(self):
+        sketch = CountSketch(tables=5, buckets=64, seed=1)
+        for _ in range(50):
+            sketch.add(7)
+        assert sketch.estimate(7) == pytest.approx(50.0)
+
+    def test_weighted_updates(self):
+        sketch = CountSketch(tables=5, buckets=64, seed=1)
+        sketch.add(3, 2.5)
+        sketch.add(3, 2.5)
+        assert sketch.estimate(3) == pytest.approx(5.0)
+
+    def test_negative_updates(self):
+        sketch = CountSketch(tables=5, buckets=64, seed=1)
+        sketch.add(3, 10.0)
+        sketch.add(3, -4.0)
+        assert sketch.estimate(3) == pytest.approx(6.0)
+
+    def test_deterministic_given_seed(self):
+        a = CountSketch(tables=3, buckets=32, seed=5)
+        b = CountSketch(tables=3, buckets=32, seed=5)
+        for x in range(100):
+            a.add(x)
+            b.add(x)
+        assert all(a.estimate(x) == b.estimate(x) for x in range(100))
+
+    def test_heavy_hitters_accurate_under_load(self):
+        # Many light items, a few heavy: heavy estimates should be
+        # within a small relative error (the property §5.1 relies on).
+        rng = random.Random(3)
+        sketch = CountSketch(tables=5, buckets=512, seed=2)
+        for _ in range(5000):
+            sketch.add(rng.randrange(2000))
+        for heavy in (10_001, 10_002):
+            for _ in range(1000):
+                sketch.add(heavy)
+        for heavy in (10_001, 10_002):
+            assert sketch.estimate(heavy) == pytest.approx(1000, rel=0.15)
+
+    def test_estimate_many(self):
+        sketch = CountSketch(tables=3, buckets=64, seed=1)
+        sketch.add(1, 3.0)
+        estimates = sketch.estimate_many([1, 2])
+        assert estimates[0] == pytest.approx(3.0)
+
+    def test_clear(self):
+        sketch = CountSketch(tables=3, buckets=16, seed=1)
+        sketch.add(5, 9.0)
+        sketch.clear()
+        assert sketch.estimate(5) == 0.0
+
+    def test_words(self):
+        assert CountSketch(tables=5, buckets=100).words == 500
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CountSketch(tables=0, buckets=10)
+        with pytest.raises(ParameterError):
+            CountSketch(tables=2, buckets=0)
+
+
+class TestSketchEngine:
+    @pytest.fixture(scope="class")
+    def social(self):
+        return chung_lu(2000, exponent=2.2, average_degree=8, seed=9)
+
+    def test_large_buckets_match_exact(self, social):
+        # With b >> n the sketch is near-collision-free, so the run
+        # should land very close to the exact density.
+        exact = densest_subgraph(social, 0.5)
+        sketched = sketch_densest_subgraph(
+            GraphEdgeStream(social), 0.5, buckets=4 * social.num_nodes, tables=5
+        )
+        assert sketched.density >= 0.95 * exact.density
+
+    def test_small_buckets_degrade_gracefully(self, social):
+        exact = densest_subgraph(social, 0.5)
+        sketched = sketch_densest_subgraph(
+            GraphEdgeStream(social), 0.5, buckets=social.num_nodes // 10, tables=5
+        )
+        # Table 4's observed range: ratios roughly 0.7-1.05.
+        assert sketched.density >= 0.4 * exact.density
+        assert sketched.density <= 1.2 * exact.density
+
+    def test_memory_savings(self, social):
+        exact_acc = MemoryAccountant()
+        sketch_acc = MemoryAccountant()
+        from repro.streaming.engine import stream_densest_subgraph
+
+        stream_densest_subgraph(GraphEdgeStream(social), 0.5, accountant=exact_acc)
+        sketch_densest_subgraph(
+            GraphEdgeStream(social),
+            0.5,
+            buckets=social.num_nodes // 20,
+            tables=5,
+            accountant=sketch_acc,
+        )
+        assert sketch_acc.ratio_to(exact_acc) < 0.5
+
+    def test_terminates_and_keeps_guaranteed_shape(self):
+        g = disjoint_union([clique(10), star(200, offset=100)])
+        result = sketch_densest_subgraph(
+            GraphEdgeStream(g), 0.5, buckets=64, tables=5, seed=4
+        )
+        assert result.passes >= 1
+        assert result.density > 0
+
+    def test_density_values_exact_in_trace(self):
+        # The scalar edge weight is tracked exactly even though degrees
+        # are sketched: edges_before/|S| must equal density_before.
+        g = chung_lu(500, exponent=2.3, average_degree=6, seed=3)
+        result = sketch_densest_subgraph(GraphEdgeStream(g), 1.0, buckets=100)
+        for record in result.trace:
+            assert record.density_before == pytest.approx(
+                record.edges_before / record.nodes_before
+            )
+
+    def test_validation(self, social):
+        with pytest.raises(ParameterError):
+            sketch_densest_subgraph(GraphEdgeStream(social), 0.5, buckets=0)
+        with pytest.raises(ParameterError):
+            sketch_densest_subgraph(GraphEdgeStream(social), 0.5, tables=0)

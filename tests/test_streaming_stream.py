@@ -1,0 +1,122 @@
+"""Unit tests for repro.streaming.stream."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.generators import gnm_random
+from repro.graph.io import write_undirected
+from repro.streaming.stream import (
+    DirectedGraphEdgeStream,
+    FileEdgeStream,
+    GeneratorEdgeStream,
+    GraphEdgeStream,
+    MemoryEdgeStream,
+)
+
+
+class TestMemoryEdgeStream:
+    def test_yields_triples(self):
+        s = MemoryEdgeStream([(0, 1), (1, 2, 2.5)])
+        triples = list(s.edges())
+        assert triples == [(0, 1, 1.0), (1, 2, 2.5)]
+
+    def test_bad_tuple_raises(self):
+        with pytest.raises(StreamError):
+            MemoryEdgeStream([(0, 1, 2, 3)])
+
+    def test_pass_accounting(self):
+        s = MemoryEdgeStream([(0, 1), (1, 2)])
+        assert s.passes_made == 0
+        list(s.edges())
+        list(s.edges())
+        assert s.passes_made == 2
+        assert s.edges_streamed == 4
+
+    def test_reset_accounting(self):
+        s = MemoryEdgeStream([(0, 1)])
+        list(s.edges())
+        s.reset_accounting()
+        assert s.passes_made == 0
+        assert s.edges_streamed == 0
+
+    def test_explicit_nodes(self):
+        s = MemoryEdgeStream([(0, 1)], nodes=[0, 1, 2, 3])
+        assert s.num_nodes == 4
+        assert s.passes_made == 0  # no discovery pass needed
+
+    def test_discovery_pass_counted(self):
+        s = MemoryEdgeStream([(0, 1), (1, 2)])
+        nodes = s.nodes()
+        assert sorted(nodes) == [0, 1, 2]
+        assert s.passes_made == 1
+        # Second call reuses the cached universe.
+        s.nodes()
+        assert s.passes_made == 1
+
+    def test_len(self):
+        assert len(MemoryEdgeStream([(0, 1), (1, 2)])) == 2
+
+    def test_iter_protocol(self):
+        s = MemoryEdgeStream([(0, 1)])
+        assert list(iter(s)) == [(0, 1, 1.0)]
+        assert s.passes_made == 1
+
+
+class TestGraphEdgeStream:
+    def test_streams_graph(self, triangle):
+        s = GraphEdgeStream(triangle)
+        triples = list(s.edges())
+        assert len(triples) == 3
+        assert s.num_nodes == 3
+        assert s.passes_made == 1
+
+    def test_reiterable(self, triangle):
+        s = GraphEdgeStream(triangle)
+        assert len(list(s.edges())) == len(list(s.edges()))
+
+    def test_directed_stream(self, directed_bowtie):
+        s = DirectedGraphEdgeStream(directed_bowtie)
+        triples = list(s.edges())
+        assert (0, 10, 1.0) in triples
+        assert s.num_nodes == directed_bowtie.num_nodes
+
+
+class TestFileEdgeStream:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random(20, 50, seed=1)
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        s = FileEdgeStream(path)
+        triples = list(s.edges())
+        assert len(triples) == 50
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StreamError):
+            FileEdgeStream(tmp_path / "nope.txt")
+
+    def test_multiple_passes_reread(self, tmp_path):
+        g = gnm_random(10, 20, seed=2)
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        s = FileEdgeStream(path)
+        a = sorted(s.edges())
+        b = sorted(s.edges())
+        assert a == b
+        assert s.passes_made == 2
+
+
+class TestGeneratorEdgeStream:
+    def test_regenerates_each_pass(self):
+        def factory():
+            return [(0, 1, 1.0), (1, 2, 1.0)]
+
+        s = GeneratorEdgeStream(factory, nodes=[0, 1, 2])
+        assert list(s.edges()) == list(s.edges())
+        assert s.passes_made == 2
+
+    def test_supports_lazy_generators(self):
+        def factory():
+            return ((i, i + 1, 1.0) for i in range(5))
+
+        s = GeneratorEdgeStream(factory, nodes=range(6))
+        assert len(list(s.edges())) == 5
