@@ -8,10 +8,10 @@ cluster cost model — the Figure 6.7 experiment end to end.
 Run:  python examples/mapreduce_at_scale.py
 """
 
+from repro import DensestSubgraph, solve
 from repro.analysis.tables import render_table
 from repro.datasets import load
 from repro.mapreduce.cost import CostModel
-from repro.mapreduce.densest import mr_densest_subgraph
 from repro.mapreduce.runtime import MapReduceRuntime
 
 
@@ -22,7 +22,10 @@ def main() -> None:
     print()
 
     runtime = MapReduceRuntime(num_mappers=8, num_reducers=8, seed=1)
-    report = mr_densest_subgraph(graph, epsilon=1.0, runtime=runtime)
+    solution = solve(
+        DensestSubgraph(graph, epsilon=1.0), backend="mapreduce", runtime=runtime
+    )
+    report = solution.details  # the backend's native MapReduceRunReport
     result = report.result
 
     # Price the run as if on the paper's 2000-mapper Hadoop cluster.

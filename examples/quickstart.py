@@ -1,19 +1,19 @@
 #!/usr/bin/env python3
 """Quickstart: find the densest subgraph of a graph, three ways.
 
-Builds a small graph with an obvious dense core, then runs
+Builds a small graph with an obvious dense core, then solves the same
+``DensestSubgraph`` problem on three backends of ``repro.solve``:
 
-1. Algorithm 1 (the paper's few-pass peeling),
-2. Charikar's exact greedy baseline,
-3. Goldberg's exact max-flow solver,
+1. ``core`` — Algorithm 1 (the paper's few-pass peeling),
+2. ``greedy`` — Charikar's one-node-per-step greedy baseline,
+3. ``exact-flow`` — Goldberg's exact max-flow solver,
 
 and compares answers, densities, and pass counts.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import densest_subgraph, greedy_densest_subgraph
-from repro.exact.goldberg import goldberg_densest_subgraph
+from repro import DensestSubgraph, solve
 from repro.graph.generators import clique, disjoint_union, gnm_random, star
 
 
@@ -34,28 +34,28 @@ def main() -> None:
 
     # --- Algorithm 1: the paper's contribution -------------------------
     for epsilon in (0.1, 0.5, 1.0):
-        result = densest_subgraph(graph, epsilon)
+        result = solve(DensestSubgraph(graph, epsilon=epsilon), backend="core")
         print(
             f"Algorithm 1 (eps={epsilon:<4g}): rho={result.density:.3f} "
-            f"|S|={result.size:<4d} passes={result.passes} "
+            f"|S|={result.size:<4d} passes={result.cost.passes} "
             f"(guarantee: >= rho*/{2 * (1 + epsilon):.1f})"
         )
 
     # --- Baselines ------------------------------------------------------
-    greedy = greedy_densest_subgraph(graph)
+    greedy = solve(DensestSubgraph(graph), backend="greedy")
     print(
         f"Charikar greedy      : rho={greedy.density:.3f} "
-        f"|S|={greedy.size:<4d} passes={greedy.passes} (one pass per node!)"
+        f"|S|={greedy.size:<4d} passes={greedy.cost.passes} (one pass per node!)"
     )
-    exact_nodes, rho_star = goldberg_densest_subgraph(graph)
-    print(f"Goldberg exact       : rho*={rho_star:.3f} |S*|={len(exact_nodes)}")
+    exact = solve(DensestSubgraph(graph), backend="exact-flow")
+    print(f"Goldberg exact       : rho*={exact.density:.3f} |S*|={exact.size}")
     print()
 
-    result = densest_subgraph(graph, 0.5)
+    result = solve(DensestSubgraph(graph, epsilon=0.5))  # backend="auto" -> core
     found = set(result.nodes)
     planted = set(range(1000, 1012))
     print(f"planted 12-clique recovered: {planted <= found}")
-    print(f"empirical approximation factor: {rho_star / result.density:.3f}")
+    print(f"empirical approximation factor: {result.approximation_ratio(exact.density):.3f}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ Run:  python examples/spam_detection.py
 
 import random
 
-from repro import ratio_sweep
+from repro import DirectedDensest, solve
 from repro.graph.generators import directed_power_law
 
 
@@ -43,7 +43,7 @@ def main() -> None:
     print()
 
     print("running Algorithm 3 ratio sweep (eps=1, delta=2) ...")
-    sweep = ratio_sweep(web, epsilon=1.0, delta=2.0)
+    sweep = solve(DirectedDensest(web, epsilon=1.0, delta=2.0)).details
     best = sweep.best
     print(f"  best c      : {best.ratio:g}   (skewed => farm-like)")
     print(f"  rho(S, T)   : {best.density:.2f}")

@@ -11,11 +11,10 @@ Run:  python examples/streaming_from_disk.py
 import tempfile
 from pathlib import Path
 
+from repro import DensestSubgraph, solve
 from repro.datasets import load
 from repro.graph.io import write_undirected
-from repro.streaming.engine import stream_densest_subgraph
 from repro.streaming.memory import MemoryAccountant
-from repro.streaming.sketch_engine import sketch_densest_subgraph
 from repro.streaming.stream import FileEdgeStream
 
 
@@ -32,11 +31,12 @@ def main() -> None:
         # ---- exact degree counters (n words) --------------------------
         exact_acc = MemoryAccountant()
         stream = FileEdgeStream(path, nodes=graph.nodes())
-        result = stream_densest_subgraph(stream, epsilon=0.5, accountant=exact_acc)
-        print("exact streaming engine:")
+        # A stream input auto-dispatches to the semi-streaming backend.
+        result = solve(DensestSubgraph(stream, epsilon=0.5), accountant=exact_acc)
+        print(f"exact streaming engine (backend={result.backend!r}):")
         print(f"  rho        : {result.density:.3f}  (|S|={result.size})")
-        print(f"  passes     : {stream.passes_made} full scans of the file")
-        print(f"  edges read : {stream.edges_streamed}")
+        print(f"  passes     : {result.cost.stream_passes} full scans of the file")
+        print(f"  edges read : {result.cost.edges_streamed}")
         print(f"  state      : {exact_acc.summary()}")
         print()
 
@@ -45,8 +45,12 @@ def main() -> None:
         buckets = graph.num_nodes // 25
         sketch_acc = MemoryAccountant()
         stream = FileEdgeStream(path, nodes=graph.nodes())
-        sketched = sketch_densest_subgraph(
-            stream, epsilon=0.5, buckets=buckets, tables=5, accountant=sketch_acc
+        sketched = solve(
+            DensestSubgraph(stream, epsilon=0.5),
+            backend="sketch",
+            buckets=buckets,
+            tables=5,
+            accountant=sketch_acc,
         )
         print(f"sketched engine (t=5, b={buckets}):")
         print(f"  rho        : {sketched.density:.3f}")

@@ -11,19 +11,39 @@ Count-Sketch memory heuristic, the worst-case gadgets behind the
 paper's lower bounds, and an experiment harness regenerating every
 table and figure of the paper's evaluation.
 
-Quickstart
-----------
->>> from repro import densest_subgraph
+The unified entry point is :func:`solve`: describe the problem as a
+value object and let the capability-aware registry pick (or be told)
+the execution backend:
+
+>>> from repro import DensestSubgraph, solve
 >>> from repro.graph.generators import clique, star, disjoint_union
 >>> g = disjoint_union([clique(6), star(50, offset=100)])
->>> result = densest_subgraph(g, epsilon=0.1)
->>> sorted(result.nodes), result.density
-([0, 1, 2, 3, 4, 5], 2.5)
+>>> solution = solve(DensestSubgraph(g, epsilon=0.1))
+>>> solution.backend, sorted(solution.nodes), solution.density
+('core', [0, 1, 2, 3, 4, 5], 2.5)
 
-See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the
-system inventory.
+The per-engine functions remain available (``densest_subgraph``,
+``stream_densest_subgraph``, ``mr_densest_subgraph``, ...) but new code
+should prefer :func:`solve`; see ``examples/`` for end-to-end scenarios
+and ``DESIGN.md`` for the system inventory and the api layer's
+architecture.
 """
 
+from .api import (
+    Capabilities,
+    CostReport,
+    DensestAtLeastK,
+    DensestSubgraph,
+    DirectedDensest,
+    Problem,
+    Solution,
+    Solver,
+    available_backends,
+    backend_names,
+    get_backend,
+    register,
+    solve,
+)
 from .core import (
     DensestSubgraphResult,
     DirectedDensestSubgraphResult,
@@ -46,21 +66,69 @@ from .errors import (
     StreamError,
 )
 from .graph import DirectedGraph, UndirectedGraph
+from .mapreduce import (
+    MapReduceRunReport,
+    MapReduceRuntime,
+    mr_densest_subgraph,
+    mr_densest_subgraph_atleast_k,
+    mr_densest_subgraph_directed,
+)
+from .streaming import (
+    EdgeStream,
+    FileEdgeStream,
+    GraphEdgeStream,
+    MemoryEdgeStream,
+    sketch_densest_subgraph,
+    stream_densest_subgraph,
+    stream_densest_subgraph_atleast_k,
+    stream_densest_subgraph_directed,
+    stream_ratio_sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified api
+    "solve",
+    "Problem",
+    "DensestSubgraph",
+    "DensestAtLeastK",
+    "DirectedDensest",
+    "Solution",
+    "CostReport",
+    "Capabilities",
+    "Solver",
+    "register",
+    "available_backends",
+    "backend_names",
+    "get_backend",
     # graphs
     "UndirectedGraph",
     "DirectedGraph",
-    # algorithms
+    # in-memory algorithms
     "densest_subgraph",
     "densest_subgraph_atleast_k",
     "densest_subgraph_directed",
     "ratio_sweep",
     "greedy_densest_subgraph",
     "enumerate_dense_subgraphs",
+    # streaming entry points
+    "EdgeStream",
+    "MemoryEdgeStream",
+    "FileEdgeStream",
+    "GraphEdgeStream",
+    "stream_densest_subgraph",
+    "stream_densest_subgraph_atleast_k",
+    "stream_densest_subgraph_directed",
+    "stream_ratio_sweep",
+    "sketch_densest_subgraph",
+    # mapreduce entry points
+    "MapReduceRuntime",
+    "MapReduceRunReport",
+    "mr_densest_subgraph",
+    "mr_densest_subgraph_atleast_k",
+    "mr_densest_subgraph_directed",
     # results
     "DensestSubgraphResult",
     "DirectedDensestSubgraphResult",

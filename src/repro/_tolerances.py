@@ -1,0 +1,25 @@
+"""Shared numeric tolerances.
+
+Every floating-point comparison the library makes on purpose lives
+here, under a name that says what it protects, so the values stay in
+sync across the execution models (a drifting tolerance would make the
+engines disagree on which nodes clear a peeling threshold and break
+the cross-backend parity guarantees the test suite enforces).
+"""
+
+from __future__ import annotations
+
+#: Slack added to the peeling threshold before the ``degree <= threshold``
+#: test in Algorithms 1–3.  Degrees and thresholds are sums/products of
+#: the same edge weights computed in different orders per execution
+#: model; this absorbs the resulting last-ulp noise so the in-memory,
+#: streaming, sketch, and MapReduce engines remove identical node sets.
+THRESHOLD_EPS = 1e-12
+
+#: Cutoff below which an LP variable is treated as zero when rounding a
+#: fractional LP solution to a node set.
+LP_EPS = 1e-12
+
+#: Residual-capacity cutoff in the max-flow substrate: arcs with less
+#: remaining capacity are considered saturated.
+FLOW_EPS = 1e-12

@@ -16,13 +16,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..core.directed import densest_subgraph_directed, ratio_sweep
-from ..core.undirected import densest_subgraph
+from ..api import DensestSubgraph, DirectedDensest, solve
 from ..datasets import load, summary_rows
-from ..exact.lp import lp_density
 from ..graph.generators import lemma5_gadget
 from ..mapreduce.cost import CostModel
-from ..mapreduce.densest import mr_densest_subgraph
 from ..mapreduce.runtime import MapReduceRuntime
 from .sweep import delta_epsilon_grid, epsilon_sweep, sketch_quality_sweep
 from .tables import render_table
@@ -109,11 +106,11 @@ def table2(
         "enron_sim",
     ):
         graph = load(name, scale=scale)
-        optimum = lp_density(graph)
+        optimum = solve(DensestSubgraph(graph), backend="exact-lp").density
         row: List[Any] = [name, graph.num_nodes, graph.num_edges, optimum]
         for eps in epsilons:
-            result = densest_subgraph(graph, eps)
-            row.append(optimum / result.density if result.density > 0 else math.inf)
+            solution = solve(DensestSubgraph(graph, epsilon=eps), backend="core")
+            row.append(solution.approximation_ratio(optimum))
         rows.append(row)
     return ExperimentOutput(
         experiment_id="table2",
@@ -247,7 +244,9 @@ def _trace_rows(scale: float, epsilons: Sequence[float]) -> Dict[str, Dict[float
         graph = load(name, scale=scale)
         traces[name] = {}
         for eps in epsilons:
-            traces[name][float(eps)] = densest_subgraph(graph, eps)
+            traces[name][float(eps)] = solve(
+                DensestSubgraph(graph, epsilon=eps), backend="core"
+            ).details
     return traces
 
 
@@ -329,7 +328,9 @@ def fig64(
     graph = load("livejournal_sim", scale=scale)
     rows: List[List[Any]] = []
     for eps in epsilons:
-        sweep = ratio_sweep(graph, epsilon=eps, delta=delta)
+        sweep = solve(
+            DirectedDensest(graph, delta=delta, epsilon=eps), backend="core"
+        ).details
         for result in sweep.by_ratio:
             rows.append(
                 [f"{eps:g}", result.ratio, result.density, result.passes]
@@ -354,7 +355,9 @@ def fig66(
 ) -> ExperimentOutput:
     """Figure 6.6: twitter density and passes vs c at ε=1, δ=2."""
     graph = load("twitter_sim", scale=scale)
-    sweep = ratio_sweep(graph, epsilon=epsilon, delta=delta)
+    sweep = solve(
+        DirectedDensest(graph, delta=delta, epsilon=epsilon), backend="core"
+    ).details
     rows = [
         [result.ratio, result.density, result.passes]
         for result in sweep.by_ratio
@@ -382,7 +385,9 @@ def fig65(
 ) -> ExperimentOutput:
     """Figure 6.5: |S|, |T|, |E(S,T)| per pass at the sweep's best c."""
     graph = load("livejournal_sim", scale=scale)
-    sweep = ratio_sweep(graph, epsilon=epsilon, delta=delta)
+    sweep = solve(
+        DirectedDensest(graph, delta=delta, epsilon=epsilon), backend="core"
+    ).details
     best = sweep.best
     rows: List[List[Any]] = []
     for record in best.trace:
@@ -437,7 +442,11 @@ def fig67(
     rows: List[List[Any]] = []
     for eps in epsilons:
         runtime = MapReduceRuntime(num_mappers=8, num_reducers=8, seed=1)
-        report = mr_densest_subgraph(graph, eps, runtime=runtime)
+        report = solve(
+            DensestSubgraph(graph, epsilon=eps),
+            backend="mapreduce",
+            runtime=runtime,
+        ).details
         for pass_idx, seconds in enumerate(report.pass_times(model), start=1):
             rows.append([f"{eps:g}", pass_idx, seconds / 60.0])
     return ExperimentOutput(
@@ -471,8 +480,8 @@ def lowerbound_passes(
     rows: List[List[Any]] = []
     for k in ks:
         gadget = lemma5_gadget(k)
-        result = densest_subgraph(gadget, epsilon)
-        rows.append([k, gadget.num_nodes, gadget.num_edges, result.passes])
+        solution = solve(DensestSubgraph(gadget, epsilon=epsilon), backend="core")
+        rows.append([k, gadget.num_nodes, gadget.num_edges, solution.cost.passes])
     return ExperimentOutput(
         experiment_id="lowerbound",
         title="Lemma 5 gadget: passes grow with k (n ~ 2^(2k+1))",

@@ -5,6 +5,10 @@
   (Table 3).
 * :func:`sketch_quality_sweep` — sketched vs exact density across
   (buckets, ε) (Table 4), including the memory ratio row.
+
+All sweeps go through :func:`repro.solve`, so any registered backend
+with the right capabilities can drive them; the defaults match the
+engines the paper used for each experiment.
 """
 
 from __future__ import annotations
@@ -12,15 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from ..core.directed import ratio_sweep
+from ..api import DensestSubgraph, DirectedDensest, solve
 from ..core.result import DensestSubgraphResult
-from ..core.undirected import densest_subgraph
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
-from ..streaming.engine import stream_densest_subgraph
 from ..streaming.memory import MemoryAccountant
-from ..streaming.sketch_engine import sketch_densest_subgraph
-from ..streaming.stream import GraphEdgeStream
 
 
 @dataclass(frozen=True)
@@ -35,19 +35,22 @@ class EpsilonPoint:
 
 
 def epsilon_sweep(
-    graph: UndirectedGraph, epsilons: Iterable[float]
+    graph: UndirectedGraph,
+    epsilons: Iterable[float],
+    *,
+    backend: str = "core",
 ) -> List[EpsilonPoint]:
     """Run Algorithm 1 for each ε and collect density/pass statistics."""
     points: List[EpsilonPoint] = []
     for eps in epsilons:
-        result = densest_subgraph(graph, eps)
+        solution = solve(DensestSubgraph(graph, epsilon=float(eps)), backend=backend)
         points.append(
             EpsilonPoint(
                 epsilon=float(eps),
-                density=result.density,
-                passes=result.passes,
-                size=result.size,
-                result=result,
+                density=solution.density,
+                passes=solution.cost.passes,
+                size=solution.size,
+                result=solution.details,
             )
         )
     return points
@@ -57,6 +60,8 @@ def delta_epsilon_grid(
     graph: DirectedGraph,
     deltas: Sequence[float],
     epsilons: Sequence[float],
+    *,
+    backend: str = "core",
 ) -> Dict[Tuple[float, float], float]:
     """Best directed density for every (δ, ε) pair — Table 3's grid.
 
@@ -65,8 +70,11 @@ def delta_epsilon_grid(
     grid: Dict[Tuple[float, float], float] = {}
     for delta in deltas:
         for eps in epsilons:
-            sweep = ratio_sweep(graph, epsilon=eps, delta=delta)
-            grid[(float(delta), float(eps))] = sweep.density
+            solution = solve(
+                DirectedDensest(graph, delta=float(delta), epsilon=float(eps)),
+                backend=backend,
+            )
+            grid[(float(delta), float(eps))] = solution.density
     return grid
 
 
@@ -101,28 +109,28 @@ def sketch_quality_sweep(
     exact_density: Dict[float, float] = {}
     exact_acc = MemoryAccountant()
     for i, eps in enumerate(epsilons):
-        stream = GraphEdgeStream(graph)
-        result = stream_densest_subgraph(
-            stream, eps, accountant=exact_acc if i == 0 else None
+        solution = solve(
+            DensestSubgraph(graph, epsilon=float(eps)),
+            backend="streaming",
+            accountant=exact_acc if i == 0 else None,
         )
-        exact_density[float(eps)] = result.density
+        exact_density[float(eps)] = solution.density
 
     quality: Dict[Tuple[int, float], float] = {}
     memory_ratio: Dict[int, float] = {}
     for buckets in buckets_list:
         sketch_acc = MemoryAccountant()
         for i, eps in enumerate(epsilons):
-            stream = GraphEdgeStream(graph)
-            result = sketch_densest_subgraph(
-                stream,
-                eps,
-                buckets=buckets,
+            solution = solve(
+                DensestSubgraph(graph, epsilon=float(eps)),
+                backend="sketch",
+                buckets=int(buckets),
                 tables=tables,
                 seed=seed,
                 accountant=sketch_acc if i == 0 else None,
             )
             quality[(int(buckets), float(eps))] = (
-                result.density / exact_density[float(eps)]
+                solution.density / exact_density[float(eps)]
                 if exact_density[float(eps)] > 0
                 else float("nan")
             )

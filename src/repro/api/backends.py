@@ -1,0 +1,712 @@
+"""Registered backends wrapping every execution engine in the package.
+
+Each backend adapts one execution model of the paper to the
+:class:`~repro.api.registry.Solver` protocol:
+
+========  ==========================================================
+backend   wraps
+========  ==========================================================
+core      in-memory reference peels (Algorithms 1–3 + ratio sweep)
+streaming semi-streaming engines with O(n) between-pass state
+sketch    Algorithm 1 with Count-Sketch degree counters (§5.1)
+mapreduce the §5.2 MapReduce drivers on the simulated runtime
+exact-lp  Charikar's LP (undirected and directed, scipy/HiGHS)
+exact-flow Goldberg's max-flow exact solver
+greedy    one-node-per-step greedy baselines (Charikar-style)
+exact-bruteforce subset enumeration for the ≥k problem (tiny graphs)
+========  ==========================================================
+
+Heavy optional dependencies (scipy for the LPs) are imported inside
+``solve`` so that registering the backend never forces the import.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.result import (
+    DensestSubgraphResult,
+    DirectedDensestSubgraphResult,
+    RatioSweepResult,
+)
+from ..errors import SolverError
+from ..graph.directed import DirectedGraph
+from ..graph.undirected import UndirectedGraph
+from ..streaming.memory import MemoryAccountant
+from ..streaming.stream import (
+    DirectedGraphEdgeStream,
+    EdgeStream,
+    GraphEdgeStream,
+)
+from .problems import (
+    DensestAtLeastK,
+    DensestSubgraph,
+    DirectedDensest,
+    MODE_GRAPH,
+    MODE_STREAM,
+    Problem,
+)
+from .registry import (
+    Capabilities,
+    MEM_EDGES,
+    MEM_NODES,
+    MEM_SKETCH,
+    register,
+)
+from .solution import CostReport, Solution
+
+_ALL_KINDS = frozenset(
+    {"densest_subgraph", "densest_at_least_k", "directed_densest"}
+)
+
+
+def _reject_options(backend: str, options: dict, allowed: tuple = ()) -> None:
+    """Fail loudly on option typos instead of silently ignoring them."""
+    unknown = set(options) - set(allowed)
+    if unknown:
+        raise SolverError(
+            f"backend {backend!r} got unsupported options {sorted(unknown)}; "
+            f"supported: {sorted(allowed) if allowed else 'none'}"
+        )
+
+
+def _undirected_solution(
+    result: DensestSubgraphResult,
+    *,
+    backend: str,
+    problem: Problem,
+    exact: bool = False,
+    cost: Optional[CostReport] = None,
+    details=None,
+) -> Solution:
+    return Solution(
+        nodes=result.nodes,
+        density=result.density,
+        backend=backend,
+        problem_kind=problem.kind,
+        exact=exact,
+        certificate=result.trace,
+        cost=cost if cost is not None else CostReport(passes=result.passes),
+        details=details if details is not None else result,
+    )
+
+
+def _directed_solution(
+    result: DirectedDensestSubgraphResult,
+    *,
+    backend: str,
+    problem: Problem,
+    exact: bool = False,
+    cost: Optional[CostReport] = None,
+    details=None,
+) -> Solution:
+    return Solution(
+        nodes=frozenset(result.s_nodes | result.t_nodes),
+        density=result.density,
+        backend=backend,
+        problem_kind=problem.kind,
+        exact=exact,
+        s_nodes=result.s_nodes,
+        t_nodes=result.t_nodes,
+        ratio=result.ratio,
+        certificate=result.trace,
+        cost=cost if cost is not None else CostReport(passes=result.passes),
+        details=details if details is not None else result,
+    )
+
+
+def _sweep_solution(
+    sweep: RatioSweepResult,
+    *,
+    backend: str,
+    problem: Problem,
+    exact: bool = False,
+    cost: Optional[CostReport] = None,
+    details=None,
+) -> Solution:
+    best = sweep.best
+    return Solution(
+        nodes=frozenset(best.s_nodes | best.t_nodes),
+        density=best.density,
+        backend=backend,
+        problem_kind=problem.kind,
+        exact=exact,
+        s_nodes=best.s_nodes,
+        t_nodes=best.t_nodes,
+        ratio=best.ratio,
+        certificate=best.trace,
+        cost=cost if cost is not None else CostReport(passes=sweep.total_passes()),
+        details=details if details is not None else sweep,
+    )
+
+
+def _set_solution(
+    nodes,
+    density: float,
+    *,
+    backend: str,
+    problem: Problem,
+    exact: bool,
+    s_nodes=None,
+    t_nodes=None,
+    ratio: Optional[float] = None,
+    cost: Optional[CostReport] = None,
+    details=None,
+) -> Solution:
+    return Solution(
+        nodes=frozenset(nodes),
+        density=density,
+        backend=backend,
+        problem_kind=problem.kind,
+        exact=exact,
+        s_nodes=frozenset(s_nodes) if s_nodes is not None else None,
+        t_nodes=frozenset(t_nodes) if t_nodes is not None else None,
+        ratio=ratio,
+        cost=cost if cost is not None else CostReport(),
+        details=details,
+    )
+
+
+def _require_graph(problem: Problem, backend: str):
+    if problem.input_mode != MODE_GRAPH:
+        raise SolverError(f"backend {backend!r} needs an in-memory graph input")
+    return problem.input
+
+
+def _directed_grid(problem: DirectedDensest) -> list:
+    """The candidate ratios a sweeping backend should try."""
+    from ..core.directed import default_ratio_grid
+
+    if problem.ratio_grid is not None:
+        return list(problem.ratio_grid)
+    return default_ratio_grid(problem.num_nodes, problem.delta)
+
+
+# ----------------------------------------------------------------------
+# core — the in-memory reference engines
+# ----------------------------------------------------------------------
+@register
+class CoreSolver:
+    """Algorithms 1–3 on an in-memory graph (the reference peel)."""
+
+    name = "core"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=_ALL_KINDS,
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=False,
+            memory_class=MEM_EDGES,
+            semantics="batch-peel",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        graph = problem.input
+        return 2 * graph.num_edges + 3 * graph.num_nodes
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        from ..core.atleast_k import densest_subgraph_atleast_k
+        from ..core.directed import densest_subgraph_directed, ratio_sweep
+        from ..core.undirected import densest_subgraph
+
+        graph = _require_graph(problem, self.name)
+        if isinstance(problem, DensestSubgraph):
+            _reject_options(self.name, options)
+            result = densest_subgraph(
+                graph, problem.epsilon, max_passes=problem.max_passes
+            )
+            return _undirected_solution(result, backend=self.name, problem=problem)
+        if isinstance(problem, DensestAtLeastK):
+            _reject_options(self.name, options, ("stop_below_k",))
+            result = densest_subgraph_atleast_k(
+                graph, problem.k, problem.epsilon, **options
+            )
+            return _undirected_solution(result, backend=self.name, problem=problem)
+        if isinstance(problem, DirectedDensest):
+            _reject_options(self.name, options, ("side_rule",))
+            if problem.is_sweep:
+                sweep = ratio_sweep(
+                    graph,
+                    epsilon=problem.epsilon,
+                    delta=problem.delta,
+                    ratios=problem.ratio_grid,
+                    **options,
+                )
+                return _sweep_solution(sweep, backend=self.name, problem=problem)
+            result = densest_subgraph_directed(
+                graph, problem.ratio, problem.epsilon, **options
+            )
+            return _directed_solution(result, backend=self.name, problem=problem)
+        raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# streaming — the semi-streaming engines (O(n) between-pass state)
+# ----------------------------------------------------------------------
+def _as_stream(problem: Problem) -> EdgeStream:
+    """The problem's input as an EdgeStream (graphs get a zero-copy view)."""
+    if isinstance(problem.input, EdgeStream):
+        return problem.input
+    if isinstance(problem.input, DirectedGraph):
+        return DirectedGraphEdgeStream(problem.input)
+    return GraphEdgeStream(problem.input)
+
+
+def _stream_cost(
+    stream: EdgeStream,
+    passes: int,
+    passes_before: int,
+    edges_before: int,
+    accountant: Optional[MemoryAccountant],
+) -> CostReport:
+    return CostReport(
+        passes=passes,
+        stream_passes=stream.passes_made - passes_before,
+        edges_streamed=stream.edges_streamed - edges_before,
+        memory_words=(
+            int(accountant.total_words) if accountant is not None else None
+        ),
+    )
+
+
+@register
+class StreamingSolver:
+    """Algorithms 1–3 against the multi-pass EdgeStream interface.
+
+    Accepts both stream and graph inputs; a graph is adapted through a
+    :class:`~repro.streaming.stream.GraphEdgeStream` view without
+    copying the edge set.
+    """
+
+    name = "streaming"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=_ALL_KINDS,
+            input_modes=frozenset({MODE_GRAPH, MODE_STREAM}),
+            exact=False,
+            memory_class=MEM_NODES,
+            semantics="batch-peel",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        return 3 * problem.num_nodes + 8
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        from ..streaming.engine import (
+            stream_densest_subgraph,
+            stream_densest_subgraph_atleast_k,
+            stream_densest_subgraph_directed,
+        )
+        from ..streaming.sweep import stream_ratio_sweep
+
+        _reject_options(self.name, options, ("accountant",))
+        accountant = options.get("accountant")
+        stream = _as_stream(problem)
+        passes_before = stream.passes_made
+        edges_before = stream.edges_streamed
+        if isinstance(problem, DensestSubgraph):
+            result = stream_densest_subgraph(
+                stream,
+                problem.epsilon,
+                max_passes=problem.max_passes,
+                accountant=accountant,
+            )
+            cost = _stream_cost(
+                stream, result.passes, passes_before, edges_before, accountant
+            )
+            return _undirected_solution(
+                result, backend=self.name, problem=problem, cost=cost
+            )
+        if isinstance(problem, DensestAtLeastK):
+            result = stream_densest_subgraph_atleast_k(
+                stream, problem.k, problem.epsilon, accountant=accountant
+            )
+            cost = _stream_cost(
+                stream, result.passes, passes_before, edges_before, accountant
+            )
+            return _undirected_solution(
+                result, backend=self.name, problem=problem, cost=cost
+            )
+        if isinstance(problem, DirectedDensest):
+            if problem.is_sweep:
+                sweep = stream_ratio_sweep(
+                    stream,
+                    problem.epsilon,
+                    delta=problem.delta,
+                    ratios=problem.ratio_grid,
+                    accountant=accountant,
+                )
+                cost = _stream_cost(
+                    stream,
+                    sweep.total_passes(),
+                    passes_before,
+                    edges_before,
+                    accountant,
+                )
+                return _sweep_solution(
+                    sweep, backend=self.name, problem=problem, cost=cost
+                )
+            result = stream_densest_subgraph_directed(
+                stream, problem.ratio, problem.epsilon, accountant=accountant
+            )
+            cost = _stream_cost(
+                stream, result.passes, passes_before, edges_before, accountant
+            )
+            return _directed_solution(
+                result, backend=self.name, problem=problem, cost=cost
+            )
+        raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# sketch — Algorithm 1 with Count-Sketch degree counters
+# ----------------------------------------------------------------------
+@register
+class SketchSolver:
+    """Sublinear-memory Algorithm 1 (§5.1); approximate removals."""
+
+    name = "sketch"
+
+    DEFAULT_BUCKETS = 1024
+    DEFAULT_TABLES = 5
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=frozenset({"densest_subgraph"}),
+            input_modes=frozenset({MODE_GRAPH, MODE_STREAM}),
+            exact=False,
+            memory_class=MEM_SKETCH,
+            semantics="sketch-peel",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        # Assumes the default sketch shape; explicit buckets/tables
+        # options change the real footprint but not dispatch.
+        return (
+            self.DEFAULT_BUCKETS * self.DEFAULT_TABLES
+            + problem.num_nodes // 32
+            + 8
+        )
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        from ..streaming.sketch_engine import sketch_densest_subgraph
+
+        if not isinstance(problem, DensestSubgraph):
+            raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+        _reject_options(
+            self.name, options, ("buckets", "tables", "seed", "accountant")
+        )
+        accountant = options.get("accountant")
+        stream = _as_stream(problem)
+        passes_before = stream.passes_made
+        edges_before = stream.edges_streamed
+        result = sketch_densest_subgraph(
+            stream,
+            problem.epsilon,
+            buckets=options.get("buckets", self.DEFAULT_BUCKETS),
+            tables=options.get("tables", self.DEFAULT_TABLES),
+            seed=options.get("seed", 0),
+            max_passes=problem.max_passes,
+            accountant=accountant,
+        )
+        cost = _stream_cost(
+            stream, result.passes, passes_before, edges_before, accountant
+        )
+        return _undirected_solution(
+            result, backend=self.name, problem=problem, cost=cost
+        )
+
+
+# ----------------------------------------------------------------------
+# mapreduce — the §5.2 drivers on the simulated runtime
+# ----------------------------------------------------------------------
+@register
+class MapReduceSolver:
+    """Algorithms 1–3 as metered MapReduce job chains."""
+
+    name = "mapreduce"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=_ALL_KINDS,
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=False,
+            memory_class=MEM_EDGES,
+            semantics="batch-peel",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        graph = problem.input
+        return 3 * graph.num_edges + 3 * graph.num_nodes
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        from ..mapreduce.densest import (
+            mr_densest_subgraph,
+            mr_densest_subgraph_atleast_k,
+            mr_densest_subgraph_directed,
+        )
+
+        graph = _require_graph(problem, self.name)
+        _reject_options(self.name, options, ("runtime",))
+        runtime = options.get("runtime")
+        if isinstance(problem, DensestSubgraph):
+            report = mr_densest_subgraph(graph, problem.epsilon, runtime=runtime)
+            return _undirected_solution(
+                report.result,
+                backend=self.name,
+                problem=problem,
+                cost=CostReport(
+                    passes=report.result.passes,
+                    mapreduce_rounds=report.total_rounds(),
+                ),
+                details=report,
+            )
+        if isinstance(problem, DensestAtLeastK):
+            report = mr_densest_subgraph_atleast_k(
+                graph, problem.k, problem.epsilon, runtime=runtime
+            )
+            return _undirected_solution(
+                report.result,
+                backend=self.name,
+                problem=problem,
+                cost=CostReport(
+                    passes=report.result.passes,
+                    mapreduce_rounds=report.total_rounds(),
+                ),
+                details=report,
+            )
+        if isinstance(problem, DirectedDensest):
+            if problem.is_sweep:
+                reports = [
+                    mr_densest_subgraph_directed(
+                        graph, ratio, problem.epsilon, runtime=runtime
+                    )
+                    for ratio in _directed_grid(problem)
+                ]
+                by_ratio = tuple(r.result for r in reports)
+                best = max(by_ratio, key=lambda r: r.density)
+                sweep = RatioSweepResult(
+                    best=best,
+                    by_ratio=by_ratio,
+                    delta=problem.delta if problem.ratio_grid is None else None,
+                )
+                return _sweep_solution(
+                    sweep,
+                    backend=self.name,
+                    problem=problem,
+                    cost=CostReport(
+                        passes=sweep.total_passes(),
+                        mapreduce_rounds=sum(r.total_rounds() for r in reports),
+                    ),
+                    details=sweep,
+                )
+            report = mr_densest_subgraph_directed(
+                graph, problem.ratio, problem.epsilon, runtime=runtime
+            )
+            return _directed_solution(
+                report.result,
+                backend=self.name,
+                problem=problem,
+                cost=CostReport(
+                    passes=report.result.passes,
+                    mapreduce_rounds=report.total_rounds(),
+                ),
+                details=report,
+            )
+        raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# exact-lp — Charikar's LP relaxations (scipy/HiGHS)
+# ----------------------------------------------------------------------
+@register
+class ExactLPSolver:
+    """Exact ρ* via Charikar's LP; directed variant sweeps candidate c."""
+
+    name = "exact-lp"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=frozenset({"densest_subgraph", "directed_densest"}),
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=True,
+            memory_class=MEM_EDGES,
+            semantics="exact",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        return None  # LP workspace is solver-internal; no honest estimate
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        graph = _require_graph(problem, self.name)
+        if isinstance(problem, DensestSubgraph):
+            from ..exact.lp import lp_densest_subgraph
+
+            _reject_options(self.name, options)
+            nodes, rho = lp_densest_subgraph(graph)
+            return _set_solution(
+                nodes, rho, backend=self.name, problem=problem, exact=True
+            )
+        if isinstance(problem, DirectedDensest):
+            from ..exact.directed_lp import directed_lp_densest_subgraph
+
+            _reject_options(self.name, options)
+            if problem.ratio is not None:
+                ratios = [problem.ratio]
+            elif problem.ratio_grid is not None:
+                ratios = list(problem.ratio_grid)
+            else:
+                # Full exact candidate set {a/b}: only viable on the
+                # tiny graphs the paper's Table 2 regime uses.
+                ratios = None
+            s_set, t_set, rho = directed_lp_densest_subgraph(graph, ratios=ratios)
+            return _set_solution(
+                s_set | t_set,
+                rho,
+                backend=self.name,
+                problem=problem,
+                exact=True,
+                s_nodes=s_set,
+                t_nodes=t_set,
+            )
+        raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# exact-flow — Goldberg's binary-search max-flow solver
+# ----------------------------------------------------------------------
+@register
+class ExactFlowSolver:
+    """Exact ρ* via Goldberg's parametric max-flow construction."""
+
+    name = "exact-flow"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=frozenset({"densest_subgraph"}),
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=True,
+            memory_class=MEM_EDGES,
+            semantics="exact",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        graph = problem.input
+        # Flow network: ~2 arcs per edge + 2n source/sink arcs, 3 words each.
+        return 6 * graph.num_edges + 6 * graph.num_nodes
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        from ..exact.goldberg import goldberg_densest_subgraph
+
+        if not isinstance(problem, DensestSubgraph):
+            raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+        graph = _require_graph(problem, self.name)
+        _reject_options(self.name, options, ("tolerance",))
+        nodes, rho = goldberg_densest_subgraph(graph, **options)
+        return _set_solution(
+            nodes, rho, backend=self.name, problem=problem, exact=True
+        )
+
+
+# ----------------------------------------------------------------------
+# greedy — one-node-per-step baselines (Charikar-style)
+# ----------------------------------------------------------------------
+@register
+class GreedySolver:
+    """Classical one-node-at-a-time greedy peels (the ε→0 baselines)."""
+
+    name = "greedy"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=_ALL_KINDS,
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=False,
+            memory_class=MEM_EDGES,
+            semantics="greedy-peel",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        graph = problem.input
+        return 2 * graph.num_edges + 4 * graph.num_nodes
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        graph = _require_graph(problem, self.name)
+        if isinstance(problem, DensestSubgraph):
+            from ..core.charikar import greedy_densest_subgraph
+
+            _reject_options(self.name, options)
+            result = greedy_densest_subgraph(graph)
+            return _undirected_solution(result, backend=self.name, problem=problem)
+        if isinstance(problem, DensestAtLeastK):
+            from ..exact.atleast_k_baselines import greedy_suffix_atleast_k
+
+            _reject_options(self.name, options)
+            nodes, rho = greedy_suffix_atleast_k(graph, problem.k)
+            return _set_solution(
+                nodes, rho, backend=self.name, problem=problem, exact=False
+            )
+        if isinstance(problem, DirectedDensest):
+            from ..exact.peeling import charikar_directed_peeling
+
+            _reject_options(self.name, options)
+            if problem.is_sweep:
+                best = None
+                best_ratio = None
+                for ratio in _directed_grid(problem):
+                    s_set, t_set, rho = charikar_directed_peeling(graph, ratio)
+                    if best is None or rho > best[2]:
+                        best = (s_set, t_set, rho)
+                        best_ratio = ratio
+                s_set, t_set, rho = best
+                ratio = best_ratio
+            else:
+                ratio = problem.ratio
+                s_set, t_set, rho = charikar_directed_peeling(graph, ratio)
+            return _set_solution(
+                s_set | t_set,
+                rho,
+                backend=self.name,
+                problem=problem,
+                exact=False,
+                s_nodes=s_set,
+                t_nodes=t_set,
+                ratio=ratio,
+            )
+        raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# exact-bruteforce — subset enumeration for the ≥k problem
+# ----------------------------------------------------------------------
+@register
+class BruteForceSolver:
+    """Exact ρ*_{≥k} by enumeration; refuses graphs beyond 16 nodes."""
+
+    name = "exact-bruteforce"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=frozenset({"densest_at_least_k"}),
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=True,
+            memory_class=MEM_EDGES,
+            semantics="exact",
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        graph = problem.input
+        return 2 * graph.num_edges + 2 * graph.num_nodes
+
+    def solve(self, problem: Problem, **options) -> Solution:
+        from ..exact.atleast_k_baselines import brute_force_atleast_k
+
+        if not isinstance(problem, DensestAtLeastK):
+            raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+        graph = _require_graph(problem, self.name)
+        _reject_options(self.name, options)
+        nodes, rho = brute_force_atleast_k(graph, problem.k)
+        return _set_solution(
+            nodes, rho, backend=self.name, problem=problem, exact=True
+        )

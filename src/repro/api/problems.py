@@ -1,0 +1,182 @@
+"""Problem descriptions accepted by :func:`repro.solve`.
+
+A *problem* is a frozen value object pairing the paper's optimization
+task with its input and algorithm parameters — and nothing about *how*
+to solve it.  The execution model (in-memory, semi-streaming, sketch,
+MapReduce, exact baseline) is chosen separately, by naming a backend or
+letting the registry dispatch on the problem's kind and input mode.
+
+Inputs may be an in-memory :class:`~repro.graph.undirected.UndirectedGraph`
+/ :class:`~repro.graph.directed.DirectedGraph` or a multi-pass
+:class:`~repro.streaming.stream.EdgeStream`; :meth:`Problem.input_mode`
+reports which, and backends declare which modes they accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple, Union
+
+from .._validation import check_epsilon, check_positive_float, check_positive_int
+from ..errors import ParameterError
+from ..graph.directed import DirectedGraph
+from ..graph.undirected import UndirectedGraph
+from ..streaming.stream import DirectedGraphEdgeStream, EdgeStream, GraphEdgeStream
+
+GraphInput = Union[UndirectedGraph, DirectedGraph, EdgeStream]
+
+#: Input modes a backend can declare in its capabilities.
+MODE_GRAPH = "graph"
+MODE_STREAM = "stream"
+
+
+def _check_undirected_input(input_obj, problem_name: str) -> None:
+    """Reject directed inputs, including graph-backed directed streams.
+
+    Bare streams (file, memory, generator) carry no orientation
+    metadata and cannot be validated here; callers streaming directed
+    data from such sources must use :class:`DirectedDensest`.
+    """
+    if isinstance(input_obj, (DirectedGraph, DirectedGraphEdgeStream)):
+        raise ParameterError(
+            f"{problem_name} takes an undirected input; use DirectedDensest"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class Problem:
+    """Base class of all problem descriptions.
+
+    Subclasses set :attr:`kind` (the registry's dispatch key) and add
+    their parameters.  Instances are immutable; the held input object
+    is shared, not copied.
+    """
+
+    kind: ClassVar[str] = ""
+
+    input: GraphInput
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.input, (UndirectedGraph, DirectedGraph, EdgeStream)):
+            raise ParameterError(
+                f"problem input must be an UndirectedGraph, DirectedGraph, or "
+                f"EdgeStream, got {type(self.input).__name__}"
+            )
+
+    @property
+    def input_mode(self) -> str:
+        """``"graph"`` for in-memory graphs, ``"stream"`` for edge streams."""
+        if isinstance(self.input, EdgeStream):
+            return MODE_STREAM
+        return MODE_GRAPH
+
+    @property
+    def num_nodes(self) -> int:
+        """|V| of the input (one counted discovery pass for bare streams)."""
+        return self.input.num_nodes
+
+
+@dataclass(frozen=True, eq=False)
+class DensestSubgraph(Problem):
+    """Undirected densest subgraph (the paper's Algorithm 1 setting).
+
+    Parameters
+    ----------
+    input:
+        Undirected graph or undirected edge stream.
+    epsilon:
+        Peeling slack ε ≥ 0; approximation backends guarantee 2(1+ε).
+        Exact backends ignore it.
+    max_passes:
+        Optional safety cap on peeling passes (backends that do not
+        peel ignore it).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import clique
+    >>> DensestSubgraph(clique(4), epsilon=0.1).kind
+    'densest_subgraph'
+    """
+
+    kind: ClassVar[str] = "densest_subgraph"
+
+    epsilon: float = 0.5
+    max_passes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_undirected_input(self.input, "DensestSubgraph")
+        check_epsilon(self.epsilon)
+
+
+@dataclass(frozen=True, eq=False)
+class DensestAtLeastK(Problem):
+    """Densest subgraph with at least ``k`` nodes (Algorithm 2 setting)."""
+
+    kind: ClassVar[str] = "densest_at_least_k"
+
+    k: int = 1
+    epsilon: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_undirected_input(self.input, "DensestAtLeastK")
+        check_positive_int(self.k, "k")
+        check_epsilon(self.epsilon)
+
+
+@dataclass(frozen=True, eq=False)
+class DirectedDensest(Problem):
+    """Directed densest subgraph (Algorithm 3 setting).
+
+    Exactly one search strategy applies:
+
+    * ``ratio`` fixed — a single run at c = ``ratio``;
+    * otherwise — a sweep over ``ratio_grid`` when given, else over the
+      paper's powers-of-``delta`` grid covering [1/n, n].
+    """
+
+    kind: ClassVar[str] = "directed_densest"
+
+    ratio: Optional[float] = None
+    ratio_grid: Optional[Tuple[float, ...]] = None
+    delta: float = 2.0
+    epsilon: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if isinstance(self.input, (UndirectedGraph, GraphEdgeStream)):
+            raise ParameterError(
+                "DirectedDensest takes a directed input; use DensestSubgraph"
+            )
+        check_epsilon(self.epsilon)
+        if self.ratio is not None and self.ratio_grid is not None:
+            raise ParameterError("give either ratio or ratio_grid, not both")
+        if self.ratio is not None:
+            check_positive_float(self.ratio, "ratio")
+        if self.ratio_grid is not None:
+            if not self.ratio_grid:
+                raise ParameterError("ratio_grid must be non-empty")
+            # Normalize to a sorted, deduplicated tuple so every backend
+            # sweeps the same candidate set (the engines' own sweeps
+            # dedupe internally; backends iterating the grid verbatim
+            # must see the identical sequence for cross-backend parity).
+            object.__setattr__(
+                self,
+                "ratio_grid",
+                tuple(sorted({float(c) for c in self.ratio_grid})),
+            )
+            for c in self.ratio_grid:
+                check_positive_float(c, "ratio_grid entry")
+        check_positive_float(self.delta, "delta")
+
+    @property
+    def is_sweep(self) -> bool:
+        """Whether this problem asks for a ratio search rather than one c."""
+        return self.ratio is None
+
+
+#: All concrete problem kinds, for registry validation.
+PROBLEM_KINDS = frozenset(
+    cls.kind for cls in (DensestSubgraph, DensestAtLeastK, DirectedDensest)
+)

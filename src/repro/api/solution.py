@@ -1,0 +1,94 @@
+"""The unified result type returned by every registered backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Hashable, List, Optional, Tuple
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """What a solve cost, in the currency of its execution model.
+
+    Fields are ``None`` when the backend's model has no such notion
+    (e.g. an LP solve has no peeling passes).
+    """
+
+    #: Peeling passes over the edge set (Algorithms 1–3 and variants).
+    passes: Optional[int] = None
+    #: Physical passes the backend made over the input EdgeStream.
+    stream_passes: Optional[int] = None
+    #: Edge records streamed across all passes.
+    edges_streamed: Optional[int] = None
+    #: Total MapReduce rounds executed.
+    mapreduce_rounds: Optional[int] = None
+    #: Between-pass memory footprint in words, when metered.
+    memory_words: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Output of :func:`repro.solve`, uniform across backends.
+
+    Attributes
+    ----------
+    nodes:
+        The solution node set.  For directed problems this is S̃ ∪ T̃;
+        the sides are in :attr:`s_nodes` / :attr:`t_nodes`.
+    density:
+        ρ of the returned set (directed: w(E(S,T))/√(|S||T|)).
+    backend:
+        Name of the registered solver that produced this solution.
+    problem_kind:
+        The :attr:`~repro.api.problems.Problem.kind` that was solved.
+    exact:
+        Whether the backend guarantees ρ = ρ* (vs an approximation).
+    s_nodes / t_nodes:
+        The directed pair, ``None`` for undirected problems.
+    ratio:
+        For directed problems, the c the returned pair was found at.
+    certificate:
+        The per-pass trace when the backend peels (a tuple of
+        :class:`~repro.core.trace.PassRecord` /
+        :class:`~repro.core.trace.DirectedPassRecord`), else ``None``.
+        This is the evidence behind the density claim and what the
+        paper's per-pass figures plot.
+    cost:
+        A :class:`CostReport` in the backend's execution model.
+    details:
+        The backend's native result object (e.g.
+        :class:`~repro.core.result.RatioSweepResult` for a ratio sweep,
+        :class:`~repro.mapreduce.densest.MapReduceRunReport` for
+        MapReduce runs), for callers that need model-specific data.
+    """
+
+    nodes: FrozenSet[Node]
+    density: float
+    backend: str
+    problem_kind: str
+    exact: bool = False
+    s_nodes: Optional[FrozenSet[Node]] = None
+    t_nodes: Optional[FrozenSet[Node]] = None
+    ratio: Optional[float] = None
+    certificate: Optional[Tuple[Any, ...]] = None
+    cost: CostReport = field(default_factory=CostReport)
+    details: Any = None
+
+    @property
+    def size(self) -> int:
+        """|S̃| (directed: |S̃ ∪ T̃|)."""
+        return len(self.nodes)
+
+    def densities_by_pass(self) -> List[float]:
+        """ρ(S) after each pass, when a peeling certificate exists."""
+        if self.certificate is None:
+            return []
+        return [record.density_after for record in self.certificate]
+
+    def approximation_ratio(self, optimum: float) -> float:
+        """ρ*/ρ given a known optimum (Table 2's ρ*/ρ̃ column)."""
+        if self.density <= 0:
+            return float("inf")
+        return optimum / self.density

@@ -2,18 +2,23 @@
 
 Examples
 --------
-List datasets::
+List datasets and backends::
 
     repro-densest datasets
+    repro-densest backends
 
-Run Algorithm 1 on a dataset or an edge-list file::
+Solve a densest-subgraph problem on any backend::
+
+    repro-densest densest --dataset flickr_sim --epsilon 0.5
+    repro-densest densest --dataset flickr_sim --backend mapreduce
+    repro-densest densest --dataset twitter_sim --delta 2 --backend streaming
+    repro-densest densest --edge-list graph.txt --k 100 --backend core
+
+Legacy commands (thin wrappers over ``densest``)::
 
     repro-densest run --dataset flickr_sim --epsilon 0.5
-    repro-densest run --edge-list graph.txt --epsilon 1 --k 100
-
-Run a directed sweep::
-
     repro-densest run-directed --dataset twitter_sim --epsilon 1 --delta 2
+    repro-densest exact --dataset grqc_sim
 
 Regenerate a paper table/figure::
 
@@ -25,14 +30,21 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from . import __version__
 from .analysis.experiments import ALL_EXPERIMENTS
 from .analysis.tables import render_table
-from .core.atleast_k import densest_subgraph_atleast_k
-from .core.directed import ratio_sweep
-from .core.undirected import densest_subgraph
+from .api import (
+    DensestAtLeastK,
+    DensestSubgraph,
+    DirectedDensest,
+    Problem,
+    Solution,
+    backend_names,
+    get_backend,
+    solve,
+)
 from .datasets import info as dataset_info
 from .datasets import load as dataset_load
 from .datasets import names as dataset_names
@@ -40,6 +52,14 @@ from .errors import ReproError
 from .graph.directed import DirectedGraph
 from .graph.io import read_directed, read_undirected
 from .graph.undirected import UndirectedGraph
+
+
+def _add_input_args(parser: argparse.ArgumentParser) -> None:
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", help="registered dataset name")
+    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=None)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,31 +73,60 @@ def _build_parser() -> argparse.ArgumentParser:
     p_datasets = sub.add_parser("datasets", help="list registered datasets")
     p_datasets.add_argument("--group", choices=["evaluation", "table2"], default=None)
 
-    p_run = sub.add_parser("run", help="run Algorithm 1 (or 2 with --k) on an undirected graph")
-    src = p_run.add_mutually_exclusive_group(required=True)
-    src.add_argument("--dataset", help="registered dataset name")
-    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    sub.add_parser("backends", help="list registered solver backends")
+
+    p_solve = sub.add_parser(
+        "densest",
+        help="solve a densest-subgraph problem on any registered backend",
+    )
+    _add_input_args(p_solve)
+    p_solve.add_argument(
+        "--backend",
+        default="auto",
+        help="registered backend name, or 'auto' for capability dispatch "
+        "(see `repro-densest backends`)",
+    )
+    p_solve.add_argument("--epsilon", type=float, default=0.5)
+    p_solve.add_argument(
+        "--k", type=int, default=None, help="minimum subgraph size (Algorithm 2)"
+    )
+    p_solve.add_argument(
+        "--ratio", type=float, default=None,
+        help="directed only: fixed c = |S|/|T| instead of a sweep",
+    )
+    p_solve.add_argument(
+        "--delta", type=float, default=2.0,
+        help="directed only: powers-of-delta ratio grid resolution",
+    )
+    p_solve.add_argument(
+        "--directed", action="store_true",
+        help="treat an --edge-list input as directed",
+    )
+    p_solve.add_argument(
+        "--memory-budget", type=int, default=None,
+        help="between-pass budget in words for backend=auto dispatch",
+    )
+    p_solve.add_argument("--show-nodes", type=int, default=0, help="print up to N member nodes")
+
+    p_run = sub.add_parser(
+        "run", help="[legacy] Algorithm 1 (or 2 with --k) on the core backend"
+    )
+    _add_input_args(p_run)
     p_run.add_argument("--epsilon", type=float, default=0.5)
     p_run.add_argument("--k", type=int, default=None, help="minimum subgraph size (Algorithm 2)")
-    p_run.add_argument("--scale", type=float, default=1.0)
-    p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--show-nodes", type=int, default=0, help="print up to N member nodes")
 
-    p_dir = sub.add_parser("run-directed", help="run Algorithm 3 with a ratio sweep")
-    src = p_dir.add_mutually_exclusive_group(required=True)
-    src.add_argument("--dataset", help="registered dataset name")
-    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    p_dir = sub.add_parser(
+        "run-directed", help="[legacy] Algorithm 3 ratio sweep on the core backend"
+    )
+    _add_input_args(p_dir)
     p_dir.add_argument("--epsilon", type=float, default=0.5)
     p_dir.add_argument("--delta", type=float, default=2.0)
-    p_dir.add_argument("--scale", type=float, default=1.0)
-    p_dir.add_argument("--seed", type=int, default=None)
 
-    p_exact = sub.add_parser("exact", help="exact rho* via LP and Goldberg's flow algorithm")
-    src = p_exact.add_mutually_exclusive_group(required=True)
-    src.add_argument("--dataset", help="registered dataset name")
-    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
-    p_exact.add_argument("--scale", type=float, default=1.0)
-    p_exact.add_argument("--seed", type=int, default=None)
+    p_exact = sub.add_parser(
+        "exact", help="[legacy] exact rho* via the exact-lp / exact-flow backends"
+    )
+    _add_input_args(p_exact)
     p_exact.add_argument(
         "--solver", choices=["lp", "flow", "both"], default="both"
     )
@@ -85,14 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_enum = sub.add_parser(
         "enumerate", help="enumerate node-disjoint dense subgraphs (Section 6 remark)"
     )
-    src = p_enum.add_mutually_exclusive_group(required=True)
-    src.add_argument("--dataset", help="registered dataset name")
-    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    _add_input_args(p_enum)
     p_enum.add_argument("--epsilon", type=float, default=0.3)
     p_enum.add_argument("--max-subgraphs", type=int, default=5)
     p_enum.add_argument("--min-density", type=float, default=1.0)
-    p_enum.add_argument("--scale", type=float, default=1.0)
-    p_enum.add_argument("--seed", type=int, default=None)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
@@ -102,6 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--scale", type=float, default=None, help="override the experiment's default scale")
     return parser
+
+
+def _load_any(args) -> Union[UndirectedGraph, DirectedGraph]:
+    """Load the input graph, undirected or directed as the source dictates."""
+    if args.dataset:
+        return dataset_load(args.dataset, scale=args.scale, seed=args.seed)
+    if getattr(args, "directed", False):
+        return read_directed(args.edge_list)
+    return read_undirected(args.edge_list)
 
 
 def _load_undirected(args) -> UndirectedGraph:
@@ -131,27 +185,115 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    rows = []
+    for name in backend_names():
+        caps = get_backend(name).capabilities()
+        rows.append(
+            [
+                name,
+                ", ".join(sorted(caps.problems)),
+                ", ".join(sorted(caps.input_modes)),
+                "exact" if caps.exact else "approx",
+                caps.memory_class,
+                caps.semantics,
+            ]
+        )
+    print(
+        render_table(
+            ["backend", "problems", "inputs", "quality", "memory", "semantics"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _problem_from_args(args, graph) -> Problem:
+    """Build the Problem a `densest` invocation describes."""
+    if isinstance(graph, DirectedGraph):
+        if args.k is not None:
+            raise ReproError("--k applies to undirected inputs only")
+        return DirectedDensest(
+            graph, ratio=args.ratio, delta=args.delta, epsilon=args.epsilon
+        )
+    if args.ratio is not None:
+        raise ReproError("--ratio applies to directed inputs only")
+    if args.k is not None:
+        return DensestAtLeastK(graph, k=args.k, epsilon=args.epsilon)
+    return DensestSubgraph(graph, epsilon=args.epsilon)
+
+
+def _print_solution(solution: Solution, show_nodes: int = 0) -> None:
+    print(f"  backend : {solution.backend}{' (exact)' if solution.exact else ''}")
+    print(f"  density : {solution.density:.4f}")
+    if solution.s_nodes is not None:
+        print(f"  |S|, |T|: {len(solution.s_nodes)}, {len(solution.t_nodes)}")
+        if solution.ratio is not None:
+            print(f"  ratio c : {solution.ratio:g}")
+    else:
+        print(f"  size    : {solution.size}")
+    cost = solution.cost
+    if cost.passes is not None:
+        print(f"  passes  : {cost.passes}")
+    if cost.stream_passes is not None:
+        print(f"  stream  : {cost.stream_passes} passes, {cost.edges_streamed} edges")
+    if cost.mapreduce_rounds is not None:
+        print(f"  rounds  : {cost.mapreduce_rounds} MapReduce rounds")
+    if show_nodes:
+        sample = sorted(solution.nodes, key=repr)[:show_nodes]
+        suffix = " ..." if solution.size > show_nodes else ""
+        print(f"  nodes   : {sample}{suffix}")
+
+
+def _cmd_densest(args) -> int:
+    graph = _load_any(args)
+    problem = _problem_from_args(args, graph)
+    solution = solve(
+        problem, backend=args.backend, memory_budget=args.memory_budget
+    )
+    kind = {
+        "densest_subgraph": "densest subgraph",
+        "densest_at_least_k": f"densest subgraph (k>={getattr(problem, 'k', 0)})",
+        "directed_densest": "directed densest subgraph",
+    }[problem.kind]
+    print(
+        f"{kind} on |V|={graph.num_nodes}, |E|={graph.num_edges}, "
+        f"eps={args.epsilon:g}"
+    )
+    _print_solution(solution, args.show_nodes)
+    return 0
+
+
 def _cmd_run(args) -> int:
     graph = _load_undirected(args)
     if args.k is not None:
-        result = densest_subgraph_atleast_k(graph, args.k, args.epsilon)
+        solution = solve(
+            DensestAtLeastK(graph, k=args.k, epsilon=args.epsilon), backend="core"
+        )
         algo = f"Algorithm 2 (k={args.k})"
     else:
-        result = densest_subgraph(graph, args.epsilon)
+        solution = solve(
+            DensestSubgraph(graph, epsilon=args.epsilon), backend="core"
+        )
         algo = "Algorithm 1"
+    result = solution.details
     print(f"{algo} on |V|={graph.num_nodes}, |E|={graph.num_edges}, eps={args.epsilon:g}")
-    print(f"  density : {result.density:.4f}")
-    print(f"  size    : {result.size}")
+    print(f"  density : {solution.density:.4f}")
+    print(f"  size    : {solution.size}")
     print(f"  passes  : {result.passes} (best after pass {result.best_pass})")
     if args.show_nodes:
-        sample = sorted(result.nodes, key=repr)[: args.show_nodes]
-        print(f"  nodes   : {sample}{' ...' if result.size > args.show_nodes else ''}")
+        sample = sorted(solution.nodes, key=repr)[: args.show_nodes]
+        print(f"  nodes   : {sample}{' ...' if solution.size > args.show_nodes else ''}")
     return 0
 
 
 def _cmd_run_directed(args) -> int:
     graph = _load_directed(args)
-    sweep = ratio_sweep(graph, epsilon=args.epsilon, delta=args.delta)
+    solution = solve(
+        DirectedDensest(graph, delta=args.delta, epsilon=args.epsilon),
+        backend="core",
+    )
+    sweep = solution.details
     best = sweep.best
     print(
         f"Algorithm 3 sweep on |V|={graph.num_nodes}, |E|={graph.num_edges}, "
@@ -167,16 +309,13 @@ def _cmd_run_directed(args) -> int:
 def _cmd_exact(args) -> int:
     graph = _load_undirected(args)
     print(f"exact solvers on |V|={graph.num_nodes}, |E|={graph.num_edges}")
+    problem = DensestSubgraph(graph)
     if args.solver in ("lp", "both"):
-        from .exact.lp import lp_densest_subgraph
-
-        nodes, rho = lp_densest_subgraph(graph)
-        print(f"  LP (HiGHS)     : rho* = {rho:.6f}, |S*| = {len(nodes)}")
+        solution = solve(problem, backend="exact-lp")
+        print(f"  LP (HiGHS)     : rho* = {solution.density:.6f}, |S*| = {solution.size}")
     if args.solver in ("flow", "both"):
-        from .exact.goldberg import goldberg_densest_subgraph
-
-        nodes, rho = goldberg_densest_subgraph(graph)
-        print(f"  Goldberg flow  : rho* = {rho:.6f}, |S*| = {len(nodes)}")
+        solution = solve(problem, backend="exact-flow")
+        print(f"  Goldberg flow  : rho* = {solution.density:.6f}, |S*| = {solution.size}")
     return 0
 
 
@@ -220,6 +359,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
+        "backends": _cmd_backends,
+        "densest": _cmd_densest,
         "run": _cmd_run,
         "run-directed": _cmd_run_directed,
         "exact": _cmd_exact,

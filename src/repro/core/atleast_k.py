@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Hashable, List, Optional
 
+from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_int
 from ..errors import EmptyGraphError, ParameterError
 from ..graph.undirected import UndirectedGraph
@@ -96,7 +97,7 @@ def densest_subgraph_atleast_k(
         threshold = factor * density
         # Ã(S) ← {i ∈ S : deg_S(i) ≤ 2(1+ε)·ρ(S)}.
         candidates = [
-            i for i in range(n) if alive[i] and degrees[i] <= threshold + 1e-12
+            i for i in range(n) if alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
         ]
         # A(S) ⊆ Ã(S) with |A(S)| = ε/(1+ε)·|S|: keep the lowest-degree
         # candidates.  Rounding: at most floor(ε/(1+ε)·|S|) per Theorem 9's

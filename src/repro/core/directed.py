@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float
 from ..errors import EmptyGraphError, ParameterError
 from ..graph.directed import DirectedGraph
@@ -108,7 +109,7 @@ def densest_subgraph_directed(
         if peel_s:
             threshold = one_plus_eps * edge_weight / s_size
             to_remove = [
-                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + 1e-12
+                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + THRESHOLD_EPS
             ]
             for i in to_remove:
                 in_s[i] = False
@@ -124,7 +125,7 @@ def densest_subgraph_directed(
         else:
             threshold = one_plus_eps * edge_weight / t_size
             to_remove = [
-                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + 1e-12
+                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + THRESHOLD_EPS
             ]
             for j in to_remove:
                 in_t[j] = False

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional
 
+from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon
 from ..errors import EmptyGraphError
 from ..graph.undirected import UndirectedGraph
@@ -93,7 +94,7 @@ def densest_subgraph(
         threshold = factor * density
         # A(S) ← {i ∈ S : deg_S(i) ≤ 2(1+ε)·ρ(S)}.
         to_remove = [
-            i for i in range(n) if alive[i] and degrees[i] <= threshold + 1e-12
+            i for i in range(n) if alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
         ]
         nodes_before = remaining_nodes
         weight_before = remaining_weight

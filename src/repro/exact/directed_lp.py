@@ -24,6 +24,7 @@ from scipy.optimize import linprog
 from scipy.sparse import csr_matrix
 
 from .._validation import check_positive_float
+from .._tolerances import LP_EPS
 from ..errors import SolverError
 from ..graph.directed import DirectedGraph
 
@@ -96,7 +97,7 @@ def _round_directed(
     over all distinct values appearing in either vector.
     """
     thresholds = sorted(
-        {v for v in np.concatenate([s_vec, t_vec]) if v > 1e-12}, reverse=True
+        {v for v in np.concatenate([s_vec, t_vec]) if v > LP_EPS}, reverse=True
     )
     best: Tuple[Set[Node], Set[Node], float] = (set(), set(), 0.0)
     for r in thresholds:

@@ -24,6 +24,7 @@ import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import csr_matrix
 
+from .._tolerances import LP_EPS
 from ..errors import SolverError
 from ..graph.undirected import UndirectedGraph
 
@@ -95,7 +96,7 @@ def lp_densest_subgraph(graph: UndirectedGraph) -> Tuple[Set[Node], float]:
     current: Set[Node] = set()
     weight_inside = 0.0
     for idx in order:
-        if y[idx] <= 1e-12 and current:
+        if y[idx] <= LP_EPS and current:
             break
         node = nodes[idx]
         for nbr in graph.neighbors(node):

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, List, Set, Tuple
 
+from .._tolerances import FLOW_EPS
 from ..errors import SolverError
 
 INF = float("inf")
@@ -95,7 +96,7 @@ class FlowNetwork:
             u = queue.popleft()
             for e in self._adj[u]:
                 v = head[e]
-                if cap[e] > 1e-12 and levels[v] < 0:
+                if cap[e] > FLOW_EPS and levels[v] < 0:
                     levels[v] = levels[u] + 1
                     queue.append(v)
         return levels
@@ -115,9 +116,9 @@ class FlowNetwork:
         while iters[u] < len(adj[u]):
             e = adj[u][iters[u]]
             v = head[e]
-            if cap[e] > 1e-12 and levels[v] == levels[u] + 1:
+            if cap[e] > FLOW_EPS and levels[v] == levels[u] + 1:
                 flow = self._dfs_augment(v, sink, min(pushed, cap[e]), levels, iters)
-                if flow > 1e-12:
+                if flow > FLOW_EPS:
                     cap[e] -= flow
                     cap[e ^ 1] += flow
                     return flow
@@ -140,7 +141,7 @@ class FlowNetwork:
             iters = [0] * len(self._labels)
             while True:
                 flow = self._dfs_augment(s, t, INF, levels, iters)
-                if flow <= 1e-12:
+                if flow <= FLOW_EPS:
                     break
                 total += flow
 
@@ -161,7 +162,7 @@ class FlowNetwork:
             u = queue.popleft()
             for e in self._adj[u]:
                 v = head[e]
-                if cap[e] > 1e-12 and not seen[v]:
+                if cap[e] > FLOW_EPS and not seen[v]:
                     seen[v] = True
                     queue.append(v)
         return {self._labels[i] for i, flag in enumerate(seen) if flag}

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
+from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float
 from ..core.result import DensestSubgraphResult, DirectedDensestSubgraphResult
 from ..core.trace import DirectedPassRecord, PassRecord
@@ -234,7 +235,7 @@ def mr_densest_subgraph(
         to_remove = [
             u
             for u in labels
-            if alive[u] and degrees.get(u, 0.0) <= threshold + 1e-12
+            if alive[u] and degrees.get(u, 0.0) <= threshold + THRESHOLD_EPS
         ]
 
         pending = {
@@ -344,7 +345,7 @@ def mr_densest_subgraph_atleast_k(
         candidates = [
             u
             for u in labels
-            if alive[u] and degrees.get(u, 0.0) <= threshold + 1e-12
+            if alive[u] and degrees.get(u, 0.0) <= threshold + THRESHOLD_EPS
         ]
         batch_size = min(
             len(candidates), max(1, math.floor(batch_fraction * remaining))
@@ -480,7 +481,7 @@ def mr_densest_subgraph_directed(
             to_remove = [
                 u
                 for u in labels
-                if in_s[u] and out_to_t.get(u, 0.0) <= threshold + 1e-12
+                if in_s[u] and out_to_t.get(u, 0.0) <= threshold + THRESHOLD_EPS
             ]
             side = "S"
         else:
@@ -488,7 +489,7 @@ def mr_densest_subgraph_directed(
             to_remove = [
                 u
                 for u in labels
-                if in_t[u] and in_from_s.get(u, 0.0) <= threshold + 1e-12
+                if in_t[u] and in_from_s.get(u, 0.0) <= threshold + THRESHOLD_EPS
             ]
             side = "T"
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float, check_positive_int
 from ..core.result import DensestSubgraphResult, DirectedDensestSubgraphResult
 from ..core.trace import DirectedPassRecord, PassRecord
@@ -148,7 +149,7 @@ def stream_densest_subgraph(
         to_remove = [
             i
             for i in range(state.n)
-            if state.alive[i] and degrees[i] <= threshold + 1e-12
+            if state.alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
         ]
         pending = {
             "pass_index": pass_index,
@@ -234,7 +235,7 @@ def stream_densest_subgraph_atleast_k(
         candidates = [
             i
             for i in range(state.n)
-            if state.alive[i] and degrees[i] <= threshold + 1e-12
+            if state.alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
         ]
         batch_size = min(
             len(candidates), max(1, math.floor(batch_fraction * state.remaining))
@@ -346,13 +347,13 @@ def stream_densest_subgraph_directed(
         if peel_s:
             threshold = one_plus_eps * weight / s_size
             to_remove = [
-                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + 1e-12
+                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + THRESHOLD_EPS
             ]
             side = "S"
         else:
             threshold = one_plus_eps * weight / t_size
             to_remove = [
-                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + 1e-12
+                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + THRESHOLD_EPS
             ]
             side = "T"
         pending = {

@@ -20,6 +20,7 @@ from typing import Hashable, List, Optional
 
 import numpy as np
 
+from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_int
 from ..core.result import DensestSubgraphResult
 from ..core.trace import PassRecord
@@ -137,7 +138,7 @@ def sketch_densest_subgraph(
         to_remove = [
             i
             for i, est in zip(alive_ids, estimates)
-            if est <= threshold + 1e-12
+            if est <= threshold + THRESHOLD_EPS
         ]
         min_batch = max(1, int(epsilon / (1.0 + epsilon) * remaining))
         if len(to_remove) < min_batch and remaining > 1:

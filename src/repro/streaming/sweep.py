@@ -17,6 +17,7 @@ from ..core.directed import default_ratio_grid
 from ..core.result import RatioSweepResult
 from ..errors import ParameterError
 from .engine import stream_densest_subgraph_directed
+from .memory import MemoryAccountant
 from .stream import EdgeStream
 
 
@@ -26,6 +27,7 @@ def stream_ratio_sweep(
     *,
     delta: float = 2.0,
     ratios: Optional[Iterable[float]] = None,
+    accountant: Optional[MemoryAccountant] = None,
 ) -> RatioSweepResult:
     """Search over c with the streaming engine (§4.3 in-model).
 
@@ -42,6 +44,11 @@ def stream_ratio_sweep(
         when ``ratios`` is given).
     ratios:
         Explicit candidate ratios.
+    accountant:
+        Optional :class:`~repro.streaming.memory.MemoryAccountant`.
+        The per-ratio runs execute sequentially with identically-sized
+        state, so the sweep's peak between-pass footprint is one run's
+        footprint; only the first run is charged.
 
     Returns
     -------
@@ -59,8 +66,13 @@ def stream_ratio_sweep(
         if not grid:
             raise ParameterError("ratios must be non-empty")
     results = [
-        stream_densest_subgraph_directed(stream, ratio=c, epsilon=epsilon)
-        for c in grid
+        stream_densest_subgraph_directed(
+            stream,
+            ratio=c,
+            epsilon=epsilon,
+            accountant=accountant if i == 0 else None,
+        )
+        for i, c in enumerate(grid)
     ]
     best = max(results, key=lambda r: r.density)
     return RatioSweepResult(best=best, by_ratio=tuple(results), delta=grid_delta)

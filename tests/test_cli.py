@@ -57,6 +57,74 @@ class TestRunCommand:
         assert "unknown dataset" in capsys.readouterr().err
 
 
+class TestBackendsCommand:
+    def test_lists_registered_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("core", "streaming", "sketch", "mapreduce", "exact-lp"):
+            assert name in out
+
+
+class TestDensestCommand:
+    def test_auto_backend_on_undirected_dataset(self, capsys):
+        code = main(["densest", "--dataset", "as_sim", "--scale", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend : core" in out and "density" in out
+
+    def test_explicit_mapreduce_backend(self, capsys):
+        code = main(
+            ["densest", "--dataset", "as_sim", "--scale", "0.3", "--backend", "mapreduce"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend : mapreduce" in out
+        assert "MapReduce rounds" in out
+
+    def test_backends_agree_on_edge_list(self, tmp_path, capsys):
+        g = disjoint_union([clique(5), star(20, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        outputs = {}
+        for backend in ("core", "streaming", "mapreduce"):
+            code = main(
+                ["densest", "--edge-list", str(path), "--backend", backend, "--epsilon", "0.1"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            outputs[backend] = [line for line in out.splitlines() if "density" in line]
+        assert outputs["core"] == outputs["streaming"] == outputs["mapreduce"]
+        assert "2.0000" in outputs["core"][0]
+
+    def test_directed_dataset_runs_sweep(self, capsys):
+        code = main(["densest", "--dataset", "twitter_sim", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|S|, |T|" in out and "ratio c" in out
+
+    def test_k_selects_atleast_k_problem(self, capsys):
+        code = main(["densest", "--dataset", "as_sim", "--scale", "0.3", "--k", "50"])
+        assert code == 0
+        assert "k>=50" in capsys.readouterr().out
+
+    def test_unknown_backend_errors(self, capsys):
+        code = main(["densest", "--dataset", "as_sim", "--scale", "0.3", "--backend", "bogus"])
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_capability_mismatch_errors(self, capsys):
+        code = main(
+            ["densest", "--dataset", "twitter_sim", "--scale", "0.1", "--backend", "exact-flow"]
+        )
+        assert code == 2
+        assert "does not solve" in capsys.readouterr().err
+
+    def test_k_on_directed_errors(self, capsys):
+        code = main(["densest", "--dataset", "twitter_sim", "--scale", "0.1", "--k", "5"])
+        assert code == 2
+        assert "undirected" in capsys.readouterr().err
+
+
 class TestRunDirectedCommand:
     def test_run_directed(self, capsys):
         code = main(

@@ -10,6 +10,9 @@ import doctest
 import pytest
 
 import repro
+import repro.api
+import repro.api.problems
+import repro.api.registry
 import repro.analysis.plots
 import repro.analysis.tables
 import repro.analysis.tuning
@@ -25,6 +28,9 @@ import repro.streaming.countsketch
 
 MODULES = [
     repro,
+    repro.api,
+    repro.api.problems,
+    repro.api.registry,
     repro.analysis.plots,
     repro.analysis.tables,
     repro.analysis.tuning,
