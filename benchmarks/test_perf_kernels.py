@@ -1,0 +1,84 @@
+"""Performance microbenchmarks of the vectorized CSR kernel engine.
+
+Mirrors the peeling cases of ``test_perf_core.py`` on the numpy engine
+so pytest-benchmark tables show both engines side by side; the CSR
+snapshots are module-scoped fixtures, matching the deployment shape
+where one resident snapshot serves many solves (``scripts/
+bench_report.py`` writes the machine-readable python-vs-numpy
+comparison).
+"""
+
+import pytest
+
+from repro.core.atleast_k import densest_subgraph_atleast_k
+from repro.core.directed import densest_subgraph_directed, ratio_sweep
+from repro.core.undirected import densest_subgraph
+from repro.datasets import load
+from repro.kernels import CSRDigraph, CSRGraph
+
+
+@pytest.fixture(scope="module")
+def flickr_small():
+    return load("flickr_sim", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def flickr_csr(flickr_small):
+    return CSRGraph.from_undirected(flickr_small)
+
+
+@pytest.fixture(scope="module")
+def lj_small():
+    return load("livejournal_sim", scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def lj_csr(lj_small):
+    return CSRDigraph.from_directed(lj_small)
+
+
+def test_perf_csr_build(benchmark, flickr_small):
+    csr = benchmark(lambda: CSRGraph.from_undirected(flickr_small))
+    assert csr.num_edges == flickr_small.num_edges
+
+
+def test_perf_algorithm1_numpy(benchmark, flickr_csr):
+    result = benchmark(lambda: densest_subgraph(flickr_csr, 0.5, engine="numpy"))
+    assert result.density > 0
+
+
+def test_perf_algorithm1_eps2_numpy(benchmark, flickr_csr):
+    result = benchmark(lambda: densest_subgraph(flickr_csr, 2.0, engine="numpy"))
+    assert result.density > 0
+
+
+def test_perf_atleast_k_numpy(benchmark, flickr_csr):
+    k = max(2, flickr_csr.num_nodes // 10)
+    result = benchmark(
+        lambda: densest_subgraph_atleast_k(flickr_csr, k, 0.5, engine="numpy")
+    )
+    assert result.density > 0
+
+
+def test_perf_algorithm3_numpy(benchmark, lj_csr):
+    result = benchmark(
+        lambda: densest_subgraph_directed(lj_csr, ratio=1.0, epsilon=1.0, engine="numpy")
+    )
+    assert result.density > 0
+
+
+def test_perf_ratio_sweep_numpy(benchmark, lj_csr):
+    sweep = benchmark(
+        lambda: ratio_sweep(
+            lj_csr, 1.0, ratios=[0.25, 0.5, 1.0, 2.0, 4.0], engine="numpy"
+        )
+    )
+    assert sweep.best.density > 0
+
+
+def test_numpy_engine_matches_python_on_fixture(flickr_small, flickr_csr):
+    """Cheap guard: the two engines agree on the benchmark fixture."""
+    py = densest_subgraph(flickr_small, 0.5, engine="python")
+    np_ = densest_subgraph(flickr_csr, 0.5, engine="numpy")
+    assert py.nodes == np_.nodes
+    assert py.density == pytest.approx(np_.density)

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory harness: python vs numpy peeling engines.
+
+Times the same peeling workloads as ``benchmarks/test_perf_core.py``
+(the flickr_sim / livejournal_sim fixtures at their benchmark scales)
+on both execution engines and writes a machine-readable
+``BENCH_core.json`` so successive PRs can track the trajectory of the
+hot paths instead of eyeballing pytest-benchmark tables.
+
+Methodology
+-----------
+* ``engine=python`` rows time the full reference run from the
+  dict-of-dict graph — the compact-adjacency build is part of that
+  engine and is paid on every solve.
+* ``engine=numpy`` rows time the run from a resident
+  :class:`~repro.kernels.csr.CSRGraph`/``CSRDigraph`` snapshot — the
+  deployment shape of the vectorized engine (the snapshot is built
+  once per dataset and reused across solves/sweeps; the CLI's
+  ``--edge-list`` path even builds it without a dict detour).  The
+  snapshot build itself is reported as separate ``csr_build_*`` rows
+  so the amortized cost stays visible.
+* ``speedup`` on a numpy row is python-median / numpy-median of the
+  same bench.
+
+Run::
+
+    PYTHONPATH=src python scripts/bench_report.py            # full scales
+    PYTHONPATH=src python scripts/bench_report.py --quick    # CI smoke
+    PYTHONPATH=src python scripts/bench_report.py --min-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _bench_pair(records, name, fixture, py_fn, np_fn, repeats):
+    py = _median_seconds(py_fn, repeats)
+    np_ = _median_seconds(np_fn, repeats)
+    records.append(
+        {"bench": name, "fixture": fixture, "engine": "python", "median_seconds": py}
+    )
+    records.append(
+        {
+            "bench": name,
+            "fixture": fixture,
+            "engine": "numpy",
+            "median_seconds": np_,
+            "speedup": py / np_ if np_ > 0 else None,
+        }
+    )
+    print(f"{name:28s} python {py * 1e3:9.3f} ms   numpy {np_ * 1e3:9.3f} ms   "
+          f"x{py / np_:6.2f}")
+
+
+def _bench_single(records, name, fixture, fn, repeats):
+    seconds = _median_seconds(fn, repeats)
+    records.append(
+        {
+            "bench": name,
+            "fixture": fixture,
+            "engine": "numpy",
+            "median_seconds": seconds,
+        }
+    )
+    print(f"{name:28s} {'':7s}{'':13s}   numpy {seconds * 1e3:9.3f} ms")
+
+
+def run_benches(scale_factor: float, repeats: int):
+    """Time every bench pair; returns the record list."""
+    from repro.core.atleast_k import densest_subgraph_atleast_k
+    from repro.core.directed import densest_subgraph_directed, ratio_sweep
+    from repro.core.undirected import densest_subgraph
+    from repro.datasets import load
+    from repro.kernels import CSRDigraph, CSRGraph
+    from repro.streaming import engine as streaming_engine
+    from repro.streaming.stream import GraphEdgeStream
+
+    records: list = []
+
+    # Same fixtures/scales as benchmarks/test_perf_core.py, optionally
+    # reduced for the CI smoke run.
+    flickr = load("flickr_sim", scale=0.25 * scale_factor)
+    lj = load("livejournal_sim", scale=0.2 * scale_factor)
+    flickr_name = f"flickr_sim@{0.25 * scale_factor:g}"
+    lj_name = f"livejournal_sim@{0.2 * scale_factor:g}"
+
+    _bench_single(
+        records,
+        "csr_build_undirected",
+        flickr_name,
+        lambda: CSRGraph.from_undirected(flickr),
+        repeats,
+    )
+    _bench_single(
+        records,
+        "csr_build_directed",
+        lj_name,
+        lambda: CSRDigraph.from_directed(lj),
+        repeats,
+    )
+
+    flickr_csr = CSRGraph.from_undirected(flickr)
+    lj_csr = CSRDigraph.from_directed(lj)
+
+    _bench_pair(
+        records,
+        "undirected_peel_eps05",
+        flickr_name,
+        lambda: densest_subgraph(flickr, 0.5, engine="python"),
+        lambda: densest_subgraph(flickr_csr, 0.5, engine="numpy"),
+        repeats,
+    )
+    _bench_pair(
+        records,
+        "undirected_peel_eps2",
+        flickr_name,
+        lambda: densest_subgraph(flickr, 2.0, engine="python"),
+        lambda: densest_subgraph(flickr_csr, 2.0, engine="numpy"),
+        repeats,
+    )
+    k = max(2, flickr.num_nodes // 10)
+    _bench_pair(
+        records,
+        "atleastk_peel",
+        flickr_name,
+        lambda: densest_subgraph_atleast_k(flickr, k, 0.5, engine="python"),
+        lambda: densest_subgraph_atleast_k(flickr_csr, k, 0.5, engine="numpy"),
+        repeats,
+    )
+    _bench_pair(
+        records,
+        "directed_peel",
+        lj_name,
+        lambda: densest_subgraph_directed(lj, ratio=1.0, epsilon=1.0, engine="python"),
+        lambda: densest_subgraph_directed(
+            lj_csr, ratio=1.0, epsilon=1.0, engine="numpy"
+        ),
+        repeats,
+    )
+    sweep_ratios = [0.25, 0.5, 1.0, 2.0, 4.0]
+    _bench_pair(
+        records,
+        "directed_c_sweep",
+        lj_name,
+        lambda: ratio_sweep(lj, 1.0, ratios=sweep_ratios, engine="python"),
+        lambda: ratio_sweep(lj_csr, 1.0, ratios=sweep_ratios, engine="numpy"),
+        repeats,
+    )
+
+    # Streaming engine: same function, scan kernel on vs off (the
+    # vectorized chunked-bincount scan engages automatically for
+    # int-labeled streams; FORCE_PYTHON_SCAN is the supported toggle).
+    def stream_python():
+        streaming_engine.FORCE_PYTHON_SCAN = True
+        try:
+            streaming_engine.stream_densest_subgraph(GraphEdgeStream(flickr), 0.5)
+        finally:
+            streaming_engine.FORCE_PYTHON_SCAN = False
+
+    _bench_pair(
+        records,
+        "streaming_pass_scan",
+        flickr_name,
+        stream_python,
+        lambda: streaming_engine.stream_densest_subgraph(GraphEdgeStream(flickr), 0.5),
+        repeats,
+    )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_core.json", help="where to write the report"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=9, help="timing repeats per bench (median)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: reduced dataset scales and fewer repeats",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the undirected+directed peel benches reach this speedup",
+    )
+    args = parser.parse_args(argv)
+
+    scale_factor = 0.4 if args.quick else 1.0
+    repeats = min(args.repeats, 3) if args.quick else args.repeats
+    records = run_benches(scale_factor, repeats)
+
+    report = {
+        "suite": "test_perf_core",
+        "scale_factor": scale_factor,
+        "repeats": repeats,
+        "benches": records,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output} ({len(records)} records)")
+
+    if args.min_speedup is not None:
+        gate = {"undirected_peel_eps05", "undirected_peel_eps2", "directed_peel"}
+        failing = [
+            r
+            for r in records
+            if r["bench"] in gate
+            and r["engine"] == "numpy"
+            and (r.get("speedup") or 0.0) < args.min_speedup
+        ]
+        if failing:
+            for r in failing:
+                print(
+                    f"FAIL {r['bench']}: speedup {r.get('speedup'):.2f} "
+                    f"< {args.min_speedup}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"speedup gate >= {args.min_speedup}x: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ Each backend adapts one execution model of the paper to the
 ========  ==========================================================
 backend   wraps
 ========  ==========================================================
-core      in-memory reference peels (Algorithms 1–3 + ratio sweep)
+core      in-memory reference peels (Algorithms 1–3 + ratio sweep);
+          engine="python"|"numpy"|"auto" selects the execution engine
+core-csr  the vectorized CSR kernels (core pinned to engine="numpy")
 streaming semi-streaming engines with O(n) between-pass state
 sketch    Algorithm 1 with Count-Sketch degree counters (§5.1)
 mapreduce the §5.2 MapReduce drivers on the simulated runtime
@@ -28,8 +30,14 @@ from ..core.result import (
     DensestSubgraphResult,
     DirectedDensestSubgraphResult,
     RatioSweepResult,
+    pick_best_run,
 )
 from ..errors import SolverError
+
+try:  # CSR snapshots are valid graph-mode inputs when numpy is present.
+    from ..kernels import CSRDigraph, CSRGraph
+except ImportError:  # pragma: no cover - numpy-less installs
+    CSRDigraph = CSRGraph = None
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
 from ..streaming.memory import MemoryAccountant
@@ -167,10 +175,22 @@ def _set_solution(
     )
 
 
-def _require_graph(problem: Problem, backend: str):
+def _require_graph(problem: Problem, backend: str, *, allow_csr: bool = False):
+    """The problem's in-memory graph input.
+
+    Backends built on the dict-of-dict graph API get CSR snapshots
+    materialized back into graph objects (``allow_csr=False``); the
+    engine-aware core backends take snapshots as-is.
+    """
     if problem.input_mode != MODE_GRAPH:
         raise SolverError(f"backend {backend!r} needs an in-memory graph input")
-    return problem.input
+    graph = problem.input
+    if not allow_csr:
+        if CSRGraph is not None and isinstance(graph, CSRGraph):
+            return graph.to_undirected()
+        if CSRDigraph is not None and isinstance(graph, CSRDigraph):
+            return graph.to_directed()
+    return graph
 
 
 def _directed_grid(problem: DirectedDensest) -> list:
@@ -185,11 +205,16 @@ def _directed_grid(problem: DirectedDensest) -> list:
 # ----------------------------------------------------------------------
 # core — the in-memory reference engines
 # ----------------------------------------------------------------------
-@register
 class CoreSolver:
-    """Algorithms 1–3 on an in-memory graph (the reference peel)."""
+    """Algorithms 1–3 on an in-memory graph (the reference peel).
+
+    Accepts an ``engine="auto"|"python"|"numpy"`` option, forwarded to
+    the core peels; ``"auto"`` (the default) lets
+    :func:`repro.kernels.resolve_engine` pick per graph.
+    """
 
     name = "core"
+    _engine = "auto"
 
     def capabilities(self) -> Capabilities:
         return Capabilities(
@@ -198,28 +223,41 @@ class CoreSolver:
             exact=False,
             memory_class=MEM_EDGES,
             semantics="batch-peel",
+            # Advertise only the engines that can actually run here.
+            engines=("python", "numpy") if CSRGraph is not None else ("python",),
         )
 
     def estimated_memory_words(self, problem: Problem) -> Optional[int]:
         graph = problem.input
         return 2 * graph.num_edges + 3 * graph.num_nodes
 
+    def _engine_option(self, options: dict) -> str:
+        engine = options.pop("engine", self._engine)
+        allowed = self.capabilities().engines + ("auto",)
+        if engine not in allowed:
+            raise SolverError(
+                f"backend {self.name!r} supports engine= of {sorted(allowed)}, "
+                f"got {engine!r}"
+            )
+        return engine
+
     def solve(self, problem: Problem, **options) -> Solution:
         from ..core.atleast_k import densest_subgraph_atleast_k
         from ..core.directed import densest_subgraph_directed, ratio_sweep
         from ..core.undirected import densest_subgraph
 
-        graph = _require_graph(problem, self.name)
+        engine = self._engine_option(options)
+        graph = _require_graph(problem, self.name, allow_csr=True)
         if isinstance(problem, DensestSubgraph):
             _reject_options(self.name, options)
             result = densest_subgraph(
-                graph, problem.epsilon, max_passes=problem.max_passes
+                graph, problem.epsilon, max_passes=problem.max_passes, engine=engine
             )
             return _undirected_solution(result, backend=self.name, problem=problem)
         if isinstance(problem, DensestAtLeastK):
             _reject_options(self.name, options, ("stop_below_k",))
             result = densest_subgraph_atleast_k(
-                graph, problem.k, problem.epsilon, **options
+                graph, problem.k, problem.epsilon, engine=engine, **options
             )
             return _undirected_solution(result, backend=self.name, problem=problem)
         if isinstance(problem, DirectedDensest):
@@ -230,24 +268,80 @@ class CoreSolver:
                     epsilon=problem.epsilon,
                     delta=problem.delta,
                     ratios=problem.ratio_grid,
+                    engine=engine,
                     **options,
                 )
                 return _sweep_solution(sweep, backend=self.name, problem=problem)
             result = densest_subgraph_directed(
-                graph, problem.ratio, problem.epsilon, **options
+                graph, problem.ratio, problem.epsilon, engine=engine, **options
             )
             return _directed_solution(result, backend=self.name, problem=problem)
         raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+
+
+register(CoreSolver)
+
+
+# ----------------------------------------------------------------------
+# core-csr — the vectorized CSR kernel engine, pinned to numpy
+# ----------------------------------------------------------------------
+class CoreCSRSolver(CoreSolver):
+    """Algorithms 1–3 on the vectorized CSR kernels (numpy, always).
+
+    Functionally identical to ``core`` with ``engine="numpy"`` — same
+    node sets, same traces — but pinned to the kernel layer so callers
+    (and dispatch tables) can name the vectorized engine explicitly.
+    Prefers CSR snapshot inputs, which skip the per-solve conversion
+    entirely; plain graphs are snapshotted on entry.
+    """
+
+    name = "core-csr"
+    _engine = "numpy"
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            problems=_ALL_KINDS,
+            input_modes=frozenset({MODE_GRAPH}),
+            exact=False,
+            memory_class=MEM_EDGES,
+            semantics="batch-peel",
+            engines=("numpy",),
+        )
+
+    def estimated_memory_words(self, problem: Problem) -> Optional[int]:
+        graph = problem.input
+        # Symmetric CSR: 2m int32 indices + 2m float64 weights (~3m
+        # words) + indptr/degrees/masks (~3n words).
+        return 3 * graph.num_edges + 3 * graph.num_nodes
+
+    def _engine_option(self, options: dict) -> str:
+        engine = options.pop("engine", "numpy")
+        if engine not in ("numpy", "auto"):
+            raise SolverError(
+                f"backend 'core-csr' is pinned to the numpy engine; "
+                f"got engine={engine!r} (use backend='core' instead)"
+            )
+        return "numpy"
+
+
+if CSRGraph is not None:  # the numpy-pinned backend needs its engine
+    register(CoreCSRSolver)
 
 
 # ----------------------------------------------------------------------
 # streaming — the semi-streaming engines (O(n) between-pass state)
 # ----------------------------------------------------------------------
 def _as_stream(problem: Problem) -> EdgeStream:
-    """The problem's input as an EdgeStream (graphs get a zero-copy view)."""
+    """The problem's input as an EdgeStream (graphs get a zero-copy view).
+
+    CSR snapshots implement the ``nodes()``/``weighted_edges()`` slice
+    of the graph protocol, so the stream views wrap them directly.
+    """
     if isinstance(problem.input, EdgeStream):
         return problem.input
-    if isinstance(problem.input, DirectedGraph):
+    if isinstance(problem.input, DirectedGraph) or (
+        CSRDigraph is not None and isinstance(problem.input, CSRDigraph)
+    ):
         return DirectedGraphEdgeStream(problem.input)
     return GraphEdgeStream(problem.input)
 
@@ -485,7 +579,7 @@ class MapReduceSolver:
                     for ratio in _directed_grid(problem)
                 ]
                 by_ratio = tuple(r.result for r in reports)
-                best = max(by_ratio, key=lambda r: r.density)
+                best = pick_best_run(by_ratio)
                 sweep = RatioSweepResult(
                     best=best,
                     by_ratio=by_ratio,

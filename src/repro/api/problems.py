@@ -23,6 +23,17 @@ from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
 from ..streaming.stream import DirectedGraphEdgeStream, EdgeStream, GraphEdgeStream
 
+try:  # CSR snapshots are first-class graph inputs when numpy is present.
+    from ..kernels import CSRDigraph, CSRGraph
+
+    _UNDIRECTED_TYPES: tuple = (UndirectedGraph, CSRGraph)
+    _DIRECTED_TYPES: tuple = (DirectedGraph, CSRDigraph)
+except ImportError:  # pragma: no cover - numpy-less installs
+    _UNDIRECTED_TYPES = (UndirectedGraph,)
+    _DIRECTED_TYPES = (DirectedGraph,)
+
+_INPUT_TYPES = _UNDIRECTED_TYPES + _DIRECTED_TYPES + (EdgeStream,)
+
 GraphInput = Union[UndirectedGraph, DirectedGraph, EdgeStream]
 
 #: Input modes a backend can declare in its capabilities.
@@ -37,7 +48,7 @@ def _check_undirected_input(input_obj, problem_name: str) -> None:
     metadata and cannot be validated here; callers streaming directed
     data from such sources must use :class:`DirectedDensest`.
     """
-    if isinstance(input_obj, (DirectedGraph, DirectedGraphEdgeStream)):
+    if isinstance(input_obj, _DIRECTED_TYPES + (DirectedGraphEdgeStream,)):
         raise ParameterError(
             f"{problem_name} takes an undirected input; use DirectedDensest"
         )
@@ -57,10 +68,10 @@ class Problem:
     input: GraphInput
 
     def __post_init__(self) -> None:
-        if not isinstance(self.input, (UndirectedGraph, DirectedGraph, EdgeStream)):
+        if not isinstance(self.input, _INPUT_TYPES):
             raise ParameterError(
-                f"problem input must be an UndirectedGraph, DirectedGraph, or "
-                f"EdgeStream, got {type(self.input).__name__}"
+                f"problem input must be an UndirectedGraph, DirectedGraph, "
+                f"CSR snapshot, or EdgeStream, got {type(self.input).__name__}"
             )
 
     @property
@@ -145,7 +156,7 @@ class DirectedDensest(Problem):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if isinstance(self.input, (UndirectedGraph, GraphEdgeStream)):
+        if isinstance(self.input, _UNDIRECTED_TYPES + (GraphEdgeStream,)):
             raise ParameterError(
                 "DirectedDensest takes a directed input; use DensestSubgraph"
             )

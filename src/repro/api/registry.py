@@ -52,6 +52,11 @@ class Capabilities:
         density only, and ``"heuristic"`` solvers promise neither.
     deterministic:
         Whether repeated runs return identical solutions.
+    engines:
+        Execution engines the backend can run on (``"python"`` and/or
+        ``"numpy"``).  Backends listing both accept an ``engine=``
+        solve option; parity between the engines is guaranteed by the
+        kernel layer (see ``tests/test_kernels_parity.py``).
     """
 
     problems: frozenset
@@ -60,6 +65,7 @@ class Capabilities:
     memory_class: str = MEM_EDGES
     semantics: str = "heuristic"
     deterministic: bool = True
+    engines: tuple = ("python",)
 
     def __post_init__(self) -> None:
         unknown = set(self.problems) - set(PROBLEM_KINDS)

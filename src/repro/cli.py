@@ -13,6 +13,8 @@ Solve a densest-subgraph problem on any backend::
     repro-densest densest --dataset flickr_sim --backend mapreduce
     repro-densest densest --dataset twitter_sim --delta 2 --backend streaming
     repro-densest densest --edge-list graph.txt --k 100 --backend core
+    repro-densest densest --dataset flickr_sim --engine numpy
+    repro-densest densest --edge-list graph.txt --backend core-csr
 
 Legacy commands (thin wrappers over ``densest``)::
 
@@ -86,6 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="registered backend name, or 'auto' for capability dispatch "
         "(see `repro-densest backends`)",
     )
+    p_solve.add_argument(
+        "--engine",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="execution engine for the core backends: 'python' (interpreted "
+        "loops), 'numpy' (vectorized CSR kernels), or 'auto' (pick per graph)",
+    )
     p_solve.add_argument("--epsilon", type=float, default=0.5)
     p_solve.add_argument(
         "--k", type=int, default=None, help="minimum subgraph size (Algorithm 2)"
@@ -150,10 +159,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_any(args) -> Union[UndirectedGraph, DirectedGraph]:
-    """Load the input graph, undirected or directed as the source dictates."""
+    """Load the input graph, undirected or directed as the source dictates.
+
+    When the run is headed for the vectorized engine anyway
+    (``--engine numpy`` or ``--backend core-csr``), an ``--edge-list``
+    input is read straight into NumPy arrays and a CSR snapshot — no
+    per-edge dict inserts at all (``duplicates="first"`` matches the
+    dedup semantics of the SNAP readers).
+    """
+    directed = getattr(args, "directed", False)
+    wants_csr = (
+        getattr(args, "engine", "auto") == "numpy"
+        or getattr(args, "backend", None) == "core-csr"
+    )
     if args.dataset:
         return dataset_load(args.dataset, scale=args.scale, seed=args.seed)
-    if getattr(args, "directed", False):
+    if wants_csr:
+        try:
+            from .graph.io import read_edge_arrays
+            from .kernels import CSRDigraph, CSRGraph
+        except ImportError:
+            pass  # numpy unavailable: fall through to the dict readers
+        else:
+            src, dst, weights = read_edge_arrays(args.edge_list)
+            cls = CSRDigraph if directed else CSRGraph
+            return cls.from_edge_arrays(src, dst, weights, duplicates="first")
+    if directed:
         return read_directed(args.edge_list)
     return read_undirected(args.edge_list)
 
@@ -197,20 +228,39 @@ def _cmd_backends(args) -> int:
                 "exact" if caps.exact else "approx",
                 caps.memory_class,
                 caps.semantics,
+                ", ".join(caps.engines),
             ]
         )
     print(
         render_table(
-            ["backend", "problems", "inputs", "quality", "memory", "semantics"],
+            [
+                "backend",
+                "problems",
+                "inputs",
+                "quality",
+                "memory",
+                "semantics",
+                "engines",
+            ],
             rows,
         )
     )
     return 0
 
 
+def _is_directed_input(graph) -> bool:
+    if isinstance(graph, DirectedGraph):
+        return True
+    try:
+        from .kernels import CSRDigraph
+    except ImportError:
+        return False
+    return isinstance(graph, CSRDigraph)
+
+
 def _problem_from_args(args, graph) -> Problem:
     """Build the Problem a `densest` invocation describes."""
-    if isinstance(graph, DirectedGraph):
+    if _is_directed_input(graph):
         if args.k is not None:
             raise ReproError("--k applies to undirected inputs only")
         return DirectedDensest(
@@ -248,8 +298,21 @@ def _print_solution(solution: Solution, show_nodes: int = 0) -> None:
 def _cmd_densest(args) -> int:
     graph = _load_any(args)
     problem = _problem_from_args(args, graph)
+    backend = args.backend
+    options = {}
+    if args.engine != "auto":
+        if backend == "auto":
+            backend = "core"  # --engine names a core execution engine
+        if backend not in ("core", "core-csr"):
+            raise ReproError(
+                f"--engine applies to the core/core-csr backends, not {backend!r}"
+            )
+        if backend == "core":
+            options["engine"] = args.engine
+        elif args.engine != "numpy":
+            raise ReproError("backend 'core-csr' is pinned to the numpy engine")
     solution = solve(
-        problem, backend=args.backend, memory_budget=args.memory_budget
+        problem, backend=backend, memory_budget=args.memory_budget, **options
     )
     kind = {
         "densest_subgraph": "densest subgraph",

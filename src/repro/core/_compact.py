@@ -16,6 +16,20 @@ from ..graph.undirected import UndirectedGraph
 Node = Hashable
 
 
+def drop_killed(alive_nodes: List[int], to_remove: Sequence[int]) -> List[int]:
+    """The maintained alive list minus ``to_remove`` (order preserved).
+
+    Shared by the peeling loops that keep an explicit membership list
+    so threshold scans cost O(|S|) rather than O(n).
+    """
+    if not to_remove:
+        return alive_nodes
+    if len(to_remove) == len(alive_nodes):
+        return []
+    removed = set(to_remove)
+    return [i for i in alive_nodes if i not in removed]
+
+
 class CompactUndirected:
     """Index-based adjacency snapshot of an undirected graph.
 

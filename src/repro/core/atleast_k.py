@@ -8,6 +8,11 @@ pass, which guarantees that some intermediate set lands within a
 Lemma 10 shows the bound improves to (2+2ε) whenever the optimum
 itself has more than k nodes.  By Lemma 11 the pass count is
 O(log_{1+ε} n/k) since peeling can stop once |S| < k.
+
+Like Algorithm 1, the loop runs on either the interpreted Python
+engine or the vectorized CSR kernel
+(:func:`repro.kernels.peel.peel_atleast_k`); see the ``engine``
+parameter.
 """
 
 from __future__ import annotations
@@ -19,9 +24,11 @@ from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_int
 from ..errors import EmptyGraphError, ParameterError
 from ..graph.undirected import UndirectedGraph
-from ._compact import CompactUndirected
+from ..kernels import resolve_engine
+from ._compact import CompactUndirected, drop_killed
 from .result import DensestSubgraphResult
 from .trace import PassRecord
+from .undirected import _as_csr, _as_dict_graph
 
 Node = Hashable
 
@@ -32,13 +39,15 @@ def densest_subgraph_atleast_k(
     epsilon: float = 0.5,
     *,
     stop_below_k: bool = True,
+    engine: str = "auto",
 ) -> DensestSubgraphResult:
     """Run Algorithm 2 on ``graph`` with size lower bound ``k``.
 
     Parameters
     ----------
     graph:
-        Undirected (optionally weighted) graph.
+        Undirected (optionally weighted) graph, or a
+        :class:`~repro.kernels.csr.CSRGraph` snapshot.
     k:
         Minimum size of the returned subgraph; must satisfy
         ``1 <= k <= graph.num_nodes``.
@@ -51,6 +60,9 @@ def densest_subgraph_atleast_k(
         If True (default), stop peeling once |S| < k — no later set can
         qualify, which is what gives the O(log_{1+ε} n/k) pass bound of
         Lemma 11.  Set False to observe the full trajectory.
+    engine:
+        ``"auto"`` (default), ``"python"``, or ``"numpy"``; both
+        engines return identical results.
 
     Returns
     -------
@@ -73,9 +85,24 @@ def densest_subgraph_atleast_k(
             f"k={k} exceeds the graph's {graph.num_nodes} nodes; no feasible set"
         )
 
-    compact = CompactUndirected(graph)
+    if resolve_engine(engine, graph) == "numpy":
+        from ..kernels import peel_atleast_k
+
+        csr = _as_csr(graph)
+        out = peel_atleast_k(csr, k, epsilon, stop_below_k=stop_below_k)
+        return DensestSubgraphResult(
+            nodes=frozenset(csr.to_labels(out.best_indices)),
+            density=out.best_density,
+            passes=out.passes,
+            epsilon=epsilon,
+            best_pass=out.best_pass,
+            trace=out.trace,
+        )
+
+    compact = CompactUndirected(_as_dict_graph(graph))
     n = compact.num_nodes
     alive = [True] * n
+    alive_nodes = list(range(n))
     degrees = compact.initial_degrees()
     remaining_nodes = n
     remaining_weight = compact.total_weight
@@ -95,10 +122,10 @@ def densest_subgraph_atleast_k(
         pass_index += 1
         density = remaining_weight / remaining_nodes
         threshold = factor * density
-        # Ã(S) ← {i ∈ S : deg_S(i) ≤ 2(1+ε)·ρ(S)}.
-        candidates = [
-            i for i in range(n) if alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
-        ]
+        # Ã(S) ← {i ∈ S : deg_S(i) ≤ 2(1+ε)·ρ(S)} — scan the alive list,
+        # not range(n), so late passes cost O(|S|).
+        cutoff = threshold + THRESHOLD_EPS
+        candidates = [i for i in alive_nodes if degrees[i] <= cutoff]
         # A(S) ⊆ Ã(S) with |A(S)| = ε/(1+ε)·|S|: keep the lowest-degree
         # candidates.  Rounding: at most floor(ε/(1+ε)·|S|) per Theorem 9's
         # size argument, but at least 1 so the loop always progresses.
@@ -106,6 +133,7 @@ def densest_subgraph_atleast_k(
         batch_size = min(batch_size, len(candidates))
         candidates.sort(key=lambda i: degrees[i])
         to_remove = candidates[:batch_size]
+        alive_nodes = drop_killed(alive_nodes, to_remove)
 
         nodes_before = remaining_nodes
         weight_before = remaining_weight
@@ -139,7 +167,7 @@ def densest_subgraph_atleast_k(
         # if |S| ≥ k and ρ(S) > ρ(S̃): S̃ ← S (paper lines 6-7).
         if remaining_nodes >= k and density_after > best_density:
             best_density = density_after
-            best_nodes = [i for i in range(n) if alive[i]]
+            best_nodes = list(alive_nodes)
             best_pass = pass_index
 
     return DensestSubgraphResult(

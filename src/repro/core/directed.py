@@ -12,6 +12,11 @@ the naive max-degree comparison; the naive rule is also implemented
 (``side_rule="max_degree"``) as an ablation target.  In practice c is
 unknown, so :func:`ratio_sweep` tries powers of δ, which worsens the
 guarantee by at most a factor δ (§4.3, Figure 6.4/6.6).
+
+Both the single run and the sweep accept ``engine="numpy"`` to route
+through the vectorized CSR kernels; the sweep then builds the
+:class:`~repro.kernels.csr.CSRDigraph` once and reuses it across every
+candidate c, so the per-ratio cost is pure peeling.
 """
 
 from __future__ import annotations
@@ -23,13 +28,53 @@ from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float
 from ..errors import EmptyGraphError, ParameterError
 from ..graph.directed import DirectedGraph
+from ..kernels import resolve_engine
 from ._compact import CompactDirected
-from .result import DirectedDensestSubgraphResult, RatioSweepResult
+from .result import DirectedDensestSubgraphResult, RatioSweepResult, pick_best_run
 from .trace import DirectedPassRecord
 
 Node = Hashable
 
 _SIDE_RULES = ("size_ratio", "max_degree")
+
+
+def _as_csr_digraph(graph):
+    """The input as a :class:`~repro.kernels.csr.CSRDigraph` snapshot."""
+    from ..kernels import CSRDigraph
+
+    if isinstance(graph, CSRDigraph):
+        return graph
+    return CSRDigraph.from_directed(graph)
+
+
+def _as_dict_digraph(graph) -> DirectedGraph:
+    """The input as a :class:`DirectedGraph` (for the Python engine)."""
+    if isinstance(graph, DirectedGraph):
+        return graph
+    return graph.to_directed()
+
+
+def _check_directed_args(epsilon: float, ratio: float, side_rule: str) -> float:
+    epsilon = check_epsilon(epsilon)
+    check_positive_float(ratio, "ratio")
+    if side_rule not in _SIDE_RULES:
+        raise ParameterError(f"side_rule must be one of {_SIDE_RULES}, got {side_rule!r}")
+    return epsilon
+
+
+def _directed_result_from_outcome(
+    csr, outcome, ratio: float, epsilon: float
+) -> DirectedDensestSubgraphResult:
+    return DirectedDensestSubgraphResult(
+        s_nodes=frozenset(csr.to_labels(outcome.best_s)),
+        t_nodes=frozenset(csr.to_labels(outcome.best_t)),
+        density=outcome.best_density,
+        ratio=ratio,
+        passes=outcome.passes,
+        epsilon=epsilon,
+        best_pass=outcome.best_pass,
+        trace=outcome.trace,
+    )
 
 
 def densest_subgraph_directed(
@@ -38,13 +83,15 @@ def densest_subgraph_directed(
     epsilon: float = 0.5,
     *,
     side_rule: str = "size_ratio",
+    engine: str = "auto",
 ) -> DirectedDensestSubgraphResult:
     """Run Algorithm 3 on ``graph`` for a fixed ratio ``c``.
 
     Parameters
     ----------
     graph:
-        Directed (optionally weighted) graph with at least one node.
+        Directed (optionally weighted) graph with at least one node, or
+        a :class:`~repro.kernels.csr.CSRDigraph` snapshot.
     ratio:
         The assumed c = |S|/|T| of the optimal pair.
     epsilon:
@@ -54,6 +101,9 @@ def densest_subgraph_directed(
         the side to peel from |S|/|T| vs c; ``"max_degree"`` uses the
         naive rule comparing max in/out degrees (slower, kept as an
         ablation of the design choice discussed in §4.3).
+    engine:
+        ``"auto"`` (default), ``"python"``, or ``"numpy"``; both
+        engines return identical results.
 
     Returns
     -------
@@ -67,17 +117,23 @@ def densest_subgraph_directed(
     >>> result.s_size, result.t_size, result.density
     (4, 4, 3.0)
     """
-    epsilon = check_epsilon(epsilon)
-    check_positive_float(ratio, "ratio")
-    if side_rule not in _SIDE_RULES:
-        raise ParameterError(f"side_rule must be one of {_SIDE_RULES}, got {side_rule!r}")
+    epsilon = _check_directed_args(epsilon, ratio, side_rule)
     if graph.num_nodes == 0:
         raise EmptyGraphError("graph has no nodes")
 
-    compact = CompactDirected(graph)
+    if resolve_engine(engine, graph) == "numpy":
+        from ..kernels import peel_directed
+
+        csr = _as_csr_digraph(graph)
+        outcome = peel_directed(csr, ratio, epsilon, side_rule=side_rule)
+        return _directed_result_from_outcome(csr, outcome, ratio, epsilon)
+
+    compact = CompactDirected(_as_dict_digraph(graph))
     n = compact.num_nodes
     in_s = [True] * n
     in_t = [True] * n
+    s_nodes = list(range(n))
+    t_nodes = list(range(n))
     s_size = n
     t_size = n
     # out_to_t[i] = w(E(i, T)); in_from_s[j] = w(E(S, j)).
@@ -100,17 +156,23 @@ def densest_subgraph_directed(
         if side_rule == "size_ratio":
             peel_s = s_size / t_size >= ratio
         else:
-            peel_s = _max_degree_rule(
-                out_to_t, in_from_s, in_s, in_t, ratio
-            )
+            peel_s = _max_degree_rule(out_to_t, in_from_s, s_nodes, t_nodes, ratio)
 
         s_before, t_before = s_size, t_size
         weight_before = edge_weight
+        # The threshold scans walk the maintained membership lists so a
+        # pass costs O(|side|), not O(n), even deep into the peel.
         if peel_s:
+            cutoff = one_plus_eps * edge_weight / s_size + THRESHOLD_EPS
             threshold = one_plus_eps * edge_weight / s_size
-            to_remove = [
-                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + THRESHOLD_EPS
-            ]
+            to_remove = []
+            survivors = []
+            for i in s_nodes:
+                if out_to_t[i] <= cutoff:
+                    to_remove.append(i)
+                else:
+                    survivors.append(i)
+            s_nodes = survivors
             for i in to_remove:
                 in_s[i] = False
                 s_size -= 1
@@ -123,10 +185,16 @@ def densest_subgraph_directed(
                         edge_weight -= wts[k]
             side = "S"
         else:
+            cutoff = one_plus_eps * edge_weight / t_size + THRESHOLD_EPS
             threshold = one_plus_eps * edge_weight / t_size
-            to_remove = [
-                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + THRESHOLD_EPS
-            ]
+            to_remove = []
+            survivors = []
+            for j in t_nodes:
+                if in_from_s[j] <= cutoff:
+                    to_remove.append(j)
+                else:
+                    survivors.append(j)
+            t_nodes = survivors
             for j in to_remove:
                 in_t[j] = False
                 t_size -= 1
@@ -161,8 +229,8 @@ def densest_subgraph_directed(
         )
         if density_after > best_density:
             best_density = density_after
-            best_s = [i for i in range(n) if in_s[i]]
-            best_t = [j for j in range(n) if in_t[j]]
+            best_s = list(s_nodes)
+            best_t = list(t_nodes)
             best_pass = pass_index
 
     return DirectedDensestSubgraphResult(
@@ -180,8 +248,8 @@ def densest_subgraph_directed(
 def _max_degree_rule(
     out_to_t: Sequence[float],
     in_from_s: Sequence[float],
-    in_s: Sequence[bool],
-    in_t: Sequence[bool],
+    s_nodes: Sequence[int],
+    t_nodes: Sequence[int],
     ratio: float,
 ) -> bool:
     """The naive side-choice rule from §4.3.
@@ -191,12 +259,8 @@ def _max_degree_rule(
     Requires scanning both sides every pass — the reason the paper
     prefers the size-ratio rule.
     """
-    max_out = max(
-        (out_to_t[i] for i in range(len(out_to_t)) if in_s[i]), default=0.0
-    )
-    max_in = max(
-        (in_from_s[j] for j in range(len(in_from_s)) if in_t[j]), default=0.0
-    )
+    max_out = max((out_to_t[i] for i in s_nodes), default=0.0)
+    max_in = max((in_from_s[j] for j in t_nodes), default=0.0)
     if max_out <= 0.0:
         return True
     return max_in / max_out >= ratio
@@ -228,13 +292,14 @@ def ratio_sweep(
     delta: float = 2.0,
     ratios: Optional[Iterable[float]] = None,
     side_rule: str = "size_ratio",
+    engine: str = "auto",
 ) -> RatioSweepResult:
     """Search over c and return the best Algorithm 3 run (§4.3).
 
     Parameters
     ----------
     graph:
-        Directed input graph.
+        Directed input graph (or a CSR snapshot).
     epsilon:
         ε passed to each per-ratio run.
     delta:
@@ -244,6 +309,10 @@ def ratio_sweep(
         Explicit candidate ratios (overrides ``delta``).
     side_rule:
         Passed through to :func:`densest_subgraph_directed`.
+    engine:
+        ``"auto"``, ``"python"``, or ``"numpy"``.  On the numpy engine
+        the CSR digraph is built *once* and shared by every per-ratio
+        run, so sweeping the whole grid costs one snapshot build.
 
     Returns
     -------
@@ -258,11 +327,28 @@ def ratio_sweep(
         grid_delta = None
         if not grid:
             raise ParameterError("ratios must be non-empty")
-    results = [
-        densest_subgraph_directed(
-            graph, ratio=c, epsilon=epsilon, side_rule=side_rule
-        )
-        for c in grid
-    ]
-    best = max(results, key=lambda r: r.density)
+    if graph.num_nodes > 0 and resolve_engine(engine, graph) == "numpy":
+        epsilon = check_epsilon(epsilon)
+        if side_rule not in _SIDE_RULES:
+            raise ParameterError(
+                f"side_rule must be one of {_SIDE_RULES}, got {side_rule!r}"
+            )
+        for c in grid:
+            check_positive_float(c, "ratio")
+        from ..kernels import peel_directed_sweep
+
+        csr = _as_csr_digraph(graph)
+        outcomes = peel_directed_sweep(csr, grid, epsilon, side_rule=side_rule)
+        results = [
+            _directed_result_from_outcome(csr, outcome, c, epsilon)
+            for c, outcome in zip(grid, outcomes)
+        ]
+    else:
+        results = [
+            densest_subgraph_directed(
+                graph, ratio=c, epsilon=epsilon, side_rule=side_rule, engine="python"
+            )
+            for c in grid
+        ]
+    best = pick_best_run(results)
     return RatioSweepResult(best=best, by_ratio=tuple(results), delta=grid_delta)

@@ -114,6 +114,23 @@ class DirectedDensestSubgraphResult:
         return optimum / self.density
 
 
+def pick_best_run(results):
+    """The winning per-ratio run: first (in grid order) within
+    :data:`~repro._tolerances.THRESHOLD_EPS` of the maximum density.
+
+    A plain ``max()`` can flip between near-exactly-tied ratios when the
+    per-run densities carry engine-dependent last-ulp noise (the python
+    and numpy engines sum the same edge weights in different orders);
+    the tolerance makes the chosen ratio identical across engines and
+    execution models.
+    """
+    from .._tolerances import THRESHOLD_EPS
+
+    best_density = max(r.density for r in results)
+    cutoff = best_density - THRESHOLD_EPS * max(1.0, abs(best_density))
+    return next(r for r in results if r.density >= cutoff)
+
+
 @dataclass(frozen=True)
 class RatioSweepResult:
     """Output of the powers-of-δ search over c (Section 4.3 / Figure 6.4).

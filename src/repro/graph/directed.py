@@ -37,13 +37,16 @@ class DirectedGraph:
     (2, 1)
     """
 
-    __slots__ = ("_out", "_in", "_num_edges", "_total_weight")
+    __slots__ = ("_out", "_in", "_num_edges", "_total_weight", "_mutations")
 
     def __init__(self, edges: Optional[Iterable] = None) -> None:
         self._out: Dict[Node, Dict[Node, float]] = {}
         self._in: Dict[Node, Dict[Node, float]] = {}
         self._num_edges: int = 0
         self._total_weight: float = 0.0
+        # Monotone edit counter; snapshot caches key on it (see
+        # UndirectedGraph).
+        self._mutations: int = 0
         if edges is not None:
             self.add_edges_from(edges)
 
@@ -82,6 +85,7 @@ class DirectedGraph:
             self._in[v][u] = weight
             self._num_edges += 1
         self._total_weight += weight
+        self._mutations += 1
 
     def add_edges_from(self, edges: Iterable) -> None:
         """Add ``(u, v)`` or ``(u, v, weight)`` tuples."""
@@ -105,6 +109,7 @@ class DirectedGraph:
             del self._out[u][node]
             self._num_edges -= 1
             self._total_weight -= w
+        self._mutations += 1
 
     def remove_nodes_from(self, nodes: Iterable[Node]) -> None:
         """Remove many nodes (all must exist)."""
@@ -274,6 +279,7 @@ class DirectedGraph:
         clone._in = {u: dict(nbrs) for u, nbrs in self._in.items()}
         clone._num_edges = self._num_edges
         clone._total_weight = self._total_weight
+        clone._mutations = 0
         return clone
 
     def to_undirected(self) -> "UndirectedGraph":
@@ -293,6 +299,7 @@ class DirectedGraph:
         clone._in = {u: dict(nbrs) for u, nbrs in self._out.items()}
         clone._num_edges = self._num_edges
         clone._total_weight = self._total_weight
+        clone._mutations = 0
         return clone
 
     def require_nonempty(self) -> None:

@@ -59,6 +59,49 @@ def iter_edge_list(path: PathLike) -> Iterator[Tuple[str, str, float]]:
                 raise GraphError(f"{path}:{lineno}: malformed edge line {line!r}")
 
 
+def read_edge_arrays(path: PathLike, *, int_nodes: bool = True):
+    """Read a SNAP-style edge list into parallel NumPy arrays.
+
+    One pass over the file, no per-edge dict inserts (line parsing is
+    still Python-level; it is the hash-map construction that is
+    skipped): returns ``(src, dst, weights)`` where ``src``/``dst``
+    are int64 arrays (``int_nodes=True``) or string arrays, and
+    ``weights`` is float64 (1.0 where the line had no third column).
+
+    Self-loop and duplicate lines are returned verbatim — the CSR
+    builders apply their own policy (``CSRGraph.from_edge_arrays``
+    drops loops and collapses duplicates; pass ``duplicates="first"``
+    there to match :func:`read_undirected`/:func:`read_directed`).
+
+    Raises
+    ------
+    GraphError
+        On malformed lines, or non-integer ids with ``int_nodes=True``.
+    """
+    import numpy as np
+
+    us: list = []
+    vs: list = []
+    ws: list = []
+    for u, v, w in iter_edge_list(path):
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+    weights = np.asarray(ws, dtype=np.float64)
+    if int_nodes:
+        try:
+            src = np.asarray(us, dtype=np.int64)
+            dst = np.asarray(vs, dtype=np.int64)
+        except ValueError:
+            raise GraphError(
+                f"{path}: non-integer node ids; pass int_nodes=False"
+            ) from None
+    else:
+        src = np.asarray(us)
+        dst = np.asarray(vs)
+    return src, dst, weights
+
+
 def read_undirected(path: PathLike, *, int_nodes: bool = True) -> UndirectedGraph:
     """Read an undirected graph from a SNAP-style edge list.
 

@@ -39,12 +39,15 @@ class UndirectedGraph:
     1.0
     """
 
-    __slots__ = ("_adj", "_num_edges", "_total_weight")
+    __slots__ = ("_adj", "_num_edges", "_total_weight", "_mutations")
 
     def __init__(self, edges: Optional[Iterable] = None) -> None:
         self._adj: Dict[Node, Dict[Node, float]] = {}
         self._num_edges: int = 0
         self._total_weight: float = 0.0
+        # Monotone edit counter; snapshot caches (e.g. the stream
+        # views' vectorized pass arrays) key on it for invalidation.
+        self._mutations: int = 0
         if edges is not None:
             self.add_edges_from(edges)
 
@@ -87,6 +90,7 @@ class UndirectedGraph:
             self._adj[v][u] = weight
             self._num_edges += 1
         self._total_weight += weight
+        self._mutations += 1
 
     def add_edges_from(self, edges: Iterable) -> None:
         """Add ``(u, v)`` or ``(u, v, weight)`` tuples."""
@@ -116,6 +120,7 @@ class UndirectedGraph:
             del self._adj[neighbor][node]
             self._num_edges -= 1
             self._total_weight -= weight
+        self._mutations += 1
 
     def remove_nodes_from(self, nodes: Iterable[Node]) -> None:
         """Remove many nodes (all must exist)."""
@@ -280,6 +285,7 @@ class UndirectedGraph:
         clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
         clone._num_edges = self._num_edges
         clone._total_weight = self._total_weight
+        clone._mutations = 0
         return clone
 
     # ------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""Vectorized CSR kernel layer.
+
+This package holds the NumPy execution engine behind the peeling
+algorithms: CSR graph snapshots (:mod:`repro.kernels.csr`) and the
+per-pass vectorized kernels (:mod:`repro.kernels.peel`).  The engines
+in :mod:`repro.core` route through here when ``engine="numpy"`` is
+selected (or ``engine="auto"`` resolves to it); results are identical
+to the pure-Python loops pass-for-pass.
+
+NumPy is a hard dependency of the package, but every import of this
+layer from the algorithm modules is guarded so a stripped environment
+degrades to the pure-Python engine instead of failing at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParameterError
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+if HAVE_NUMPY:
+    from .csr import CSRDigraph, CSRGraph
+    from .peel import (
+        DirectedPeelOutcome,
+        PeelOutcome,
+        peel_atleast_k,
+        peel_directed,
+        peel_directed_sweep,
+        peel_undirected,
+    )
+
+#: Engine names accepted by the ``engine=`` parameter of the core peels.
+ENGINES = ("auto", "python", "numpy")
+
+#: ``engine="auto"`` switches to the vectorized kernels at this node
+#: count even for graphs with non-integer labels (the O(n) label
+#: factorization is then negligible next to the per-pass savings).
+AUTO_SIZE_CUTOFF = 256
+
+
+def _is_int_labeled(graph) -> bool:
+    """True when every node label is a plain int64-range int (cheap CSR
+    mapping; larger ints cannot live in the vectorized index arrays)."""
+    from .csr import _all_int_labels
+
+    return _all_int_labels(graph.nodes())
+
+
+def resolve_engine(engine: str, graph=None) -> str:
+    """Resolve an ``engine=`` argument to ``"python"`` or ``"numpy"``.
+
+    ``"auto"`` picks the numpy engine when it is importable and the
+    graph is int-labeled, already a CSR snapshot, or at least
+    :data:`AUTO_SIZE_CUTOFF` nodes; small exotic-label graphs stay on
+    the Python loops, where the per-pass constant is lower.
+
+    Raises
+    ------
+    ParameterError
+        On an unknown engine name, or ``engine="numpy"`` without numpy.
+    """
+    if engine not in ENGINES:
+        raise ParameterError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "numpy":
+        if not HAVE_NUMPY:
+            raise ParameterError(
+                "engine='numpy' requires numpy, which is not importable; "
+                "use engine='python'"
+            )
+        return "numpy"
+    if engine == "python":
+        return "python"
+    if not HAVE_NUMPY:
+        return "python"
+    if graph is None:
+        return "numpy"
+    if HAVE_NUMPY and isinstance(graph, (CSRGraph, CSRDigraph)):
+        return "numpy"
+    if graph.num_nodes >= AUTO_SIZE_CUTOFF:
+        return "numpy"
+    if _is_int_labeled(graph):
+        return "numpy"
+    return "python"
+
+
+__all__ = [
+    "AUTO_SIZE_CUTOFF",
+    "ENGINES",
+    "HAVE_NUMPY",
+    "resolve_engine",
+]
+if HAVE_NUMPY:
+    __all__ += [
+        "CSRDigraph",
+        "CSRGraph",
+        "DirectedPeelOutcome",
+        "PeelOutcome",
+        "peel_atleast_k",
+        "peel_directed",
+        "peel_directed_sweep",
+        "peel_undirected",
+    ]

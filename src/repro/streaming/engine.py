@@ -16,22 +16,138 @@ at the start of pass p+1, which is when the best-set bookkeeping
 happens — the same values, one pass later, as the in-memory reference
 in :mod:`repro.core`.  The test suite asserts the engines return
 identical sets and traces to the reference implementations.
+
+When the stream yields integer node ids (and numpy is importable),
+the per-pass degree recomputation runs through the same
+``np.bincount`` kernel as the in-memory CSR engine: edges are pulled
+in bounded chunks (so the between-pass state stays O(n) + O(chunk)),
+endpoint ids are mapped to dense indices with a vectorized
+``searchsorted``, and the surviving edges update all counters at once
+instead of one Python statement per edge.  Threshold scans walk a
+maintained alive list, so late passes cost O(|S|) rather than O(n).
 """
 
 from __future__ import annotations
 
 import math
+from itertools import islice
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float, check_positive_int
+from ..core._compact import drop_killed
 from ..core.result import DensestSubgraphResult, DirectedDensestSubgraphResult
 from ..core.trace import DirectedPassRecord, PassRecord
 from ..errors import ParameterError, StreamError
 from .memory import MemoryAccountant
 from .stream import EdgeStream
 
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 Node = Hashable
+
+#: Edges pulled from the stream per vectorized batch.  Bounds the
+#: transient memory of a scan at O(chunk) on top of the O(n) counters.
+_SCAN_CHUNK = 1 << 16
+
+#: Benchmark/test seam: set True to disable the vectorized scanner and
+#: force the per-edge reference scan (used by scripts/bench_report.py
+#: to time the two scan implementations against each other).
+FORCE_PYTHON_SCAN = False
+
+
+class _IntStreamScanner:
+    """Vectorized per-pass counter recomputation for int-labeled streams.
+
+    Holds the sorted label universe and its permutation (O(n) words) so
+    each chunk of edges maps to dense indices via ``searchsorted``; the
+    degree updates are then single ``np.bincount`` calls — the same
+    kernel the in-memory CSR engine uses on its removal frontier.
+    """
+
+    def __init__(self, labels: List[Node]) -> None:
+        from ..kernels.csr import build_label_index
+
+        arr = _np.asarray(labels, dtype=_np.int64)
+        self.n = int(arr.size)
+        self._order, self._sorted = build_label_index(arr)
+        self._dtype = _np.dtype(
+            [("u", _np.int64), ("v", _np.int64), ("w", _np.float64)]
+        )
+
+    @classmethod
+    def build(cls, labels: List[Node]) -> Optional["_IntStreamScanner"]:
+        """A scanner for ``labels``, or None when ineligible."""
+        if FORCE_PYTHON_SCAN or _np is None or not labels:
+            return None
+        from ..kernels.csr import _all_int_labels
+
+        if not _all_int_labels(labels):
+            return None
+        return cls(labels)
+
+    def _map(self, ids):
+        from ..kernels.csr import lookup_indices
+
+        def missing(first_bad):
+            return StreamError(
+                f"stream edge endpoint {int(first_bad)} outside the node universe"
+            )
+
+        return lookup_indices(self._order, self._sorted, ids, missing)
+
+    def _chunks(self, stream: EdgeStream):
+        arrays = stream.edge_arrays()
+        if arrays is not None:
+            # Map labels per pass rather than caching the O(m) mapped
+            # arrays: the engines' between-pass state must stay O(n)
+            # (one vectorized searchsorted per pass is cheap).
+            u, v, w = arrays
+            yield (
+                self._map(_np.asarray(u, dtype=_np.int64)),
+                self._map(_np.asarray(v, dtype=_np.int64)),
+                _np.asarray(w, dtype=_np.float64),
+            )
+            return
+        edges = stream.edges()
+        while True:
+            arr = _np.fromiter(islice(edges, _SCAN_CHUNK), dtype=self._dtype, count=-1)
+            if arr.size:
+                yield self._map(arr["u"]), self._map(arr["v"]), arr["w"]
+            if arr.size < _SCAN_CHUNK:
+                return
+
+    def scan_undirected(self, stream: EdgeStream, alive) -> Tuple["_np.ndarray", float]:
+        """Degrees of alive nodes and surviving weight, one stream pass."""
+        degrees = _np.zeros(self.n, dtype=_np.float64)
+        weight = 0.0
+        for ui, vi, w in self._chunks(stream):
+            keep = alive[ui] & alive[vi]
+            if keep.any():
+                kept = w[keep]
+                degrees += _np.bincount(ui[keep], weights=kept, minlength=self.n)
+                degrees += _np.bincount(vi[keep], weights=kept, minlength=self.n)
+                weight += float(kept.sum())
+        return degrees, weight
+
+    def scan_directed(
+        self, stream: EdgeStream, in_s, in_t
+    ) -> Tuple["_np.ndarray", "_np.ndarray", float]:
+        """w(E(i,T)), w(E(S,j)), and w(E(S,T)), one stream pass."""
+        out_to_t = _np.zeros(self.n, dtype=_np.float64)
+        in_from_s = _np.zeros(self.n, dtype=_np.float64)
+        weight = 0.0
+        for ui, vi, w in self._chunks(stream):
+            keep = in_s[ui] & in_t[vi]
+            if keep.any():
+                kept = w[keep]
+                out_to_t += _np.bincount(ui[keep], weights=kept, minlength=self.n)
+                in_from_s += _np.bincount(vi[keep], weights=kept, minlength=self.n)
+                weight += float(kept.sum())
+        return out_to_t, in_from_s, weight
 
 
 def _index_nodes(stream: EdgeStream) -> Tuple[List[Node], Dict[Node, int]]:
@@ -42,15 +158,27 @@ def _index_nodes(stream: EdgeStream) -> Tuple[List[Node], Dict[Node, int]]:
     return labels, {node: i for i, node in enumerate(labels)}
 
 
-def _charge_exact_memory(accountant: Optional[MemoryAccountant], n: int) -> None:
+# Shared alive-list maintenance (same helper as the core loops).
+_drop_killed = drop_killed
+
+
+def _charge_exact_memory(
+    accountant: Optional[MemoryAccountant], n: int, *, vectorized: bool
+) -> None:
     """Standard footprint of the exact-degree engines."""
     if accountant is None:
         return
     accountant.charge_words("degrees", n)
     accountant.charge_bits("alive_bitmap", n)
+    # The maintained alive list (O(|S|) threshold scans) is at most n
+    # indices; charged at its worst case.
+    accountant.charge_words("alive_list", n)
     # The best-set snapshot needs only membership, i.e. one bit per node.
     accountant.charge_bits("best_set_bitmap", n)
     accountant.charge_words("scalars", 4)
+    if vectorized:
+        # The scanner's sorted-label index (_order + _sorted).
+        accountant.charge_words("label_index", 2 * n)
 
 
 class _UndirectedPassState:
@@ -61,10 +189,16 @@ class _UndirectedPassState:
         self.labels, self.index = _index_nodes(stream)
         self.n = len(self.labels)
         self.alive = [True] * self.n
+        self.alive_nodes = list(range(self.n))
         self.remaining = self.n
+        self._scanner = _IntStreamScanner.build(self.labels)
 
-    def scan(self) -> Tuple[List[float], float]:
+    def scan(self):
         """One stream pass: degrees of alive nodes and surviving weight."""
+        if self._scanner is not None:
+            return self._scanner.scan_undirected(
+                self.stream, _np.asarray(self.alive, dtype=bool)
+            )
         degrees = [0.0] * self.n
         weight = 0.0
         alive = self.alive
@@ -82,11 +216,12 @@ class _UndirectedPassState:
         """Remove nodes from the alive set."""
         for i in to_remove:
             self.alive[i] = False
+        self.alive_nodes = _drop_killed(self.alive_nodes, to_remove)
         self.remaining -= len(to_remove)
 
     def alive_indices(self) -> List[int]:
         """Indices of currently alive nodes."""
-        return [i for i in range(self.n) if self.alive[i]]
+        return list(self.alive_nodes)
 
 
 def stream_densest_subgraph(
@@ -117,7 +252,7 @@ def stream_densest_subgraph(
     """
     epsilon = check_epsilon(epsilon)
     state = _UndirectedPassState(stream)
-    _charge_exact_memory(accountant, state.n)
+    _charge_exact_memory(accountant, state.n, vectorized=state._scanner is not None)
 
     best_set = state.alive_indices()
     best_density: Optional[float] = None
@@ -146,11 +281,8 @@ def stream_densest_subgraph(
         if best_density is None:
             best_density = density  # ρ(V), the paper's initial S̃
         threshold = factor * density
-        to_remove = [
-            i
-            for i in range(state.n)
-            if state.alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
-        ]
+        cutoff = threshold + THRESHOLD_EPS
+        to_remove = [i for i in state.alive_nodes if degrees[i] <= cutoff]
         pending = {
             "pass_index": pass_index,
             "nodes_before": state.remaining,
@@ -206,7 +338,7 @@ def stream_densest_subgraph_atleast_k(
     state = _UndirectedPassState(stream)
     if k > state.n:
         raise ParameterError(f"k={k} exceeds the universe of {state.n} nodes")
-    _charge_exact_memory(accountant, state.n)
+    _charge_exact_memory(accountant, state.n, vectorized=state._scanner is not None)
 
     best_set = state.alive_indices()
     best_density: Optional[float] = None
@@ -232,11 +364,8 @@ def stream_densest_subgraph_atleast_k(
         if best_density is None:
             best_density = density
         threshold = factor * density
-        candidates = [
-            i
-            for i in range(state.n)
-            if state.alive[i] and degrees[i] <= threshold + THRESHOLD_EPS
-        ]
+        cutoff = threshold + THRESHOLD_EPS
+        candidates = [i for i in state.alive_nodes if degrees[i] <= cutoff]
         batch_size = min(
             len(candidates), max(1, math.floor(batch_fraction * state.remaining))
         )
@@ -296,16 +425,22 @@ def stream_densest_subgraph_directed(
     check_positive_float(ratio, "ratio")
     labels, index = _index_nodes(stream)
     n = len(labels)
+    scanner = _IntStreamScanner.build(labels)
     if accountant is not None:
         accountant.charge_words("out_counters", n)
         accountant.charge_words("in_counters", n)
         accountant.charge_bits("s_bitmap", n)
         accountant.charge_bits("t_bitmap", n)
+        accountant.charge_words("side_lists", 2 * n)
         accountant.charge_bits("best_set_bitmaps", 2 * n)
         accountant.charge_words("scalars", 5)
+        if scanner is not None:
+            accountant.charge_words("label_index", 2 * n)
 
     in_s = [True] * n
     in_t = [True] * n
+    s_nodes = list(range(n))
+    t_nodes = list(range(n))
     s_size = n
     t_size = n
     best_s = list(range(n))
@@ -319,16 +454,23 @@ def stream_densest_subgraph_directed(
 
     while s_size > 0 and t_size > 0:
         pass_index += 1
-        out_to_t = [0.0] * n
-        in_from_s = [0.0] * n
-        weight = 0.0
-        for u, v, w in stream.edges():
-            ui = index[u]
-            vi = index[v]
-            if in_s[ui] and in_t[vi]:
-                out_to_t[ui] += w
-                in_from_s[vi] += w
-                weight += w
+        if scanner is not None:
+            out_to_t, in_from_s, weight = scanner.scan_directed(
+                stream,
+                _np.asarray(in_s, dtype=bool),
+                _np.asarray(in_t, dtype=bool),
+            )
+        else:
+            out_to_t = [0.0] * n
+            in_from_s = [0.0] * n
+            weight = 0.0
+            for u, v, w in stream.edges():
+                ui = index[u]
+                vi = index[v]
+                if in_s[ui] and in_t[vi]:
+                    out_to_t[ui] += w
+                    in_from_s[vi] += w
+                    weight += w
         density = weight / math.sqrt(s_size * t_size)
         if pending is not None:
             trace.append(
@@ -338,23 +480,21 @@ def stream_densest_subgraph_directed(
             )
             if density > best_density:  # type: ignore[operator]
                 best_density = density
-                best_s = [i for i in range(n) if in_s[i]]
-                best_t = [j for j in range(n) if in_t[j]]
+                best_s = list(s_nodes)
+                best_t = list(t_nodes)
                 best_pass = pending["pass_index"]
         if best_density is None:
             best_density = density
         peel_s = s_size / t_size >= ratio
         if peel_s:
             threshold = one_plus_eps * weight / s_size
-            to_remove = [
-                i for i in range(n) if in_s[i] and out_to_t[i] <= threshold + THRESHOLD_EPS
-            ]
+            cutoff = threshold + THRESHOLD_EPS
+            to_remove = [i for i in s_nodes if out_to_t[i] <= cutoff]
             side = "S"
         else:
             threshold = one_plus_eps * weight / t_size
-            to_remove = [
-                j for j in range(n) if in_t[j] and in_from_s[j] <= threshold + THRESHOLD_EPS
-            ]
+            cutoff = threshold + THRESHOLD_EPS
+            to_remove = [j for j in t_nodes if in_from_s[j] <= cutoff]
             side = "T"
         pending = {
             "pass_index": pass_index,
@@ -371,10 +511,12 @@ def stream_densest_subgraph_directed(
         if side == "S":
             for i in to_remove:
                 in_s[i] = False
+            s_nodes = _drop_killed(s_nodes, to_remove)
             s_size -= len(to_remove)
         else:
             for j in to_remove:
                 in_t[j] = False
+            t_nodes = _drop_killed(t_nodes, to_remove)
             t_size -= len(to_remove)
 
     if pending is not None:

@@ -24,6 +24,28 @@ from ..graph.undirected import UndirectedGraph
 Node = Hashable
 EdgeTriple = Tuple[Node, Node, float]
 
+_UNSUPPORTED = object()  # edge_arrays() cache sentinel: "cannot vectorize"
+
+
+def _triples_to_arrays(triples):
+    """``(u, v, w)`` arrays from a materialized triple list, or None.
+
+    Returns None when numpy is unavailable or the node ids do not
+    convert to a sortable array dtype (exotic hashable labels).
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy-less installs
+        return None
+    if not triples:
+        return None
+    us, vs, ws = zip(*triples)
+    u = np.asarray(us)
+    v = np.asarray(vs)
+    if u.dtype == object or v.dtype == object:
+        return None
+    return u, v, np.asarray(ws, dtype=np.float64)
+
 
 class EdgeStream(ABC):
     """Abstract multi-pass edge stream.
@@ -47,6 +69,19 @@ class EdgeStream(ABC):
         for triple in self._generate():
             self.edges_streamed += 1
             yield triple
+
+    def edge_arrays(self):
+        """One *counted* pass as ``(u, v, w)`` NumPy arrays, or None.
+
+        Streams backed by in-memory data (graph views, memory lists)
+        can serve a whole pass as three parallel arrays, which lets the
+        engines' vectorized scan kernels skip per-edge iteration
+        entirely.  The base implementation returns None — honest
+        external streams (files, generators) are consumed through
+        :meth:`edges` instead.  A successful call counts exactly like a
+        full :meth:`edges` pass.
+        """
+        return None
 
     def __iter__(self) -> Iterator[EdgeTriple]:
         return self.edges()
@@ -101,6 +136,18 @@ class MemoryEdgeStream(EdgeStream):
     def _generate(self) -> Iterator[EdgeTriple]:
         return iter(self._edges)
 
+    def edge_arrays(self):
+        """Vectorized pass view over the in-memory edge list (cached)."""
+        cached = getattr(self, "_arrays", None)
+        if cached is None:
+            cached = _triples_to_arrays(self._edges)
+            self._arrays = _UNSUPPORTED if cached is None else cached
+        if cached is _UNSUPPORTED or cached is None:
+            return None
+        self.passes_made += 1
+        self.edges_streamed += len(self._edges)
+        return cached
+
     def __len__(self) -> int:
         return len(self._edges)
 
@@ -133,7 +180,42 @@ class FileEdgeStream(EdgeStream):
                 yield u, v, w
 
 
-class GraphEdgeStream(EdgeStream):
+class _GraphBackedEdgeStream(EdgeStream):
+    """Shared machinery of the graph-view streams.
+
+    ``edge_arrays`` snapshots the graph's edge list into NumPy arrays
+    on first use and reuses it for later passes — the stream already
+    holds the whole graph in memory, so the snapshot does not change
+    the memory class.  The snapshot is keyed on the graph's mutation
+    counter and rebuilt when the graph has been edited, so a reused
+    stream never computes on stale edges.
+    """
+
+    def __init__(self, graph) -> None:
+        super().__init__(graph.nodes())
+        self._graph = graph
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        return self._graph.weighted_edges()
+
+    def edge_arrays(self):
+        # CSR snapshots are immutable and carry no counter; any
+        # constant signature is correct for them.
+        signature = getattr(self._graph, "_mutations", 0)
+        cached = getattr(self, "_arrays", None)
+        if cached is None or getattr(self, "_arrays_signature", None) != signature:
+            cached = _triples_to_arrays(list(self._graph.weighted_edges()))
+            self._arrays = _UNSUPPORTED if cached is None else cached
+            self._arrays_signature = signature
+            cached = self._arrays
+        if cached is _UNSUPPORTED or cached is None:
+            return None
+        self.passes_made += 1
+        self.edges_streamed += int(cached[0].size)
+        return cached
+
+
+class GraphEdgeStream(_GraphBackedEdgeStream):
     """Stream the edges of an in-memory undirected graph.
 
     Convenient glue for comparing streaming runs against the in-memory
@@ -141,22 +223,14 @@ class GraphEdgeStream(EdgeStream):
     """
 
     def __init__(self, graph: UndirectedGraph) -> None:
-        super().__init__(graph.nodes())
-        self._graph = graph
-
-    def _generate(self) -> Iterator[EdgeTriple]:
-        return self._graph.weighted_edges()
+        super().__init__(graph)
 
 
-class DirectedGraphEdgeStream(EdgeStream):
+class DirectedGraphEdgeStream(_GraphBackedEdgeStream):
     """Stream the edges of an in-memory directed graph (u -> v order)."""
 
     def __init__(self, graph: DirectedGraph) -> None:
-        super().__init__(graph.nodes())
-        self._graph = graph
-
-    def _generate(self) -> Iterator[EdgeTriple]:
-        return self._graph.weighted_edges()
+        super().__init__(graph)
 
 
 class GeneratorEdgeStream(EdgeStream):

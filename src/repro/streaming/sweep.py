@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 
 from .._validation import check_epsilon
 from ..core.directed import default_ratio_grid
-from ..core.result import RatioSweepResult
+from ..core.result import RatioSweepResult, pick_best_run
 from ..errors import ParameterError
 from .engine import stream_densest_subgraph_directed
 from .memory import MemoryAccountant
@@ -74,5 +74,5 @@ def stream_ratio_sweep(
         )
         for i, c in enumerate(grid)
     ]
-    best = max(results, key=lambda r: r.density)
+    best = pick_best_run(results)
     return RatioSweepResult(best=best, by_ratio=tuple(results), delta=grid_delta)
