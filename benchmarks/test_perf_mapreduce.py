@@ -1,0 +1,103 @@
+"""Performance microbenchmarks of the columnar MapReduce runtime.
+
+Times the §5.2 peeling drivers on both runtime paths (record-at-a-time
+Python tuples vs columnar NumPy batches) on the Figure 6.7 fixtures,
+so pytest-benchmark tables show the engines side by side;
+``scripts/bench_report.py --suite mapreduce`` writes the
+machine-readable comparison with the ≥5x gate.
+
+The record-path cases run one pedantic round — per-record execution is
+exactly the overhead this layer exists to avoid, and timing it longer
+adds nothing.
+"""
+
+import pytest
+
+from repro.datasets import load
+from repro.kernels import CSRDigraph, CSRGraph
+from repro.mapreduce.densest import (
+    mr_densest_subgraph,
+    mr_densest_subgraph_directed,
+)
+from repro.mapreduce.runtime import MapReduceRuntime
+
+
+@pytest.fixture(scope="module")
+def im_small():
+    return load("im_sim", scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def im_csr(im_small):
+    return CSRGraph.from_undirected(im_small)
+
+
+@pytest.fixture(scope="module")
+def tw_small():
+    return load("twitter_sim", scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def tw_csr(tw_small):
+    return CSRDigraph.from_directed(tw_small)
+
+
+def _runtime():
+    return MapReduceRuntime(num_mappers=8, num_reducers=8, seed=1)
+
+
+def test_perf_mr_peel_columnar(benchmark, im_csr):
+    report = benchmark(
+        lambda: mr_densest_subgraph(im_csr, 1.0, runtime=_runtime(), engine="numpy")
+    )
+    assert report.result.density > 0
+
+
+def test_perf_mr_peel_eps0_columnar(benchmark, im_csr):
+    report = benchmark(
+        lambda: mr_densest_subgraph(im_csr, 0.0, runtime=_runtime(), engine="numpy")
+    )
+    assert report.result.density > 0
+
+
+def test_perf_mr_peel_record(benchmark, im_small):
+    report = benchmark.pedantic(
+        lambda: mr_densest_subgraph(
+            im_small, 1.0, runtime=_runtime(), engine="python"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.result.density > 0
+
+
+def test_perf_mr_directed_columnar(benchmark, tw_csr):
+    report = benchmark(
+        lambda: mr_densest_subgraph_directed(
+            tw_csr, ratio=1.0, epsilon=1.0, runtime=_runtime(), engine="numpy"
+        )
+    )
+    assert report.result.density > 0
+
+
+def test_perf_mr_directed_record(benchmark, tw_small):
+    report = benchmark.pedantic(
+        lambda: mr_densest_subgraph_directed(
+            tw_small, ratio=1.0, epsilon=1.0, runtime=_runtime(), engine="python"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.result.density > 0
+
+
+def test_columnar_engine_matches_record_on_fixture(im_small, im_csr):
+    """Cheap guard: the two runtime paths agree on the benchmark fixture."""
+    record = mr_densest_subgraph(
+        im_small, 1.0, runtime=_runtime(), engine="python"
+    ).result
+    columnar = mr_densest_subgraph(
+        im_csr, 1.0, runtime=_runtime(), engine="numpy"
+    ).result
+    assert record.nodes == columnar.nodes
+    assert record.density == pytest.approx(columnar.density)

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Benchmark trajectory harness: python vs numpy peeling engines.
+"""Benchmark trajectory harness: python vs numpy execution engines.
 
-Times the same peeling workloads as ``benchmarks/test_perf_core.py``
-(the flickr_sim / livejournal_sim fixtures at their benchmark scales)
-on both execution engines and writes a machine-readable
-``BENCH_core.json`` so successive PRs can track the trajectory of the
-hot paths instead of eyeballing pytest-benchmark tables.
+Two suites, selected with ``--suite``:
+
+* ``core`` (default) times the same peeling workloads as
+  ``benchmarks/test_perf_core.py`` (the flickr_sim / livejournal_sim
+  fixtures at their benchmark scales) on both core execution engines
+  and writes ``BENCH_core.json``.
+* ``mapreduce`` times the §5.2 MapReduce drivers on the Figure 6.7
+  peeling fixtures (im_sim undirected, twitter_sim directed) on the
+  record-at-a-time vs columnar runtime paths and writes
+  ``BENCH_mapreduce.json``.
+
+Both reports are machine-readable so successive PRs can track the
+trajectory of the hot paths instead of eyeballing pytest-benchmark
+tables.
 
 Methodology
 -----------
@@ -14,7 +23,7 @@ Methodology
   engine and is paid on every solve.
 * ``engine=numpy`` rows time the run from a resident
   :class:`~repro.kernels.csr.CSRGraph`/``CSRDigraph`` snapshot — the
-  deployment shape of the vectorized engine (the snapshot is built
+  deployment shape of the vectorized engines (the snapshot is built
   once per dataset and reused across solves/sweeps; the CLI's
   ``--edge-list`` path even builds it without a dict detour).  The
   snapshot build itself is reported as separate ``csr_build_*`` rows
@@ -27,6 +36,7 @@ Run::
     PYTHONPATH=src python scripts/bench_report.py            # full scales
     PYTHONPATH=src python scripts/bench_report.py --quick    # CI smoke
     PYTHONPATH=src python scripts/bench_report.py --min-speedup 5
+    PYTHONPATH=src python scripts/bench_report.py --suite mapreduce --min-speedup 5
 """
 
 from __future__ import annotations
@@ -183,10 +193,104 @@ def run_benches(scale_factor: float, repeats: int):
     return records
 
 
+def run_mapreduce_benches(scale_factor: float, repeats: int):
+    """Time the MapReduce drivers, record vs columnar runtime path."""
+    from repro.datasets import load
+    from repro.kernels import CSRDigraph, CSRGraph
+    from repro.mapreduce.densest import (
+        mr_densest_subgraph,
+        mr_densest_subgraph_directed,
+    )
+    from repro.mapreduce.runtime import MapReduceRuntime
+
+    records: list = []
+
+    # The Figure 6.7 fixture (im_sim) plus the directed Figure 6.6
+    # fixture (twitter_sim), at reduced scales: the record path pays
+    # per-record Python on every round, so full-scale runs would take
+    # minutes per repeat.
+    im = load("im_sim", scale=0.2 * scale_factor)
+    tw = load("twitter_sim", scale=0.15 * scale_factor)
+    im_name = f"im_sim@{0.2 * scale_factor:g}"
+    tw_name = f"twitter_sim@{0.15 * scale_factor:g}"
+
+    _bench_single(
+        records,
+        "csr_build_undirected",
+        im_name,
+        lambda: CSRGraph.from_undirected(im),
+        repeats,
+    )
+    _bench_single(
+        records,
+        "csr_build_directed",
+        tw_name,
+        lambda: CSRDigraph.from_directed(tw),
+        repeats,
+    )
+
+    im_csr = CSRGraph.from_undirected(im)
+    tw_csr = CSRDigraph.from_directed(tw)
+
+    def _runtime():
+        return MapReduceRuntime(num_mappers=8, num_reducers=8, seed=1)
+
+    for eps, bench in ((0.0, "mr_peel_eps0"), (1.0, "mr_peel_eps1")):
+        _bench_pair(
+            records,
+            bench,
+            im_name,
+            lambda eps=eps: mr_densest_subgraph(
+                im, eps, runtime=_runtime(), engine="python"
+            ),
+            lambda eps=eps: mr_densest_subgraph(
+                im_csr, eps, runtime=_runtime(), engine="numpy"
+            ),
+            repeats,
+        )
+    _bench_pair(
+        records,
+        "mr_directed_peel",
+        tw_name,
+        lambda: mr_densest_subgraph_directed(
+            tw, ratio=1.0, epsilon=1.0, runtime=_runtime(), engine="python"
+        ),
+        lambda: mr_densest_subgraph_directed(
+            tw_csr, ratio=1.0, epsilon=1.0, runtime=_runtime(), engine="numpy"
+        ),
+        repeats,
+    )
+    return records
+
+
+#: Per-suite configuration: bench driver, default report path, and the
+#: benches the ``--min-speedup`` gate applies to.
+SUITES = {
+    "core": {
+        "run": run_benches,
+        "output": "BENCH_core.json",
+        "gate": {"undirected_peel_eps05", "undirected_peel_eps2", "directed_peel"},
+    },
+    "mapreduce": {
+        "run": run_mapreduce_benches,
+        "output": "BENCH_mapreduce.json",
+        "gate": {"mr_peel_eps0", "mr_peel_eps1", "mr_directed_peel"},
+    },
+}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default="BENCH_core.json", help="where to write the report"
+        "--suite",
+        choices=sorted(SUITES),
+        default="core",
+        help="which bench suite to run (core engines or MapReduce drivers)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the report (default: the suite's BENCH_*.json)",
     )
     parser.add_argument(
         "--repeats", type=int, default=9, help="timing repeats per bench (median)"
@@ -204,21 +308,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    suite = SUITES[args.suite]
+    output = args.output if args.output is not None else suite["output"]
     scale_factor = 0.4 if args.quick else 1.0
     repeats = min(args.repeats, 3) if args.quick else args.repeats
-    records = run_benches(scale_factor, repeats)
+    records = suite["run"](scale_factor, repeats)
 
     report = {
-        "suite": "test_perf_core",
+        "suite": args.suite,
         "scale_factor": scale_factor,
         "repeats": repeats,
         "benches": records,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {args.output} ({len(records)} records)")
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output} ({len(records)} records)")
 
     if args.min_speedup is not None:
-        gate = {"undirected_peel_eps05", "undirected_peel_eps2", "directed_peel"}
+        gate = suite["gate"]
         failing = [
             r
             for r in records

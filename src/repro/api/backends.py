@@ -10,8 +10,10 @@ core      in-memory reference peels (Algorithms 1–3 + ratio sweep);
           engine="python"|"numpy"|"auto" selects the execution engine
 core-csr  the vectorized CSR kernels (core pinned to engine="numpy")
 streaming semi-streaming engines with O(n) between-pass state
-sketch    Algorithm 1 with Count-Sketch degree counters (§5.1)
-mapreduce the §5.2 MapReduce drivers on the simulated runtime
+sketch    Algorithm 1 with Count-Sketch degree counters (§5.1);
+          engine="python"|"numpy"|"auto" selects the edge-scan path
+mapreduce the §5.2 MapReduce drivers on the simulated runtime;
+          engine="python"|"numpy"|"auto" selects record vs columnar jobs
 exact-lp  Charikar's LP (undirected and directed, scipy/HiGHS)
 exact-flow Goldberg's max-flow exact solver
 greedy    one-node-per-step greedy baselines (Charikar-style)
@@ -458,7 +460,13 @@ class StreamingSolver:
 # ----------------------------------------------------------------------
 @register
 class SketchSolver:
-    """Sublinear-memory Algorithm 1 (§5.1); approximate removals."""
+    """Sublinear-memory Algorithm 1 (§5.1); approximate removals.
+
+    Accepts an ``engine="auto"|"python"|"numpy"`` option selecting the
+    per-pass edge-scan implementation (vectorized chunked scan for
+    int-labeled streams vs the record loop); the sketch state is
+    identical either way.
+    """
 
     name = "sketch"
 
@@ -472,6 +480,7 @@ class SketchSolver:
             exact=False,
             memory_class=MEM_SKETCH,
             semantics="sketch-peel",
+            engines=("python", "numpy") if CSRGraph is not None else ("python",),
         )
 
     def estimated_memory_words(self, problem: Problem) -> Optional[int]:
@@ -489,7 +498,7 @@ class SketchSolver:
         if not isinstance(problem, DensestSubgraph):
             raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
         _reject_options(
-            self.name, options, ("buckets", "tables", "seed", "accountant")
+            self.name, options, ("buckets", "tables", "seed", "accountant", "engine")
         )
         accountant = options.get("accountant")
         stream = _as_stream(problem)
@@ -503,6 +512,7 @@ class SketchSolver:
             seed=options.get("seed", 0),
             max_passes=problem.max_passes,
             accountant=accountant,
+            engine=options.get("engine", "auto"),
         )
         cost = _stream_cost(
             stream, result.passes, passes_before, edges_before, accountant
@@ -517,7 +527,14 @@ class SketchSolver:
 # ----------------------------------------------------------------------
 @register
 class MapReduceSolver:
-    """Algorithms 1–3 as metered MapReduce job chains."""
+    """Algorithms 1–3 as metered MapReduce job chains.
+
+    Accepts an ``engine="auto"|"python"|"numpy"`` option selecting the
+    runtime path: record-at-a-time jobs or the columnar batch jobs
+    (``"auto"`` goes columnar for int-labeled graphs).  CSR snapshots
+    are accepted directly — the columnar engine reads their edge
+    arrays without materializing a dict graph.
+    """
 
     name = "mapreduce"
 
@@ -528,6 +545,7 @@ class MapReduceSolver:
             exact=False,
             memory_class=MEM_EDGES,
             semantics="batch-peel",
+            engines=("python", "numpy") if CSRGraph is not None else ("python",),
         )
 
     def estimated_memory_words(self, problem: Problem) -> Optional[int]:
@@ -541,11 +559,14 @@ class MapReduceSolver:
             mr_densest_subgraph_directed,
         )
 
-        graph = _require_graph(problem, self.name)
-        _reject_options(self.name, options, ("runtime",))
+        graph = _require_graph(problem, self.name, allow_csr=True)
+        _reject_options(self.name, options, ("runtime", "engine"))
         runtime = options.get("runtime")
+        engine = options.get("engine", "auto")
         if isinstance(problem, DensestSubgraph):
-            report = mr_densest_subgraph(graph, problem.epsilon, runtime=runtime)
+            report = mr_densest_subgraph(
+                graph, problem.epsilon, runtime=runtime, engine=engine
+            )
             return _undirected_solution(
                 report.result,
                 backend=self.name,
@@ -558,7 +579,7 @@ class MapReduceSolver:
             )
         if isinstance(problem, DensestAtLeastK):
             report = mr_densest_subgraph_atleast_k(
-                graph, problem.k, problem.epsilon, runtime=runtime
+                graph, problem.k, problem.epsilon, runtime=runtime, engine=engine
             )
             return _undirected_solution(
                 report.result,
@@ -572,9 +593,18 @@ class MapReduceSolver:
             )
         if isinstance(problem, DirectedDensest):
             if problem.is_sweep:
+                # Resolve the engine once for the whole sweep, and give
+                # the columnar drivers a resident CSR snapshot so the
+                # per-ratio calls read edge arrays instead of repeating
+                # the O(m) weighted_edges() pass and the label scan.
+                from ..mapreduce.densest import resolve_mr_engine
+
+                engine = resolve_mr_engine(engine, graph)
+                if engine == "numpy" and isinstance(graph, DirectedGraph):
+                    graph = CSRDigraph.from_directed(graph)
                 reports = [
                     mr_densest_subgraph_directed(
-                        graph, ratio, problem.epsilon, runtime=runtime
+                        graph, ratio, problem.epsilon, runtime=runtime, engine=engine
                     )
                     for ratio in _directed_grid(problem)
                 ]
@@ -596,7 +626,7 @@ class MapReduceSolver:
                     details=sweep,
                 )
             report = mr_densest_subgraph_directed(
-                graph, problem.ratio, problem.epsilon, runtime=runtime
+                graph, problem.ratio, problem.epsilon, runtime=runtime, engine=engine
             )
             return _directed_solution(
                 report.result,

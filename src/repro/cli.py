@@ -92,8 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=["auto", "python", "numpy"],
         default="auto",
-        help="execution engine for the core backends: 'python' (interpreted "
-        "loops), 'numpy' (vectorized CSR kernels), or 'auto' (pick per graph)",
+        help="execution engine for the core/mapreduce/sketch backends: "
+        "'python' (interpreted record loops), 'numpy' (vectorized kernels / "
+        "columnar MapReduce batches), or 'auto' (pick per graph)",
     )
     p_solve.add_argument("--epsilon", type=float, default=0.5)
     p_solve.add_argument(
@@ -303,14 +304,16 @@ def _cmd_densest(args) -> int:
     if args.engine != "auto":
         if backend == "auto":
             backend = "core"  # --engine names a core execution engine
-        if backend not in ("core", "core-csr"):
+        if backend not in ("core", "core-csr", "mapreduce", "sketch"):
             raise ReproError(
-                f"--engine applies to the core/core-csr backends, not {backend!r}"
+                f"--engine applies to the core/core-csr/mapreduce/sketch "
+                f"backends, not {backend!r}"
             )
-        if backend == "core":
+        if backend == "core-csr":
+            if args.engine != "numpy":
+                raise ReproError("backend 'core-csr' is pinned to the numpy engine")
+        else:
             options["engine"] = args.engine
-        elif args.engine != "numpy":
-            raise ReproError("backend 'core-csr' is pinned to the numpy engine")
     solution = solve(
         problem, backend=backend, memory_budget=args.memory_budget, **options
     )

@@ -7,13 +7,17 @@ combiners, partitioned shuffle, sorted reduce — and meter every round
 translate counters into simulated wall-clock (Figure 6.7).
 
 * :mod:`~repro.mapreduce.job` — job specifications (mapper, combiner,
-  reducer) and typed counters.
+  reducer, plus optional vectorized batch twins) and typed counters.
 * :mod:`~repro.mapreduce.runtime` — the execution engine: input splits,
-  map tasks, combiner, hash-partitioned shuffle, sorted reduce tasks.
+  map tasks, combiner, hash-partitioned shuffle, sorted reduce tasks —
+  record-at-a-time or columnar, per job/input.
+* :mod:`~repro.mapreduce.columnar` — the array-native batch
+  representation behind the columnar path (int64 keys + value columns,
+  vectorized split/shuffle/group-by).
 * :mod:`~repro.mapreduce.cost` — the wall-clock cost model.
 * :mod:`~repro.mapreduce.densest` — the paper's §5.2 realization of the
   peeling algorithms as MapReduce job chains (degree job + two-round
-  node-removal job per pass).
+  node-removal job per pass), on either engine.
 """
 
 from .job import JobCounters, MapReduceJob
@@ -23,6 +27,7 @@ from .densest import (
     mr_densest_subgraph,
     mr_densest_subgraph_atleast_k,
     mr_densest_subgraph_directed,
+    resolve_mr_engine,
     MapReduceRunReport,
 )
 from .runtime import TransientTaskError
@@ -36,5 +41,13 @@ __all__ = [
     "mr_densest_subgraph",
     "mr_densest_subgraph_atleast_k",
     "mr_densest_subgraph_directed",
+    "resolve_mr_engine",
     "MapReduceRunReport",
 ]
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    from .columnar import ColumnarKV, GroupedKV
+except ImportError:  # pragma: no cover
+    pass  # the batch types need numpy; importing them raises ImportError
+else:
+    __all__ += ["ColumnarKV", "GroupedKV"]

@@ -15,6 +15,11 @@ mappers/reducers gives first-pass times of tens of minutes and a
 per-round floor of a couple of minutes, echoing the paper's setup.
 Absolute values are explicitly *not* claims about Hadoop — only the
 declining per-pass shape is.
+
+``shuffle_bytes`` comes from the runtime's deterministic per-type size
+model (8-byte ints/floats, ``len + 1`` strings, elementwise tuples;
+the columnar path charges dtype itemsizes), so the model prices both
+runtime engines on the same scale.
 """
 
 from __future__ import annotations

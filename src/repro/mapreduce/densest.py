@@ -18,6 +18,22 @@ exact job pipeline the paper describes:
    Only edges with both endpoints unmarked survive — exactly the
    paper's two-phase filter.
 
+Every job carries both record-form and batch-form callables, so the
+same pipeline runs on either runtime path.  ``engine="numpy"`` (or
+``engine="auto"`` on an int-labeled graph) drives the jobs columnar:
+edges live as int64/float64 arrays keyed by node label, markers are a
+boolean column instead of the ``'$'`` string, degrees come back as one
+``np.bincount``-style segment sum, and removal is a boolean mask over
+the grouped edge rows.  The columnar drivers meter the same record
+counts per round as the record drivers and make the same threshold
+decisions up to float-reassociation noise (combiner-local and
+pass-total sums associate differently, so degrees and thresholds can
+differ in the last ULPs; bit-identical for dyadic weights, e.g.
+unweighted graphs — the same caveat as the core engines).  The parity
+suite in
+``tests/test_mapreduce_columnar.py`` asserts outputs, traces, and
+counters agree.
+
 The driver keeps O(n) state (alive flags, best set) and makes the same
 threshold decisions as :func:`repro.core.densest_subgraph` /
 :func:`repro.core.densest_subgraph_directed`; tests assert the outputs
@@ -36,15 +52,26 @@ from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float
 from ..core.result import DensestSubgraphResult, DirectedDensestSubgraphResult
 from ..core.trace import DirectedPassRecord, PassRecord
-from ..errors import MapReduceError
+from ..errors import MapReduceError, ParameterError
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
 from .cost import CostModel
 from .job import JobCounters, MapReduceJob
 from .runtime import MapReduceRuntime
 
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as np
+
+    from .columnar import ColumnarKV
+except ImportError:  # pragma: no cover
+    np = None
+    ColumnarKV = None
+
 Node = Hashable
 _MARKER = "$"
+
+#: Engine names accepted by the drivers' ``engine=`` parameter.
+ENGINES = ("auto", "python", "numpy")
 
 
 # ----------------------------------------------------------------------
@@ -61,11 +88,28 @@ def _sum_reducer(key, values):
     return [(key, sum(values))]
 
 
+def _degree_mapper_batch(batch):
+    """Batch twin of :func:`_degree_mapper`: 2 records per edge row."""
+    w = batch.columns["w"]
+    return ColumnarKV(
+        np.concatenate([batch.keys, batch.columns["v"]]),
+        {"w": np.concatenate([w, w])},
+    )
+
+
+def _sum_reducer_batch(grouped):
+    """Batch twin of :func:`_sum_reducer`: one segment sum per key."""
+    return ColumnarKV(grouped.keys, {"w": grouped.segment_sum("w")})
+
+
 DEGREE_JOB = MapReduceJob(
     name="degree",
     mapper=_degree_mapper,
     reducer=_sum_reducer,
     combiner=_sum_reducer,
+    mapper_batch=_degree_mapper_batch,
+    reducer_batch=_sum_reducer_batch,
+    combiner_batch=_sum_reducer_batch,
 )
 
 
@@ -75,17 +119,41 @@ def _directed_degree_mapper(u, edge):
     return [(("out", u), w), (("in", v), w)]
 
 
+def _directed_degree_mapper_batch(batch):
+    """Batch twin of :func:`_directed_degree_mapper`.
+
+    Int keys cannot carry the ``('out', u)`` tuple tag, so the side is
+    packed into the key's low bit instead: ``2u`` for out, ``2v + 1``
+    for in (the driver decodes with a shift).  The encoding is a
+    bijection, so per-task key multiplicities — and hence all record
+    counters — match the record form exactly.
+    """
+    w = batch.columns["w"]
+    return ColumnarKV(
+        np.concatenate([batch.keys * 2, batch.columns["v"] * 2 + 1]),
+        {"w": np.concatenate([w, w])},
+    )
+
+
 DIRECTED_DEGREE_JOB = MapReduceJob(
     name="directed-degree",
     mapper=_directed_degree_mapper,
     reducer=_sum_reducer,
     combiner=_sum_reducer,
+    mapper_batch=_directed_degree_mapper_batch,
+    reducer_batch=_sum_reducer_batch,
+    combiner_batch=_sum_reducer_batch,
 )
 
 
 def _identity_mapper(key, value):
     """Pass records through unchanged."""
     return [(key, value)]
+
+
+def _identity_mapper_batch(batch):
+    """Pass a batch through unchanged."""
+    return batch
 
 
 def _filter_and_pivot_reducer(key, values):
@@ -100,10 +168,33 @@ def _filter_and_pivot_reducer(key, values):
     return [(other, (key, w)) for other, w in values]
 
 
+def _filter_and_pivot_reducer_batch(grouped):
+    """Batch twin of :func:`_filter_and_pivot_reducer`.
+
+    Markers are a boolean ``m`` column; a marker row marks its whole
+    group (it shares the group's key), so one segment-OR plus a repeat
+    yields the row-level drop mask, and the survivors re-key on the
+    ``v`` column with the old key moving into ``v``.
+    """
+    keep = ~grouped.expand(grouped.segment_any("m"))
+    rows = grouped.rows
+    new_keys = rows.columns["v"][keep]
+    return ColumnarKV(
+        new_keys,
+        {
+            "v": rows.keys[keep],
+            "w": rows.columns["w"][keep],
+            "m": np.zeros(new_keys.size, dtype=bool),
+        },
+    )
+
+
 REMOVAL_JOB = MapReduceJob(
     name="remove-marked",
     mapper=_identity_mapper,
     reducer=_filter_and_pivot_reducer,
+    mapper_batch=_identity_mapper_batch,
+    reducer_batch=_filter_and_pivot_reducer_batch,
 )
 
 
@@ -114,10 +205,18 @@ def _filter_keep_key_reducer(key, values):
     return [(key, value) for value in values]
 
 
+def _filter_keep_key_reducer_batch(grouped):
+    """Batch twin of :func:`_filter_keep_key_reducer`."""
+    keep = ~grouped.expand(grouped.segment_any("m"))
+    return grouped.rows.take(keep)
+
+
 REMOVAL_JOB_KEEP_KEY = MapReduceJob(
     name="remove-marked-keep-key",
     mapper=_identity_mapper,
     reducer=_filter_keep_key_reducer,
+    mapper_batch=_identity_mapper_batch,
+    reducer_batch=_filter_keep_key_reducer_batch,
 )
 
 
@@ -133,11 +232,167 @@ def _pivot_mapper(key, value):
     return [(v, (key, w))]
 
 
+def _pivot_mapper_batch(batch):
+    """Batch twin of :func:`_pivot_mapper`: swap key and ``v`` on edge
+    rows, pass marker rows through unchanged."""
+    m = batch.columns["m"]
+    return ColumnarKV(
+        np.where(m, batch.keys, batch.columns["v"]),
+        {
+            "v": np.where(m, batch.columns["v"], batch.keys),
+            "w": batch.columns["w"],
+            "m": m,
+        },
+    )
+
+
 REMOVAL_JOB_PIVOT_SECOND = MapReduceJob(
     name="remove-marked-second",
     mapper=_pivot_mapper,
     reducer=_filter_and_pivot_reducer,
+    mapper_batch=_pivot_mapper_batch,
+    reducer_batch=_filter_and_pivot_reducer_batch,
 )
+
+
+# ----------------------------------------------------------------------
+# Engine resolution and columnar input construction
+# ----------------------------------------------------------------------
+#: Columnar-eligible labels must leave one bit of int64 headroom so the
+#: directed degree job can bit-pack the side tag (``2u`` / ``2v + 1``)
+#: without overflow.
+_LABEL_BOUND = 2**62
+
+
+def _int_labeled(graph) -> bool:
+    """True when every node label fits the columnar int64 key space
+    (with the bit-packing headroom).  CSR snapshots with an integer
+    label array are decided by one vectorized min/max instead of a
+    per-element scan."""
+    from ..kernels import CSRDigraph, CSRGraph
+
+    if isinstance(graph, (CSRGraph, CSRDigraph)):
+        arr = np.asarray(graph.labels)
+        if arr.dtype.kind in "iu":
+            if arr.size == 0:
+                return True
+            return -_LABEL_BOUND <= int(arr.min()) and int(arr.max()) < _LABEL_BOUND
+        labels = graph.labels
+    else:
+        labels = graph.nodes()
+    return all(
+        isinstance(node, int)
+        and not isinstance(node, bool)
+        and -_LABEL_BOUND <= node < _LABEL_BOUND
+        for node in labels
+    )
+
+
+def resolve_mr_engine(engine: str, graph) -> str:
+    """Resolve an ``engine=`` argument to ``"python"`` or ``"numpy"``.
+
+    The columnar path keys shuffles on int64 node labels, so unlike the
+    core peels (which factorize any labels into dense indices up
+    front), ``"auto"`` requires the graph to be int-labeled; exotic
+    labels stay on the record path.  ``engine="numpy"`` on an
+    ineligible graph raises instead of silently degrading.
+    """
+    if engine not in ENGINES:
+        raise ParameterError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "python":
+        return "python"
+    if np is None:
+        if engine == "numpy":
+            raise ParameterError(
+                "engine='numpy' requires numpy, which is not importable; "
+                "use engine='python'"
+            )
+        return "python"
+    eligible = _int_labeled(graph)
+    if engine == "numpy":
+        if not eligible:
+            raise MapReduceError(
+                "engine='numpy' needs int node labels with |label| < 2**62 "
+                "(columnar batches key the shuffle on int64 labels, and the "
+                "directed degree job bit-packs a side tag); relabel or use "
+                "engine='python'"
+            )
+        return "numpy"
+    return "numpy" if eligible else "python"
+
+
+def _edge_batch(graph) -> "ColumnarKV":
+    """The graph's edges as a columnar batch keyed on the first endpoint.
+
+    Columns: ``v`` (other endpoint label), ``w`` (weight), ``m``
+    (marker flag, all False).  CSR snapshots are translated with two
+    vectorized label gathers; dict graphs take one counted
+    ``np.fromiter`` pass over ``weighted_edges()``, preserving the
+    iteration order the record drivers see so the two engines assign
+    identical records to identical tasks.
+    """
+    from ..kernels import CSRDigraph, CSRGraph
+
+    if isinstance(graph, (CSRGraph, CSRDigraph)):
+        ui, vi, w = graph.edge_arrays()
+        labels_arr = np.asarray(graph.labels, dtype=np.int64)
+        keys = labels_arr[ui]
+        v = labels_arr[vi]
+    else:
+        m = graph.num_edges
+        dtype = np.dtype([("u", np.int64), ("v", np.int64), ("w", np.float64)])
+        arr = np.fromiter(graph.weighted_edges(), dtype=dtype, count=m)
+        keys, v, w = arr["u"], arr["v"], arr["w"].copy()
+    return ColumnarKV(keys, {"v": v, "w": w, "m": np.zeros(keys.size, dtype=bool)})
+
+
+def _marker_batch(marked_labels: "np.ndarray") -> "ColumnarKV":
+    """Marker rows ``⟨r; m=True⟩`` for the nodes slated for removal."""
+    count = marked_labels.size
+    return ColumnarKV(
+        marked_labels,
+        {
+            "v": np.full(count, -1, dtype=np.int64),
+            "w": np.zeros(count, dtype=np.float64),
+            "m": np.ones(count, dtype=bool),
+        },
+    )
+
+
+def _with_markers(edges: "ColumnarKV", marked_labels: "np.ndarray") -> "ColumnarKV":
+    """Edges plus trailing marker rows (the record path's ``edges + markers``)."""
+    if marked_labels.size == 0:
+        return edges
+    return ColumnarKV.concat([edges, _marker_batch(marked_labels)])
+
+
+def _columnar_state(graph):
+    """Shared prologue of the columnar drivers.
+
+    Returns ``(labels, labels_arr, order, sorted_labels, edges)`` — the
+    label universe, its int64 array and searchsorted index (for
+    scattering job outputs back onto dense driver state), and the
+    initial edge batch.
+    """
+    from ..kernels.csr import build_label_index
+
+    labels = list(graph.nodes())
+    if not labels:
+        raise MapReduceError("graph has no nodes")
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    order, sorted_labels = build_label_index(labels_arr)
+    return labels, labels_arr, order, sorted_labels, _edge_batch(graph)
+
+
+def _scatter_by_label(order, sorted_labels, n, keys, values) -> "np.ndarray":
+    """Dense length-``n`` float array holding ``values`` at the driver
+    indices of the ``keys`` labels (zeros elsewhere)."""
+    from ..kernels.csr import lookup_indices
+
+    out = np.zeros(n, dtype=np.float64)
+    if keys.size:
+        out[lookup_indices(order, sorted_labels, keys)] = values
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -181,16 +436,22 @@ def mr_densest_subgraph(
     epsilon: float = 0.5,
     *,
     runtime: Optional[MapReduceRuntime] = None,
+    engine: str = "auto",
 ) -> MapReduceRunReport:
     """Algorithm 1 as a chain of MapReduce rounds (§5.2).
 
     Per pass: one degree round, then the two-round removal filter.
     Returns the same node set, density, and per-pass trace as
-    :func:`repro.core.densest_subgraph`.
+    :func:`repro.core.densest_subgraph`.  ``engine`` selects the
+    runtime path: ``"python"`` (record-at-a-time), ``"numpy"``
+    (columnar batches), or ``"auto"`` (columnar when the graph is
+    int-labeled and numpy is importable).
     """
     epsilon = check_epsilon(epsilon)
     if runtime is None:
         runtime = MapReduceRuntime()
+    if resolve_mr_engine(engine, graph) == "numpy":
+        return _mr_densest_subgraph_columnar(graph, epsilon, runtime)
     labels = list(graph.nodes())
     if not labels:
         raise MapReduceError("graph has no nodes")
@@ -276,6 +537,93 @@ def mr_densest_subgraph(
     return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
 
 
+def _mr_densest_subgraph_columnar(
+    graph, epsilon: float, runtime: MapReduceRuntime
+) -> MapReduceRunReport:
+    """Columnar twin of :func:`mr_densest_subgraph`.
+
+    Identical round structure and threshold decisions; the driver-side
+    state is an alive bitmap plus a dense degree array scattered from
+    the degree job's output batch.
+    """
+    labels, labels_arr, order, sorted_labels, edges = _columnar_state(graph)
+    n = len(labels)
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+
+    best_mask = alive.copy()
+    best_density: Optional[float] = None
+    best_pass = 0
+    factor = 2.0 * (1.0 + epsilon)
+    pending: Optional[dict] = None
+    trace: List[PassRecord] = []
+    rounds_per_pass: List[List[JobCounters]] = []
+    pass_index = 0
+
+    while remaining > 0:
+        pass_index += 1
+        pass_rounds: List[JobCounters] = []
+
+        degree_out, counters = runtime.run(DEGREE_JOB, edges)
+        pass_rounds.append(counters)
+        degrees = _scatter_by_label(
+            order, sorted_labels, n, degree_out.keys, degree_out.columns["w"]
+        )
+        weight = float(degrees.sum()) / 2.0
+        density = weight / remaining
+
+        if pending is not None:
+            trace.append(
+                PassRecord(edges_after=weight, density_after=density, **pending)
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_mask = alive.copy()
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+
+        threshold = factor * density
+        remove_mask = alive & (degrees <= threshold + THRESHOLD_EPS)
+        removed = int(remove_mask.sum())
+
+        pending = {
+            "pass_index": pass_index,
+            "nodes_before": remaining,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": removed,
+            "nodes_after": remaining - removed,
+        }
+        alive &= ~remove_mask
+        remaining -= removed
+
+        marked = labels_arr[remove_mask]
+        half_filtered, counters = runtime.run(
+            REMOVAL_JOB, _with_markers(edges, marked)
+        )
+        pass_rounds.append(counters)
+        edges, counters = runtime.run(
+            REMOVAL_JOB, _with_markers(half_filtered, marked)
+        )
+        pass_rounds.append(counters)
+        rounds_per_pass.append(pass_rounds)
+
+    if pending is not None:
+        trace.append(PassRecord(edges_after=0.0, density_after=0.0, **pending))
+
+    result = DensestSubgraphResult(
+        nodes=frozenset(labels[i] for i in np.flatnonzero(best_mask)),
+        density=best_density if best_density is not None else 0.0,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+    return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
+
+
 # ----------------------------------------------------------------------
 # Size-constrained driver (Algorithm 2 in MapReduce)
 # ----------------------------------------------------------------------
@@ -285,6 +633,7 @@ def mr_densest_subgraph_atleast_k(
     epsilon: float = 0.5,
     *,
     runtime: Optional[MapReduceRuntime] = None,
+    engine: str = "auto",
 ) -> MapReduceRunReport:
     """Algorithm 2 as a chain of MapReduce rounds.
 
@@ -292,7 +641,8 @@ def mr_densest_subgraph_atleast_k(
     round + two removal rounds per pass); the driver restricts the
     removal batch to the ε/(1+ε)·|S| lowest-degree members of the
     threshold set and stops once |S| < k, matching
-    :func:`repro.core.densest_subgraph_atleast_k`.
+    :func:`repro.core.densest_subgraph_atleast_k`.  ``engine`` selects
+    the runtime path as in :func:`mr_densest_subgraph`.
     """
     from .._validation import check_positive_int
 
@@ -300,6 +650,8 @@ def mr_densest_subgraph_atleast_k(
     check_positive_int(k, "k")
     if runtime is None:
         runtime = MapReduceRuntime()
+    if resolve_mr_engine(engine, graph) == "numpy":
+        return _mr_densest_subgraph_atleast_k_columnar(graph, k, epsilon, runtime)
     labels = list(graph.nodes())
     if not labels:
         raise MapReduceError("graph has no nodes")
@@ -403,6 +755,115 @@ def mr_densest_subgraph_atleast_k(
     return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
 
 
+def _mr_densest_subgraph_atleast_k_columnar(
+    graph, k: int, epsilon: float, runtime: MapReduceRuntime
+) -> MapReduceRunReport:
+    """Columnar twin of :func:`mr_densest_subgraph_atleast_k`."""
+    labels, labels_arr, order, sorted_labels, edges = _columnar_state(graph)
+    n = len(labels)
+    if k > n:
+        raise MapReduceError(f"k={k} exceeds the graph's {n} nodes")
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+
+    best_mask = alive.copy()
+    best_density: Optional[float] = None
+    best_pass = 0
+    factor = 2.0 * (1.0 + epsilon)
+    batch_fraction = epsilon / (1.0 + epsilon)
+    pending: Optional[dict] = None
+    trace: List[PassRecord] = []
+    rounds_per_pass: List[List[JobCounters]] = []
+    pass_index = 0
+
+    def _scatter_degrees(degree_out) -> "np.ndarray":
+        return _scatter_by_label(
+            order, sorted_labels, n, degree_out.keys, degree_out.columns["w"]
+        )
+
+    while remaining >= k and remaining > 0:
+        pass_index += 1
+        pass_rounds: List[JobCounters] = []
+        degree_out, counters = runtime.run(DEGREE_JOB, edges)
+        pass_rounds.append(counters)
+        degrees = _scatter_degrees(degree_out)
+        weight = float(degrees.sum()) / 2.0
+        density = weight / remaining
+
+        if pending is not None:
+            trace.append(
+                PassRecord(edges_after=weight, density_after=density, **pending)
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_mask = alive.copy()
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+
+        threshold = factor * density
+        candidate_idx = np.flatnonzero(
+            alive & (degrees <= threshold + THRESHOLD_EPS)
+        )
+        batch_size = min(
+            candidate_idx.size, max(1, math.floor(batch_fraction * remaining))
+        )
+        # Stable sort by degree keeps the record driver's label-order
+        # tie-break, so both engines remove the identical batch.
+        by_degree = np.argsort(degrees[candidate_idx], kind="stable")
+        remove_idx = candidate_idx[by_degree[:batch_size]]
+
+        pending = {
+            "pass_index": pass_index,
+            "nodes_before": remaining,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": int(remove_idx.size),
+            "nodes_after": remaining - int(remove_idx.size),
+        }
+        alive[remove_idx] = False
+        remaining -= int(remove_idx.size)
+
+        marked = labels_arr[remove_idx]
+        half_filtered, counters = runtime.run(
+            REMOVAL_JOB, _with_markers(edges, marked)
+        )
+        pass_rounds.append(counters)
+        edges, counters = runtime.run(
+            REMOVAL_JOB, _with_markers(half_filtered, marked)
+        )
+        pass_rounds.append(counters)
+        rounds_per_pass.append(pass_rounds)
+
+    if pending is not None:
+        if remaining == 0:
+            edges_after, density_after = 0.0, 0.0
+        else:
+            degree_out, counters = runtime.run(DEGREE_JOB, edges)
+            if rounds_per_pass:
+                rounds_per_pass[-1].append(counters)
+            edges_after = float(_scatter_degrees(degree_out).sum()) / 2.0
+            density_after = edges_after / remaining
+            if remaining >= k and density_after > (best_density or 0.0):
+                best_density = density_after
+                best_mask = alive.copy()
+                best_pass = pending["pass_index"]
+        trace.append(
+            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
+        )
+
+    result = DensestSubgraphResult(
+        nodes=frozenset(labels[i] for i in np.flatnonzero(best_mask)),
+        density=best_density if best_density is not None else 0.0,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+    return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
+
+
 # ----------------------------------------------------------------------
 # Directed driver (Algorithm 3 in MapReduce)
 # ----------------------------------------------------------------------
@@ -412,18 +873,22 @@ def mr_densest_subgraph_directed(
     epsilon: float = 0.5,
     *,
     runtime: Optional[MapReduceRuntime] = None,
+    engine: str = "auto",
 ) -> MapReduceRunReport:
     """Algorithm 3 as a chain of MapReduce rounds.
 
     Per pass: one directed-degree round plus one removal round on the
     peeled side (S-peels filter on the first endpoint, T-peels pivot
     and filter on the second).  Returns the same pair and trace as
-    :func:`repro.core.densest_subgraph_directed`.
+    :func:`repro.core.densest_subgraph_directed`.  ``engine`` selects
+    the runtime path as in :func:`mr_densest_subgraph`.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_float(ratio, "ratio")
     if runtime is None:
         runtime = MapReduceRuntime()
+    if resolve_mr_engine(engine, graph) == "numpy":
+        return _mr_densest_subgraph_directed_columnar(graph, ratio, epsilon, runtime)
     labels = list(graph.nodes())
     if not labels:
         raise MapReduceError("graph has no nodes")
@@ -535,6 +1000,123 @@ def mr_densest_subgraph_directed(
     result = DirectedDensestSubgraphResult(
         s_nodes=frozenset(best_s),
         t_nodes=frozenset(best_t),
+        density=best_density if best_density is not None else 0.0,
+        ratio=ratio,
+        passes=pass_index,
+        epsilon=epsilon,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+    return MapReduceRunReport(result=result, rounds_per_pass=rounds_per_pass)
+
+
+def _mr_densest_subgraph_directed_columnar(
+    graph, ratio: float, epsilon: float, runtime: MapReduceRuntime
+) -> MapReduceRunReport:
+    """Columnar twin of :func:`mr_densest_subgraph_directed`.
+
+    The degree job's side-tagged keys come back bit-packed (``2u`` /
+    ``2v + 1``); one shift and parity test splits them into the two
+    counter arrays.
+    """
+    labels, labels_arr, order, sorted_labels, edges = _columnar_state(graph)
+    n = len(labels)
+    in_s = np.ones(n, dtype=bool)
+    in_t = np.ones(n, dtype=bool)
+    s_size = t_size = n
+
+    best_s_mask = in_s.copy()
+    best_t_mask = in_t.copy()
+    best_density: Optional[float] = None
+    best_pass = 0
+    one_plus_eps = 1.0 + epsilon
+    pending: Optional[dict] = None
+    trace: List[DirectedPassRecord] = []
+    rounds_per_pass: List[List[JobCounters]] = []
+    pass_index = 0
+
+    while s_size > 0 and t_size > 0:
+        pass_index += 1
+        pass_rounds: List[JobCounters] = []
+
+        degree_out, counters = runtime.run(DIRECTED_DEGREE_JOB, edges)
+        pass_rounds.append(counters)
+        keys = degree_out.keys
+        values = degree_out.columns["w"]
+        is_in = (keys & 1).astype(bool)
+        node_labels = keys >> 1
+        out_sel = ~is_in
+        out_to_t = _scatter_by_label(
+            order, sorted_labels, n, node_labels[out_sel], values[out_sel]
+        )
+        in_from_s = _scatter_by_label(
+            order, sorted_labels, n, node_labels[is_in], values[is_in]
+        )
+        weight = float(values[out_sel].sum())
+        density = weight / math.sqrt(s_size * t_size)
+
+        if pending is not None:
+            trace.append(
+                DirectedPassRecord(
+                    edges_after=weight, density_after=density, **pending
+                )
+            )
+            if density > best_density:  # type: ignore[operator]
+                best_density = density
+                best_s_mask = in_s.copy()
+                best_t_mask = in_t.copy()
+                best_pass = pending["pass_index"]
+        if best_density is None:
+            best_density = density
+
+        peel_s = s_size / t_size >= ratio
+        if peel_s:
+            threshold = one_plus_eps * weight / s_size
+            remove_mask = in_s & (out_to_t <= threshold + THRESHOLD_EPS)
+            side = "S"
+        else:
+            threshold = one_plus_eps * weight / t_size
+            remove_mask = in_t & (in_from_s <= threshold + THRESHOLD_EPS)
+            side = "T"
+        removed = int(remove_mask.sum())
+
+        pending = {
+            "pass_index": pass_index,
+            "side": side,
+            "s_before": s_size,
+            "t_before": t_size,
+            "edges_before": weight,
+            "density_before": density,
+            "threshold": threshold,
+            "removed": removed,
+            "s_after": s_size - removed if side == "S" else s_size,
+            "t_after": t_size - removed if side == "T" else t_size,
+        }
+        marked = labels_arr[remove_mask]
+        if side == "S":
+            in_s &= ~remove_mask
+            s_size -= removed
+            edges, counters = runtime.run(
+                REMOVAL_JOB_KEEP_KEY, _with_markers(edges, marked)
+            )
+            pass_rounds.append(counters)
+        else:
+            in_t &= ~remove_mask
+            t_size -= removed
+            edges, counters = runtime.run(
+                REMOVAL_JOB_PIVOT_SECOND, _with_markers(edges, marked)
+            )
+            pass_rounds.append(counters)
+        rounds_per_pass.append(pass_rounds)
+
+    if pending is not None:
+        trace.append(
+            DirectedPassRecord(edges_after=0.0, density_after=0.0, **pending)
+        )
+
+    result = DirectedDensestSubgraphResult(
+        s_nodes=frozenset(labels[i] for i in np.flatnonzero(best_s_mask)),
+        t_nodes=frozenset(labels[i] for i in np.flatnonzero(best_t_mask)),
         density=best_density if best_density is not None else 0.0,
         ratio=ratio,
         passes=pass_index,

@@ -7,6 +7,20 @@ A job is three pure functions in the classic Dean–Ghemawat signatures:
   run per map task on its local output, must be reducer-compatible)
 * ``reducer(key2, values) -> iterable of (key3, value3)``
 
+A job may additionally declare *batch* forms of the same functions,
+which the runtime uses when the input arrives as a
+:class:`~repro.mapreduce.columnar.ColumnarKV` (int64 keys + value
+columns) instead of a list of pairs:
+
+* ``mapper_batch(batch: ColumnarKV) -> ColumnarKV``
+* ``combiner_batch(grouped: GroupedKV) -> ColumnarKV`` (optional)
+* ``reducer_batch(grouped: GroupedKV) -> ColumnarKV``
+
+The batch functions must be semantically equivalent to their record
+twins — same output records, same record counts per stage — so a job
+returns identical results and counters on either execution path (the
+columnar parity suite enforces this for the §5.2 jobs).
+
 Jobs must not close over mutable state that they modify — the runtime
 may run tasks in any order (it shuffles task order deliberately to
 shake out order dependence).
@@ -14,13 +28,17 @@ shake out order dependence).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Tuple
 
 KV = Tuple[Any, Any]
 Mapper = Callable[[Any, Any], Iterable[KV]]
 Reducer = Callable[[Any, list], Iterable[KV]]
 Combiner = Callable[[Any, list], Iterable[KV]]
+#: Batch-form callables (ColumnarKV/GroupedKV in, ColumnarKV out).
+BatchMapper = Callable[[Any], Any]
+BatchReducer = Callable[[Any], Any]
+BatchCombiner = Callable[[Any], Any]
 
 
 @dataclass(frozen=True)
@@ -32,21 +50,37 @@ class MapReduceJob:
     name:
         Human-readable job name (appears in reports).
     mapper / reducer / combiner:
-        The user functions; ``combiner`` may be None.
+        The record-at-a-time user functions; ``combiner`` may be None.
+    mapper_batch / reducer_batch / combiner_batch:
+        Optional vectorized twins operating on whole
+        :class:`~repro.mapreduce.columnar.ColumnarKV` batches; a job
+        declaring both mapper_batch and reducer_batch can run on the
+        columnar runtime path.
     """
 
     name: str
     mapper: Mapper
     reducer: Reducer
     combiner: Optional[Combiner] = None
+    mapper_batch: Optional[BatchMapper] = None
+    reducer_batch: Optional[BatchReducer] = None
+    combiner_batch: Optional[BatchCombiner] = None
+
+    @property
+    def supports_batches(self) -> bool:
+        """Whether the job can run on the columnar path."""
+        return self.mapper_batch is not None and self.reducer_batch is not None
 
 
 @dataclass
 class JobCounters:
     """Per-round metering, in records and (approximate) bytes.
 
-    ``shuffle_bytes`` charges ``repr``-length bytes per shuffled record —
-    a stable, deterministic proxy for serialized size.
+    ``shuffle_bytes`` charges a deterministic per-type size per
+    shuffled record — 8 bytes for ints and floats, ``len + 1`` for
+    strings, the element sum for tuples (see ``runtime._pair_bytes``).
+    The columnar path charges the equivalent per-dtype sizes (8-byte
+    int64/float64 cells, 1-byte bools) straight from the array dtypes.
     """
 
     job_name: str = ""

@@ -1,0 +1,500 @@
+"""Cross-engine parity suite for the columnar MapReduce runtime.
+
+The columnar path must be observationally equivalent to the record
+path: identical node sets, identical pass traces, and identical
+record-level counters for every round of every driver — plus the same
+Hadoop-style retry semantics for batch tasks.  Weights in the weighted
+fixtures are dyadic rationals so floating-point sums are exact in any
+association order and the two engines make bit-identical threshold
+decisions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MapReduceError, ParameterError
+from repro.graph.generators import chung_lu, directed_power_law
+from repro.graph.undirected import UndirectedGraph
+from repro.graph.directed import DirectedGraph
+from repro.kernels import CSRDigraph, CSRGraph
+from repro.mapreduce.columnar import ColumnarKV, stable_hash_int64
+from repro.mapreduce.densest import (
+    DEGREE_JOB,
+    mr_densest_subgraph,
+    mr_densest_subgraph_atleast_k,
+    mr_densest_subgraph_directed,
+    resolve_mr_engine,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import (
+    MapReduceRuntime,
+    TransientTaskError,
+    _stable_hash,
+)
+
+#: JobCounters fields that must agree exactly between the engines
+#: (shuffle_bytes uses per-dtype sizing on the columnar path and is
+#: checked for determinism, not cross-engine equality).
+COUNT_FIELDS = (
+    "map_input_records",
+    "map_output_records",
+    "combine_output_records",
+    "shuffle_records",
+    "reduce_groups",
+    "reduce_output_records",
+)
+
+
+def _dyadic_weight(u, v) -> float:
+    return 1.0 + ((u + v) % 4) / 4.0
+
+
+@pytest.fixture(scope="module")
+def social():
+    return chung_lu(400, exponent=2.3, average_degree=7, seed=31)
+
+
+@pytest.fixture(scope="module")
+def social_weighted(social):
+    graph = UndirectedGraph()
+    graph.add_nodes_from(social.nodes())
+    for u, v, _ in social.weighted_edges():
+        graph.add_edge(u, v, _dyadic_weight(u, v))
+    return graph
+
+
+@pytest.fixture(scope="module")
+def directed_social():
+    return directed_power_law(300, 1800, seed=32)
+
+
+@pytest.fixture(scope="module")
+def directed_weighted(directed_social):
+    graph = DirectedGraph()
+    graph.add_nodes_from(directed_social.nodes())
+    for u, v, _ in directed_social.weighted_edges():
+        graph.add_edge(u, v, _dyadic_weight(u, v))
+    return graph
+
+
+def _assert_reports_match(record_report, columnar_report):
+    a, b = record_report.result, columnar_report.result
+    if hasattr(a, "s_nodes"):
+        assert a.s_nodes == b.s_nodes
+        assert a.t_nodes == b.t_nodes
+    else:
+        assert a.nodes == b.nodes
+    assert a.density == pytest.approx(b.density)
+    assert a.passes == b.passes
+    assert a.best_pass == b.best_pass
+    assert len(a.trace) == len(b.trace)
+    for ra, rb in zip(a.trace, b.trace):
+        for field in ra.__dataclass_fields__:
+            va, vb = getattr(ra, field), getattr(rb, field)
+            if isinstance(va, float):
+                assert va == pytest.approx(vb), field
+            else:
+                assert va == vb, field
+    assert len(record_report.rounds_per_pass) == len(columnar_report.rounds_per_pass)
+    for rounds_a, rounds_b in zip(
+        record_report.rounds_per_pass, columnar_report.rounds_per_pass
+    ):
+        assert [c.job_name for c in rounds_a] == [c.job_name for c in rounds_b]
+        for ca, cb in zip(rounds_a, rounds_b):
+            for field in COUNT_FIELDS:
+                assert getattr(ca, field) == getattr(cb, field), (
+                    ca.job_name,
+                    field,
+                )
+            assert cb.shuffle_bytes > 0 or cb.shuffle_records == 0
+
+
+class TestColumnarKV:
+    def _batch(self):
+        return ColumnarKV(
+            np.array([5, 3, 5, 8, 1], dtype=np.int64),
+            {
+                "v": np.array([1, 2, 3, 4, 5], dtype=np.int64),
+                "w": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+            },
+        )
+
+    def test_pairs_roundtrip(self):
+        pairs = [(5, (1, 1.0)), (3, (2, 2.0)), (5, (3, 3.0))]
+        batch = ColumnarKV.from_pairs(pairs, names=("v", "w"))
+        assert batch.to_pairs() == pairs
+
+    def test_split_matches_record_round_robin(self):
+        batch = self._batch()
+        pairs = batch.to_pairs()
+        splits = batch.split(3)
+        record_splits = [[] for _ in range(3)]
+        for i, pair in enumerate(pairs):
+            record_splits[i % 3].append(pair)
+        assert [s.to_pairs() for s in splits] == record_splits
+
+    def test_partition_matches_stable_hash(self):
+        batch = self._batch()
+        parts = batch.partition(4)
+        for p, part in enumerate(parts):
+            for key, _ in part.to_pairs():
+                assert _stable_hash(int(key)) % 4 == p
+        assert sum(p.num_records for p in parts) == batch.num_records
+
+    def test_vectorized_hash_matches_scalar_everywhere(self):
+        keys = np.array(
+            [0, 1, -1, 7, -7, 2**40, -(2**40), 2**62, -(2**62)], dtype=np.int64
+        )
+        hashed = stable_hash_int64(keys)
+        for key, h in zip(keys.tolist(), hashed.tolist()):
+            assert _stable_hash(key) == h
+
+    def test_group_boundaries_and_segments(self):
+        grouped = self._batch().group()
+        assert grouped.keys.tolist() == [1, 3, 5, 8]
+        assert grouped.counts.tolist() == [1, 1, 2, 1]
+        assert grouped.segment_sum("w").tolist() == [5.0, 2.0, 4.0, 4.0]
+        # Stable sort: key 5's rows keep arrival order.
+        assert grouped.rows.columns["v"].tolist() == [5, 2, 1, 3, 4]
+
+    def test_group_empty(self):
+        batch = self._batch().take(np.zeros(5, dtype=bool))
+        grouped = batch.group()
+        assert grouped.num_groups == 0
+        assert grouped.segment_sum("w").size == 0
+
+    def test_byte_size_per_dtype(self):
+        batch = ColumnarKV(
+            np.array([1, 2], dtype=np.int64),
+            {
+                "v": np.array([3, 4], dtype=np.int64),
+                "w": np.array([1.0, 2.0]),
+                "m": np.zeros(2, dtype=bool),
+            },
+        )
+        # Per record: 8 (key) + 8 (int64) + 8 (float64) + 1 (bool).
+        assert batch.byte_size() == 2 * (8 + 8 + 8 + 1)
+
+    def test_column_shape_mismatch_rejected(self):
+        with pytest.raises(MapReduceError):
+            ColumnarKV(np.array([1, 2]), {"v": np.array([1.0])})
+
+    def test_concat_column_mismatch_rejected(self):
+        a = ColumnarKV(np.array([1]), {"v": np.array([1.0])})
+        b = ColumnarKV(np.array([1]), {"x": np.array([1.0])})
+        with pytest.raises(MapReduceError):
+            ColumnarKV.concat([a, b])
+
+
+class TestRuntimeDispatch:
+    def test_batch_input_needs_batch_callables(self):
+        job = MapReduceJob(
+            name="record-only",
+            mapper=lambda k, v: [(k, v)],
+            reducer=lambda k, vs: [(k, sum(vs))],
+        )
+        batch = ColumnarKV(np.array([1, 2]), {"w": np.array([1.0, 2.0])})
+        with pytest.raises(MapReduceError, match="mapper_batch"):
+            MapReduceRuntime(2, 2).run(job, batch)
+
+    def test_degree_job_output_matches_record_path(self):
+        edges = [(u, (v, 1.0 + (u % 2) / 2)) for u, v in
+                 [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]]
+        record_out, record_counters = MapReduceRuntime(3, 2, seed=5).run(
+            DEGREE_JOB, edges
+        )
+        batch = ColumnarKV.from_pairs(edges, names=("v", "w"))
+        batch = ColumnarKV(
+            batch.keys,
+            {**batch.columns, "m": np.zeros(batch.num_records, dtype=bool)},
+        )
+        batch_out, batch_counters = MapReduceRuntime(3, 2, seed=5).run(
+            DEGREE_JOB, batch
+        )
+        assert sorted(record_out) == sorted(batch_out.to_pairs())
+        for field in COUNT_FIELDS:
+            assert getattr(record_counters, field) == getattr(batch_counters, field)
+
+    def test_columnar_shuffle_bytes_deterministic(self):
+        edges = [(u, (u + 1, 1.0)) for u in range(50)]
+        batch = ColumnarKV.from_pairs(edges, names=("v", "w"))
+        batch = ColumnarKV(
+            batch.keys,
+            {**batch.columns, "m": np.zeros(batch.num_records, dtype=bool)},
+        )
+        runs = [
+            MapReduceRuntime(4, 4, seed=s).run(DEGREE_JOB, batch)[1].shuffle_bytes
+            for s in (0, 1, 2)
+        ]
+        assert runs[0] == runs[1] == runs[2] > 0
+
+
+class TestDriverParity:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.5])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_undirected(self, social, social_weighted, epsilon, weighted):
+        graph = social_weighted if weighted else social
+        record = mr_densest_subgraph(
+            graph, epsilon, runtime=MapReduceRuntime(5, 3, seed=1), engine="python"
+        )
+        columnar = mr_densest_subgraph(
+            graph, epsilon, runtime=MapReduceRuntime(5, 3, seed=1), engine="numpy"
+        )
+        _assert_reports_match(record, columnar)
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5])
+    def test_atleast_k(self, social_weighted, epsilon):
+        record = mr_densest_subgraph_atleast_k(
+            social_weighted,
+            25,
+            epsilon,
+            runtime=MapReduceRuntime(4, 4, seed=2),
+            engine="python",
+        )
+        columnar = mr_densest_subgraph_atleast_k(
+            social_weighted,
+            25,
+            epsilon,
+            runtime=MapReduceRuntime(4, 4, seed=2),
+            engine="numpy",
+        )
+        _assert_reports_match(record, columnar)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.5])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_directed(self, directed_social, directed_weighted, epsilon, weighted):
+        graph = directed_weighted if weighted else directed_social
+        record = mr_densest_subgraph_directed(
+            graph, 1.0, epsilon, runtime=MapReduceRuntime(4, 4, seed=3),
+            engine="python",
+        )
+        columnar = mr_densest_subgraph_directed(
+            graph, 1.0, epsilon, runtime=MapReduceRuntime(4, 4, seed=3),
+            engine="numpy",
+        )
+        _assert_reports_match(record, columnar)
+
+    def test_csr_snapshot_input(self, social):
+        csr = CSRGraph.from_undirected(social)
+        record = mr_densest_subgraph(
+            csr, 0.5, runtime=MapReduceRuntime(4, 4, seed=4), engine="python"
+        )
+        columnar = mr_densest_subgraph(
+            csr, 0.5, runtime=MapReduceRuntime(4, 4, seed=4), engine="numpy"
+        )
+        _assert_reports_match(record, columnar)
+        reference = mr_densest_subgraph(
+            social, 0.5, runtime=MapReduceRuntime(4, 4, seed=4), engine="python"
+        )
+        assert columnar.result.nodes == reference.result.nodes
+
+    def test_csr_digraph_input(self, directed_social):
+        csr = CSRDigraph.from_directed(directed_social)
+        record = mr_densest_subgraph_directed(
+            csr, 1.0, 0.5, runtime=MapReduceRuntime(4, 4, seed=4), engine="python"
+        )
+        columnar = mr_densest_subgraph_directed(
+            csr, 1.0, 0.5, runtime=MapReduceRuntime(4, 4, seed=4), engine="numpy"
+        )
+        _assert_reports_match(record, columnar)
+
+    def test_task_parallelism_does_not_change_columnar_answer(self, social):
+        a = mr_densest_subgraph(
+            social, 1.0, runtime=MapReduceRuntime(1, 1), engine="numpy"
+        ).result
+        b = mr_densest_subgraph(
+            social, 1.0, runtime=MapReduceRuntime(16, 16), engine="numpy"
+        ).result
+        assert a.nodes == b.nodes
+        assert a.density == pytest.approx(b.density)
+
+
+class TestEngineResolution:
+    def test_unknown_engine_rejected(self, social):
+        with pytest.raises(ParameterError):
+            mr_densest_subgraph(social, 0.5, engine="fortran")
+
+    def test_numpy_engine_requires_int_labels(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "c", 1.0)
+        with pytest.raises(MapReduceError, match="int node labels"):
+            mr_densest_subgraph(graph, 0.5, engine="numpy")
+
+    def test_auto_falls_back_to_python_on_string_labels(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "c", 1.0)
+        assert resolve_mr_engine("auto", graph) == "python"
+        report = mr_densest_subgraph(graph, 0.5)  # engine="auto"
+        assert report.result.density > 0
+
+    def test_auto_picks_numpy_on_int_labels(self, social):
+        assert resolve_mr_engine("auto", social) == "numpy"
+
+    def test_huge_labels_stay_on_record_path(self):
+        # The directed degree job bit-packs a side tag into the key
+        # (2u / 2v+1), so labels at or beyond 2**62 would overflow
+        # int64; they must fall back to (or insist on) the record path
+        # rather than silently corrupting the shuffle.
+        graph = DirectedGraph()
+        graph.add_edge(2**62, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(2, 1, 1.0)
+        assert resolve_mr_engine("auto", graph) == "python"
+        with pytest.raises(MapReduceError, match="2\\*\\*62"):
+            mr_densest_subgraph_directed(graph, 1.0, 0.5, engine="numpy")
+        record = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5, runtime=MapReduceRuntime(2, 2, seed=0)
+        )
+        assert record.result.density > 0
+
+    def test_huge_label_csr_snapshot_ineligible(self):
+        csr = CSRDigraph.from_edge_arrays(
+            np.array([2**62, 1, 2]), np.array([1, 2, 1])
+        )
+        assert resolve_mr_engine("auto", csr) == "python"
+
+
+class TestBatchTaskRetries:
+    """TransientTaskError semantics on the columnar path."""
+
+    def _flaky(self, fn, failures):
+        state = {"remaining": failures}
+
+        def wrapped(arg):
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                raise TransientTaskError("injected batch failure")
+            return fn(arg)
+
+        return wrapped
+
+    def _job(self, flaky_map_failures=0, flaky_reduce_failures=0):
+        from repro.mapreduce.densest import (
+            _degree_mapper,
+            _degree_mapper_batch,
+            _sum_reducer,
+            _sum_reducer_batch,
+        )
+
+        return MapReduceJob(
+            name="flaky-batch",
+            mapper=_degree_mapper,
+            reducer=_sum_reducer,
+            mapper_batch=self._flaky(_degree_mapper_batch, flaky_map_failures),
+            reducer_batch=self._flaky(_sum_reducer_batch, flaky_reduce_failures),
+        )
+
+    def _edges(self):
+        return ColumnarKV(
+            np.array([0, 1, 2], dtype=np.int64),
+            {
+                "v": np.array([1, 2, 0], dtype=np.int64),
+                "w": np.ones(3, dtype=np.float64),
+            },
+        )
+
+    def test_flaky_batch_mapper_retried(self):
+        runtime = MapReduceRuntime(1, 1, max_task_retries=3)
+        out, counters = runtime.run(self._job(flaky_map_failures=2), self._edges())
+        assert runtime.task_retries == 2
+        assert sorted(out.to_pairs()) == [(0, 2.0), (1, 2.0), (2, 2.0)]
+        assert counters.map_output_records == 6  # counted once, post-retry
+
+    def test_flaky_batch_reducer_retried(self):
+        runtime = MapReduceRuntime(1, 1, max_task_retries=2)
+        out, counters = runtime.run(self._job(flaky_reduce_failures=1), self._edges())
+        assert runtime.task_retries == 1
+        assert counters.reduce_groups == 3  # counted once, pre-retry
+        assert sorted(out.to_pairs()) == [(0, 2.0), (1, 2.0), (2, 2.0)]
+
+    def test_batch_retries_exhausted_fails_job(self):
+        runtime = MapReduceRuntime(1, 1, max_task_retries=1)
+        with pytest.raises(MapReduceError, match="failed after 2 attempts"):
+            runtime.run(self._job(flaky_map_failures=5), self._edges())
+
+    def test_driver_survives_transient_batch_failures(self, social):
+        """A driver run with fault injection matches a clean run."""
+        from repro.mapreduce import densest
+
+        clean = mr_densest_subgraph(
+            social, 0.5, runtime=MapReduceRuntime(4, 4, seed=6), engine="numpy"
+        )
+        state = {"failures": 3}
+        original_job = densest.DEGREE_JOB
+
+        def flaky_degree_mapper_batch(batch):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise TransientTaskError("injected")
+            return original_job.mapper_batch(batch)
+
+        runtime = MapReduceRuntime(4, 4, seed=6, max_task_retries=3)
+        try:
+            densest.DEGREE_JOB = MapReduceJob(
+                name="degree",
+                mapper=original_job.mapper,
+                reducer=original_job.reducer,
+                combiner=original_job.combiner,
+                mapper_batch=flaky_degree_mapper_batch,
+                reducer_batch=original_job.reducer_batch,
+                combiner_batch=original_job.combiner_batch,
+            )
+            flaky = densest.mr_densest_subgraph(
+                social, 0.5, runtime=runtime, engine="numpy"
+            )
+        finally:
+            densest.DEGREE_JOB = original_job
+        assert runtime.task_retries == 3
+        assert flaky.result.nodes == clean.result.nodes
+
+
+class TestBackendEngineOption:
+    def test_solve_engine_parity(self, social):
+        from repro.api import DensestSubgraph, solve
+
+        record = solve(
+            DensestSubgraph(social, epsilon=0.5),
+            backend="mapreduce",
+            runtime=MapReduceRuntime(4, 4, seed=7),
+            engine="python",
+        )
+        columnar = solve(
+            DensestSubgraph(social, epsilon=0.5),
+            backend="mapreduce",
+            runtime=MapReduceRuntime(4, 4, seed=7),
+            engine="numpy",
+        )
+        assert record.nodes == columnar.nodes
+        assert record.density == pytest.approx(columnar.density)
+        assert record.cost.mapreduce_rounds == columnar.cost.mapreduce_rounds
+
+    def test_mapreduce_backend_advertises_engines(self):
+        from repro.api import get_backend
+
+        assert "numpy" in get_backend("mapreduce").capabilities().engines
+        assert "numpy" in get_backend("sketch").capabilities().engines
+
+    def test_sketch_engine_parity(self, social):
+        from repro.streaming.sketch_engine import sketch_densest_subgraph
+        from repro.streaming.stream import GraphEdgeStream
+
+        python = sketch_densest_subgraph(
+            GraphEdgeStream(social), 0.5, buckets=256, seed=11, engine="python"
+        )
+        vectorized = sketch_densest_subgraph(
+            GraphEdgeStream(social), 0.5, buckets=256, seed=11, engine="numpy"
+        )
+        assert python.nodes == vectorized.nodes
+        assert python.density == pytest.approx(vectorized.density)
+        assert python.passes == vectorized.passes
+
+    def test_sketch_numpy_engine_needs_int_labels(self):
+        from repro.errors import StreamError
+        from repro.streaming.sketch_engine import sketch_densest_subgraph
+        from repro.streaming.stream import MemoryEdgeStream
+
+        stream = MemoryEdgeStream([("a", "b"), ("b", "c")])
+        with pytest.raises(StreamError, match="int-labeled"):
+            sketch_densest_subgraph(stream, 0.5, engine="numpy")
