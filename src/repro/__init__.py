@@ -35,6 +35,7 @@ from .api import (
     DensestAtLeastK,
     DensestSubgraph,
     DirectedDensest,
+    ExecutionContext,
     Problem,
     Solution,
     Solver,
@@ -73,11 +74,13 @@ from .mapreduce import (
     mr_densest_subgraph_atleast_k,
     mr_densest_subgraph_directed,
 )
+from .store import ShardedEdgeStore, ShardWriter
 from .streaming import (
     EdgeStream,
     FileEdgeStream,
     GraphEdgeStream,
     MemoryEdgeStream,
+    ShardEdgeStream,
     sketch_densest_subgraph,
     stream_densest_subgraph,
     stream_densest_subgraph_atleast_k,
@@ -97,6 +100,7 @@ __all__ = [
     "DirectedDensest",
     "Solution",
     "CostReport",
+    "ExecutionContext",
     "Capabilities",
     "Solver",
     "register",
@@ -118,6 +122,9 @@ __all__ = [
     "MemoryEdgeStream",
     "FileEdgeStream",
     "GraphEdgeStream",
+    "ShardEdgeStream",
+    "ShardedEdgeStore",
+    "ShardWriter",
     "stream_densest_subgraph",
     "stream_densest_subgraph_atleast_k",
     "stream_densest_subgraph_directed",

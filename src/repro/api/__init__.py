@@ -23,11 +23,13 @@ harness, the examples — never hard-code an engine.  New execution
 engines plug in via :func:`register`; see ``DESIGN.md`` §2.
 """
 
+from .context import ExecutionContext
 from .problems import (
     DensestAtLeastK,
     DensestSubgraph,
     DirectedDensest,
     MODE_GRAPH,
+    MODE_SHARDS,
     MODE_STREAM,
     PROBLEM_KINDS,
     Problem,
@@ -56,6 +58,8 @@ __all__ = [
     "PROBLEM_KINDS",
     "MODE_GRAPH",
     "MODE_STREAM",
+    "MODE_SHARDS",
+    "ExecutionContext",
     # registry
     "Capabilities",
     "Solver",

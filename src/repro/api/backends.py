@@ -40,6 +40,10 @@ try:  # CSR snapshots are valid graph-mode inputs when numpy is present.
     from ..kernels import CSRDigraph, CSRGraph
 except ImportError:  # pragma: no cover - numpy-less installs
     CSRDigraph = CSRGraph = None
+try:  # shard stores are the out-of-core input mode (need numpy too).
+    from ..store.shards import ShardedEdgeStore
+except ImportError:  # pragma: no cover - numpy-less installs
+    ShardedEdgeStore = None
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
 from ..streaming.memory import MemoryAccountant
@@ -47,12 +51,15 @@ from ..streaming.stream import (
     DirectedGraphEdgeStream,
     EdgeStream,
     GraphEdgeStream,
+    ShardEdgeStream,
 )
+from .context import ExecutionContext
 from .problems import (
     DensestAtLeastK,
     DensestSubgraph,
     DirectedDensest,
     MODE_GRAPH,
+    MODE_SHARDS,
     MODE_STREAM,
     Problem,
 )
@@ -78,6 +85,17 @@ def _reject_options(backend: str, options: dict, allowed: tuple = ()) -> None:
             f"backend {backend!r} got unsupported options {sorted(unknown)}; "
             f"supported: {sorted(allowed) if allowed else 'none'}"
         )
+
+
+def _pop_context(options: dict) -> ExecutionContext:
+    """Extract the ExecutionContext option (every backend accepts one).
+
+    Backends honor the fields that apply to their execution model and
+    ignore the rest — the context is a resource envelope, not a
+    command (see :class:`~repro.api.context.ExecutionContext`).
+    """
+    context = options.pop("context", None)
+    return context if context is not None else ExecutionContext()
 
 
 def _undirected_solution(
@@ -177,13 +195,31 @@ def _set_solution(
     )
 
 
-def _require_graph(problem: Problem, backend: str, *, allow_csr: bool = False):
+def _require_graph(
+    problem: Problem,
+    backend: str,
+    *,
+    allow_csr: bool = False,
+    allow_shards: bool = False,
+):
     """The problem's in-memory graph input.
 
     Backends built on the dict-of-dict graph API get CSR snapshots
     materialized back into graph objects (``allow_csr=False``); the
-    engine-aware core backends take snapshots as-is.
+    engine-aware core backends take snapshots as-is.  Backends
+    declaring the shard input mode (``allow_shards=True``) get stores
+    loaded into CSR snapshots via the per-shard bincount builders — no
+    dict graph is ever materialized on that path.
     """
+    if problem.input_mode == MODE_SHARDS:
+        if not allow_shards:
+            raise SolverError(
+                f"backend {backend!r} does not accept shard-store input"
+            )
+        store = problem.input
+        if store.directed:
+            return CSRDigraph.from_shards(store)
+        return CSRGraph.from_shards(store)
     if problem.input_mode != MODE_GRAPH:
         raise SolverError(f"backend {backend!r} needs an in-memory graph input")
     graph = problem.input
@@ -217,6 +253,7 @@ class CoreSolver:
 
     name = "core"
     _engine = "auto"
+    _accepts_shards = False
 
     def capabilities(self) -> Capabilities:
         return Capabilities(
@@ -248,8 +285,11 @@ class CoreSolver:
         from ..core.directed import densest_subgraph_directed, ratio_sweep
         from ..core.undirected import densest_subgraph
 
+        _pop_context(options)
         engine = self._engine_option(options)
-        graph = _require_graph(problem, self.name, allow_csr=True)
+        graph = _require_graph(
+            problem, self.name, allow_csr=True, allow_shards=self._accepts_shards
+        )
         if isinstance(problem, DensestSubgraph):
             _reject_options(self.name, options)
             result = densest_subgraph(
@@ -294,16 +334,19 @@ class CoreCSRSolver(CoreSolver):
     node sets, same traces — but pinned to the kernel layer so callers
     (and dispatch tables) can name the vectorized engine explicitly.
     Prefers CSR snapshot inputs, which skip the per-solve conversion
-    entirely; plain graphs are snapshotted on entry.
+    entirely; plain graphs are snapshotted on entry, and shard stores
+    are loaded through ``CSRGraph.from_shards`` (per-shard bincount
+    passes, no dict graph).
     """
 
     name = "core-csr"
     _engine = "numpy"
+    _accepts_shards = True
 
     def capabilities(self) -> Capabilities:
         return Capabilities(
             problems=_ALL_KINDS,
-            input_modes=frozenset({MODE_GRAPH}),
+            input_modes=frozenset({MODE_GRAPH, MODE_SHARDS}),
             exact=False,
             memory_class=MEM_EDGES,
             semantics="batch-peel",
@@ -337,10 +380,14 @@ def _as_stream(problem: Problem) -> EdgeStream:
     """The problem's input as an EdgeStream (graphs get a zero-copy view).
 
     CSR snapshots implement the ``nodes()``/``weighted_edges()`` slice
-    of the graph protocol, so the stream views wrap them directly.
+    of the graph protocol, so the stream views wrap them directly;
+    shard stores become :class:`ShardEdgeStream` passes (memmap chunks,
+    the out-of-core mode).
     """
     if isinstance(problem.input, EdgeStream):
         return problem.input
+    if ShardedEdgeStore is not None and isinstance(problem.input, ShardedEdgeStore):
+        return ShardEdgeStream(problem.input)
     if isinstance(problem.input, DirectedGraph) or (
         CSRDigraph is not None and isinstance(problem.input, CSRDigraph)
     ):
@@ -369,9 +416,12 @@ def _stream_cost(
 class StreamingSolver:
     """Algorithms 1–3 against the multi-pass EdgeStream interface.
 
-    Accepts both stream and graph inputs; a graph is adapted through a
-    :class:`~repro.streaming.stream.GraphEdgeStream` view without
-    copying the edge set.
+    Accepts stream, graph, and shard-store inputs; a graph is adapted
+    through a :class:`~repro.streaming.stream.GraphEdgeStream` view
+    without copying the edge set, and a shard store through
+    :class:`~repro.streaming.stream.ShardEdgeStream` — the out-of-core
+    mode, where each pass walks memmap shard chunks and only the O(n)
+    counters stay resident.
     """
 
     name = "streaming"
@@ -379,7 +429,7 @@ class StreamingSolver:
     def capabilities(self) -> Capabilities:
         return Capabilities(
             problems=_ALL_KINDS,
-            input_modes=frozenset({MODE_GRAPH, MODE_STREAM}),
+            input_modes=frozenset({MODE_GRAPH, MODE_STREAM, MODE_SHARDS}),
             exact=False,
             memory_class=MEM_NODES,
             semantics="batch-peel",
@@ -396,6 +446,7 @@ class StreamingSolver:
         )
         from ..streaming.sweep import stream_ratio_sweep
 
+        _pop_context(options)
         _reject_options(self.name, options, ("accountant",))
         accountant = options.get("accountant")
         stream = _as_stream(problem)
@@ -497,6 +548,7 @@ class SketchSolver:
 
         if not isinstance(problem, DensestSubgraph):
             raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+        _pop_context(options)
         _reject_options(
             self.name, options, ("buckets", "tables", "seed", "accountant", "engine")
         )
@@ -533,7 +585,12 @@ class MapReduceSolver:
     runtime path: record-at-a-time jobs or the columnar batch jobs
     (``"auto"`` goes columnar for int-labeled graphs).  CSR snapshots
     are accepted directly — the columnar engine reads their edge
-    arrays without materializing a dict graph.
+    arrays without materializing a dict graph — and shard stores are
+    loaded through the per-shard CSR builders.  An
+    :class:`~repro.api.context.ExecutionContext` with ``workers > 1``
+    (and no explicit ``runtime=``) runs the columnar rounds on a
+    spawned process pool; the pool lives for this solve and is shut
+    down before returning.
     """
 
     name = "mapreduce"
@@ -541,7 +598,7 @@ class MapReduceSolver:
     def capabilities(self) -> Capabilities:
         return Capabilities(
             problems=_ALL_KINDS,
-            input_modes=frozenset({MODE_GRAPH}),
+            input_modes=frozenset({MODE_GRAPH, MODE_SHARDS}),
             exact=False,
             memory_class=MEM_EDGES,
             semantics="batch-peel",
@@ -553,16 +610,30 @@ class MapReduceSolver:
         return 3 * graph.num_edges + 3 * graph.num_nodes
 
     def solve(self, problem: Problem, **options) -> Solution:
+        context = _pop_context(options)
+        _reject_options(self.name, options, ("runtime", "engine"))
+        runtime = options.get("runtime")
+        owned_runtime = None
+        if runtime is None and context.workers > 1:
+            from ..mapreduce.runtime import MapReduceRuntime
+
+            runtime = owned_runtime = MapReduceRuntime(
+                executor="process", workers=context.workers
+            )
+        try:
+            return self._solve(problem, runtime, options.get("engine", "auto"))
+        finally:
+            if owned_runtime is not None:
+                owned_runtime.close()
+
+    def _solve(self, problem: Problem, runtime, engine: str) -> Solution:
         from ..mapreduce.densest import (
             mr_densest_subgraph,
             mr_densest_subgraph_atleast_k,
             mr_densest_subgraph_directed,
         )
 
-        graph = _require_graph(problem, self.name, allow_csr=True)
-        _reject_options(self.name, options, ("runtime", "engine"))
-        runtime = options.get("runtime")
-        engine = options.get("engine", "auto")
+        graph = _require_graph(problem, self.name, allow_csr=True, allow_shards=True)
         if isinstance(problem, DensestSubgraph):
             report = mr_densest_subgraph(
                 graph, problem.epsilon, runtime=runtime, engine=engine
@@ -663,6 +734,7 @@ class ExactLPSolver:
         return None  # LP workspace is solver-internal; no honest estimate
 
     def solve(self, problem: Problem, **options) -> Solution:
+        _pop_context(options)
         graph = _require_graph(problem, self.name)
         if isinstance(problem, DensestSubgraph):
             from ..exact.lp import lp_densest_subgraph
@@ -725,6 +797,7 @@ class ExactFlowSolver:
 
         if not isinstance(problem, DensestSubgraph):
             raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+        _pop_context(options)
         graph = _require_graph(problem, self.name)
         _reject_options(self.name, options, ("tolerance",))
         nodes, rho = goldberg_densest_subgraph(graph, **options)
@@ -756,6 +829,7 @@ class GreedySolver:
         return 2 * graph.num_edges + 4 * graph.num_nodes
 
     def solve(self, problem: Problem, **options) -> Solution:
+        _pop_context(options)
         graph = _require_graph(problem, self.name)
         if isinstance(problem, DensestSubgraph):
             from ..core.charikar import greedy_densest_subgraph
@@ -828,6 +902,7 @@ class BruteForceSolver:
 
         if not isinstance(problem, DensestAtLeastK):
             raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
+        _pop_context(options)
         graph = _require_graph(problem, self.name)
         _reject_options(self.name, options)
         nodes, rho = brute_force_atleast_k(graph, problem.k)

@@ -1,0 +1,53 @@
+"""Execution context: resource knobs threaded through :func:`repro.solve`.
+
+A :class:`Problem` says *what* to solve and a backend name says *which
+execution model*; the :class:`ExecutionContext` says *with which
+machine resources*.  It is deliberately declarative — a frozen bag of
+knobs every backend may read and is free to ignore when a field does
+not apply to its execution model:
+
+========== ==========================================================
+field       honored by
+========== ==========================================================
+workers     ``mapreduce`` — ``workers > 1`` runs the columnar runtime
+            on a spawned process pool (``executor="process"``)
+memory_     ``backend="auto"`` dispatch — same unit (words) and
+budget      semantics as ``solve(memory_budget=...)``
+spill_dir   callers converting edge sources into shard stores (the
+            CLI's ``--spill-dir`` pipeline, ``examples/out_of_core``)
+shard_      number of hash partitions for those conversions
+count
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .._validation import check_positive_int
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Resource envelope for one :func:`repro.solve` call.
+
+    Examples
+    --------
+    >>> ExecutionContext(workers=4).workers
+    4
+    """
+
+    workers: int = 1
+    memory_budget: Optional[int] = None
+    spill_dir: Optional[str] = None
+    shard_count: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.workers, "workers")
+        check_positive_int(self.shard_count, "shard_count")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ParameterError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )

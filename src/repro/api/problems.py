@@ -7,9 +7,11 @@ MapReduce, exact baseline) is chosen separately, by naming a backend or
 letting the registry dispatch on the problem's kind and input mode.
 
 Inputs may be an in-memory :class:`~repro.graph.undirected.UndirectedGraph`
-/ :class:`~repro.graph.directed.DirectedGraph` or a multi-pass
-:class:`~repro.streaming.stream.EdgeStream`; :meth:`Problem.input_mode`
-reports which, and backends declare which modes they accept.
+/ :class:`~repro.graph.directed.DirectedGraph`, a multi-pass
+:class:`~repro.streaming.stream.EdgeStream`, or an on-disk
+:class:`~repro.store.ShardedEdgeStore` (the out-of-core input mode);
+:meth:`Problem.input_mode` reports which, and backends declare which
+modes they accept.
 """
 
 from __future__ import annotations
@@ -32,13 +34,22 @@ except ImportError:  # pragma: no cover - numpy-less installs
     _UNDIRECTED_TYPES = (UndirectedGraph,)
     _DIRECTED_TYPES = (DirectedGraph,)
 
-_INPUT_TYPES = _UNDIRECTED_TYPES + _DIRECTED_TYPES + (EdgeStream,)
+try:  # shard stores are first-class out-of-core inputs (need numpy).
+    from ..store.shards import ShardedEdgeStore
+
+    _STORE_TYPES: tuple = (ShardedEdgeStore,)
+except ImportError:  # pragma: no cover - numpy-less installs
+    ShardedEdgeStore = None
+    _STORE_TYPES = ()
+
+_INPUT_TYPES = _UNDIRECTED_TYPES + _DIRECTED_TYPES + (EdgeStream,) + _STORE_TYPES
 
 GraphInput = Union[UndirectedGraph, DirectedGraph, EdgeStream]
 
 #: Input modes a backend can declare in its capabilities.
 MODE_GRAPH = "graph"
 MODE_STREAM = "stream"
+MODE_SHARDS = "shards"
 
 
 def _check_undirected_input(input_obj, problem_name: str) -> None:
@@ -46,9 +57,12 @@ def _check_undirected_input(input_obj, problem_name: str) -> None:
 
     Bare streams (file, memory, generator) carry no orientation
     metadata and cannot be validated here; callers streaming directed
-    data from such sources must use :class:`DirectedDensest`.
+    data from such sources must use :class:`DirectedDensest`.  Shard
+    stores carry the flag in their manifest and are checked.
     """
-    if isinstance(input_obj, _DIRECTED_TYPES + (DirectedGraphEdgeStream,)):
+    if isinstance(input_obj, _DIRECTED_TYPES + (DirectedGraphEdgeStream,)) or (
+        _STORE_TYPES and isinstance(input_obj, _STORE_TYPES) and input_obj.directed
+    ):
         raise ParameterError(
             f"{problem_name} takes an undirected input; use DirectedDensest"
         )
@@ -71,14 +85,17 @@ class Problem:
         if not isinstance(self.input, _INPUT_TYPES):
             raise ParameterError(
                 f"problem input must be an UndirectedGraph, DirectedGraph, "
-                f"CSR snapshot, or EdgeStream, got {type(self.input).__name__}"
+                f"CSR snapshot, EdgeStream, or ShardedEdgeStore, "
+                f"got {type(self.input).__name__}"
             )
 
     @property
     def input_mode(self) -> str:
-        """``"graph"`` for in-memory graphs, ``"stream"`` for edge streams."""
+        """``"graph"``, ``"stream"``, or ``"shards"`` per the input type."""
         if isinstance(self.input, EdgeStream):
             return MODE_STREAM
+        if _STORE_TYPES and isinstance(self.input, _STORE_TYPES):
+            return MODE_SHARDS
         return MODE_GRAPH
 
     @property
@@ -156,7 +173,11 @@ class DirectedDensest(Problem):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if isinstance(self.input, _UNDIRECTED_TYPES + (GraphEdgeStream,)):
+        if isinstance(self.input, _UNDIRECTED_TYPES + (GraphEdgeStream,)) or (
+            _STORE_TYPES
+            and isinstance(self.input, _STORE_TYPES)
+            and not self.input.directed
+        ):
             raise ParameterError(
                 "DirectedDensest takes a directed input; use DensestSubgraph"
             )

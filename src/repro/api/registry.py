@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Type, runtime_checkable
 
 from ..errors import SolverError
-from .problems import MODE_GRAPH, MODE_STREAM, PROBLEM_KINDS, Problem
+from .context import ExecutionContext
+from .problems import MODE_GRAPH, MODE_SHARDS, MODE_STREAM, PROBLEM_KINDS, Problem
 from .solution import Solution
 
 #: Memory classes a backend can declare (between-pass state).
@@ -71,7 +72,7 @@ class Capabilities:
         unknown = set(self.problems) - set(PROBLEM_KINDS)
         if unknown:
             raise SolverError(f"unknown problem kinds in capabilities: {sorted(unknown)}")
-        bad_modes = set(self.input_modes) - {MODE_GRAPH, MODE_STREAM}
+        bad_modes = set(self.input_modes) - {MODE_GRAPH, MODE_STREAM, MODE_SHARDS}
         if bad_modes:
             raise SolverError(f"unknown input modes in capabilities: {sorted(bad_modes)}")
 
@@ -104,6 +105,10 @@ _REGISTRY: Dict[str, Solver] = {}
 _AUTO_PREFERENCE = {
     MODE_GRAPH: ("core", "streaming", "mapreduce", "sketch"),
     MODE_STREAM: ("streaming", "sketch"),
+    # Shard stores: the CSR build is the fastest consumer when its O(m)
+    # snapshot fits the budget; the semi-streaming engine is the
+    # out-of-core fallback a memory_budget selects.
+    MODE_SHARDS: ("core-csr", "streaming", "mapreduce"),
 }
 
 
@@ -224,6 +229,7 @@ def solve(
     backend: str = "auto",
     *,
     memory_budget: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
     **options,
 ) -> Solution:
     """Solve a problem with a registered backend.
@@ -242,6 +248,14 @@ def solve(
         Optional between-pass memory budget in words; only backends
         whose own footprint estimate fits are eligible under
         ``"auto"``.
+    context:
+        Optional :class:`~repro.api.context.ExecutionContext` naming
+        the execution resources (worker processes, memory budget,
+        spill directory/shard count).  Its ``memory_budget`` feeds the
+        ``"auto"`` dispatch when the explicit argument is absent; the
+        whole context is forwarded to the chosen backend, which honors
+        the fields that apply to its execution model and ignores the
+        rest.
     **options:
         Backend-specific knobs passed through to the solver (e.g.
         ``runtime=`` for MapReduce, ``buckets=``/``tables=``/``seed=``
@@ -271,6 +285,14 @@ def solve(
         raise SolverError(
             f"solve() takes a Problem instance, got {type(problem).__name__}"
         )
+    if context is not None:
+        if not isinstance(context, ExecutionContext):
+            raise SolverError(
+                f"context must be an ExecutionContext, got {type(context).__name__}"
+            )
+        if memory_budget is None:
+            memory_budget = context.memory_budget
+        options["context"] = context
     if backend == "auto":
         solver = select_backend(problem, memory_budget=memory_budget)
     else:

@@ -16,6 +16,14 @@ Solve a densest-subgraph problem on any backend::
     repro-densest densest --dataset flickr_sim --engine numpy
     repro-densest densest --edge-list graph.txt --backend core-csr
 
+Out-of-core pipeline: convert an edge list into a sharded store, then
+solve on it (or do both in one command with ``--spill-dir``)::
+
+    repro-densest shard --edge-list big.txt.gz --output /data/big-store --shards 16
+    repro-densest densest --shard-store /data/big-store --backend streaming
+    repro-densest densest --edge-list big.txt --spill-dir /tmp/st --backend streaming
+    repro-densest densest --shard-store /data/big-store --backend mapreduce --workers 4
+
 Legacy commands (thin wrappers over ``densest``)::
 
     repro-densest run --dataset flickr_sim --epsilon 0.5
@@ -56,10 +64,18 @@ from .graph.io import read_directed, read_undirected
 from .graph.undirected import UndirectedGraph
 
 
-def _add_input_args(parser: argparse.ArgumentParser) -> None:
+def _add_input_args(
+    parser: argparse.ArgumentParser, *, shard_store: bool = False
+) -> None:
     src = parser.add_mutually_exclusive_group(required=True)
     src.add_argument("--dataset", help="registered dataset name")
-    src.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    src.add_argument(
+        "--edge-list", help="path to a SNAP-style edge list (.gz transparent)"
+    )
+    if shard_store:
+        src.add_argument(
+            "--shard-store", help="path to a sharded edge store directory"
+        )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=None)
 
@@ -81,7 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "densest",
         help="solve a densest-subgraph problem on any registered backend",
     )
-    _add_input_args(p_solve)
+    _add_input_args(p_solve, shard_store=True)
     p_solve.add_argument(
         "--backend",
         default="auto",
@@ -116,6 +132,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--memory-budget", type=int, default=None,
         help="between-pass budget in words for backend=auto dispatch",
     )
+    p_solve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the mapreduce backend's columnar "
+        "rounds (>1 selects the process-pool executor)",
+    )
+    p_solve.add_argument(
+        "--spill-dir", default=None,
+        help="convert an --edge-list input into a sharded store in this "
+        "directory first, then solve on the store (out-of-core pipeline; "
+        "a store already present there is reused)",
+    )
+    p_solve.add_argument(
+        "--shards", type=int, default=8,
+        help="shard count for the --spill-dir conversion",
+    )
     p_solve.add_argument("--show-nodes", type=int, default=0, help="print up to N member nodes")
 
     p_run = sub.add_parser(
@@ -149,6 +180,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p_enum.add_argument("--max-subgraphs", type=int, default=5)
     p_enum.add_argument("--min-density", type=float, default=1.0)
 
+    p_shard = sub.add_parser(
+        "shard",
+        help="convert an edge list into a sharded out-of-core store",
+    )
+    p_shard.add_argument(
+        "--edge-list", required=True,
+        help="path to a SNAP-style edge list (.gz transparent)",
+    )
+    p_shard.add_argument(
+        "--output", required=True, help="target store directory"
+    )
+    p_shard.add_argument("--shards", type=int, default=8, help="number of shards")
+    p_shard.add_argument(
+        "--directed", action="store_true", help="treat the edges as directed"
+    )
+    p_shard.add_argument(
+        "--num-nodes", type=int, default=None,
+        help="declare the node universe [0, N) explicitly (default: max id + 1)",
+    )
+    p_shard.add_argument(
+        "--memory-budget-mb", type=int, default=64,
+        help="writer spill budget in MiB",
+    )
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
         "name",
@@ -160,21 +215,43 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_any(args) -> Union[UndirectedGraph, DirectedGraph]:
-    """Load the input graph, undirected or directed as the source dictates.
+    """Load the input, undirected/directed/sharded as the source dictates.
 
-    When the run is headed for the vectorized engine anyway
-    (``--engine numpy`` or ``--backend core-csr``), an ``--edge-list``
-    input is read straight into NumPy arrays and a CSR snapshot — no
-    per-edge dict inserts at all (``duplicates="first"`` matches the
-    dedup semantics of the SNAP readers).
+    ``--shard-store`` opens an on-disk store as the problem input
+    directly.  ``--edge-list`` with ``--spill-dir`` converts the list
+    into a store first (one streaming pass under the writer's memory
+    budget) and solves on that — the CLI's out-of-core pipeline.  When
+    the run is headed for the vectorized engine anyway (``--engine
+    numpy`` or ``--backend core-csr``), an ``--edge-list`` input is
+    read straight into NumPy arrays and a CSR snapshot — no per-edge
+    dict inserts at all (``duplicates="first"`` matches the dedup
+    semantics of the SNAP readers).
     """
     directed = getattr(args, "directed", False)
     wants_csr = (
         getattr(args, "engine", "auto") == "numpy"
         or getattr(args, "backend", None) == "core-csr"
     )
+    if getattr(args, "shard_store", None):
+        from .store import ShardedEdgeStore
+
+        return ShardedEdgeStore.open(args.shard_store)
     if args.dataset:
         return dataset_load(args.dataset, scale=args.scale, seed=args.seed)
+    if getattr(args, "spill_dir", None):
+        from .store import ShardedEdgeStore, write_edge_list_store
+        from .store.shards import MANIFEST_NAME
+        from pathlib import Path
+
+        # Re-running the same command reuses the converted store.
+        if (Path(args.spill_dir) / MANIFEST_NAME).exists():
+            return ShardedEdgeStore.open(args.spill_dir)
+        return write_edge_list_store(
+            args.edge_list,
+            args.spill_dir,
+            directed=directed,
+            num_shards=args.shards,
+        )
     if wants_csr:
         try:
             from .graph.io import read_edge_arrays
@@ -254,8 +331,11 @@ def _is_directed_input(graph) -> bool:
         return True
     try:
         from .kernels import CSRDigraph
+        from .store import ShardedEdgeStore
     except ImportError:
         return False
+    if isinstance(graph, ShardedEdgeStore):
+        return graph.directed
     return isinstance(graph, CSRDigraph)
 
 
@@ -314,6 +394,14 @@ def _cmd_densest(args) -> int:
                 raise ReproError("backend 'core-csr' is pinned to the numpy engine")
         else:
             options["engine"] = args.engine
+    if args.workers > 1:
+        from .api import ExecutionContext
+
+        options["context"] = ExecutionContext(
+            workers=args.workers,
+            spill_dir=args.spill_dir,
+            shard_count=args.shards,
+        )
     solution = solve(
         problem, backend=backend, memory_budget=args.memory_budget, **options
     )
@@ -409,6 +497,27 @@ def _cmd_enumerate(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    from .store import write_edge_list_store
+
+    store = write_edge_list_store(
+        args.edge_list,
+        args.output,
+        directed=args.directed,
+        num_shards=args.shards,
+        num_nodes=args.num_nodes,
+        memory_budget=args.memory_budget_mb * 1024 * 1024,
+    )
+    print(f"sharded {args.edge_list} -> {args.output}")
+    print(f"  nodes   : {store.num_nodes}")
+    print(f"  edges   : {store.num_edges}")
+    print(f"  shards  : {store.num_shards}")
+    print(f"  payload : {store.nbytes() / 1024 / 1024:.1f} MiB")
+    print(f"  kind    : {'directed' if store.directed else 'undirected'}"
+          f"{', weighted' if store.weighted else ''}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     names = sorted(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -431,6 +540,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-directed": _cmd_run_directed,
         "exact": _cmd_exact,
         "enumerate": _cmd_enumerate,
+        "shard": _cmd_shard,
         "experiment": _cmd_experiment,
     }
     try:

@@ -5,6 +5,13 @@ which real graph it stands in for and which structural property of that
 graph the experiments depend on.  ``scale`` multiplies node counts
 (``scale=1.0`` is the default laptop-sized instance; tests use smaller
 scales).
+
+Two families live here: the original dict-graph builders (the paper's
+experiment fixtures) and, below them, array-native twins
+(:func:`synthetic_edge_arrays`, :func:`write_synthetic_store`) that
+emit int64 edge arrays or spill directly into a sharded edge store —
+the fast path for generating benchmark inputs far past dict-graph
+scales.
 """
 
 from __future__ import annotations
@@ -12,13 +19,14 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from .._validation import check_positive_float
+from .._validation import check_positive_float, check_probability
 from ..errors import ParameterError
 from ..graph.directed import DirectedGraph
 from ..graph.generators import (
     chung_lu,
     directed_power_law,
     erdos_renyi,
+    power_law_degree_weights,
 )
 from ..graph.undirected import UndirectedGraph
 
@@ -252,3 +260,259 @@ def enron_sim(scale: float = 1.0, seed: int = 16) -> UndirectedGraph:
     members = rng.sample(range(n), max(15, n // 30))
     _plant_clique(graph, members, rng, p=0.75)
     return graph
+
+
+# ----------------------------------------------------------------------
+# Array-native generators (no dict graphs)
+# ----------------------------------------------------------------------
+# The dict generators above pay a Python-level hash-map insert per edge
+# — fine at laptop scales, the bottleneck when generating benchmark
+# inputs with tens of millions of edges.  The builders below share the
+# structural recipes (power-law background + planted dense block) but
+# produce int64 edge arrays with vectorized NumPy sampling, and can
+# spill straight into a :class:`~repro.store.ShardedEdgeStore` without
+# ever materializing a graph object.  They are deterministic per
+# (scale, seed) but *not* edge-identical to their dict counterparts
+# (different RNG streams); use them for scale benchmarks and
+# out-of-core fixtures, the dict stand-ins for the paper tables.
+
+def _power_law_probs(n: int, exponent: float):
+    import numpy as np
+
+    weights = np.asarray(power_law_degree_weights(n, exponent))
+    return weights / weights.sum()
+
+
+def chung_lu_edge_arrays(
+    n: int,
+    *,
+    exponent: float = 2.5,
+    average_degree: float = 10.0,
+    seed: int = 0,
+):
+    """Chung–Lu-style undirected edge arrays, fully vectorized.
+
+    Samples ``average_degree * n / 2`` endpoint pairs proportionally to
+    power-law weights, canonicalizes to ``(lo, hi)``, and drops loops
+    and duplicates — the standard "fast Chung–Lu" approximation, whose
+    realized average degree lands slightly under the nominal one.
+    Returns ``(src, dst)`` int64 arrays over the universe ``[0, n)``.
+    """
+    import numpy as np
+
+    check_positive_float(average_degree, "average_degree")
+    probs = _power_law_probs(n, exponent)
+    m_target = int(round(average_degree * n / 2))
+    rng = np.random.default_rng(seed)
+    src = rng.choice(n, size=m_target, p=probs)
+    dst = rng.choice(n, size=m_target, p=probs)
+    lo = np.minimum(src, dst).astype(np.int64)
+    hi = np.maximum(src, dst).astype(np.int64)
+    keep = lo != hi
+    key = np.unique(lo[keep] * np.int64(n) + hi[keep])
+    return key // n, key % n
+
+
+def planted_block_edge_arrays(
+    members,
+    *,
+    p: float,
+    seed: int = 0,
+    targets=None,
+):
+    """Edge arrays of one planted dense block, vectorized.
+
+    With only ``members``: undirected Erdős–Rényi block over the member
+    pairs (canonical ``lo < hi`` orientation).  With ``targets``:
+    directed ``members × targets`` block (loop pairs skipped).
+    """
+    import numpy as np
+
+    check_probability(p, "p")
+    members = np.asarray(members, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    if targets is None:
+        iu, ju = np.triu_indices(members.size, k=1)
+        src, dst = members[iu], members[ju]
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        keep = rng.random(lo.size) < p
+        return lo[keep], hi[keep]
+    targets = np.asarray(targets, dtype=np.int64)
+    src = np.repeat(members, targets.size)
+    dst = np.tile(targets, members.size)
+    keep = (src != dst) & (rng.random(src.size) < p)
+    return src[keep], dst[keep]
+
+
+def directed_power_law_edge_arrays(
+    n: int,
+    m: int,
+    *,
+    in_exponent: float = 2.2,
+    out_exponent: float = 2.8,
+    reciprocity: float = 0.0,
+    seed: int = 0,
+):
+    """Directed power-law edge arrays (follower-graph shape), vectorized.
+
+    Same model as :func:`~repro.graph.generators.directed_power_law`:
+    sources drawn from a shuffled out-weight distribution, targets from
+    the in-weight distribution, optional mirrored edges.  Loops and
+    duplicates are dropped, so the realized count lands slightly under
+    ``m`` (plus the reciprocal extras).
+    """
+    import numpy as np
+
+    check_probability(reciprocity, "reciprocity")
+    rng = np.random.default_rng(seed)
+    out_perm = rng.permutation(n)
+    src = out_perm[rng.choice(n, size=m, p=_power_law_probs(n, out_exponent))]
+    dst = rng.choice(n, size=m, p=_power_law_probs(n, in_exponent))
+    src = src.astype(np.int64)
+    dst = dst.astype(np.int64)
+    if reciprocity > 0:
+        mirror = rng.random(m) < reciprocity
+        rsrc, rdst = dst[mirror], src[mirror]
+        src = np.concatenate([src, rsrc])
+        dst = np.concatenate([dst, rdst])
+    keep = src != dst
+    key = np.unique(src[keep] * np.int64(n) + dst[keep])
+    return key // n, key % n
+
+
+def _members(rng, n: int, count: int):
+    import numpy as np
+
+    return np.sort(rng.choice(n, size=max(1, count), replace=False))
+
+
+def _flickr_edge_arrays(scale: float, seed: int):
+    import numpy as np
+
+    n = _scaled(20_000, scale)
+    src, dst = chung_lu_edge_arrays(
+        n, exponent=2.1, average_degree=10.0, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    members = _members(rng, n, max(16, int(round(n * 0.01))))
+    ps, pd = planted_block_edge_arrays(members, p=0.85, seed=seed + 2)
+    key = np.unique(
+        np.concatenate([src, ps]) * np.int64(n) + np.concatenate([dst, pd])
+    )
+    return key // n, key % n, n, False
+
+
+def _im_edge_arrays(scale: float, seed: int):
+    import numpy as np
+
+    n = _scaled(30_000, scale)
+    src, dst = chung_lu_edge_arrays(
+        n, exponent=2.45, average_degree=8.0, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    members = _members(rng, n, max(10, int(round(n * 0.002))))
+    ps, pd = planted_block_edge_arrays(members, p=0.7, seed=seed + 2)
+    key = np.unique(
+        np.concatenate([src, ps]) * np.int64(n) + np.concatenate([dst, pd])
+    )
+    return key // n, key % n, n, False
+
+
+def _livejournal_edge_arrays(scale: float, seed: int):
+    import numpy as np
+
+    n = _scaled(12_000, scale)
+    src, dst = directed_power_law_edge_arrays(
+        n, int(n * 7), in_exponent=3.0, out_exponent=3.0,
+        reciprocity=0.5, seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    members = _members(rng, n, max(32, int(round(n * 0.006))))
+    ps, pd = planted_block_edge_arrays(
+        members, p=0.8, seed=seed + 2, targets=members
+    )
+    key = np.unique(
+        np.concatenate([src, ps]) * np.int64(n) + np.concatenate([dst, pd])
+    )
+    return key // n, key % n, n, True
+
+
+def _twitter_edge_arrays(scale: float, seed: int):
+    import numpy as np
+
+    n = _scaled(12_000, scale)
+    src, dst = directed_power_law_edge_arrays(
+        n, int(n * 8), in_exponent=1.9, out_exponent=2.6,
+        reciprocity=0.02, seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    celebrities = _members(rng, n, max(4, int(round(n * 0.0008))))
+    pool = np.setdiff1d(np.arange(n, dtype=np.int64), celebrities)
+    fans = np.sort(rng.choice(pool, size=max(40, int(round(n * 0.02))), replace=False))
+    ps, pd = planted_block_edge_arrays(
+        fans, p=0.75, seed=seed + 2, targets=celebrities
+    )
+    key = np.unique(
+        np.concatenate([src, ps]) * np.int64(n) + np.concatenate([dst, pd])
+    )
+    return key // n, key % n, n, True
+
+
+#: Array-native stand-in builders: name -> (builder, default seed).
+ARRAY_GENERATORS = {
+    "flickr_sim": (_flickr_edge_arrays, 0),
+    "im_sim": (_im_edge_arrays, 1),
+    "livejournal_sim": (_livejournal_edge_arrays, 2),
+    "twitter_sim": (_twitter_edge_arrays, 3),
+}
+
+
+def synthetic_edge_arrays(name: str, scale: float = 1.0, seed=None):
+    """Array-native edges of one of the four large evaluation stand-ins.
+
+    Returns ``(src, dst, num_nodes, directed)``; ``src``/``dst`` are
+    deduplicated int64 arrays over the dense universe
+    ``[0, num_nodes)``.  Deterministic per (scale, seed); *not*
+    edge-identical to the dict stand-in of the same name.
+    """
+    try:
+        builder, default_seed = ARRAY_GENERATORS[name]
+    except KeyError:
+        raise ParameterError(
+            f"no array generator for {name!r}; "
+            f"available: {sorted(ARRAY_GENERATORS)}"
+        ) from None
+    return builder(scale, default_seed if seed is None else seed)
+
+
+def write_synthetic_store(
+    name: str,
+    path,
+    *,
+    scale: float = 1.0,
+    seed=None,
+    num_shards: int = 8,
+    memory_budget=None,
+):
+    """Generate a stand-in straight into a sharded edge store.
+
+    The arrays never become a graph object: generation is vectorized
+    and the writer spills them into hash-partitioned shards under its
+    memory budget — the intended way to produce out-of-core benchmark
+    inputs.  Returns the opened
+    :class:`~repro.store.ShardedEdgeStore`.
+    """
+    from ..store import DEFAULT_MEMORY_BUDGET, ShardedEdgeStore
+
+    src, dst, n, directed = synthetic_edge_arrays(name, scale=scale, seed=seed)
+    return ShardedEdgeStore.write(
+        path,
+        (src, dst),
+        directed=directed,
+        num_shards=num_shards,
+        num_nodes=n,
+        memory_budget=(
+            DEFAULT_MEMORY_BUDGET if memory_budget is None else memory_budget
+        ),
+    )

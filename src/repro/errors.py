@@ -39,3 +39,7 @@ class SolverError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for unknown dataset names or invalid dataset parameters."""
+
+
+class StoreError(ReproError):
+    """Raised for sharded edge-store format or protocol violations."""

@@ -2,8 +2,15 @@
 
 The paper's public datasets ship as whitespace-separated edge lists with
 ``#`` comment lines (the SNAP format).  These helpers read and write
-that format for both graph types, with optional gzip compression and
+that format for both graph types, with transparent gzip compression and
 optional weights as a third column.
+
+Gzip handling is transparent on *every* read path
+(:func:`iter_edge_list`, :func:`read_edge_arrays`,
+:func:`read_undirected`, :func:`read_directed`): compressed files are
+recognized by their magic bytes, not just a ``.gz`` suffix, so the
+public SNAP dumps load without manual decompression whatever they are
+named.  Writers compress when the target path ends in ``.gz``.
 """
 
 from __future__ import annotations
@@ -19,9 +26,23 @@ from .undirected import UndirectedGraph
 PathLike = Union[str, Path]
 
 
+#: The two magic bytes opening every gzip member (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def _open_text(path: PathLike, mode: str):
-    """Open a possibly-gzipped text file."""
+    """Open a possibly-gzipped text file.
+
+    Reads sniff the gzip magic bytes so misnamed compressed dumps
+    still load; writes go by the ``.gz`` suffix (there is nothing to
+    sniff yet).
+    """
     path = Path(path)
+    if "r" in mode:
+        with open(path, "rb") as probe:
+            if probe.read(2) == _GZIP_MAGIC:
+                return gzip.open(path, mode + "t", encoding="utf-8")
+        return open(path, mode, encoding="utf-8")
     if path.suffix == ".gz":
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")

@@ -13,7 +13,10 @@ immutable snapshots built once per run:
   :class:`~repro.streaming.stream.EdgeStream`;
 * ``from_edge_arrays`` — directly from NumPy id/weight arrays,
   skipping the dict-of-dict detour entirely (pairs with
-  :func:`repro.graph.io.read_edge_arrays`).
+  :func:`repro.graph.io.read_edge_arrays`);
+* ``from_shards`` — from a :class:`~repro.store.ShardedEdgeStore`,
+  per-shard bincount + counting-sort fill passes, so nothing beyond
+  the CSR output and one shard is ever resident.
 
 Arrays use int32 ``indptr``/``indices`` and float64 ``weights``; node
 labels of any hashable type are factorized to dense indices at build
@@ -266,6 +269,52 @@ def _rows_to_csr(
     return indptr, indices, data, degrees
 
 
+def _shard_fill_positions(
+    rows: np.ndarray, cursor: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR write positions for one shard chunk of COO rows.
+
+    ``cursor`` holds each row's next free CSR slot.  Returns the sort
+    order of the chunk and the target positions of the sorted entries;
+    the caller scatters columns/weights and advances the cursor by the
+    chunk's per-row counts.
+    """
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_rows[1:] != sorted_rows[:-1]]
+    )
+    run_lengths = np.diff(np.append(starts, sorted_rows.size))
+    offsets = np.arange(sorted_rows.size, dtype=np.int64) - np.repeat(
+        starts, run_lengths
+    )
+    return order, cursor[sorted_rows] + offsets
+
+
+def _indptr_from_counts(n: int, counts: np.ndarray) -> np.ndarray:
+    indptr = np.zeros(n + 1, dtype=np.int32)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def _sort_rows_by_column(
+    n: int, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort each CSR row segment by column (stable).
+
+    The shard fill pass appends neighbors in shard order; the bulk
+    builders order them by column (``lexsort((cols, rows))``).  Kernel
+    reductions sum row segments left to right, so the two orders can
+    round differently in the last ULPs — this final sort makes
+    shard-built snapshots bit-identical to array-built ones.
+    """
+    if indices.size == 0:
+        return indices, data
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr).astype(np.int64))
+    order = np.argsort(rows * np.int64(n) + indices.astype(np.int64), kind="stable")
+    return indices[order], data[order]
+
+
 def _snapshot_stream(cls, stream, duplicates: str):
     """Shared body of the two ``from_edge_stream`` builders.
 
@@ -431,6 +480,68 @@ class CSRGraph:
         matching :meth:`~repro.graph.undirected.UndirectedGraph.add_edge`.
         """
         return _snapshot_stream(cls, stream, duplicates)
+
+    @classmethod
+    def from_shards(cls, store) -> "CSRGraph":
+        """Build a snapshot from a sharded edge store, one shard at a time.
+
+        Two bounded passes over the store's shards — a bincount pass
+        for per-node entry counts and weighted degrees, then a
+        counting-sort fill pass scattering each shard's entries into
+        the preallocated CSR arrays (plus a final within-row column
+        sort for bit-parity with :meth:`from_edge_arrays`) — so peak
+        memory is the O(m) CSR output plus one shard and a transient
+        sort index, never a dict graph.  The store's dense id universe
+        becomes the label space (``labels[i] == i``); parallel
+        duplicate records are kept as parallel CSR entries, which every
+        peel kernel reads additively (equivalent to the summed edge).
+        """
+        if store.directed:
+            raise GraphError(
+                "store holds directed edges; use CSRDigraph.from_shards"
+            )
+        n = store.num_nodes
+        labels = _identity_labels(n)
+        if n == 0:
+            return cls(
+                np.zeros(1, np.int32),
+                np.empty(0, np.int32),
+                np.empty(0, np.float64),
+                np.empty(0, np.float64),
+                labels,
+                0.0,
+            )
+        counts = np.zeros(n, dtype=np.int64)
+        degrees = np.zeros(n, dtype=np.float64)
+        total_weight = 0.0
+        for u, v, w in store.iter_shard_arrays():
+            u = np.asarray(u, dtype=np.int64)
+            v = np.asarray(v, dtype=np.int64)
+            w = np.asarray(w, dtype=np.float64)
+            _check_index_range(u, v, n)
+            counts += np.bincount(u, minlength=n)
+            counts += np.bincount(v, minlength=n)
+            degrees += np.bincount(u, weights=w, minlength=n)
+            degrees += np.bincount(v, weights=w, minlength=n)
+            total_weight += float(w.sum())
+        _check_int32_entries(int(counts.sum()))
+        indptr = _indptr_from_counts(n, counts)
+        indices = np.empty(int(counts.sum()), dtype=np.int32)
+        data = np.empty(indices.size, dtype=np.float64)
+        cursor = indptr[:-1].astype(np.int64)
+        for u, v, w in store.iter_shard_arrays():
+            u = np.asarray(u, dtype=np.int64)
+            v = np.asarray(v, dtype=np.int64)
+            w = np.asarray(w, dtype=np.float64)
+            rows = np.concatenate([u, v])
+            cols = np.concatenate([v, u])
+            both = np.concatenate([w, w])
+            order, pos = _shard_fill_positions(rows, cursor)
+            indices[pos] = cols[order].astype(np.int32)
+            data[pos] = both[order]
+            cursor += np.bincount(rows, minlength=n)
+        indices, data = _sort_rows_by_column(n, indptr, indices, data)
+        return cls(indptr, indices, data, degrees, labels, total_weight)
 
     # ------------------------------------------------------------------
     # Queries
@@ -603,6 +714,76 @@ class CSRDigraph:
     def from_edge_stream(cls, stream, *, duplicates: str = "sum") -> "CSRDigraph":
         """One counted pass over a directed edge stream (``u -> v``)."""
         return _snapshot_stream(cls, stream, duplicates)
+
+    @classmethod
+    def from_shards(cls, store) -> "CSRDigraph":
+        """Build a directed snapshot from a sharded edge store.
+
+        Same two-pass bincount/fill structure as
+        :meth:`CSRGraph.from_shards`, run once per orientation (out-CSR
+        keyed on ``u``, in-CSR keyed on ``v``).
+        """
+        if not store.directed:
+            raise GraphError(
+                "store holds undirected edges; use CSRGraph.from_shards"
+            )
+        n = store.num_nodes
+        labels = _identity_labels(n)
+        if n == 0:
+            empty = (
+                np.zeros(1, np.int32),
+                np.empty(0, np.int32),
+                np.empty(0, np.float64),
+                np.empty(0, np.float64),
+            )
+            return cls(empty, empty, labels, 0.0)
+        out_counts = np.zeros(n, dtype=np.int64)
+        in_counts = np.zeros(n, dtype=np.int64)
+        out_degrees = np.zeros(n, dtype=np.float64)
+        in_degrees = np.zeros(n, dtype=np.float64)
+        total_weight = 0.0
+        for u, v, w in store.iter_shard_arrays():
+            u = np.asarray(u, dtype=np.int64)
+            v = np.asarray(v, dtype=np.int64)
+            w = np.asarray(w, dtype=np.float64)
+            _check_index_range(u, v, n)
+            out_counts += np.bincount(u, minlength=n)
+            in_counts += np.bincount(v, minlength=n)
+            out_degrees += np.bincount(u, weights=w, minlength=n)
+            in_degrees += np.bincount(v, weights=w, minlength=n)
+            total_weight += float(w.sum())
+        _check_int32_entries(int(out_counts.sum()))
+        out_indptr = _indptr_from_counts(n, out_counts)
+        in_indptr = _indptr_from_counts(n, in_counts)
+        m = int(out_counts.sum())
+        out_indices = np.empty(m, dtype=np.int32)
+        out_data = np.empty(m, dtype=np.float64)
+        in_indices = np.empty(m, dtype=np.int32)
+        in_data = np.empty(m, dtype=np.float64)
+        out_cursor = out_indptr[:-1].astype(np.int64)
+        in_cursor = in_indptr[:-1].astype(np.int64)
+        for u, v, w in store.iter_shard_arrays():
+            u = np.asarray(u, dtype=np.int64)
+            v = np.asarray(v, dtype=np.int64)
+            w = np.asarray(w, dtype=np.float64)
+            order, pos = _shard_fill_positions(u, out_cursor)
+            out_indices[pos] = v[order].astype(np.int32)
+            out_data[pos] = w[order]
+            out_cursor += np.bincount(u, minlength=n)
+            order, pos = _shard_fill_positions(v, in_cursor)
+            in_indices[pos] = u[order].astype(np.int32)
+            in_data[pos] = w[order]
+            in_cursor += np.bincount(v, minlength=n)
+        out_indices, out_data = _sort_rows_by_column(
+            n, out_indptr, out_indices, out_data
+        )
+        in_indices, in_data = _sort_rows_by_column(n, in_indptr, in_indices, in_data)
+        return cls(
+            (out_indptr, out_indices, out_data, out_degrees),
+            (in_indptr, in_indices, in_data, in_degrees),
+            labels,
+            total_weight,
+        )
 
     # ------------------------------------------------------------------
     # Queries

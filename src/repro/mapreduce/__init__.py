@@ -21,7 +21,7 @@ translate counters into simulated wall-clock (Figure 6.7).
 """
 
 from .job import JobCounters, MapReduceJob
-from .runtime import MapReduceRuntime
+from .runtime import MapReduceRuntime, register_job
 from .cost import CostModel
 from .densest import (
     mr_densest_subgraph,
@@ -36,6 +36,7 @@ __all__ = [
     "MapReduceJob",
     "JobCounters",
     "MapReduceRuntime",
+    "register_job",
     "TransientTaskError",
     "CostModel",
     "mr_densest_subgraph",

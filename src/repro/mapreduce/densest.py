@@ -57,7 +57,7 @@ from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
 from .cost import CostModel
 from .job import JobCounters, MapReduceJob
-from .runtime import MapReduceRuntime
+from .runtime import MapReduceRuntime, register_job
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy as np
@@ -102,7 +102,7 @@ def _sum_reducer_batch(grouped):
     return ColumnarKV(grouped.keys, {"w": grouped.segment_sum("w")})
 
 
-DEGREE_JOB = MapReduceJob(
+DEGREE_JOB = register_job(MapReduceJob(
     name="degree",
     mapper=_degree_mapper,
     reducer=_sum_reducer,
@@ -110,7 +110,7 @@ DEGREE_JOB = MapReduceJob(
     mapper_batch=_degree_mapper_batch,
     reducer_batch=_sum_reducer_batch,
     combiner_batch=_sum_reducer_batch,
-)
+))
 
 
 def _directed_degree_mapper(u, edge):
@@ -135,7 +135,7 @@ def _directed_degree_mapper_batch(batch):
     )
 
 
-DIRECTED_DEGREE_JOB = MapReduceJob(
+DIRECTED_DEGREE_JOB = register_job(MapReduceJob(
     name="directed-degree",
     mapper=_directed_degree_mapper,
     reducer=_sum_reducer,
@@ -143,7 +143,7 @@ DIRECTED_DEGREE_JOB = MapReduceJob(
     mapper_batch=_directed_degree_mapper_batch,
     reducer_batch=_sum_reducer_batch,
     combiner_batch=_sum_reducer_batch,
-)
+))
 
 
 def _identity_mapper(key, value):
@@ -189,13 +189,13 @@ def _filter_and_pivot_reducer_batch(grouped):
     )
 
 
-REMOVAL_JOB = MapReduceJob(
+REMOVAL_JOB = register_job(MapReduceJob(
     name="remove-marked",
     mapper=_identity_mapper,
     reducer=_filter_and_pivot_reducer,
     mapper_batch=_identity_mapper_batch,
     reducer_batch=_filter_and_pivot_reducer_batch,
-)
+))
 
 
 def _filter_keep_key_reducer(key, values):
@@ -211,13 +211,13 @@ def _filter_keep_key_reducer_batch(grouped):
     return grouped.rows.take(keep)
 
 
-REMOVAL_JOB_KEEP_KEY = MapReduceJob(
+REMOVAL_JOB_KEEP_KEY = register_job(MapReduceJob(
     name="remove-marked-keep-key",
     mapper=_identity_mapper,
     reducer=_filter_keep_key_reducer,
     mapper_batch=_identity_mapper_batch,
     reducer_batch=_filter_keep_key_reducer_batch,
-)
+))
 
 
 def _pivot_mapper(key, value):
@@ -246,13 +246,13 @@ def _pivot_mapper_batch(batch):
     )
 
 
-REMOVAL_JOB_PIVOT_SECOND = MapReduceJob(
+REMOVAL_JOB_PIVOT_SECOND = register_job(MapReduceJob(
     name="remove-marked-second",
     mapper=_pivot_mapper,
     reducer=_filter_and_pivot_reducer,
     mapper_batch=_pivot_mapper_batch,
     reducer_batch=_filter_and_pivot_reducer_batch,
-)
+))
 
 
 # ----------------------------------------------------------------------

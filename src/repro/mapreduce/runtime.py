@@ -25,10 +25,23 @@ The runtime has two execution paths sharing this structure:
   strided-slice splits, one hash over the whole key array, sort-based
   group-by — while producing the same records, the same record
   counters, and the same retry semantics as the record path.
+
+The columnar path additionally supports a real process-pool executor
+(``executor="process"``): map and reduce tasks ship their
+:class:`ColumnarKV` batches to ``workers`` spawned worker processes.
+Jobs must be *spawn-safe* — batch callables defined at module level and
+the job registered with :func:`register_job` at import time of its
+defining module — because workers resolve the job by name after
+re-importing that module.  Task results are merged in task-index
+order and counters are order-independent sums, so output batches,
+record counters, and driver traces are bit-identical to
+``executor="serial"``.  The record path always executes serially (its
+per-record Python objects cost more to ship than to process).
 """
 
 from __future__ import annotations
 
+import importlib
 import random
 from collections import defaultdict
 from typing import Any, Dict, List, Tuple
@@ -38,6 +51,9 @@ from typing import Optional
 from .._validation import check_positive_int
 from ..errors import MapReduceError, ParameterError
 from .job import JobCounters, KV, MapReduceJob
+
+#: Executor kinds accepted by :class:`MapReduceRuntime`.
+EXECUTORS = ("serial", "process")
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     from .columnar import ColumnarKV
@@ -52,6 +68,80 @@ class TransientTaskError(Exception):
     times (Hadoop's retry semantics) before failing the whole job with
     :class:`~repro.errors.MapReduceError`.
     """
+
+
+# ----------------------------------------------------------------------
+# Spawn-safe job registry.  Worker processes cannot receive function
+# objects closing over arbitrary state; they receive a (job name,
+# defining module) pair, import the module — which re-runs its
+# import-time register_job calls — and look the job up here.
+# ----------------------------------------------------------------------
+_JOB_REGISTRY: Dict[str, MapReduceJob] = {}
+
+
+def register_job(job: MapReduceJob) -> MapReduceJob:
+    """Register a job for process-pool execution (idempotent per object).
+
+    Call at module import time, next to the job definition; the batch
+    callables must be module-level functions of that same module so the
+    spawned workers can re-import them.  Returns the job, so it can be
+    used as ``JOB = register_job(MapReduceJob(...))``.
+    """
+    existing = _JOB_REGISTRY.get(job.name)
+    if existing is not None and existing is not job:
+        raise MapReduceError(
+            f"a different job named {job.name!r} is already registered"
+        )
+    _JOB_REGISTRY[job.name] = job
+    return job
+
+
+def _job_module(job: MapReduceJob) -> str:
+    """The module whose import registers ``job`` (for worker resolution)."""
+    return job.mapper_batch.__module__
+
+
+def _resolve_job(name: str, module: str) -> MapReduceJob:
+    """Worker-side lookup: import the defining module, read the registry."""
+    if name not in _JOB_REGISTRY:
+        importlib.import_module(module)
+    try:
+        return _JOB_REGISTRY[name]
+    except KeyError:
+        raise MapReduceError(
+            f"job {name!r} not registered after importing {module!r}; "
+            f"process execution requires register_job() at import time"
+        ) from None
+
+
+def _map_task_body(job: MapReduceJob, split) -> tuple:
+    """One columnar map task (+ per-task combiner); both executors run
+    exactly this, so the serial and process paths cannot drift."""
+    local = job.mapper_batch(split)
+    _check_batch(local, job.name, "mapper_batch")
+    raw_count = local.num_records
+    if job.combiner_batch is not None:
+        local = job.combiner_batch(local.group())
+        _check_batch(local, job.name, "combiner_batch")
+    return raw_count, local
+
+
+def _reduce_task_body(job: MapReduceJob, partition) -> tuple:
+    """One columnar reduce task (group-by + reducer), executor-shared."""
+    grouped = partition.group()
+    out = job.reducer_batch(grouped)
+    _check_batch(out, job.name, "reducer_batch")
+    return grouped.num_groups, out
+
+
+def _process_map_task(name: str, module: str, split) -> tuple:
+    """Worker-process entry: resolve the job, run the shared map body."""
+    return _map_task_body(_resolve_job(name, module), split)
+
+
+def _process_reduce_task(name: str, module: str, partition) -> tuple:
+    """Worker-process entry: resolve the job, run the shared reduce body."""
+    return _reduce_task_body(_resolve_job(name, module), partition)
 
 
 def _default_partitioner(key: Any, num_reducers: int) -> int:
@@ -144,7 +234,22 @@ class MapReduceRuntime:
         from a mapper/combiner/reducer (tests use this to verify the
         retry path); exhausting the retries raises
         :class:`~repro.errors.MapReduceError`.  Batch tasks on the
-        columnar path retry identically.
+        columnar path retry identically — including across processes,
+        where a failed task is resubmitted to the pool.
+    executor:
+        ``"serial"`` (default) runs every task in this process;
+        ``"process"`` ships columnar map/reduce tasks to a pool of
+        ``workers`` spawned processes (jobs must be registered, see
+        :func:`register_job`).  Output batches, counters, and traces
+        are bit-identical between the two.
+    workers:
+        Process-pool size for ``executor="process"`` (default:
+        ``os.cpu_count()``).
+    pool:
+        Optional pre-built ``concurrent.futures.Executor`` to run
+        process tasks on.  The runtime does not own a borrowed pool —
+        :meth:`close` leaves it running — which lets benchmarks and
+        test suites share one warm pool across many runtimes.
 
     Examples
     --------
@@ -166,6 +271,9 @@ class MapReduceRuntime:
         *,
         seed: int = 0,
         max_task_retries: int = 3,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        pool=None,
     ) -> None:
         check_positive_int(num_mappers, "num_mappers")
         check_positive_int(num_reducers, "num_reducers")
@@ -173,12 +281,56 @@ class MapReduceRuntime:
             raise ParameterError(
                 f"max_task_retries must be >= 0, got {max_task_retries}"
             )
+        if executor not in EXECUTORS:
+            raise ParameterError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if workers is not None:
+            check_positive_int(workers, "workers")
         self.num_mappers = num_mappers
         self.num_reducers = num_reducers
         self.max_task_retries = max_task_retries
+        self.executor = executor
+        self.workers = workers
+        self._pool = pool
+        self._owns_pool = False
         self._rng = random.Random(seed)
         self.history: List[JobCounters] = []
         self.task_retries: int = 0
+
+    # ------------------------------------------------------------------
+    # Process-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The process pool, created lazily on first parallel stage."""
+        if self._pool is None:
+            import multiprocessing
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+
+            # spawn, not fork: workers re-import job modules from a
+            # clean interpreter, which is what the registry contract
+            # assumes (and the only start method that is safe under
+            # threads on every platform).
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers or os.cpu_count() or 1,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            self._owns_pool = True
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down an owned process pool (borrowed pools are left alone)."""
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown()
+            self._pool = None
+            self._owns_pool = False
+
+    def __enter__(self) -> "MapReduceRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _run_task_with_retries(self, description: str, task_fn):
         """Execute a task body, re-running it on TransientTaskError."""
@@ -193,6 +345,49 @@ class MapReduceRuntime:
         raise MapReduceError(
             f"{description} failed after {attempts} attempts: {last_error}"
         )
+
+    def _run_stage_process(
+        self, stage: str, task_fn, job: MapReduceJob, inputs
+    ) -> List[tuple]:
+        """Run one columnar stage's tasks on the process pool.
+
+        All tasks are submitted up front (that is the parallelism);
+        a task raising :class:`TransientTaskError` is resubmitted with
+        the same retry accounting as the serial path.  Results come
+        back indexed by task id, so the caller's merge order — and
+        therefore the output batch — is identical to serial execution.
+        """
+        if _JOB_REGISTRY.get(job.name) is not job:
+            raise MapReduceError(
+                f"job {job.name!r} is not registered for process execution; "
+                f"call repro.mapreduce.register_job({job.name!r}) at import "
+                f"time of its defining module"
+            )
+        pool = self._ensure_pool()
+        module = _job_module(job)
+        futures = [pool.submit(task_fn, job.name, module, inp) for inp in inputs]
+        attempts = self.max_task_retries + 1
+        results: List[tuple] = [()] * len(futures)
+        for task, future in enumerate(futures):
+            last_error: Optional[TransientTaskError] = None
+            for attempt in range(attempts):
+                try:
+                    results[task] = future.result()
+                    last_error = None
+                    break
+                except TransientTaskError as exc:
+                    self.task_retries += 1
+                    last_error = exc
+                    if attempt + 1 < attempts:
+                        future = pool.submit(
+                            task_fn, job.name, module, inputs[task]
+                        )
+            if last_error is not None:
+                raise MapReduceError(
+                    f"job {job.name!r} {stage} task {task} failed after "
+                    f"{attempts} attempts: {last_error}"
+                )
+        return results
 
     # ------------------------------------------------------------------
     def run(self, job: MapReduceJob, input_pairs) -> Tuple[Any, JobCounters]:
@@ -325,26 +520,29 @@ class MapReduceRuntime:
 
         # 2. Map tasks (+ per-task combiner on the grouped local
         #    output), shuffled order, with the same retry semantics.
+        #    The shuffle is drawn under both executors so a seeded
+        #    runtime consumes its rng stream identically either way.
+        parallel = self.executor == "process"
         task_order = list(range(self.num_mappers))
         self._rng.shuffle(task_order)
         map_outputs: List[Optional[ColumnarKV]] = [None] * self.num_mappers
-        for task in task_order:
-
-            def map_task(task=task) -> tuple:
-                local = job.mapper_batch(splits[task])
-                _check_batch(local, job.name, "mapper_batch")
-                raw_count = local.num_records
-                if job.combiner_batch is not None:
-                    local = job.combiner_batch(local.group())
-                    _check_batch(local, job.name, "combiner_batch")
-                return raw_count, local
-
-            raw_count, local = self._run_task_with_retries(
-                f"job {job.name!r} map task {task}", map_task
+        if parallel:
+            map_results = self._run_stage_process(
+                "map", _process_map_task, job, splits
             )
-            counters.map_output_records += raw_count
-            counters.combine_output_records += local.num_records
-            map_outputs[task] = local
+            for task, (raw_count, local) in enumerate(map_results):
+                counters.map_output_records += raw_count
+                counters.combine_output_records += local.num_records
+                map_outputs[task] = local
+        else:
+            for task in task_order:
+                raw_count, local = self._run_task_with_retries(
+                    f"job {job.name!r} map task {task}",
+                    lambda task=task: _map_task_body(job, splits[task]),
+                )
+                counters.map_output_records += raw_count
+                counters.combine_output_records += local.num_records
+                map_outputs[task] = local
 
         # 3. Shuffle: one vectorized hash over the concatenated map
         #    output, then mask-partitioning (row order within each
@@ -357,24 +555,30 @@ class MapReduceRuntime:
 
         # 4. Reduce tasks: sort-based group-by per partition, groups in
         #    ascending key order (the record path's numeric-sorted
-        #    output order for int keys).
+        #    output order for int keys).  Under the process executor
+        #    the group-by runs inside the worker too — same grouped
+        #    rows (the sort is deterministic), so same output and
+        #    counters, but the O(p log p) argsort leaves the driver.
         reduce_order = list(range(self.num_reducers))
         self._rng.shuffle(reduce_order)
         outputs: List[Optional[ColumnarKV]] = [None] * self.num_reducers
-        for task in reduce_order:
-            grouped = partitions[task].group()
-            counters.reduce_groups += grouped.num_groups
-
-            def reduce_task(grouped=grouped) -> "ColumnarKV":
-                out = job.reducer_batch(grouped)
-                _check_batch(out, job.name, "reducer_batch")
-                return out
-
-            out = self._run_task_with_retries(
-                f"job {job.name!r} reduce task {task}", reduce_task
+        if parallel:
+            reduce_results = self._run_stage_process(
+                "reduce", _process_reduce_task, job, partitions
             )
-            counters.reduce_output_records += out.num_records
-            outputs[task] = out
+            for task, (num_groups, out) in enumerate(reduce_results):
+                counters.reduce_groups += num_groups
+                counters.reduce_output_records += out.num_records
+                outputs[task] = out
+        else:
+            for task in reduce_order:
+                num_groups, out = self._run_task_with_retries(
+                    f"job {job.name!r} reduce task {task}",
+                    lambda task=task: _reduce_task_body(job, partitions[task]),
+                )
+                counters.reduce_groups += num_groups
+                counters.reduce_output_records += out.num_records
+                outputs[task] = out
 
         output = ColumnarKV.concat(outputs)
         self.history.append(counters)

@@ -1,0 +1,646 @@
+"""Out-of-core sharded edge storage (`ShardedEdgeStore`).
+
+The execution engines all consume edges; until now every engine assumed
+the edge set fits in one process's memory (dict graphs, CSR snapshots,
+in-memory streams).  This module is the storage layer that removes that
+assumption: an edge set lives on disk as ``num_shards`` ``.npy`` files
+plus a small JSON manifest, and readers get zero-copy ``np.memmap``
+views one shard at a time.
+
+Format
+------
+* Every shard is a standard ``.npy`` file holding a 1-D structured
+  array of dtype ``[('u', '<i8'), ('v', '<i8'), ('w', '<f8')]``
+  (24 bytes per edge).  The header is padded to a fixed 128-byte
+  preamble so the writer can stream records to disk first and patch the
+  final count in place — no rewrite, no concatenation pass.
+* An edge ``(u, v, w)`` lands in shard ``stable_hash_int64(u) %
+  num_shards`` — the same hash the columnar MapReduce shuffle uses, so
+  a shard *is* a mapper input split.
+* ``manifest.json`` records the store-level facts consumers dispatch
+  on: node/edge counts, total weight, weighted/directed flags, and the
+  per-shard file names and edge counts.
+
+Invariants
+----------
+* Node ids are dense non-negative int64 indices in ``[0, num_nodes)``;
+  the node universe is exactly ``range(num_nodes)`` (isolated trailing
+  nodes allowed).  Callers with exotic labels factorize first (the CSR
+  builders show how).
+* Self-loop records are dropped at write time (the convention of the
+  CSR builders and the SNAP readers).
+* Undirected records are stored in canonical ``(lo, hi)`` orientation
+  — orientation carries no meaning for undirected edges, and the
+  canonical form puts both orientations of a duplicated edge in the
+  same shard.
+* Duplicate edges follow the writer's ``duplicates`` policy:
+  ``"keep"`` (default) stores them verbatim — every engine reads edges
+  additively, so parallel records behave exactly like one edge with
+  the summed weight — while ``"first"`` keeps each edge's first
+  occurrence, the semantics of the SNAP readers
+  (:func:`repro.graph.io.read_undirected` dedups dumps that list both
+  orientations).  Edge-list conversions use ``"first"`` so the sharded
+  pipeline answers exactly like the dict/CSR pipelines on the same
+  file.
+
+The writer (:class:`ShardWriter`) spills under a configurable memory
+budget: appended chunks are buffered per shard and flushed to disk
+whenever the buffered bytes exceed the budget, so converting an
+arbitrarily large stream needs O(budget + num_shards) memory.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import StoreError
+from ..mapreduce.columnar import stable_hash_int64
+
+PathLike = Union[str, Path]
+
+#: On-disk record layout: one row per edge, 24 bytes.
+SHARD_DTYPE = np.dtype([("u", "<i8"), ("v", "<i8"), ("w", "<f8")])
+
+#: Manifest schema version (bump on incompatible layout changes).
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: Default writer spill budget: flush shard buffers past 64 MiB.
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+# ----------------------------------------------------------------------
+# Fixed-size .npy preamble
+# ----------------------------------------------------------------------
+#: Total preamble bytes: magic(6) + version(2) + header-length(2) +
+#: header(118).  Fixed so the shape can be patched in place after the
+#: record stream is on disk.
+_PREAMBLE_BYTES = 128
+_NPY_MAGIC = b"\x93NUMPY"
+
+
+def _npy_preamble(count: int) -> bytes:
+    """A spec-compliant npy v1.0 preamble for ``count`` shard records."""
+    descr = np.lib.format.dtype_to_descr(SHARD_DTYPE)
+    header = "{'descr': %r, 'fortran_order': False, 'shape': (%d,), }" % (
+        descr,
+        count,
+    )
+    space = _PREAMBLE_BYTES - 10
+    if len(header) + 1 > space:  # pragma: no cover - 1e100 edges
+        raise StoreError(f"shard header does not fit {count} records")
+    header = header.ljust(space - 1) + "\n"
+    return _NPY_MAGIC + bytes((1, 0)) + struct.pack("<H", space) + header.encode("latin1")
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+@dataclass
+class ShardManifest:
+    """The JSON-serializable description of a sharded edge store."""
+
+    num_shards: int
+    num_nodes: int
+    num_edges: int
+    total_weight: float
+    weighted: bool
+    directed: bool
+    shard_files: List[str] = field(default_factory=list)
+    shard_edges: List[int] = field(default_factory=list)
+    format_version: int = FORMAT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "repro-edge-shards",
+                "format_version": self.format_version,
+                "num_shards": self.num_shards,
+                "num_nodes": self.num_nodes,
+                "num_edges": self.num_edges,
+                "total_weight": self.total_weight,
+                "weighted": self.weighted,
+                "directed": self.directed,
+                "shards": [
+                    {"file": name, "edges": count}
+                    for name, count in zip(self.shard_files, self.shard_edges)
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardManifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"malformed shard manifest: {exc}") from None
+        if data.get("format") != "repro-edge-shards":
+            raise StoreError(
+                f"not a shard-store manifest (format={data.get('format')!r})"
+            )
+        if data.get("format_version") != FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported shard-store format_version "
+                f"{data.get('format_version')!r} (this build reads {FORMAT_VERSION})"
+            )
+        shards = data.get("shards", [])
+        return cls(
+            num_shards=int(data["num_shards"]),
+            num_nodes=int(data["num_nodes"]),
+            num_edges=int(data["num_edges"]),
+            total_weight=float(data["total_weight"]),
+            weighted=bool(data["weighted"]),
+            directed=bool(data["directed"]),
+            shard_files=[s["file"] for s in shards],
+            shard_edges=[int(s["edges"]) for s in shards],
+        )
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def _as_shard_records(src, dst, weights) -> np.ndarray:
+    """Validate one appended chunk and pack it into shard records."""
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise StoreError(
+            f"src/dst must be 1-D arrays of equal length, got shapes "
+            f"{src.shape} and {dst.shape}"
+        )
+    if src.size and (src.dtype.kind not in "iu" or dst.dtype.kind not in "iu"):
+        raise StoreError(
+            f"shard stores hold integer node ids, got dtypes "
+            f"{src.dtype} / {dst.dtype}"
+        )
+    rec = np.empty(src.size, dtype=SHARD_DTYPE)
+    rec["u"] = src
+    rec["v"] = dst
+    if weights is None:
+        rec["w"] = 1.0
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != src.shape:
+            raise StoreError(
+                f"weights must match the edge arrays ({src.size} entries), "
+                f"got shape {weights.shape}"
+            )
+        if weights.size and not (weights > 0).all():
+            raise StoreError("edge weights must be positive")
+        rec["w"] = weights
+    # Store invariant: no self-loop records.
+    loops = rec["u"] == rec["v"]
+    if loops.any():
+        rec = rec[~loops]
+    return rec
+
+
+def _canonicalize_undirected(rec: np.ndarray) -> np.ndarray:
+    """Flip records into the undirected store's ``(lo, hi)`` orientation."""
+    flip = rec["u"] > rec["v"]
+    if flip.any():
+        u = rec["u"][flip]
+        rec["u"][flip] = rec["v"][flip]
+        rec["v"][flip] = u
+    return rec
+
+
+class ShardWriter:
+    """Streaming writer spilling edge records into hash-partitioned shards.
+
+    Use as a context manager; :meth:`close` finalizes the shard headers
+    and writes the manifest.  Appends are buffered per shard and
+    flushed to disk whenever the buffered bytes exceed
+    ``memory_budget``, so writing a store needs O(budget) memory no
+    matter how many edges pass through.
+
+    Parameters
+    ----------
+    path:
+        Target directory (created if missing; must not already hold a
+        store).
+    directed:
+        Whether records are directed ``u -> v`` edges.
+    num_shards:
+        Number of hash partitions (``stable_hash_int64(u) % num_shards``).
+    num_nodes:
+        Optional explicit node universe ``[0, num_nodes)``; derived as
+        ``max id + 1`` at close when omitted.
+    memory_budget:
+        Spill threshold in buffered bytes.
+    duplicates:
+        ``"keep"`` (default) stores repeated edges verbatim (additive
+        semantics); ``"first"`` keeps each edge's first occurrence —
+        applied per shard at :meth:`close` (canonical orientation puts
+        all copies of an edge in one shard), so peak memory grows by
+        the largest single shard.
+    """
+
+    DUPLICATE_POLICIES = ("keep", "first")
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        directed: bool,
+        num_shards: int = 8,
+        num_nodes: Optional[int] = None,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        duplicates: str = "keep",
+    ) -> None:
+        if num_shards < 1:
+            raise StoreError(f"num_shards must be >= 1, got {num_shards}")
+        if memory_budget < 1:
+            raise StoreError(f"memory_budget must be positive, got {memory_budget}")
+        if num_nodes is not None and num_nodes < 0:
+            raise StoreError(f"num_nodes must be >= 0, got {num_nodes}")
+        if duplicates not in self.DUPLICATE_POLICIES:
+            raise StoreError(
+                f"duplicates must be one of {self.DUPLICATE_POLICIES}, "
+                f"got {duplicates!r}"
+            )
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        if (self.path / MANIFEST_NAME).exists():
+            raise StoreError(f"{self.path} already holds a shard store")
+        self.num_shards = num_shards
+        self.directed = directed
+        self.memory_budget = memory_budget
+        self.duplicates = duplicates
+        self._declared_nodes = num_nodes
+        self._buffers: List[List[np.ndarray]] = [[] for _ in range(num_shards)]
+        self._buffered_bytes = 0
+        self._handles: List[Optional[object]] = [None] * num_shards
+        self._counts = [0] * num_shards
+        self._total_weight = 0.0
+        self._max_id = -1
+        self._weighted = False
+        self._closed = False
+
+    # -- context management -------------------------------------------
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # abandon partial output on error
+            self.abort()
+
+    # -- appending -----------------------------------------------------
+    def append_arrays(self, src, dst, weights=None) -> None:
+        """Append a chunk of parallel edge arrays."""
+        if self._closed:
+            raise StoreError("writer is closed")
+        rec = _as_shard_records(src, dst, weights)
+        if rec.size == 0:
+            return
+        if not self.directed:
+            rec = _canonicalize_undirected(rec)
+        lo = int(min(rec["u"].min(), rec["v"].min()))
+        if lo < 0:
+            raise StoreError(f"node ids must be >= 0, got {lo}")
+        hi = int(max(rec["u"].max(), rec["v"].max()))
+        if self._declared_nodes is not None and hi >= self._declared_nodes:
+            raise StoreError(
+                f"node id {hi} outside the declared universe "
+                f"[0, {self._declared_nodes})"
+            )
+        self._max_id = max(self._max_id, hi)
+        self._total_weight += float(rec["w"].sum())
+        if not self._weighted and bool((rec["w"] != 1.0).any()):
+            self._weighted = True
+        shard_ids = stable_hash_int64(rec["u"]) % self.num_shards
+        for shard in np.unique(shard_ids):
+            part = rec[shard_ids == shard]
+            self._buffers[int(shard)].append(part)
+            self._buffered_bytes += part.nbytes
+        if self._buffered_bytes > self.memory_budget:
+            self.flush()
+
+    def append_edges(self, triples: Iterable[Tuple[int, int, float]],
+                     chunk_size: int = 1 << 16) -> None:
+        """Append ``(u, v, w)`` triples, packed in bounded chunks."""
+        it = iter(triples)
+        while True:
+            rec = np.fromiter(
+                ((u, v, w) for u, v, w in islice(it, chunk_size)),
+                dtype=SHARD_DTYPE,
+                count=-1,
+            )
+            if rec.size:
+                self.append_arrays(rec["u"], rec["v"], rec["w"])
+            if rec.size < chunk_size:
+                return
+
+    def flush(self) -> None:
+        """Spill every shard buffer to its on-disk file."""
+        for shard, chunks in enumerate(self._buffers):
+            if not chunks:
+                continue
+            handle = self._handles[shard]
+            if handle is None:
+                handle = open(self.path / _shard_name(shard), "wb")
+                handle.write(_npy_preamble(0))
+                self._handles[shard] = handle
+            for rec in chunks:
+                rec.tofile(handle)
+                self._counts[shard] += int(rec.size)
+            self._buffers[shard] = []
+        self._buffered_bytes = 0
+
+    # -- finalization --------------------------------------------------
+    def _dedup_shard(self, shard: int, num_nodes: int) -> None:
+        """Rewrite one finalized shard keeping each edge's first record."""
+        path = self.path / _shard_name(shard)
+        rec = np.load(path)
+        if rec.size:
+            key = rec["u"] * np.int64(num_nodes) + rec["v"]
+            first = np.unique(key, return_index=True)[1]
+            rec = rec[np.sort(first)]  # first occurrences, arrival order
+            with open(path, "wb") as out:
+                out.write(_npy_preamble(int(rec.size)))
+                rec.tofile(out)
+        self._counts[shard] = int(rec.size)
+        self._dedup_weight += float(rec["w"].sum())
+        if not self._dedup_weighted and bool((rec["w"] != 1.0).any()):
+            self._dedup_weighted = True
+
+    def close(self) -> "ShardedEdgeStore":
+        """Finalize shard headers, write the manifest, return the store."""
+        if self._closed:
+            return ShardedEdgeStore.open(self.path)
+        self.flush()
+        num_nodes = (
+            self._declared_nodes
+            if self._declared_nodes is not None
+            else self._max_id + 1
+        )
+        if self.duplicates == "first" and num_nodes:
+            # The dedup key packs (u, v) into one int64.
+            if num_nodes > (2**63 - 1) // max(1, num_nodes):
+                raise StoreError(
+                    f"duplicates='first' needs num_nodes**2 < 2**63, "
+                    f"got num_nodes={num_nodes}"
+                )
+        shard_files: List[str] = []
+        for shard in range(self.num_shards):
+            name = _shard_name(shard)
+            handle = self._handles[shard]
+            if handle is None:  # empty shard: header only
+                with open(self.path / name, "wb") as out:
+                    out.write(_npy_preamble(0))
+            else:
+                handle.seek(0)
+                handle.write(_npy_preamble(self._counts[shard]))
+                handle.close()
+                self._handles[shard] = None
+            shard_files.append(name)
+        if self.duplicates == "first":
+            self._dedup_weight = 0.0
+            self._dedup_weighted = False
+            for shard in range(self.num_shards):
+                self._dedup_shard(shard, num_nodes)
+            self._total_weight = self._dedup_weight
+            self._weighted = self._dedup_weighted
+        manifest = ShardManifest(
+            num_shards=self.num_shards,
+            num_nodes=num_nodes,
+            num_edges=sum(self._counts),
+            total_weight=self._total_weight,
+            weighted=self._weighted,
+            directed=self.directed,
+            shard_files=shard_files,
+            shard_edges=list(self._counts),
+        )
+        (self.path / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
+        self._closed = True
+        return ShardedEdgeStore(self.path, manifest)
+
+    def abort(self) -> None:
+        """Close handles without writing a manifest (failed write)."""
+        for shard, handle in enumerate(self._handles):
+            if handle is not None:
+                handle.close()
+                self._handles[shard] = None
+        self._closed = True
+
+
+def _shard_name(shard: int) -> str:
+    return f"shard-{shard:05d}.npy"
+
+
+def write_edge_list_store(
+    edge_list: PathLike,
+    store_path: PathLike,
+    *,
+    directed: bool,
+    num_shards: int = 8,
+    num_nodes: Optional[int] = None,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+) -> "ShardedEdgeStore":
+    """Convert a SNAP-style edge list (gzip transparent) into a store.
+
+    One streaming pass over the file — node ids must be integers —
+    with the writer's usual memory budget, so arbitrarily large lists
+    convert in bounded memory (plus one shard for the dedup pass).
+    Duplicate lines keep their first occurrence, matching
+    :func:`repro.graph.io.read_undirected` / ``read_directed`` — the
+    sharded pipeline answers exactly like the dict/CSR pipelines on
+    the same file (SNAP dumps commonly list both orientations of every
+    undirected edge).
+    """
+    from ..graph.io import iter_edge_list
+
+    def int_triples():
+        for u, v, w in iter_edge_list(edge_list):
+            try:
+                yield int(u), int(v), w
+            except ValueError:
+                raise StoreError(
+                    f"{edge_list}: shard stores need integer node ids, "
+                    f"got {u!r}/{v!r}"
+                ) from None
+
+    with ShardWriter(
+        store_path,
+        directed=directed,
+        num_shards=num_shards,
+        num_nodes=num_nodes,
+        memory_budget=memory_budget,
+        duplicates="first",
+    ) as writer:
+        writer.append_edges(int_triples())
+    return ShardedEdgeStore.open(store_path)
+
+
+# ----------------------------------------------------------------------
+# Store (reader)
+# ----------------------------------------------------------------------
+class ShardedEdgeStore:
+    """A finalized on-disk sharded edge set with memmap readers.
+
+    Open an existing store with :meth:`open`; build one with
+    :meth:`write` (bulk) or :class:`ShardWriter` (streaming).  All read
+    methods hand back NumPy views into ``np.memmap``-loaded shard
+    files — touching a shard costs page faults, not a parse.
+
+    Examples
+    --------
+    >>> import tempfile, numpy as np
+    >>> tmp = tempfile.mkdtemp()
+    >>> store = ShardedEdgeStore.write(
+    ...     tmp, (np.array([0, 1, 2]), np.array([1, 2, 0])),
+    ...     directed=False, num_shards=2)
+    >>> store.num_nodes, store.num_edges, store.directed
+    (3, 3, False)
+    """
+
+    def __init__(self, path: PathLike, manifest: ShardManifest) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def open(cls, path: PathLike) -> "ShardedEdgeStore":
+        """Open a store directory (or a path to its ``manifest.json``)."""
+        path = Path(path)
+        if path.name == MANIFEST_NAME:
+            path = path.parent
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"no shard store at {path} (missing {MANIFEST_NAME})")
+        return cls(path, ShardManifest.from_json(manifest_path.read_text()))
+
+    @classmethod
+    def write(
+        cls,
+        path: PathLike,
+        source,
+        *,
+        directed: bool,
+        num_shards: int = 8,
+        num_nodes: Optional[int] = None,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        duplicates: str = "keep",
+    ) -> "ShardedEdgeStore":
+        """Build a store from any edge source.
+
+        ``source`` may be a ``(src, dst)`` or ``(src, dst, weights)``
+        tuple of arrays, an :class:`~repro.streaming.stream.EdgeStream`
+        (one counted pass; int node ids required), or any iterable of
+        ``(u, v, w)`` triples.  ``duplicates`` is the
+        :class:`ShardWriter` policy (``"keep"`` or ``"first"``).
+        """
+        writer = ShardWriter(
+            path,
+            directed=directed,
+            num_shards=num_shards,
+            num_nodes=num_nodes,
+            memory_budget=memory_budget,
+            duplicates=duplicates,
+        )
+        with writer:
+            if isinstance(source, tuple):
+                if len(source) == 2:
+                    writer.append_arrays(source[0], source[1])
+                elif len(source) == 3:
+                    writer.append_arrays(*source)
+                else:
+                    raise StoreError(
+                        "array source must be (src, dst) or (src, dst, weights)"
+                    )
+            else:
+                edges = getattr(source, "edges", None)
+                if callable(edges):  # EdgeStream: one counted pass
+                    writer.append_edges(edges())
+                else:
+                    writer.append_edges(source)
+        return cls.open(path)
+
+    # -- manifest facts ------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of hash partitions."""
+        return self.manifest.num_shards
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the dense node universe ``[0, num_nodes)``."""
+        return self.manifest.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Total stored edge records across all shards."""
+        return self.manifest.num_edges
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all stored edge weights."""
+        return self.manifest.total_weight
+
+    @property
+    def directed(self) -> bool:
+        """Whether records are directed ``u -> v`` edges."""
+        return self.manifest.directed
+
+    @property
+    def weighted(self) -> bool:
+        """Whether any stored weight differs from 1."""
+        return self.manifest.weighted
+
+    def nbytes(self) -> int:
+        """On-disk payload size of the edge records (headers excluded)."""
+        return self.num_edges * SHARD_DTYPE.itemsize
+
+    # -- readers -------------------------------------------------------
+    def shard_path(self, shard: int) -> Path:
+        """Path of one shard file."""
+        return self.path / self.manifest.shard_files[shard]
+
+    def shard_arrays(self, shard: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``(u, v, w)`` views of one shard (memmap-backed)."""
+        rec = np.load(self.shard_path(shard), mmap_mode="r")
+        return rec["u"], rec["v"], rec["w"]
+
+    def iter_shard_arrays(
+        self,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Iterate shard-by-shard ``(u, v, w)`` memmap views."""
+        for shard in range(self.num_shards):
+            yield self.shard_arrays(shard)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The whole edge set as contiguous in-memory arrays.
+
+        Materializes O(m); for out-of-core access iterate
+        :meth:`iter_shard_arrays` instead.
+        """
+        us, vs, ws = [], [], []
+        for u, v, w in self.iter_shard_arrays():
+            us.append(np.asarray(u, dtype=np.int64))
+            vs.append(np.asarray(v, dtype=np.int64))
+            ws.append(np.asarray(w, dtype=np.float64))
+        if not us:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        return np.concatenate(us), np.concatenate(vs), np.concatenate(ws)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(u, v, w)`` python triples (the honest slow path)."""
+        for u, v, w in self.iter_shard_arrays():
+            yield from zip(u.tolist(), v.tolist(), w.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEdgeStore(path={str(self.path)!r}, "
+            f"num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"num_shards={self.num_shards}, directed={self.directed})"
+        )

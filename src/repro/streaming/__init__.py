@@ -25,6 +25,7 @@ from .stream import (
     GraphEdgeStream,
     DirectedGraphEdgeStream,
     GeneratorEdgeStream,
+    ShardEdgeStream,
 )
 from .engine import (
     stream_densest_subgraph,
@@ -43,6 +44,7 @@ __all__ = [
     "GraphEdgeStream",
     "DirectedGraphEdgeStream",
     "GeneratorEdgeStream",
+    "ShardEdgeStream",
     "stream_densest_subgraph",
     "stream_densest_subgraph_atleast_k",
     "stream_densest_subgraph_directed",

@@ -100,6 +100,18 @@ class _IntStreamScanner:
         return lookup_indices(self._order, self._sorted, ids, missing)
 
     def _chunks(self, stream: EdgeStream):
+        chunk_fn = getattr(stream, "edge_array_chunks", None)
+        chunks = chunk_fn() if chunk_fn is not None else None
+        if chunks is not None:
+            # Shard-backed pass: one bounded array triple per shard, so
+            # the scan runs out-of-core (O(n) counters + O(shard)).
+            for u, v, w in chunks:
+                yield (
+                    self._map(_np.asarray(u, dtype=_np.int64)),
+                    self._map(_np.asarray(v, dtype=_np.int64)),
+                    _np.asarray(w, dtype=_np.float64),
+                )
+            return
         arrays = stream.edge_arrays()
         if arrays is not None:
             # Map labels per pass rather than caching the O(m) mapped
@@ -182,23 +194,36 @@ def _charge_exact_memory(
 
 
 class _UndirectedPassState:
-    """Shared per-pass machinery of the undirected streaming engines."""
+    """Shared per-pass machinery of the undirected streaming engines.
+
+    The label → index dict is only materialized for the per-edge
+    fallback scan; the vectorized scanner carries its own (much
+    smaller) sorted-array index, which matters for the constant factor
+    of the O(n) state on out-of-core runs.
+    """
 
     def __init__(self, stream: EdgeStream) -> None:
         self.stream = stream
-        self.labels, self.index = _index_nodes(stream)
+        self.labels = stream.nodes()
+        if not self.labels:
+            raise StreamError("stream has an empty node universe")
         self.n = len(self.labels)
         self.alive = [True] * self.n
         self.alive_nodes = list(range(self.n))
         self.remaining = self.n
         self._scanner = _IntStreamScanner.build(self.labels)
+        self.index = (
+            None
+            if self._scanner is not None
+            else {node: i for i, node in enumerate(self.labels)}
+        )
 
     def scan(self):
         """One stream pass: degrees of alive nodes and surviving weight."""
         if self._scanner is not None:
-            return self._scanner.scan_undirected(
-                self.stream, _np.asarray(self.alive, dtype=bool)
-            )
+            alive_arr = _np.asarray(self.alive, dtype=bool)
+            self._alive_arr = alive_arr  # reused by threshold_candidates
+            return self._scanner.scan_undirected(self.stream, alive_arr)
         degrees = [0.0] * self.n
         weight = 0.0
         alive = self.alive
@@ -211,6 +236,18 @@ class _UndirectedPassState:
                 degrees[vi] += w
                 weight += w
         return degrees, weight
+
+    def threshold_candidates(self, degrees, cutoff: float) -> List[int]:
+        """Alive indices with degree <= cutoff, ascending.
+
+        One vectorized mask on the scanner path (the alive array from
+        the pass's scan is reused); the list comprehension otherwise.
+        Both produce ascending index order, so the peel decisions are
+        identical.
+        """
+        if self._scanner is not None:
+            return _np.flatnonzero(self._alive_arr & (degrees <= cutoff)).tolist()
+        return [i for i in self.alive_nodes if degrees[i] <= cutoff]
 
     def kill(self, to_remove: List[int]) -> None:
         """Remove nodes from the alive set."""
@@ -282,7 +319,7 @@ def stream_densest_subgraph(
             best_density = density  # ρ(V), the paper's initial S̃
         threshold = factor * density
         cutoff = threshold + THRESHOLD_EPS
-        to_remove = [i for i in state.alive_nodes if degrees[i] <= cutoff]
+        to_remove = state.threshold_candidates(degrees, cutoff)
         pending = {
             "pass_index": pass_index,
             "nodes_before": state.remaining,
@@ -365,7 +402,7 @@ def stream_densest_subgraph_atleast_k(
             best_density = density
         threshold = factor * density
         cutoff = threshold + THRESHOLD_EPS
-        candidates = [i for i in state.alive_nodes if degrees[i] <= cutoff]
+        candidates = state.threshold_candidates(degrees, cutoff)
         batch_size = min(
             len(candidates), max(1, math.floor(batch_fraction * state.remaining))
         )
@@ -423,9 +460,15 @@ def stream_densest_subgraph_directed(
     """
     epsilon = check_epsilon(epsilon)
     check_positive_float(ratio, "ratio")
-    labels, index = _index_nodes(stream)
+    labels = stream.nodes()
+    if not labels:
+        raise StreamError("stream has an empty node universe")
     n = len(labels)
     scanner = _IntStreamScanner.build(labels)
+    # The dict index feeds only the per-edge fallback scan.
+    index = (
+        None if scanner is not None else {node: i for i, node in enumerate(labels)}
+    )
     if accountant is not None:
         accountant.charge_words("out_counters", n)
         accountant.charge_words("in_counters", n)
@@ -452,13 +495,14 @@ def stream_densest_subgraph_directed(
     trace: List[DirectedPassRecord] = []
     pass_index = 0
 
+    in_s_arr = in_t_arr = None
     while s_size > 0 and t_size > 0:
         pass_index += 1
         if scanner is not None:
+            in_s_arr = _np.asarray(in_s, dtype=bool)
+            in_t_arr = _np.asarray(in_t, dtype=bool)
             out_to_t, in_from_s, weight = scanner.scan_directed(
-                stream,
-                _np.asarray(in_s, dtype=bool),
-                _np.asarray(in_t, dtype=bool),
+                stream, in_s_arr, in_t_arr
             )
         else:
             out_to_t = [0.0] * n
@@ -485,16 +529,29 @@ def stream_densest_subgraph_directed(
                 best_pass = pending["pass_index"]
         if best_density is None:
             best_density = density
+        # Threshold scans: vectorized mask on the scanner path (reusing
+        # the pass's side bitmaps), list comprehension otherwise; both
+        # yield ascending index order.
         peel_s = s_size / t_size >= ratio
         if peel_s:
             threshold = one_plus_eps * weight / s_size
             cutoff = threshold + THRESHOLD_EPS
-            to_remove = [i for i in s_nodes if out_to_t[i] <= cutoff]
+            if scanner is not None:
+                to_remove = _np.flatnonzero(
+                    in_s_arr & (out_to_t <= cutoff)
+                ).tolist()
+            else:
+                to_remove = [i for i in s_nodes if out_to_t[i] <= cutoff]
             side = "S"
         else:
             threshold = one_plus_eps * weight / t_size
             cutoff = threshold + THRESHOLD_EPS
-            to_remove = [j for j in t_nodes if in_from_s[j] <= cutoff]
+            if scanner is not None:
+                to_remove = _np.flatnonzero(
+                    in_t_arr & (in_from_s <= cutoff)
+                ).tolist()
+            else:
+                to_remove = [j for j in t_nodes if in_from_s[j] <= cutoff]
             side = "T"
         pending = {
             "pass_index": pass_index,

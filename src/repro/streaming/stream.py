@@ -21,6 +21,11 @@ from ..graph.directed import DirectedGraph
 from ..graph.io import iter_edge_list
 from ..graph.undirected import UndirectedGraph
 
+try:  # the shard store needs numpy; streams must import without it
+    from ..store.shards import ShardedEdgeStore
+except ImportError:  # pragma: no cover - numpy-less installs
+    ShardedEdgeStore = None
+
 Node = Hashable
 EdgeTriple = Tuple[Node, Node, float]
 
@@ -80,6 +85,19 @@ class EdgeStream(ABC):
         external streams (files, generators) are consumed through
         :meth:`edges` instead.  A successful call counts exactly like a
         full :meth:`edges` pass.
+        """
+        return None
+
+    def edge_array_chunks(self):
+        """One counted pass as an iterator of ``(u, v, w)`` array triples,
+        or None.
+
+        The chunked sibling of :meth:`edge_arrays` for streams whose
+        backing data is array-shaped but too large to serve as one
+        pass-sized array (shard stores).  Consumers holding O(n) state
+        (the engines' vectorized scanners) process one chunk at a time,
+        so the pass runs out-of-core.  A non-None return counts as one
+        pass regardless of how far the iterator is driven.
         """
         return None
 
@@ -231,6 +249,53 @@ class DirectedGraphEdgeStream(_GraphBackedEdgeStream):
 
     def __init__(self, graph: DirectedGraph) -> None:
         super().__init__(graph)
+
+
+class ShardEdgeStream(EdgeStream):
+    """Multi-pass stream over a :class:`~repro.store.ShardedEdgeStore`.
+
+    The out-of-core input mode: each pass walks the store's shards as
+    ``np.memmap`` views, so between-pass state stays O(n) and transient
+    state O(shard).  The manifest's dense id universe
+    (``range(num_nodes)``, isolated trailing nodes included) is the
+    node universe — no discovery pass is ever needed.
+
+    Accepts a store object or a path to a store directory.
+    """
+
+    def __init__(self, store) -> None:
+        if ShardedEdgeStore is None:  # pragma: no cover - numpy-less installs
+            raise StreamError("ShardEdgeStream requires numpy")
+        if not isinstance(store, ShardedEdgeStore):
+            store = ShardedEdgeStore.open(store)
+        super().__init__()
+        # Keep the identity universe as a range — materializing n boxed
+        # ints up front would dominate the O(n) state on large stores;
+        # nodes() callers get their list lazily.
+        self._nodes = range(store.num_nodes)
+        self.store = store
+
+    def _generate(self) -> Iterator[EdgeTriple]:
+        return self.store.iter_edges()
+
+    @property
+    def num_nodes(self) -> int:
+        """Universe size straight from the manifest (no list build)."""
+        return self.store.num_nodes
+
+    def edge_array_chunks(self):
+        """One counted pass, one ``(u, v, w)`` memmap triple per shard."""
+        self.passes_made += 1
+
+        def chunks():
+            for u, v, w in self.store.iter_shard_arrays():
+                self.edges_streamed += int(u.size)
+                yield u, v, w
+
+        return chunks()
+
+    def __len__(self) -> int:
+        return self.store.num_edges
 
 
 class GeneratorEdgeStream(EdgeStream):

@@ -179,6 +179,99 @@ class TestEnumerateCommand:
         assert "#1:" in out and "#2:" in out
 
 
+class TestEdgeListFastPath:
+    def test_engine_numpy_reads_csr_directly(self, tmp_path, capsys):
+        g = disjoint_union([clique(5), star(20, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        code = main(
+            ["densest", "--edge-list", str(path), "--engine", "numpy", "--epsilon", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "density : 2.0000" in out
+
+    def test_core_csr_backend_on_edge_list(self, tmp_path, capsys):
+        g = disjoint_union([clique(6), star(10, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        code = main(
+            ["densest", "--edge-list", str(path), "--backend", "core-csr", "--epsilon", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend : core-csr" in out and "density : 2.5000" in out
+
+
+class TestShardCommand:
+    def _edge_list(self, tmp_path):
+        g = disjoint_union([clique(5), star(20, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        return path
+
+    def test_shard_then_solve(self, tmp_path, capsys):
+        path = self._edge_list(tmp_path)
+        store_dir = tmp_path / "store"
+        assert main(
+            ["shard", "--edge-list", str(path), "--output", str(store_dir), "--shards", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "edges   : 29" in out and "shards  : 4" in out
+        code = main(
+            ["densest", "--shard-store", str(store_dir), "--epsilon", "0.1",
+             "--backend", "streaming"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend : streaming" in out and "density : 2.0000" in out
+
+    def test_shard_store_auto_dispatch(self, tmp_path, capsys):
+        path = self._edge_list(tmp_path)
+        store_dir = tmp_path / "store"
+        assert main(["shard", "--edge-list", str(path), "--output", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["densest", "--shard-store", str(store_dir)]) == 0
+        assert "backend : core-csr" in capsys.readouterr().out
+
+    def test_spill_dir_pipeline(self, tmp_path, capsys):
+        path = self._edge_list(tmp_path)
+        code = main(
+            ["densest", "--edge-list", str(path), "--spill-dir",
+             str(tmp_path / "spill"), "--epsilon", "0.1", "--backend", "streaming"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "density : 2.0000" in out
+        # The conversion is reusable: the store is on disk afterwards.
+        assert (tmp_path / "spill" / "manifest.json").exists()
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        code = main(["densest", "--shard-store", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no shard store" in capsys.readouterr().err
+
+
+class TestWorkersRoundTrip:
+    def test_serial_vs_process_same_answer(self, tmp_path, capsys):
+        g = disjoint_union([clique(6), star(30, offset=50)])
+        path = tmp_path / "g.txt"
+        write_undirected(g, path)
+        outputs = {}
+        for workers in ("1", "2"):
+            code = main(
+                ["densest", "--edge-list", str(path), "--backend", "mapreduce",
+                 "--engine", "numpy", "--epsilon", "0.1", "--workers", workers]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            outputs[workers] = [
+                line for line in out.splitlines()
+                if "density" in line or "size" in line or "passes" in line
+            ]
+        assert outputs["1"] == outputs["2"]
+
+
 class TestExperimentCommand:
     def test_single_experiment(self, capsys):
         code = main(["experiment", "table1", "--scale", "0.05"])

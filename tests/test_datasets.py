@@ -104,3 +104,68 @@ class TestStructuralShape:
         graph = load("flickr_sim", scale=0.3)
         result = densest_subgraph(graph, 0.5)
         assert result.passes <= 12
+
+
+class TestArrayNativeGenerators:
+    """The vectorized twins: edge arrays / shard stores, no dict graphs."""
+
+    def test_deterministic_and_in_range(self):
+        import numpy as np
+
+        from repro.datasets.synthetic import synthetic_edge_arrays
+
+        for name in ("flickr_sim", "im_sim", "livejournal_sim", "twitter_sim"):
+            src, dst, n, directed = synthetic_edge_arrays(name, scale=0.1)
+            src2, dst2, n2, directed2 = synthetic_edge_arrays(name, scale=0.1)
+            assert np.array_equal(src, src2) and np.array_equal(dst, dst2)
+            assert (n, directed) == (n2, directed2)
+            assert src.size > 0
+            assert int(src.min()) >= 0 and int(max(src.max(), dst.max())) < n
+            assert (src != dst).all()
+            key = src * np.int64(n) + dst
+            assert np.unique(key).size == key.size  # deduplicated
+
+    def test_direction_flags(self):
+        from repro.datasets.synthetic import synthetic_edge_arrays
+
+        assert synthetic_edge_arrays("im_sim", scale=0.1)[3] is False
+        assert synthetic_edge_arrays("twitter_sim", scale=0.1)[3] is True
+
+    def test_unknown_name_rejected(self):
+        import pytest as _pytest
+
+        from repro.datasets.synthetic import synthetic_edge_arrays
+        from repro.errors import ParameterError
+
+        with _pytest.raises(ParameterError, match="no array generator"):
+            synthetic_edge_arrays("bogus")
+
+    def test_write_synthetic_store(self, tmp_path):
+        from repro.datasets.synthetic import (
+            synthetic_edge_arrays,
+            write_synthetic_store,
+        )
+
+        store = write_synthetic_store(
+            "twitter_sim", tmp_path / "tw", scale=0.1, num_shards=4
+        )
+        src, dst, n, directed = synthetic_edge_arrays("twitter_sim", scale=0.1)
+        assert store.num_edges == src.size
+        assert store.num_nodes == n
+        assert store.directed is directed
+        assert store.num_shards == 4
+
+    def test_store_solves_like_csr(self, tmp_path):
+        from repro.api import DensestSubgraph, solve
+        from repro.datasets.synthetic import (
+            synthetic_edge_arrays,
+            write_synthetic_store,
+        )
+        from repro.kernels import CSRGraph
+
+        store = write_synthetic_store("im_sim", tmp_path / "im", scale=0.05)
+        src, dst, n, _ = synthetic_edge_arrays("im_sim", scale=0.05)
+        csr = CSRGraph.from_edge_arrays(src, dst, num_nodes=n)
+        a = solve(DensestSubgraph(store, epsilon=0.5), backend="streaming")
+        b = solve(DensestSubgraph(csr, epsilon=0.5), backend="streaming")
+        assert a.nodes == b.nodes and a.density == b.density

@@ -23,7 +23,9 @@ import repro.exact.goldberg
 import repro.exact.peeling
 import repro.graph.undirected
 import repro.graph.views
+import repro.api.context
 import repro.mapreduce.runtime
+import repro.store.shards
 import repro.streaming.countsketch
 
 MODULES = [
@@ -37,11 +39,13 @@ MODULES = [
     repro.core.charikar,
     repro.core.enumerate_,
     repro.core.undirected,
+    repro.api.context,
     repro.exact.goldberg,
     repro.exact.peeling,
     repro.graph.undirected,
     repro.graph.views,
     repro.mapreduce.runtime,
+    repro.store.shards,
     repro.streaming.countsketch,
 ]
 

@@ -98,3 +98,37 @@ class TestRoundTrip:
         write_undirected(g, p)
         back = read_undirected(p)
         assert back.num_edges == g.num_edges
+
+
+class TestGzipTransparency:
+    """The read paths sniff gzip magic bytes, whatever the file is named."""
+
+    def test_misnamed_gzip_file_reads(self, tmp_path):
+        import gzip
+
+        p = tmp_path / "plain-name.txt"  # gzipped content, no .gz suffix
+        with gzip.open(p, "wt", encoding="utf-8") as handle:
+            handle.write("0 1\n1 2\n")
+        back = read_undirected(p)
+        assert back.num_edges == 2
+
+    def test_read_edge_arrays_gzip(self, tmp_path):
+        import gzip
+
+        from repro.graph.io import read_edge_arrays
+
+        p = tmp_path / "g.txt.gz"
+        with gzip.open(p, "wt", encoding="utf-8") as handle:
+            handle.write("# header\n0 1\n2 3 1.5\n")
+        src, dst, weights = read_edge_arrays(p)
+        assert src.tolist() == [0, 2]
+        assert dst.tolist() == [1, 3]
+        assert weights.tolist() == [1.0, 1.5]
+
+    def test_read_edge_arrays_plain_unchanged(self, tmp_path):
+        from repro.graph.io import read_edge_arrays
+
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        src, dst, weights = read_edge_arrays(p)
+        assert src.tolist() == [0] and dst.tolist() == [1]

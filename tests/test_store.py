@@ -1,0 +1,376 @@
+"""Tests for the sharded edge store and its engine consumers."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.api import DensestSubgraph, ExecutionContext, available_backends, solve
+from repro.core.directed import densest_subgraph_directed
+from repro.core.undirected import densest_subgraph
+from repro.errors import ParameterError, StoreError
+from repro.graph.undirected import UndirectedGraph
+from repro.kernels import CSRDigraph, CSRGraph
+from repro.mapreduce.columnar import stable_hash_int64
+from repro.store import SHARD_DTYPE, ShardWriter, ShardedEdgeStore, write_edge_list_store
+from repro.streaming import engine as streaming_engine
+from repro.streaming.stream import GraphEdgeStream, ShardEdgeStream
+from repro.streaming.engine import (
+    stream_densest_subgraph,
+    stream_densest_subgraph_atleast_k,
+)
+
+
+def _undirected_arrays(seed=0, n=300, m=2000, dyadic=True):
+    """Duplicate-free canonical undirected edge arrays (+ dyadic weights)."""
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, n, (m, 2))
+    pairs = sorted({(min(u, v), max(u, v)) for u, v in raw if u != v})
+    src = np.array([p[0] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs], dtype=np.int64)
+    if dyadic:
+        w = rng.choice([0.25, 0.5, 1.0, 2.0], size=src.size)
+    else:
+        w = np.ones(src.size)
+    return src, dst, w, n
+
+
+def _directed_arrays(seed=0, n=300, m=2500):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    key, idx = np.unique(src[keep] * n + dst[keep], return_index=True)
+    src, dst = src[keep][idx].astype(np.int64), dst[keep][idx].astype(np.int64)
+    w = rng.choice([0.5, 1.0, 4.0], size=src.size)
+    return src, dst, w, n
+
+
+class TestShardWriter:
+    def test_roundtrip_and_manifest(self, tmp_path):
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=False, num_shards=4, num_nodes=n
+        )
+        assert store.num_nodes == n
+        assert store.num_edges == src.size
+        assert store.num_shards == 4
+        assert not store.directed and store.weighted
+        assert store.total_weight == pytest.approx(w.sum())
+        assert store.nbytes() == src.size * SHARD_DTYPE.itemsize
+        u2, v2, w2 = store.edge_arrays()
+        assert np.sort(u2 * n + v2).tolist() == (src * n + dst).tolist()
+        assert w2.sum() == pytest.approx(w.sum())
+
+    def test_shard_assignment_is_stable_hash(self, tmp_path):
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst), directed=False, num_shards=3, num_nodes=n
+        )
+        for shard, (u, v, _) in enumerate(store.iter_shard_arrays()):
+            assert (stable_hash_int64(np.asarray(u)) % 3 == shard).all()
+
+    def test_readers_are_memmapped(self, tmp_path):
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst), directed=False, num_shards=2, num_nodes=n
+        )
+        rec = np.load(store.shard_path(0), mmap_mode="r")
+        assert isinstance(rec, np.memmap)
+        assert rec.dtype == SHARD_DTYPE
+
+    def test_self_loops_dropped(self, tmp_path):
+        store = ShardedEdgeStore.write(
+            tmp_path / "st",
+            (np.array([0, 1, 2]), np.array([0, 2, 2])),
+            directed=False,
+            num_shards=2,
+        )
+        assert store.num_edges == 1
+        assert store.num_nodes == 3  # derived max id + 1
+
+    def test_spill_budget_matches_one_shot(self, tmp_path):
+        src, dst, w, n = _undirected_arrays(seed=3)
+        one_shot = ShardedEdgeStore.write(
+            tmp_path / "a", (src, dst, w), directed=False, num_shards=4, num_nodes=n
+        )
+        with ShardWriter(
+            tmp_path / "b",
+            directed=False,
+            num_shards=4,
+            num_nodes=n,
+            memory_budget=1024,  # forces many flushes
+        ) as writer:
+            for start in range(0, src.size, 137):
+                s = slice(start, start + 137)
+                writer.append_arrays(src[s], dst[s], w[s])
+        spilled = ShardedEdgeStore.open(tmp_path / "b")
+        for a, b in zip(one_shot.iter_shard_arrays(), spilled.iter_shard_arrays()):
+            for x, y in zip(a, b):
+                assert np.array_equal(np.asarray(x), np.asarray(y))
+
+    def test_empty_store(self, tmp_path):
+        store = ShardedEdgeStore.write(
+            tmp_path / "st",
+            (np.empty(0, np.int64), np.empty(0, np.int64)),
+            directed=False,
+            num_shards=2,
+            num_nodes=5,
+        )
+        assert store.num_edges == 0 and store.num_nodes == 5
+        assert all(u.size == 0 for u, _, _ in store.iter_shard_arrays())
+
+    def test_rejects_negative_ids(self, tmp_path):
+        with pytest.raises(StoreError, match=">= 0"):
+            ShardedEdgeStore.write(
+                tmp_path / "st",
+                (np.array([-1, 0]), np.array([1, 2])),
+                directed=False,
+            )
+
+    def test_rejects_ids_outside_declared_universe(self, tmp_path):
+        with pytest.raises(StoreError, match="outside the declared universe"):
+            ShardedEdgeStore.write(
+                tmp_path / "st",
+                (np.array([0, 9]), np.array([1, 2])),
+                directed=False,
+                num_nodes=5,
+            )
+
+    def test_rejects_existing_store(self, tmp_path):
+        ShardedEdgeStore.write(
+            tmp_path / "st", (np.array([0]), np.array([1])), directed=False
+        )
+        with pytest.raises(StoreError, match="already holds"):
+            ShardWriter(tmp_path / "st", directed=False)
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(StoreError, match="no shard store"):
+            ShardedEdgeStore.open(tmp_path / "nope")
+
+
+class TestFromShards:
+    def test_undirected_bit_parity(self, tmp_path):
+        src, dst, w, n = _undirected_arrays(seed=5)
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=False, num_shards=5, num_nodes=n
+        )
+        a = CSRGraph.from_edge_arrays(src, dst, w, num_nodes=n)
+        b = CSRGraph.from_shards(store)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+        assert np.array_equal(a.degrees, b.degrees)
+        assert a.total_weight == b.total_weight
+        for eps in (0.0, 0.1, 0.5):
+            ra = densest_subgraph(a, eps, engine="numpy")
+            rb = densest_subgraph(b, eps, engine="numpy")
+            assert ra.nodes == rb.nodes and ra.trace == rb.trace
+
+    def test_directed_bit_parity(self, tmp_path):
+        src, dst, w, n = _directed_arrays(seed=6)
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=True, num_shards=3, num_nodes=n
+        )
+        a = CSRDigraph.from_edge_arrays(src, dst, w, num_nodes=n)
+        b = CSRDigraph.from_shards(store)
+        for attr in (
+            "out_indptr", "out_indices", "out_weights",
+            "in_indptr", "in_indices", "in_weights",
+        ):
+            assert np.array_equal(getattr(a, attr), getattr(b, attr)), attr
+        ra = densest_subgraph_directed(a, ratio=1.0, epsilon=0.5, engine="numpy")
+        rb = densest_subgraph_directed(b, ratio=1.0, epsilon=0.5, engine="numpy")
+        assert ra.s_nodes == rb.s_nodes and ra.t_nodes == rb.t_nodes
+        assert ra.trace == rb.trace
+
+    def test_orientation_mismatch_rejected(self, tmp_path):
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst), directed=False, num_shards=2, num_nodes=n
+        )
+        with pytest.raises(Exception, match="CSRDigraph.from_shards|undirected"):
+            CSRDigraph.from_shards(store)
+
+
+class TestShardEdgeStream:
+    def _graph_and_store(self, tmp_path, dyadic=True):
+        src, dst, w, n = _undirected_arrays(seed=7, dyadic=dyadic)
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=False, num_shards=4, num_nodes=n
+        )
+        graph = UndirectedGraph()
+        graph.add_nodes_from(range(n))
+        for u, v, weight in zip(src.tolist(), dst.tolist(), w.tolist()):
+            graph.add_edge(u, v, weight)
+        return graph, store
+
+    def test_node_universe_without_discovery_pass(self, tmp_path):
+        _, store = self._graph_and_store(tmp_path)
+        stream = ShardEdgeStream(store)
+        assert stream.num_nodes == store.num_nodes
+        assert stream.passes_made == 0  # manifest, not a discovery pass
+        assert len(stream) == store.num_edges
+
+    def test_accepts_path(self, tmp_path):
+        _, store = self._graph_and_store(tmp_path)
+        stream = ShardEdgeStream(store.path)
+        assert stream.num_nodes == store.num_nodes
+
+    def test_chunked_pass_accounting(self, tmp_path):
+        _, store = self._graph_and_store(tmp_path)
+        stream = ShardEdgeStream(store)
+        chunks = stream.edge_array_chunks()
+        total = sum(int(u.size) for u, _, _ in chunks)
+        assert total == store.num_edges
+        assert stream.passes_made == 1
+        assert stream.edges_streamed == store.num_edges
+
+    def test_streaming_engine_parity(self, tmp_path):
+        graph, store = self._graph_and_store(tmp_path)
+        ref = stream_densest_subgraph(GraphEdgeStream(graph), 0.2)
+        got = stream_densest_subgraph(ShardEdgeStream(store), 0.2)
+        assert ref.nodes == got.nodes
+        assert ref.trace == got.trace
+        assert ref.passes == got.passes
+
+    def test_python_scan_parity(self, tmp_path):
+        """The honest per-triple path agrees with the chunked memmap path."""
+        _, store = self._graph_and_store(tmp_path)
+        fast = stream_densest_subgraph(ShardEdgeStream(store), 0.3)
+        streaming_engine.FORCE_PYTHON_SCAN = True
+        try:
+            slow = stream_densest_subgraph(ShardEdgeStream(store), 0.3)
+        finally:
+            streaming_engine.FORCE_PYTHON_SCAN = False
+        assert fast.nodes == slow.nodes and fast.trace == slow.trace
+
+    def test_atleast_k_parity(self, tmp_path):
+        graph, store = self._graph_and_store(tmp_path)
+        ref = stream_densest_subgraph_atleast_k(GraphEdgeStream(graph), 40, 0.3)
+        got = stream_densest_subgraph_atleast_k(ShardEdgeStream(store), 40, 0.3)
+        assert ref.nodes == got.nodes and ref.trace == got.trace
+
+
+class TestEdgeListConversion:
+    def _write_list(self, path, gz=False):
+        lines = "# comment\n0 1\n1 2\n2 0\n2 0\n3 3\n10 11 2.5\n"
+        if gz:
+            with gzip.open(path, "wt", encoding="utf-8") as handle:
+                handle.write(lines)
+        else:
+            path.write_text(lines)
+
+    def test_convert_plain(self, tmp_path):
+        edge_list = tmp_path / "g.txt"
+        self._write_list(edge_list)
+        store = write_edge_list_store(
+            edge_list, tmp_path / "st", directed=False, num_shards=2
+        )
+        # self-loop dropped, duplicate line dedup'd first-wins (the
+        # SNAP-reader semantics)
+        assert store.num_edges == 4
+        assert store.num_nodes == 12
+        assert store.weighted
+        assert store.total_weight == pytest.approx(3 * 1.0 + 2.5)
+
+    def test_convert_gzip(self, tmp_path):
+        edge_list = tmp_path / "g.txt.gz"
+        self._write_list(edge_list, gz=True)
+        store = write_edge_list_store(
+            edge_list, tmp_path / "st", directed=True, num_shards=2
+        )
+        assert store.num_edges == 4 and store.directed
+
+    def test_both_orientations_match_snap_reader(self, tmp_path):
+        """A SNAP dump listing both orientations answers identically on
+        the dict and sharded pipelines (the readers' first-wins dedup)."""
+        from repro.graph.io import read_undirected
+        from repro.streaming.engine import stream_densest_subgraph
+        from repro.streaming.stream import GraphEdgeStream
+
+        edge_list = tmp_path / "g.txt"
+        lines = []
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    lines.append(f"{u} {v}")  # every edge, both ways
+        edge_list.write_text("\n".join(lines) + "\n")
+        graph = read_undirected(edge_list)
+        store = write_edge_list_store(
+            edge_list, tmp_path / "st", directed=False, num_shards=3
+        )
+        assert store.num_edges == graph.num_edges == 6
+        ref = stream_densest_subgraph(GraphEdgeStream(graph), 0.2)
+        got = stream_densest_subgraph(ShardEdgeStream(store), 0.2)
+        assert ref.density == got.density == 1.5
+
+    def test_keep_policy_stores_duplicates_verbatim(self, tmp_path):
+        store = ShardedEdgeStore.write(
+            tmp_path / "st",
+            (np.array([0, 1, 0]), np.array([1, 0, 1])),
+            directed=False,
+            num_shards=2,
+        )
+        assert store.num_edges == 3  # additive semantics, canonical (0, 1)
+        u, v, _ = store.edge_arrays()
+        assert u.tolist() == [0, 0, 0] and v.tolist() == [1, 1, 1]
+
+    def test_rejects_string_ids(self, tmp_path):
+        edge_list = tmp_path / "g.txt"
+        edge_list.write_text("a b\n")
+        with pytest.raises(StoreError, match="integer node ids"):
+            write_edge_list_store(edge_list, tmp_path / "st", directed=False)
+
+
+class TestStoreProblems:
+    def _store(self, tmp_path, directed=False):
+        if directed:
+            src, dst, w, n = _directed_arrays(seed=8)
+        else:
+            src, dst, w, n = _undirected_arrays(seed=8)
+        return ShardedEdgeStore.write(
+            tmp_path / ("d" if directed else "u"),
+            (src, dst, w),
+            directed=directed,
+            num_shards=3,
+            num_nodes=n,
+        ), (src, dst, w, n)
+
+    def test_input_mode_and_backends(self, tmp_path):
+        store, _ = self._store(tmp_path)
+        problem = DensestSubgraph(store, epsilon=0.3)
+        assert problem.input_mode == "shards"
+        assert available_backends(problem) == ["core-csr", "streaming", "mapreduce"]
+
+    def test_direction_validation(self, tmp_path):
+        directed_store, _ = self._store(tmp_path, directed=True)
+        with pytest.raises(ParameterError, match="DirectedDensest"):
+            DensestSubgraph(directed_store)
+        undirected_store, _ = self._store(tmp_path)
+        from repro.api import DirectedDensest
+
+        with pytest.raises(ParameterError, match="directed input"):
+            DirectedDensest(undirected_store)
+
+    def test_solve_parity_store_vs_csr(self, tmp_path):
+        store, (src, dst, w, n) = self._store(tmp_path)
+        csr = CSRGraph.from_edge_arrays(src, dst, w, num_nodes=n)
+        for backend in ("core-csr", "streaming", "mapreduce"):
+            for eps in (0.0, 0.1, 0.5):
+                a = solve(DensestSubgraph(store, epsilon=eps), backend=backend)
+                b = solve(DensestSubgraph(csr, epsilon=eps), backend=backend)
+                assert a.nodes == b.nodes, (backend, eps)
+                assert a.density == b.density, (backend, eps)
+                assert a.certificate == b.certificate, (backend, eps)
+
+    def test_auto_dispatch_respects_memory_budget(self, tmp_path):
+        store, (_, _, _, n) = self._store(tmp_path)
+        problem = DensestSubgraph(store, epsilon=0.5)
+        assert solve(problem).backend == "core-csr"
+        # A budget below the CSR footprint forces the O(n) streaming engine.
+        assert solve(problem, memory_budget=5 * n).backend == "streaming"
+        assert (
+            solve(problem, context=ExecutionContext(memory_budget=5 * n)).backend
+            == "streaming"
+        )
