@@ -395,20 +395,44 @@ def _as_stream(problem: Problem) -> EdgeStream:
     return GraphEdgeStream(problem.input)
 
 
-def _stream_cost(
-    stream: EdgeStream,
-    passes: int,
-    passes_before: int,
-    edges_before: int,
-    accountant: Optional[MemoryAccountant],
-) -> CostReport:
-    return CostReport(
-        passes=passes,
-        stream_passes=stream.passes_made - passes_before,
-        edges_streamed=stream.edges_streamed - edges_before,
-        memory_words=(
-            int(accountant.total_words) if accountant is not None else None
-        ),
+class _StreamMeter:
+    """Before/after snapshot of a stream's accounting for a CostReport."""
+
+    def __init__(self, stream: EdgeStream) -> None:
+        self.stream = stream
+        self._passes = stream.passes_made
+        self._edges = stream.edges_streamed
+        self._bytes = stream.bytes_scanned
+
+    def cost(
+        self, passes: int, accountant: Optional[MemoryAccountant]
+    ) -> CostReport:
+        return CostReport(
+            passes=passes,
+            stream_passes=self.stream.passes_made - self._passes,
+            edges_streamed=self.stream.edges_streamed - self._edges,
+            bytes_scanned=self.stream.bytes_scanned - self._bytes,
+            memory_words=(
+                int(accountant.total_words) if accountant is not None else None
+            ),
+        )
+
+
+def _compaction_policy(options: dict, context: ExecutionContext, problem: Problem):
+    """Resolve the streaming/sketch backends' ``compaction=`` option.
+
+    Explicit ``compaction=`` wins; otherwise compaction auto-enables
+    for shard-store inputs solved under an explicit resource envelope
+    (a memory budget, spill directory, or compaction threshold on the
+    context) — the out-of-core shape where rescanning every shard per
+    pass is the dominant cost.
+    """
+    from ..streaming.compaction import context_policy
+
+    return context_policy(
+        options.pop("compaction", None),
+        context,
+        shard_input=problem.input_mode == MODE_SHARDS,
     )
 
 
@@ -422,6 +446,14 @@ class StreamingSolver:
     :class:`~repro.streaming.stream.ShardEdgeStream` — the out-of-core
     mode, where each pass walks memmap shard chunks and only the O(n)
     counters stay resident.
+
+    A ``compaction=`` option (bool, threshold, or
+    :class:`~repro.streaming.compaction.CompactionPolicy`) controls
+    pass compaction; left unset, it auto-enables for shard-store
+    inputs solved under an explicit resource envelope (memory budget,
+    spill dir, or compaction threshold on the
+    :class:`~repro.api.context.ExecutionContext`).  Results are
+    identical either way; the CostReport's bytes/edges shrink.
     """
 
     name = "streaming"
@@ -446,34 +478,39 @@ class StreamingSolver:
         )
         from ..streaming.sweep import stream_ratio_sweep
 
-        _pop_context(options)
-        _reject_options(self.name, options, ("accountant",))
+        context = _pop_context(options)
+        _reject_options(self.name, options, ("accountant", "compaction"))
+        compaction = _compaction_policy(options, context, problem)
         accountant = options.get("accountant")
         stream = _as_stream(problem)
-        passes_before = stream.passes_made
-        edges_before = stream.edges_streamed
+        meter = _StreamMeter(stream)
         if isinstance(problem, DensestSubgraph):
             result = stream_densest_subgraph(
                 stream,
                 problem.epsilon,
                 max_passes=problem.max_passes,
                 accountant=accountant,
-            )
-            cost = _stream_cost(
-                stream, result.passes, passes_before, edges_before, accountant
+                compaction=compaction,
             )
             return _undirected_solution(
-                result, backend=self.name, problem=problem, cost=cost
+                result,
+                backend=self.name,
+                problem=problem,
+                cost=meter.cost(result.passes, accountant),
             )
         if isinstance(problem, DensestAtLeastK):
             result = stream_densest_subgraph_atleast_k(
-                stream, problem.k, problem.epsilon, accountant=accountant
-            )
-            cost = _stream_cost(
-                stream, result.passes, passes_before, edges_before, accountant
+                stream,
+                problem.k,
+                problem.epsilon,
+                accountant=accountant,
+                compaction=compaction,
             )
             return _undirected_solution(
-                result, backend=self.name, problem=problem, cost=cost
+                result,
+                backend=self.name,
+                problem=problem,
+                cost=meter.cost(result.passes, accountant),
             )
         if isinstance(problem, DirectedDensest):
             if problem.is_sweep:
@@ -483,25 +520,26 @@ class StreamingSolver:
                     delta=problem.delta,
                     ratios=problem.ratio_grid,
                     accountant=accountant,
-                )
-                cost = _stream_cost(
-                    stream,
-                    sweep.total_passes(),
-                    passes_before,
-                    edges_before,
-                    accountant,
+                    compaction=compaction,
                 )
                 return _sweep_solution(
-                    sweep, backend=self.name, problem=problem, cost=cost
+                    sweep,
+                    backend=self.name,
+                    problem=problem,
+                    cost=meter.cost(sweep.total_passes(), accountant),
                 )
             result = stream_densest_subgraph_directed(
-                stream, problem.ratio, problem.epsilon, accountant=accountant
-            )
-            cost = _stream_cost(
-                stream, result.passes, passes_before, edges_before, accountant
+                stream,
+                problem.ratio,
+                problem.epsilon,
+                accountant=accountant,
+                compaction=compaction,
             )
             return _directed_solution(
-                result, backend=self.name, problem=problem, cost=cost
+                result,
+                backend=self.name,
+                problem=problem,
+                cost=meter.cost(result.passes, accountant),
             )
         raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
 
@@ -516,7 +554,10 @@ class SketchSolver:
     Accepts an ``engine="auto"|"python"|"numpy"`` option selecting the
     per-pass edge-scan implementation (vectorized chunked scan for
     int-labeled streams vs the record loop); the sketch state is
-    identical either way.
+    identical either way.  Shard stores are accepted as the
+    out-of-core input mode, and the ``compaction=`` option works as on
+    the ``streaming`` backend (auto-enabled under the same
+    conditions).
     """
 
     name = "sketch"
@@ -527,7 +568,7 @@ class SketchSolver:
     def capabilities(self) -> Capabilities:
         return Capabilities(
             problems=frozenset({"densest_subgraph"}),
-            input_modes=frozenset({MODE_GRAPH, MODE_STREAM}),
+            input_modes=frozenset({MODE_GRAPH, MODE_STREAM, MODE_SHARDS}),
             exact=False,
             memory_class=MEM_SKETCH,
             semantics="sketch-peel",
@@ -548,14 +589,16 @@ class SketchSolver:
 
         if not isinstance(problem, DensestSubgraph):
             raise SolverError(f"backend {self.name!r} cannot solve {problem.kind!r}")
-        _pop_context(options)
+        context = _pop_context(options)
         _reject_options(
-            self.name, options, ("buckets", "tables", "seed", "accountant", "engine")
+            self.name,
+            options,
+            ("buckets", "tables", "seed", "accountant", "engine", "compaction"),
         )
+        compaction = _compaction_policy(options, context, problem)
         accountant = options.get("accountant")
         stream = _as_stream(problem)
-        passes_before = stream.passes_made
-        edges_before = stream.edges_streamed
+        meter = _StreamMeter(stream)
         result = sketch_densest_subgraph(
             stream,
             problem.epsilon,
@@ -565,12 +608,13 @@ class SketchSolver:
             max_passes=problem.max_passes,
             accountant=accountant,
             engine=options.get("engine", "auto"),
-        )
-        cost = _stream_cost(
-            stream, result.passes, passes_before, edges_before, accountant
+            compaction=compaction,
         )
         return _undirected_solution(
-            result, backend=self.name, problem=problem, cost=cost
+            result,
+            backend=self.name,
+            problem=problem,
+            cost=meter.cost(result.passes, accountant),
         )
 
 

@@ -15,8 +15,13 @@ memory_     ``backend="auto"`` dispatch — same unit (words) and
 budget      semantics as ``solve(memory_budget=...)``
 spill_dir   callers converting edge sources into shard stores (the
             CLI's ``--spill-dir`` pipeline, ``examples/out_of_core``)
-shard_      number of hash partitions for those conversions
-count
+            and the ``streaming``/``sketch`` backends' pass-compaction
+            rewrites (spill sinks live under it)
+shard_      number of hash partitions for those conversions (and for
+count       compaction spill sinks)
+compaction_ ``streaming``/``sketch`` — pass-compaction shrink trigger
+threshold   in (0, 1]; setting it (or a memory budget / spill dir) on
+            a shard-store input auto-enables compaction
 ========== ==========================================================
 """
 
@@ -43,6 +48,7 @@ class ExecutionContext:
     memory_budget: Optional[int] = None
     spill_dir: Optional[str] = None
     shard_count: int = 8
+    compaction_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.workers, "workers")
@@ -50,4 +56,11 @@ class ExecutionContext:
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise ParameterError(
                 f"memory_budget must be positive, got {self.memory_budget}"
+            )
+        if self.compaction_threshold is not None and not (
+            0.0 < self.compaction_threshold <= 1.0
+        ):
+            raise ParameterError(
+                f"compaction_threshold must be in (0, 1], got "
+                f"{self.compaction_threshold}"
             )

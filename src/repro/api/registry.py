@@ -107,8 +107,10 @@ _AUTO_PREFERENCE = {
     MODE_STREAM: ("streaming", "sketch"),
     # Shard stores: the CSR build is the fastest consumer when its O(m)
     # snapshot fits the budget; the semi-streaming engine is the
-    # out-of-core fallback a memory_budget selects.
-    MODE_SHARDS: ("core-csr", "streaming", "mapreduce"),
+    # out-of-core fallback a memory_budget selects (with pass
+    # compaction auto-enabled under that budget), and the sketch the
+    # sublinear last resort.
+    MODE_SHARDS: ("core-csr", "streaming", "mapreduce", "sketch"),
 }
 
 
@@ -293,6 +295,12 @@ def solve(
         if memory_budget is None:
             memory_budget = context.memory_budget
         options["context"] = context
+    elif memory_budget is not None:
+        # A bare memory budget is still a resource envelope: hand it to
+        # the chosen backend as a context so budget-aware behaviors
+        # (e.g. the streaming backend's pass-compaction auto-enable)
+        # see it, not just the dispatch.
+        options["context"] = ExecutionContext(memory_budget=memory_budget)
     if backend == "auto":
         solver = select_backend(problem, memory_budget=memory_budget)
     else:

@@ -22,6 +22,9 @@ class CostReport:
     stream_passes: Optional[int] = None
     #: Edge records streamed across all passes.
     edges_streamed: Optional[int] = None
+    #: Bytes scanned across all stream passes (geometric under pass
+    #: compaction instead of passes × input size).
+    bytes_scanned: Optional[int] = None
     #: Total MapReduce rounds executed.
     mapreduce_rounds: Optional[int] = None
     #: Between-pass memory footprint in words, when metered.

@@ -23,6 +23,8 @@ solve on it (or do both in one command with ``--spill-dir``)::
     repro-densest densest --shard-store /data/big-store --backend streaming
     repro-densest densest --edge-list big.txt --spill-dir /tmp/st --backend streaming
     repro-densest densest --shard-store /data/big-store --backend mapreduce --workers 4
+    repro-densest densest --shard-store /data/big-store --compaction on
+    repro-densest densest --shard-store /data/big-store --compaction-threshold 0.75
 
 Legacy commands (thin wrappers over ``densest``)::
 
@@ -146,6 +148,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--shards", type=int, default=8,
         help="shard count for the --spill-dir conversion",
+    )
+    p_solve.add_argument(
+        "--compaction",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="pass compaction for the streaming/sketch backends: rewrite "
+        "the surviving edges once a pass keeps less than the threshold "
+        "fraction, so later passes scan geometrically fewer bytes "
+        "('auto' enables it for shard-store inputs solved under a "
+        "memory budget or spill dir; results are identical either way)",
+    )
+    p_solve.add_argument(
+        "--compaction-threshold", type=float, default=None,
+        help="surviving-edge fraction that triggers a compaction rewrite "
+        "(default 0.5; implies the streaming backend when --backend auto)",
     )
     p_solve.add_argument("--show-nodes", type=int, default=0, help="print up to N member nodes")
 
@@ -367,7 +384,13 @@ def _print_solution(solution: Solution, show_nodes: int = 0) -> None:
     if cost.passes is not None:
         print(f"  passes  : {cost.passes}")
     if cost.stream_passes is not None:
-        print(f"  stream  : {cost.stream_passes} passes, {cost.edges_streamed} edges")
+        suffix = ""
+        if cost.bytes_scanned is not None:
+            suffix = f", {cost.bytes_scanned / 1e6:.1f} MB scanned"
+        print(
+            f"  stream  : {cost.stream_passes} passes, "
+            f"{cost.edges_streamed} edges{suffix}"
+        )
     if cost.mapreduce_rounds is not None:
         print(f"  rounds  : {cost.mapreduce_rounds} MapReduce rounds")
     if show_nodes:
@@ -394,13 +417,33 @@ def _cmd_densest(args) -> int:
                 raise ReproError("backend 'core-csr' is pinned to the numpy engine")
         else:
             options["engine"] = args.engine
-    if args.workers > 1:
+    if args.compaction != "auto" or args.compaction_threshold is not None:
+        if backend == "auto":
+            backend = "streaming"  # compaction names the streaming engine
+        if backend not in ("streaming", "sketch"):
+            raise ReproError(
+                f"--compaction applies to the streaming/sketch backends, "
+                f"not {backend!r}"
+            )
+        if args.compaction != "auto":
+            options["compaction"] = args.compaction == "on"
+        else:
+            # An explicit threshold is a request to compact — on any
+            # input, not just the shard-store auto-enable shape.
+            options["compaction"] = True
+    if (
+        args.workers > 1
+        or args.spill_dir
+        or args.compaction_threshold is not None
+    ):
         from .api import ExecutionContext
 
         options["context"] = ExecutionContext(
             workers=args.workers,
+            memory_budget=args.memory_budget,
             spill_dir=args.spill_dir,
             shard_count=args.shards,
+            compaction_threshold=args.compaction_threshold,
         )
     solution = solve(
         problem, backend=backend, memory_budget=args.memory_budget, **options

@@ -313,6 +313,54 @@ def chung_lu_edge_arrays(
     return key // n, key % n
 
 
+def nested_core_edge_arrays(
+    n: int,
+    *,
+    degree: float = 18.0,
+    shrink: float = 0.5,
+    seed: int = 0,
+):
+    """Nested-core "onion" edge arrays: a deep-peel stress graph.
+
+    The union of Erdős–Rényi-style layers on geometrically nested
+    vertex prefixes ``[0, n·shrink^i)``, each with average degree
+    ``degree`` over its prefix: nodes near id 0 sit in every layer, so
+    weighted degree grows toward the center and the peel removes the
+    onion shell by shell — ~O(log n) passes where power-law graphs
+    collapse in a handful.  This is the adversarial regime for
+    multi-pass scan work (total O(m · passes) without pass compaction)
+    and the showcase regime for it: each shell carries a constant
+    fraction of the edges, so the surviving edge set decays
+    geometrically from the very first pass.
+
+    Total edges ≈ ``n · degree / (2(1 - shrink))``; parallel pairs are
+    kept (every consumer reads edges additively).  Returns ``(src,
+    dst)`` int64 arrays over ``[0, n)`` (loops dropped).
+    """
+    import numpy as np
+
+    check_positive_float(degree, "degree")
+    if not (0.0 < shrink < 1.0):
+        raise ParameterError(f"shrink must be in (0, 1), got {shrink}")
+    rng = np.random.default_rng(seed)
+    us, vs = [], []
+    size = n
+    while size >= 2:
+        m_layer = int(size * degree / 2)
+        if m_layer < 1:
+            break
+        us.append(rng.integers(0, size, m_layer, dtype=np.int64))
+        vs.append(rng.integers(0, size, m_layer, dtype=np.int64))
+        size = int(size * shrink)
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    src = np.concatenate(us)
+    dst = np.concatenate(vs)
+    keep = src != dst
+    return src[keep], dst[keep]
+
+
 def planted_block_edge_arrays(
     members,
     *,

@@ -47,10 +47,28 @@ The writer (:class:`ShardWriter`) spills under a configurable memory
 budget: appended chunks are buffered per shard and flushed to disk
 whenever the buffered bytes exceed the budget, so converting an
 arbitrarily large stream needs O(budget + num_shards) memory.
+
+Skip summaries
+--------------
+A writer opened with ``skip_summaries=True`` additionally records, per
+shard, the min/max endpoint id and (when the node universe is declared
+up front) a packed bitmap of every node id appearing as an endpoint in
+that shard.  Readers use them through
+:meth:`ShardedEdgeStore.iter_shard_arrays`'s ``alive=`` filter: a pass
+that knows which nodes are still alive skips any shard whose recorded
+endpoints are all dead *without opening the memmap* — the test is one
+bitwise AND over the packed bitmaps (or a slice of the alive mask when
+only min/max are known).  The summaries are advisory metadata: stores
+without them scan every shard, and dead-endpoint skipping is always a
+*sufficient* condition (a scanned shard may still contribute nothing).
+The pass-compaction layer (:mod:`repro.streaming.compaction`) writes
+its spill stores with summaries on, which is where shard skipping pays
+off — survivors concentrate in ever-fewer shards as the peel shrinks.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 import struct
 from dataclasses import dataclass, field
@@ -103,6 +121,62 @@ def _npy_preamble(count: int) -> bytes:
 # Manifest
 # ----------------------------------------------------------------------
 @dataclass
+class ShardSummary:
+    """Advisory skip index of one shard: its endpoint universe.
+
+    ``min_node``/``max_node`` bound every endpoint id appearing in the
+    shard; ``nodes`` (optional) is the ``np.packbits``-packed bitmap of
+    exactly which ids appear.  A shard is provably dead — skippable
+    without opening its memmap — when no recorded endpoint is alive.
+    Summaries describe a *superset* of the endpoints (dedup passes may
+    remove records after the summary was taken), which keeps the skip
+    test sufficient.
+    """
+
+    min_node: int
+    max_node: int
+    nodes: Optional[np.ndarray] = None  # packed uint8 bitmap, or None
+
+    def to_entry(self) -> dict:
+        entry = {"min_node": self.min_node, "max_node": self.max_node}
+        if self.nodes is not None:
+            entry["nodes_b64"] = base64.b64encode(self.nodes.tobytes()).decode(
+                "ascii"
+            )
+        return entry
+
+    @classmethod
+    def from_entry(cls, entry: dict) -> Optional["ShardSummary"]:
+        if "min_node" not in entry or "max_node" not in entry:
+            return None
+        packed = entry.get("nodes_b64")
+        return cls(
+            min_node=int(entry["min_node"]),
+            max_node=int(entry["max_node"]),
+            nodes=(
+                np.frombuffer(base64.b64decode(packed), dtype=np.uint8)
+                if packed is not None
+                else None
+            ),
+        )
+
+    def may_intersect(self, alive: np.ndarray, alive_packed: np.ndarray) -> bool:
+        """Whether any recorded endpoint is alive under ``alive``.
+
+        ``alive_packed`` is ``np.packbits(alive)``, computed once per
+        pass by the caller so the per-shard test is one bitwise AND.
+        """
+        if self.min_node > self.max_node:  # empty shard
+            return False
+        if self.nodes is not None:
+            n = min(self.nodes.size, alive_packed.size)
+            return bool(np.bitwise_and(self.nodes[:n], alive_packed[:n]).any())
+        lo = max(0, self.min_node)
+        hi = min(alive.size, self.max_node + 1)
+        return bool(alive[lo:hi].any())
+
+
+@dataclass
 class ShardManifest:
     """The JSON-serializable description of a sharded edge store."""
 
@@ -114,9 +188,20 @@ class ShardManifest:
     directed: bool
     shard_files: List[str] = field(default_factory=list)
     shard_edges: List[int] = field(default_factory=list)
+    #: Optional per-shard skip summaries (parallel to ``shard_files``;
+    #: ``None`` entries mean "no summary, always scan").
+    shard_summaries: Optional[List[Optional[ShardSummary]]] = None
     format_version: int = FORMAT_VERSION
 
     def to_json(self) -> str:
+        shards = []
+        for i, (name, count) in enumerate(zip(self.shard_files, self.shard_edges)):
+            entry = {"file": name, "edges": count}
+            if self.shard_summaries is not None:
+                summary = self.shard_summaries[i]
+                if summary is not None:
+                    entry.update(summary.to_entry())
+            shards.append(entry)
         return json.dumps(
             {
                 "format": "repro-edge-shards",
@@ -127,10 +212,7 @@ class ShardManifest:
                 "total_weight": self.total_weight,
                 "weighted": self.weighted,
                 "directed": self.directed,
-                "shards": [
-                    {"file": name, "edges": count}
-                    for name, count in zip(self.shard_files, self.shard_edges)
-                ],
+                "shards": shards,
             },
             indent=2,
         )
@@ -151,6 +233,9 @@ class ShardManifest:
                 f"{data.get('format_version')!r} (this build reads {FORMAT_VERSION})"
             )
         shards = data.get("shards", [])
+        summaries: List[Optional[ShardSummary]] = [
+            ShardSummary.from_entry(s) for s in shards
+        ]
         return cls(
             num_shards=int(data["num_shards"]),
             num_nodes=int(data["num_nodes"]),
@@ -160,6 +245,7 @@ class ShardManifest:
             directed=bool(data["directed"]),
             shard_files=[s["file"] for s in shards],
             shard_edges=[int(s["edges"]) for s in shards],
+            shard_summaries=summaries if any(s is not None for s in summaries) else None,
         )
 
 
@@ -241,6 +327,11 @@ class ShardWriter:
         applied per shard at :meth:`close` (canonical orientation puts
         all copies of an edge in one shard), so peak memory grows by
         the largest single shard.
+    skip_summaries:
+        Record per-shard skip summaries (min/max endpoint id, plus the
+        endpoint bitmap when ``num_nodes`` is declared) in the
+        manifest, enabling dead-shard skipping at read time.  Costs
+        O(num_nodes) transient bytes per shard while writing.
     """
 
     DUPLICATE_POLICIES = ("keep", "first")
@@ -254,6 +345,7 @@ class ShardWriter:
         num_nodes: Optional[int] = None,
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         duplicates: str = "keep",
+        skip_summaries: bool = False,
     ) -> None:
         if num_shards < 1:
             raise StoreError(f"num_shards must be >= 1, got {num_shards}")
@@ -283,6 +375,14 @@ class ShardWriter:
         self._max_id = -1
         self._weighted = False
         self._closed = False
+        self.skip_summaries = skip_summaries
+        self._summary_min = [None] * num_shards if skip_summaries else None
+        self._summary_max = [None] * num_shards if skip_summaries else None
+        # Endpoint-presence bitmaps need the universe size up front; a
+        # writer deriving num_nodes at close records min/max only.
+        self._summary_seen: Optional[List[Optional[np.ndarray]]] = (
+            [None] * num_shards if skip_summaries and num_nodes is not None else None
+        )
 
     # -- context management -------------------------------------------
     def __enter__(self) -> "ShardWriter":
@@ -318,12 +418,37 @@ class ShardWriter:
         if not self._weighted and bool((rec["w"] != 1.0).any()):
             self._weighted = True
         shard_ids = stable_hash_int64(rec["u"]) % self.num_shards
-        for shard in np.unique(shard_ids):
-            part = rec[shard_ids == shard]
-            self._buffers[int(shard)].append(part)
+        # Partition with one mask per shard (arrival order preserved
+        # within each shard, which the "first" dedup relies on); a
+        # range loop beats np.unique's hash pass for the small shard
+        # counts stores use.
+        for shard in range(self.num_shards):
+            mask = shard_ids == shard
+            if not mask.any():
+                continue
+            part = rec[mask]
+            self._buffers[shard].append(part)
             self._buffered_bytes += part.nbytes
+            if self.skip_summaries:
+                self._note_summary(shard, part)
         if self._buffered_bytes > self.memory_budget:
             self.flush()
+
+    def _note_summary(self, shard: int, part: np.ndarray) -> None:
+        """Fold one appended chunk into the shard's skip summary."""
+        lo = int(min(part["u"].min(), part["v"].min()))
+        hi = int(max(part["u"].max(), part["v"].max()))
+        cur_lo = self._summary_min[shard]
+        self._summary_min[shard] = lo if cur_lo is None else min(cur_lo, lo)
+        cur_hi = self._summary_max[shard]
+        self._summary_max[shard] = hi if cur_hi is None else max(cur_hi, hi)
+        if self._summary_seen is not None:
+            seen = self._summary_seen[shard]
+            if seen is None:
+                seen = np.zeros(self._declared_nodes, dtype=bool)
+                self._summary_seen[shard] = seen
+            seen[part["u"]] = True
+            seen[part["v"]] = True
 
     def append_edges(self, triples: Iterable[Tuple[int, int, float]],
                      chunk_size: int = 1 << 16) -> None:
@@ -410,6 +535,26 @@ class ShardWriter:
                 self._dedup_shard(shard, num_nodes)
             self._total_weight = self._dedup_weight
             self._weighted = self._dedup_weighted
+        summaries: Optional[List[Optional[ShardSummary]]] = None
+        if self.skip_summaries:
+            summaries = []
+            for shard in range(self.num_shards):
+                lo, hi = self._summary_min[shard], self._summary_max[shard]
+                if lo is None:  # empty shard: min > max, always skippable
+                    summaries.append(ShardSummary(min_node=0, max_node=-1))
+                    continue
+                seen = (
+                    self._summary_seen[shard]
+                    if self._summary_seen is not None
+                    else None
+                )
+                summaries.append(
+                    ShardSummary(
+                        min_node=lo,
+                        max_node=hi,
+                        nodes=np.packbits(seen) if seen is not None else None,
+                    )
+                )
         manifest = ShardManifest(
             num_shards=self.num_shards,
             num_nodes=num_nodes,
@@ -419,6 +564,7 @@ class ShardWriter:
             directed=self.directed,
             shard_files=shard_files,
             shard_edges=list(self._counts),
+            shard_summaries=summaries,
         )
         (self.path / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
         self._closed = True
@@ -610,11 +756,59 @@ class ShardedEdgeStore:
         rec = np.load(self.shard_path(shard), mmap_mode="r")
         return rec["u"], rec["v"], rec["w"]
 
+    def shard_summary(self, shard: int) -> Optional[ShardSummary]:
+        """The shard's skip summary, or None when the store has none."""
+        if self.manifest.shard_summaries is None:
+            return None
+        return self.manifest.shard_summaries[shard]
+
+    def alive_shards(
+        self, alive: np.ndarray, dst_alive: Optional[np.ndarray] = None
+    ) -> List[int]:
+        """Shards that may still hold a surviving edge under ``alive``.
+
+        ``alive`` is a boolean mask over the dense node universe.  A
+        shard is dropped when it is empty, or when its skip summary
+        proves every recorded endpoint dead — for directed scans with
+        separate source/destination masks (``dst_alive``), an edge
+        needs an alive source *and* an alive destination, so a shard
+        with no endpoint in either mask is dead.  Without summaries
+        only empty shards are dropped.
+        """
+        alive = np.asarray(alive, dtype=bool)
+        masks = [(alive, np.packbits(alive))]
+        if dst_alive is not None:
+            dst_alive = np.asarray(dst_alive, dtype=bool)
+            masks.append((dst_alive, np.packbits(dst_alive)))
+        kept: List[int] = []
+        for shard in range(self.num_shards):
+            if self.manifest.shard_edges[shard] == 0:
+                continue
+            summary = self.shard_summary(shard)
+            if summary is not None and not all(
+                summary.may_intersect(mask, packed) for mask, packed in masks
+            ):
+                continue
+            kept.append(shard)
+        return kept
+
     def iter_shard_arrays(
         self,
+        alive: Optional[np.ndarray] = None,
+        dst_alive: Optional[np.ndarray] = None,
     ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Iterate shard-by-shard ``(u, v, w)`` memmap views."""
-        for shard in range(self.num_shards):
+        """Iterate shard-by-shard ``(u, v, w)`` memmap views.
+
+        With an ``alive`` mask (and optionally ``dst_alive`` for
+        directed source/destination sides), shards whose skip summaries
+        prove them dead are not opened at all — see
+        :meth:`alive_shards`.
+        """
+        if alive is None:
+            shards: Iterable[int] = range(self.num_shards)
+        else:
+            shards = self.alive_shards(alive, dst_alive)
+        for shard in shards:
             yield self.shard_arrays(shard)
 
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -10,6 +10,10 @@ provides:
 * :mod:`~repro.streaming.engine` — Algorithms 1–3 implemented strictly
   against the stream interface with O(n) state; verified to match the
   in-memory reference implementations pass-for-pass.
+* :mod:`~repro.streaming.compaction` — pass compaction: once a pass
+  keeps at most a threshold fraction of the records it scanned, the
+  next scan also rewrites the survivors, so later passes scan
+  geometrically fewer bytes (identical results, cheaper passes).
 * :mod:`~repro.streaming.countsketch` — the Count-Sketch frequency
   estimator of Charikar–Chen–Farach-Colton (§5.1).
 * :mod:`~repro.streaming.sketch_engine` — Algorithm 1 with sketched
@@ -26,12 +30,15 @@ from .stream import (
     DirectedGraphEdgeStream,
     GeneratorEdgeStream,
     ShardEdgeStream,
+    ArrayEdgeStream,
+    StreamAccounting,
 )
 from .engine import (
     stream_densest_subgraph,
     stream_densest_subgraph_atleast_k,
     stream_densest_subgraph_directed,
 )
+from .compaction import CompactionPolicy
 from .countsketch import CountSketch
 from .sketch_engine import sketch_densest_subgraph
 from .memory import MemoryAccountant
@@ -45,6 +52,9 @@ __all__ = [
     "DirectedGraphEdgeStream",
     "GeneratorEdgeStream",
     "ShardEdgeStream",
+    "ArrayEdgeStream",
+    "StreamAccounting",
+    "CompactionPolicy",
     "stream_densest_subgraph",
     "stream_densest_subgraph_atleast_k",
     "stream_densest_subgraph_directed",

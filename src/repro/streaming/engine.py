@@ -25,13 +25,20 @@ endpoint ids are mapped to dense indices with a vectorized
 ``searchsorted``, and the surviving edges update all counters at once
 instead of one Python statement per edge.  Threshold scans walk a
 maintained alive list, so late passes cost O(|S|) rather than O(n).
+
+All three engines additionally accept a ``compaction=`` control (see
+:mod:`repro.streaming.compaction`): when the surviving-edge fraction
+drops below the policy threshold, the next scan fuses a survivor
+rewrite and later passes read only the rewritten source — identical
+node sets, traces, and pass counts, with total bytes scanned bounded
+by a geometric series instead of O(m) per pass.
 """
 
 from __future__ import annotations
 
 import math
 from itertools import islice
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 from .._tolerances import THRESHOLD_EPS
 from .._validation import check_epsilon, check_positive_float, check_positive_int
@@ -66,51 +73,104 @@ class _IntStreamScanner:
     each chunk of edges maps to dense indices via ``searchsorted``; the
     degree updates are then single ``np.bincount`` calls — the same
     kernel the in-memory CSR engine uses on its removal frontier.
+
+    Two cached shortcuts keep per-pass work off the map:
+
+    * A label universe that *is* the dense identity range (shard
+      stores) is detected once; ``_map`` then degrades to a bounds
+      check with no ``searchsorted``/gather per chunk.
+    * Streams flagged ``dense_ids`` (compaction rewrites, which store
+      dense indices directly) bypass the map entirely.
+
+    Scans may fuse a *compaction sink*: every surviving chunk is also
+    appended to the sink (in dense index space), so the rewrite costs
+    zero extra read passes.  ``last_scanned``/``last_kept`` record the
+    most recent scan's record counts for the compaction trigger.
     """
 
-    def __init__(self, labels: List[Node]) -> None:
+    def __init__(self, labels) -> None:
         from ..kernels.csr import build_label_index
 
-        arr = _np.asarray(labels, dtype=_np.int64)
+        if isinstance(labels, range):
+            # Dense-identity universes (shard stores) skip the O(n)
+            # boxed-int conversion; range(0, n) also skips the argsort.
+            arr = _np.arange(
+                labels.start, labels.stop, labels.step, dtype=_np.int64
+            )
+        else:
+            arr = _np.asarray(labels, dtype=_np.int64)
         self.n = int(arr.size)
-        self._order, self._sorted = build_label_index(arr)
+        if isinstance(labels, range) and labels.start == 0 and labels.step == 1:
+            self._order = self._sorted = arr
+            self._identity = bool(self.n)
+        else:
+            self._order, self._sorted = build_label_index(arr)
+            # The identity universe (labels == range(n), the shard-store
+            # case): mapping is a no-op, checked once instead of per chunk.
+            self._identity = bool(
+                self.n
+                and self._sorted[0] == 0
+                and self._sorted[-1] == self.n - 1
+                and _np.array_equal(self._sorted, _np.arange(self.n, dtype=_np.int64))
+            )
         self._dtype = _np.dtype(
             [("u", _np.int64), ("v", _np.int64), ("w", _np.float64)]
         )
+        self.last_scanned = 0
+        self.last_kept = 0
 
     @classmethod
-    def build(cls, labels: List[Node]) -> Optional["_IntStreamScanner"]:
+    def build(cls, labels) -> Optional["_IntStreamScanner"]:
         """A scanner for ``labels``, or None when ineligible."""
         if FORCE_PYTHON_SCAN or _np is None or not labels:
             return None
-        from ..kernels.csr import _all_int_labels
+        if not isinstance(labels, range):  # ranges are ints by construction
+            from ..kernels.csr import _all_int_labels
 
-        if not _all_int_labels(labels):
-            return None
+            if not _all_int_labels(labels):
+                return None
         return cls(labels)
+
+    def _missing(self, first_bad):
+        return StreamError(
+            f"stream edge endpoint {int(first_bad)} outside the node universe"
+        )
 
     def _map(self, ids):
         from ..kernels.csr import lookup_indices
 
-        def missing(first_bad):
-            return StreamError(
-                f"stream edge endpoint {int(first_bad)} outside the node universe"
-            )
+        if self._identity:
+            if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= self.n):
+                bad = ids[(ids < 0) | (ids >= self.n)][0]
+                raise self._missing(bad)
+            return ids
+        return lookup_indices(self._order, self._sorted, ids, self._missing)
 
-        return lookup_indices(self._order, self._sorted, ids, missing)
+    def _chunks(self, stream: EdgeStream, alive=None, dst_alive=None):
+        """Mapped ``(ui, vi, w)`` chunk triples of one counted pass.
 
-    def _chunks(self, stream: EdgeStream):
-        chunk_fn = getattr(stream, "edge_array_chunks", None)
-        chunks = chunk_fn() if chunk_fn is not None else None
+        ``alive``/``dst_alive`` (dense-index masks) are forwarded to
+        chunk-serving streams as skip hints whenever dense indices and
+        node ids coincide — identity-labeled universes or ``dense_ids``
+        rewrites — letting shard stores skip provably-dead shards.
+        """
+        dense = getattr(stream, "dense_ids", False)
+        chunks = None
+        if stream.has_array_chunks():
+            if alive is not None and (dense or self._identity):
+                chunks = stream.edge_array_chunks(alive=alive, dst_alive=dst_alive)
+            else:
+                chunks = stream.edge_array_chunks()
         if chunks is not None:
             # Shard-backed pass: one bounded array triple per shard, so
             # the scan runs out-of-core (O(n) counters + O(shard)).
             for u, v, w in chunks:
-                yield (
-                    self._map(_np.asarray(u, dtype=_np.int64)),
-                    self._map(_np.asarray(v, dtype=_np.int64)),
-                    _np.asarray(w, dtype=_np.float64),
-                )
+                u = _np.asarray(u, dtype=_np.int64)
+                v = _np.asarray(v, dtype=_np.int64)
+                if not dense:
+                    u = self._map(u)
+                    v = self._map(v)
+                yield u, v, _np.asarray(w, dtype=_np.float64)
             return
         arrays = stream.edge_arrays()
         if arrays is not None:
@@ -118,11 +178,12 @@ class _IntStreamScanner:
             # arrays: the engines' between-pass state must stay O(n)
             # (one vectorized searchsorted per pass is cheap).
             u, v, w = arrays
-            yield (
-                self._map(_np.asarray(u, dtype=_np.int64)),
-                self._map(_np.asarray(v, dtype=_np.int64)),
-                _np.asarray(w, dtype=_np.float64),
-            )
+            u = _np.asarray(u, dtype=_np.int64)
+            v = _np.asarray(v, dtype=_np.int64)
+            if not dense:
+                u = self._map(u)
+                v = self._map(v)
+            yield u, v, _np.asarray(w, dtype=_np.float64)
             return
         edges = stream.edges()
         while True:
@@ -132,42 +193,94 @@ class _IntStreamScanner:
             if arr.size < _SCAN_CHUNK:
                 return
 
-    def scan_undirected(self, stream: EdgeStream, alive) -> Tuple["_np.ndarray", float]:
-        """Degrees of alive nodes and surviving weight, one stream pass."""
+    def scan_undirected(
+        self, stream: EdgeStream, alive, sink=None
+    ) -> Tuple["_np.ndarray", float]:
+        """Degrees of alive nodes and surviving weight, one stream pass.
+
+        With a ``sink``, every surviving record is also appended to it
+        (dense index space) — the fused compaction write.
+        """
         degrees = _np.zeros(self.n, dtype=_np.float64)
         weight = 0.0
-        for ui, vi, w in self._chunks(stream):
-            keep = alive[ui] & alive[vi]
-            if keep.any():
-                kept = w[keep]
-                degrees += _np.bincount(ui[keep], weights=kept, minlength=self.n)
-                degrees += _np.bincount(vi[keep], weights=kept, minlength=self.n)
+        scanned = 0
+        kept_edges = 0
+        # Pass 1 (and any scan before the first removal) keeps every
+        # edge: one O(n) check here skips the O(edges) endpoint gather
+        # and mask per chunk.
+        all_alive = bool(alive.all())
+        for ui, vi, w in self._chunks(stream, alive=alive):
+            scanned += int(ui.size)
+            if all_alive:
+                kui, kvi, kept = ui, vi, _np.asarray(w, dtype=_np.float64)
+                kept_edges += int(kui.size)
+                b = _np.bincount(kui, weights=kept)
+                degrees[: b.size] += b
+                b = _np.bincount(kvi, weights=kept)
+                degrees[: b.size] += b
                 weight += float(kept.sum())
+                if sink is not None:
+                    sink.append(kui, kvi, kept)
+                continue
+            keep = alive[ui] & alive[vi]
+            if keep.all():
+                # Whole chunk survives (typically pass 1): skip the
+                # masked re-extraction — three O(chunk) copies.
+                kui, kvi, kept = ui, vi, _np.asarray(w, dtype=_np.float64)
+            elif keep.any():
+                kui = ui[keep]
+                kvi = vi[keep]
+                kept = w[keep]
+            else:
+                continue
+            kept_edges += int(kui.size)
+            # bincount without minlength: the per-chunk accumulate
+            # costs O(max surviving id), not O(n) — the dominant
+            # constant once compaction shrinks chunks far below the
+            # universe size.  Slice-adding is bit-identical to the
+            # padded add (the padding would add exact zeros).
+            b = _np.bincount(kui, weights=kept)
+            degrees[: b.size] += b
+            b = _np.bincount(kvi, weights=kept)
+            degrees[: b.size] += b
+            weight += float(kept.sum())
+            if sink is not None:
+                sink.append(kui, kvi, kept)
+        self.last_scanned = scanned
+        self.last_kept = kept_edges
         return degrees, weight
 
     def scan_directed(
-        self, stream: EdgeStream, in_s, in_t
+        self, stream: EdgeStream, in_s, in_t, sink=None
     ) -> Tuple["_np.ndarray", "_np.ndarray", float]:
         """w(E(i,T)), w(E(S,j)), and w(E(S,T)), one stream pass."""
         out_to_t = _np.zeros(self.n, dtype=_np.float64)
         in_from_s = _np.zeros(self.n, dtype=_np.float64)
         weight = 0.0
-        for ui, vi, w in self._chunks(stream):
+        scanned = 0
+        kept_edges = 0
+        for ui, vi, w in self._chunks(stream, alive=in_s, dst_alive=in_t):
+            scanned += int(ui.size)
             keep = in_s[ui] & in_t[vi]
-            if keep.any():
+            if keep.all():
+                kui, kvi, kept = ui, vi, _np.asarray(w, dtype=_np.float64)
+            elif keep.any():
+                kui = ui[keep]
+                kvi = vi[keep]
                 kept = w[keep]
-                out_to_t += _np.bincount(ui[keep], weights=kept, minlength=self.n)
-                in_from_s += _np.bincount(vi[keep], weights=kept, minlength=self.n)
-                weight += float(kept.sum())
+            else:
+                continue
+            kept_edges += int(kui.size)
+            b = _np.bincount(kui, weights=kept)
+            out_to_t[: b.size] += b
+            b = _np.bincount(kvi, weights=kept)
+            in_from_s[: b.size] += b
+            weight += float(kept.sum())
+            if sink is not None:
+                sink.append(kui, kvi, kept)
+        self.last_scanned = scanned
+        self.last_kept = kept_edges
         return out_to_t, in_from_s, weight
-
-
-def _index_nodes(stream: EdgeStream) -> Tuple[List[Node], Dict[Node, int]]:
-    """The node universe and its dense index (semi-streaming O(n) state)."""
-    labels = stream.nodes()
-    if not labels:
-        raise StreamError("stream has an empty node universe")
-    return labels, {node: i for i, node in enumerate(labels)}
 
 
 # Shared alive-list maintenance (same helper as the core loops).
@@ -200,30 +313,68 @@ class _UndirectedPassState:
     fallback scan; the vectorized scanner carries its own (much
     smaller) sorted-array index, which matters for the constant factor
     of the O(n) state on out-of-core runs.
+
+    On the scanner path the dense alive mask is a *maintained* numpy
+    array — updated in place by :meth:`kill` rather than rebuilt from
+    the Python list every pass, so scan-only passes (final valuation,
+    empty-removal passes) reuse it untouched.
+
+    With a :class:`~repro.streaming.compaction.CompactionPolicy`, each
+    scan may fuse a survivor rewrite (see :mod:`~repro.streaming.compaction`);
+    ``self.stream`` then switches to the rewritten source while
+    ``self.labels`` and all index state stay fixed.  Callers must
+    invoke :meth:`close` (in a ``finally``) to reap spill directories.
     """
 
-    def __init__(self, stream: EdgeStream) -> None:
+    def __init__(self, stream: EdgeStream, compaction=None) -> None:
         self.stream = stream
-        self.labels = stream.nodes()
+        self.labels = stream.node_universe()
         if not self.labels:
             raise StreamError("stream has an empty node universe")
         self.n = len(self.labels)
-        self.alive = [True] * self.n
-        self.alive_nodes = list(range(self.n))
         self.remaining = self.n
         self._scanner = _IntStreamScanner.build(self.labels)
-        self.index = (
-            None
-            if self._scanner is not None
-            else {node: i for i, node in enumerate(self.labels)}
-        )
-
-    def scan(self):
-        """One stream pass: degrees of alive nodes and surviving weight."""
+        self._compactor = None
         if self._scanner is not None:
-            alive_arr = _np.asarray(self.alive, dtype=bool)
-            self._alive_arr = alive_arr  # reused by threshold_candidates
-            return self._scanner.scan_undirected(self.stream, alive_arr)
+            # The alive state lives only in the maintained dense mask;
+            # the Python bool/index lists exist only on the fallback
+            # path (O(n) boxed updates per pass are its hottest cost).
+            self.alive = None
+            self.alive_nodes = None
+            self.index = None
+            self._alive_arr = _np.ones(self.n, dtype=bool)
+            if compaction is not None:
+                from .compaction import Compactor
+
+                self._compactor = Compactor(compaction, stream, directed=False)
+                self._compactor.bind(self.n)
+        else:
+            self.alive = [True] * self.n
+            self.alive_nodes = list(range(self.n))
+            self.index = {node: i for i, node in enumerate(self.labels)}
+
+    def scan(self, compact: bool = True):
+        """One stream pass: degrees of alive nodes and surviving weight.
+
+        ``compact=False`` suppresses any compaction rewrite — for
+        terminal valuation scans whose result stream would be thrown
+        away with the run.
+        """
+        if self._scanner is not None:
+            sink = None
+            if compact and self._compactor is not None and self._compactor.due():
+                sink = self._compactor.open_sink()
+            degrees, weight = self._scanner.scan_undirected(
+                self.stream, self._alive_arr, sink=sink
+            )
+            if self._compactor is not None:
+                if sink is not None:
+                    self.stream = self._compactor.finish(sink)
+                else:
+                    self._compactor.observe(
+                        self._scanner.last_scanned, self._scanner.last_kept
+                    )
+            return degrees, weight
         degrees = [0.0] * self.n
         weight = 0.0
         alive = self.alive
@@ -240,10 +391,9 @@ class _UndirectedPassState:
     def threshold_candidates(self, degrees, cutoff: float) -> List[int]:
         """Alive indices with degree <= cutoff, ascending.
 
-        One vectorized mask on the scanner path (the alive array from
-        the pass's scan is reused); the list comprehension otherwise.
-        Both produce ascending index order, so the peel decisions are
-        identical.
+        One vectorized mask on the scanner path (against the maintained
+        alive array); the list comprehension otherwise.  Both produce
+        ascending index order, so the peel decisions are identical.
         """
         if self._scanner is not None:
             return _np.flatnonzero(self._alive_arr & (degrees <= cutoff)).tolist()
@@ -251,14 +401,27 @@ class _UndirectedPassState:
 
     def kill(self, to_remove: List[int]) -> None:
         """Remove nodes from the alive set."""
-        for i in to_remove:
-            self.alive[i] = False
-        self.alive_nodes = _drop_killed(self.alive_nodes, to_remove)
+        if self._scanner is not None:
+            if to_remove:
+                self._alive_arr[to_remove] = False
+        else:
+            for i in to_remove:
+                self.alive[i] = False
+            self.alive_nodes = _drop_killed(self.alive_nodes, to_remove)
         self.remaining -= len(to_remove)
+        if self._compactor is not None:
+            self._compactor.note_nodes(self.remaining)
 
     def alive_indices(self) -> List[int]:
-        """Indices of currently alive nodes."""
+        """Indices of currently alive nodes, ascending."""
+        if self._scanner is not None:
+            return _np.flatnonzero(self._alive_arr).tolist()
         return list(self.alive_nodes)
+
+    def close(self) -> None:
+        """Reap compaction spill state (idempotent)."""
+        if self._compactor is not None:
+            self._compactor.close()
 
 
 def stream_densest_subgraph(
@@ -267,6 +430,7 @@ def stream_densest_subgraph(
     *,
     max_passes: Optional[int] = None,
     accountant: Optional[MemoryAccountant] = None,
+    compaction=None,
 ) -> DensestSubgraphResult:
     """Algorithm 1 in the semi-streaming model.
 
@@ -281,6 +445,16 @@ def stream_densest_subgraph(
     accountant:
         Optional :class:`MemoryAccountant` charged with the engine's
         between-pass state.
+    compaction:
+        Pass-compaction control: ``None``/``False`` (off), ``True``
+        (default policy), a threshold in (0, 1], or a
+        :class:`~repro.streaming.compaction.CompactionPolicy`.  When a
+        pass keeps at most the threshold fraction of the records it
+        scanned, the next scan also rewrites the survivors into a fresh
+        sink and later passes scan only those — same node sets, traces,
+        and pass counts, geometrically fewer bytes.  Honored on the
+        vectorized scanner path (int-labeled streams); the per-edge
+        reference scan ignores it.
 
     Returns
     -------
@@ -288,10 +462,12 @@ def stream_densest_subgraph(
         Same node set and trace as the in-memory reference.
     """
     epsilon = check_epsilon(epsilon)
-    state = _UndirectedPassState(stream)
+    from .compaction import CompactionPolicy
+
+    state = _UndirectedPassState(stream, CompactionPolicy.coerce(compaction))
     _charge_exact_memory(accountant, state.n, vectorized=state._scanner is not None)
 
-    best_set = state.alive_indices()
+    best_set = None  # None = the full universe (no improvement yet)
     best_density: Optional[float] = None
     best_pass = 0
     factor = 2.0 * (1.0 + epsilon)
@@ -299,56 +475,65 @@ def stream_densest_subgraph(
     trace: List[PassRecord] = []
     pass_index = 0
 
-    while state.remaining > 0:
-        if max_passes is not None and pass_index >= max_passes:
-            break
-        pass_index += 1
-        degrees, weight = state.scan()
-        density = weight / state.remaining
+    try:
+        while state.remaining > 0:
+            if max_passes is not None and pass_index >= max_passes:
+                break
+            pass_index += 1
+            degrees, weight = state.scan()
+            density = weight / state.remaining
+            if pending is not None:
+                trace.append(
+                    PassRecord(
+                        edges_after=weight, density_after=density, **pending
+                    )
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_set = state.alive_indices()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
+                best_density = density  # ρ(V), the paper's initial S̃
+            threshold = factor * density
+            cutoff = threshold + THRESHOLD_EPS
+            to_remove = state.threshold_candidates(degrees, cutoff)
+            pending = {
+                "pass_index": pass_index,
+                "nodes_before": state.remaining,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": len(to_remove),
+                "nodes_after": state.remaining - len(to_remove),
+            }
+            state.kill(to_remove)
+
         if pending is not None:
+            if state.remaining == 0:
+                edges_after, density_after = 0.0, 0.0
+            else:
+                # max_passes truncation: one extra counted pass values the
+                # final surviving subgraph (no rewrite — the run ends here).
+                degrees, edges_after = state.scan(compact=False)
+                density_after = edges_after / state.remaining
+                if density_after > (best_density or 0.0):
+                    best_density = density_after
+                    best_set = state.alive_indices()
+                    best_pass = pending["pass_index"]
             trace.append(
                 PassRecord(
-                    edges_after=weight, density_after=density, **pending
+                    edges_after=edges_after, density_after=density_after, **pending
                 )
             )
-            if density > best_density:  # type: ignore[operator]
-                best_density = density
-                best_set = state.alive_indices()
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density  # ρ(V), the paper's initial S̃
-        threshold = factor * density
-        cutoff = threshold + THRESHOLD_EPS
-        to_remove = state.threshold_candidates(degrees, cutoff)
-        pending = {
-            "pass_index": pass_index,
-            "nodes_before": state.remaining,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": len(to_remove),
-            "nodes_after": state.remaining - len(to_remove),
-        }
-        state.kill(to_remove)
-
-    if pending is not None:
-        if state.remaining == 0:
-            edges_after, density_after = 0.0, 0.0
-        else:
-            # max_passes truncation: one extra counted pass values the
-            # final surviving subgraph.
-            degrees, edges_after = state.scan()
-            density_after = edges_after / state.remaining
-            if density_after > (best_density or 0.0):
-                best_density = density_after
-                best_set = state.alive_indices()
-                best_pass = pending["pass_index"]
-        trace.append(
-            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
-        )
+    finally:
+        state.close()
 
     return DensestSubgraphResult(
-        nodes=frozenset(state.labels[i] for i in best_set),
+        nodes=(
+            frozenset(state.labels)
+            if best_set is None
+            else frozenset(state.labels[i] for i in best_set)
+        ),
         density=best_density if best_density is not None else 0.0,
         passes=pass_index,
         epsilon=epsilon,
@@ -363,16 +548,21 @@ def stream_densest_subgraph_atleast_k(
     epsilon: float = 0.5,
     *,
     accountant: Optional[MemoryAccountant] = None,
+    compaction=None,
 ) -> DensestSubgraphResult:
     """Algorithm 2 in the semi-streaming model (size lower bound k).
 
     Mirrors :func:`repro.core.densest_subgraph_atleast_k`: per pass the
     ε/(1+ε)·|S| lowest-degree members of the threshold set are removed,
     and peeling stops when |S| < k (Lemma 11's pass bound).
+    ``compaction`` is the same control as
+    :func:`stream_densest_subgraph`'s.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_int(k, "k")
-    state = _UndirectedPassState(stream)
+    from .compaction import CompactionPolicy
+
+    state = _UndirectedPassState(stream, CompactionPolicy.coerce(compaction))
     if k > state.n:
         raise ParameterError(f"k={k} exceeds the universe of {state.n} nodes")
     _charge_exact_memory(accountant, state.n, vectorized=state._scanner is not None)
@@ -386,55 +576,61 @@ def stream_densest_subgraph_atleast_k(
     trace: List[PassRecord] = []
     pass_index = 0
 
-    while state.remaining >= k and state.remaining > 0:
-        pass_index += 1
-        degrees, weight = state.scan()
-        density = weight / state.remaining
-        if pending is not None:
-            trace.append(
-                PassRecord(edges_after=weight, density_after=density, **pending)
-            )
-            if density > best_density:  # type: ignore[operator]
+    try:
+        while state.remaining >= k and state.remaining > 0:
+            pass_index += 1
+            degrees, weight = state.scan()
+            density = weight / state.remaining
+            if pending is not None:
+                trace.append(
+                    PassRecord(edges_after=weight, density_after=density, **pending)
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_set = state.alive_indices()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
                 best_density = density
-                best_set = state.alive_indices()
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density
-        threshold = factor * density
-        cutoff = threshold + THRESHOLD_EPS
-        candidates = state.threshold_candidates(degrees, cutoff)
-        batch_size = min(
-            len(candidates), max(1, math.floor(batch_fraction * state.remaining))
-        )
-        candidates.sort(key=lambda i: degrees[i])
-        to_remove = candidates[:batch_size]
-        pending = {
-            "pass_index": pass_index,
-            "nodes_before": state.remaining,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": len(to_remove),
-            "nodes_after": state.remaining - len(to_remove),
-        }
-        state.kill(to_remove)
+            threshold = factor * density
+            cutoff = threshold + THRESHOLD_EPS
+            candidates = state.threshold_candidates(degrees, cutoff)
+            batch_size = min(
+                len(candidates), max(1, math.floor(batch_fraction * state.remaining))
+            )
+            candidates.sort(key=lambda i: degrees[i])
+            to_remove = candidates[:batch_size]
+            pending = {
+                "pass_index": pass_index,
+                "nodes_before": state.remaining,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": len(to_remove),
+                "nodes_after": state.remaining - len(to_remove),
+            }
+            state.kill(to_remove)
 
-    if pending is not None:
-        if state.remaining == 0:
-            edges_after, density_after = 0.0, 0.0
-        else:
-            # |S| dropped below k; value the final set with one counted
-            # pass so the trace is complete (it can no longer win, but
-            # Figure-6.2-style plots want the endpoint).
-            _, edges_after = state.scan()
-            density_after = edges_after / state.remaining
-            if state.remaining >= k and density_after > (best_density or 0.0):
-                best_density = density_after
-                best_set = state.alive_indices()
-                best_pass = pending["pass_index"]
-        trace.append(
-            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
-        )
+        if pending is not None:
+            if state.remaining == 0:
+                edges_after, density_after = 0.0, 0.0
+            else:
+                # |S| dropped below k; value the final set with one counted
+                # pass so the trace is complete (it can no longer win, but
+                # Figure-6.2-style plots want the endpoint).  No rewrite —
+                # the run ends here.
+                _, edges_after = state.scan(compact=False)
+                density_after = edges_after / state.remaining
+                if state.remaining >= k and density_after > (best_density or 0.0):
+                    best_density = density_after
+                    best_set = state.alive_indices()
+                    best_pass = pending["pass_index"]
+            trace.append(
+                PassRecord(
+                    edges_after=edges_after, density_after=density_after, **pending
+                )
+            )
+    finally:
+        state.close()
 
     return DensestSubgraphResult(
         nodes=frozenset(state.labels[i] for i in best_set),
@@ -452,15 +648,23 @@ def stream_densest_subgraph_directed(
     epsilon: float = 0.5,
     *,
     accountant: Optional[MemoryAccountant] = None,
+    compaction=None,
 ) -> DirectedDensestSubgraphResult:
     """Algorithm 3 in the semi-streaming model at a fixed ratio c.
 
     Keeps two O(n) counter arrays — w(E(i, T)) and w(E(S, j)) — plus the
     two alive bitmaps; one stream pass per peeling pass recomputes them.
+    ``compaction`` is the same control as
+    :func:`stream_densest_subgraph`'s — here an edge survives (and is
+    rewritten) while its source is still in S *and* its destination
+    still in T.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_float(ratio, "ratio")
-    labels = stream.nodes()
+    from .compaction import CompactionPolicy
+
+    policy = CompactionPolicy.coerce(compaction)
+    labels = stream.node_universe()
     if not labels:
         raise StreamError("stream has an empty node universe")
     n = len(labels)
@@ -480,10 +684,6 @@ def stream_densest_subgraph_directed(
         if scanner is not None:
             accountant.charge_words("label_index", 2 * n)
 
-    in_s = [True] * n
-    in_t = [True] * n
-    s_nodes = list(range(n))
-    t_nodes = list(range(n))
     s_size = n
     t_size = n
     best_s = list(range(n))
@@ -495,86 +695,138 @@ def stream_densest_subgraph_directed(
     trace: List[DirectedPassRecord] = []
     pass_index = 0
 
+    compactor = None
+    in_s = in_t = s_nodes = t_nodes = None
     in_s_arr = in_t_arr = None
-    while s_size > 0 and t_size > 0:
-        pass_index += 1
+    if scanner is not None:
+        # The side state lives only in the maintained dense bitmaps
+        # (updated in place on removal); the Python bool/index lists
+        # exist only on the fallback path.
+        in_s_arr = _np.ones(n, dtype=bool)
+        in_t_arr = _np.ones(n, dtype=bool)
+        if policy is not None:
+            from .compaction import Compactor
+
+            compactor = Compactor(policy, stream, directed=True)
+            # note_nodes reports s_size + t_size, so the trigger
+            # baseline is in membership units (2n), not nodes.
+            compactor.bind(n, source_nodes=2 * n)
+    else:
+        in_s = [True] * n
+        in_t = [True] * n
+        s_nodes = list(range(n))
+        t_nodes = list(range(n))
+
+    def current_s() -> List[int]:
         if scanner is not None:
-            in_s_arr = _np.asarray(in_s, dtype=bool)
-            in_t_arr = _np.asarray(in_t, dtype=bool)
-            out_to_t, in_from_s, weight = scanner.scan_directed(
-                stream, in_s_arr, in_t_arr
-            )
-        else:
-            out_to_t = [0.0] * n
-            in_from_s = [0.0] * n
-            weight = 0.0
-            for u, v, w in stream.edges():
-                ui = index[u]
-                vi = index[v]
-                if in_s[ui] and in_t[vi]:
-                    out_to_t[ui] += w
-                    in_from_s[vi] += w
-                    weight += w
-        density = weight / math.sqrt(s_size * t_size)
-        if pending is not None:
-            trace.append(
-                DirectedPassRecord(
-                    edges_after=weight, density_after=density, **pending
+            return _np.flatnonzero(in_s_arr).tolist()
+        return list(s_nodes)
+
+    def current_t() -> List[int]:
+        if scanner is not None:
+            return _np.flatnonzero(in_t_arr).tolist()
+        return list(t_nodes)
+
+    scan_stream = stream
+    try:
+        while s_size > 0 and t_size > 0:
+            pass_index += 1
+            if scanner is not None:
+                sink = None
+                if compactor is not None and compactor.due():
+                    sink = compactor.open_sink()
+                out_to_t, in_from_s, weight = scanner.scan_directed(
+                    scan_stream, in_s_arr, in_t_arr, sink=sink
                 )
-            )
-            if density > best_density:  # type: ignore[operator]
+                if compactor is not None:
+                    if sink is not None:
+                        scan_stream = compactor.finish(sink)
+                    else:
+                        compactor.observe(scanner.last_scanned, scanner.last_kept)
+            else:
+                out_to_t = [0.0] * n
+                in_from_s = [0.0] * n
+                weight = 0.0
+                for u, v, w in scan_stream.edges():
+                    ui = index[u]
+                    vi = index[v]
+                    if in_s[ui] and in_t[vi]:
+                        out_to_t[ui] += w
+                        in_from_s[vi] += w
+                        weight += w
+            density = weight / math.sqrt(s_size * t_size)
+            if pending is not None:
+                trace.append(
+                    DirectedPassRecord(
+                        edges_after=weight, density_after=density, **pending
+                    )
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_s = current_s()
+                    best_t = current_t()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
                 best_density = density
-                best_s = list(s_nodes)
-                best_t = list(t_nodes)
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density
-        # Threshold scans: vectorized mask on the scanner path (reusing
-        # the pass's side bitmaps), list comprehension otherwise; both
-        # yield ascending index order.
-        peel_s = s_size / t_size >= ratio
-        if peel_s:
-            threshold = one_plus_eps * weight / s_size
-            cutoff = threshold + THRESHOLD_EPS
-            if scanner is not None:
-                to_remove = _np.flatnonzero(
-                    in_s_arr & (out_to_t <= cutoff)
-                ).tolist()
+            # Threshold scans: vectorized mask on the scanner path (reusing
+            # the pass's side bitmaps), list comprehension otherwise; both
+            # yield ascending index order.
+            peel_s = s_size / t_size >= ratio
+            if peel_s:
+                threshold = one_plus_eps * weight / s_size
+                cutoff = threshold + THRESHOLD_EPS
+                if scanner is not None:
+                    to_remove = _np.flatnonzero(
+                        in_s_arr & (out_to_t <= cutoff)
+                    ).tolist()
+                else:
+                    to_remove = [i for i in s_nodes if out_to_t[i] <= cutoff]
+                side = "S"
             else:
-                to_remove = [i for i in s_nodes if out_to_t[i] <= cutoff]
-            side = "S"
-        else:
-            threshold = one_plus_eps * weight / t_size
-            cutoff = threshold + THRESHOLD_EPS
-            if scanner is not None:
-                to_remove = _np.flatnonzero(
-                    in_t_arr & (in_from_s <= cutoff)
-                ).tolist()
+                threshold = one_plus_eps * weight / t_size
+                cutoff = threshold + THRESHOLD_EPS
+                if scanner is not None:
+                    to_remove = _np.flatnonzero(
+                        in_t_arr & (in_from_s <= cutoff)
+                    ).tolist()
+                else:
+                    to_remove = [j for j in t_nodes if in_from_s[j] <= cutoff]
+                side = "T"
+            pending = {
+                "pass_index": pass_index,
+                "side": side,
+                "s_before": s_size,
+                "t_before": t_size,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": len(to_remove),
+                "s_after": s_size - len(to_remove) if side == "S" else s_size,
+                "t_after": t_size - len(to_remove) if side == "T" else t_size,
+            }
+            if side == "S":
+                if scanner is not None:
+                    if to_remove:
+                        in_s_arr[to_remove] = False
+                else:
+                    for i in to_remove:
+                        in_s[i] = False
+                    s_nodes = _drop_killed(s_nodes, to_remove)
+                s_size -= len(to_remove)
             else:
-                to_remove = [j for j in t_nodes if in_from_s[j] <= cutoff]
-            side = "T"
-        pending = {
-            "pass_index": pass_index,
-            "side": side,
-            "s_before": s_size,
-            "t_before": t_size,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": len(to_remove),
-            "s_after": s_size - len(to_remove) if side == "S" else s_size,
-            "t_after": t_size - len(to_remove) if side == "T" else t_size,
-        }
-        if side == "S":
-            for i in to_remove:
-                in_s[i] = False
-            s_nodes = _drop_killed(s_nodes, to_remove)
-            s_size -= len(to_remove)
-        else:
-            for j in to_remove:
-                in_t[j] = False
-            t_nodes = _drop_killed(t_nodes, to_remove)
-            t_size -= len(to_remove)
+                if scanner is not None:
+                    if to_remove:
+                        in_t_arr[to_remove] = False
+                else:
+                    for j in to_remove:
+                        in_t[j] = False
+                    t_nodes = _drop_killed(t_nodes, to_remove)
+                t_size -= len(to_remove)
+            if compactor is not None:
+                compactor.note_nodes(s_size + t_size)
+    finally:
+        if compactor is not None:
+            compactor.close()
 
     if pending is not None:
         trace.append(

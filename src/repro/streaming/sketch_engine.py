@@ -22,7 +22,18 @@ masks out dead endpoints, and feeds whole surviving-edge arrays to
 :meth:`CountSketch.add_many` at once.  Sketch updates commute, so the
 two paths build the identical sketch state (bit-identical when the
 weights are dyadic, e.g. unweighted streams) and remove the same
-nodes.
+nodes.  Because of that equivalence, ``engine="python"`` on a stream
+that *offers the shard-chunk protocol* (``edge_array_chunks``) is also
+routed through the chunked scan — buffering millions of memmap-backed
+endpoints through Python lists would build the very same sketch at a
+per-record interpreter cost; the record loop remains the path for
+genuinely record-shaped streams.
+
+The sketch engine also honors the ``compaction=`` control of the exact
+engines (see :mod:`repro.streaming.compaction`): the chunked scan can
+fuse a survivor rewrite, so later passes of a shrinking peel scan only
+the surviving edges.  Removal decisions are unchanged — the sketch
+state per pass is built from exactly the same surviving records.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from ..core.result import DensestSubgraphResult
 from ..core.trace import PassRecord
 from ..errors import ParameterError, StreamError
 from .countsketch import CountSketch
-from .engine import _index_nodes, _IntStreamScanner
+from .engine import _IntStreamScanner
 from .memory import MemoryAccountant
 from .stream import EdgeStream
 
@@ -57,6 +68,7 @@ def sketch_densest_subgraph(
     max_passes: Optional[int] = None,
     accountant: Optional[MemoryAccountant] = None,
     engine: str = "auto",
+    compaction=None,
 ) -> DensestSubgraphResult:
     """Algorithm 1 with sketched degrees.
 
@@ -77,7 +89,13 @@ def sketch_densest_subgraph(
     engine:
         Edge-scan implementation: ``"python"`` (record loop),
         ``"numpy"`` (vectorized chunked scan; requires an int-labeled
-        stream), or ``"auto"`` (vectorized when eligible).
+        stream), or ``"auto"`` (vectorized when eligible).  Streams
+        offering the shard-chunk protocol are pulled through the
+        chunked scan on every engine — see the module docstring.
+    compaction:
+        Pass-compaction control (``None``/bool/threshold/policy), as in
+        :func:`~repro.streaming.engine.stream_densest_subgraph`.
+        Honored on the chunked scan path.
 
     Returns
     -------
@@ -90,7 +108,9 @@ def sketch_densest_subgraph(
     check_positive_int(tables, "tables")
     if engine not in ENGINES:
         raise ParameterError(f"engine must be one of {ENGINES}, got {engine!r}")
-    labels, index = _index_nodes(stream)
+    labels = stream.node_universe()
+    if not labels:
+        raise StreamError("stream has an empty node universe")
     n = len(labels)
     scanner = None
     if engine != "python":
@@ -100,6 +120,24 @@ def sketch_densest_subgraph(
                 "engine='numpy' needs an int-labeled stream (and numpy); "
                 "use engine='python'"
             )
+    if scanner is None and stream.has_array_chunks():
+        # The record loop would pull every memmap-backed record through
+        # a Python list append; the chunked scan builds the identical
+        # sketch state (updates commute), so chunk-offering streams are
+        # routed through it even under engine="python".  build() keeps
+        # its own guards (FORCE_PYTHON_SCAN, numpy, int labels).
+        scanner = _IntStreamScanner.build(labels)
+    # The label -> index dict feeds only the record-loop paths.
+    index = (
+        None if scanner is not None else {node: i for i, node in enumerate(labels)}
+    )
+    from .compaction import Compactor, CompactionPolicy
+
+    policy = CompactionPolicy.coerce(compaction)
+    compactor = None
+    if policy is not None and scanner is not None:
+        compactor = Compactor(policy, stream, directed=False)
+        compactor.bind(n)
     sketch = CountSketch(tables=tables, buckets=buckets, seed=seed)
     if accountant is not None:
         accountant.charge_words("sketch", sketch.words)
@@ -117,7 +155,17 @@ def sketch_densest_subgraph(
         # the dict, is not part of the charged between-pass footprint
         # — the sketch's memory claim is about the degree counters).
 
-    alive = [True] * n
+    # Alive state: the dense mask alone on the scanner path, the Python
+    # bool list alone on the record path (O(n) boxed updates per pass
+    # are the record path's hottest non-scan cost).
+    alive = None if scanner is not None else [True] * n
+    alive_arr = np.ones(n, dtype=bool) if scanner is not None else None
+
+    def alive_indices() -> list:
+        if alive_arr is not None:
+            return np.flatnonzero(alive_arr).tolist()
+        return [i for i in range(n) if alive[i]]
+
     remaining = n
     best_set = list(range(n))
     best_density: Optional[float] = None
@@ -126,6 +174,7 @@ def sketch_densest_subgraph(
     pending: Optional[dict] = None
     trace: List[PassRecord] = []
     pass_index = 0
+    scan_stream = stream
 
     # Endpoint updates are buffered in fixed-size chunks so the sketch
     # can apply them vectorized; updates commute, so chunking does not
@@ -137,7 +186,7 @@ def sketch_densest_subgraph(
         weight = 0.0
         chunk_items: List[int] = []
         chunk_deltas: List[float] = []
-        for u, v, w in stream.edges():
+        for u, v, w in scan_stream.edges():
             ui = index[u]
             vi = index[v]
             if alive[ui] and alive[vi]:
@@ -154,91 +203,142 @@ def sketch_densest_subgraph(
             sketch.add_many(chunk_items, chunk_deltas)
         return weight
 
-    def _sketch_pass_numpy(sketch: CountSketch) -> float:
+    def _sketch_pass_numpy(sketch: Optional[CountSketch], sink=None) -> float:
         """Vectorized scan: mask dead endpoints per chunk, one batched
-        update per chunk for both endpoints of every surviving edge."""
-        alive_arr = np.asarray(alive, dtype=bool)
+        update per chunk for both endpoints of every surviving edge;
+        surviving records also feed the compaction sink when one rides
+        along.  With ``sketch=None`` only the surviving weight is
+        summed (the truncation valuation pass).  Updates the scanner's
+        ``last_scanned``/``last_kept`` record counts — the compaction
+        trigger reads them."""
         weight = 0.0
-        for ui, vi, w in scanner._chunks(stream):
+        scanned = 0
+        kept_edges = 0
+        for ui, vi, w in scanner._chunks(scan_stream, alive=alive_arr):
+            scanned += int(ui.size)
             keep = alive_arr[ui] & alive_arr[vi]
-            if keep.any():
+            if keep.all():
+                # Whole chunk survives: skip the masked re-extraction.
+                kui, kvi, kept_w = ui, vi, np.asarray(w, dtype=np.float64)
+            elif keep.any():
+                kui = ui[keep]
+                kvi = vi[keep]
                 kept_w = w[keep]
+            else:
+                continue
+            kept_edges += int(kui.size)
+            if sketch is not None:
                 sketch.add_many(
-                    np.concatenate([ui[keep], vi[keep]]),
+                    np.concatenate([kui, kvi]),
                     np.concatenate([kept_w, kept_w]),
                 )
-                weight += float(kept_w.sum())
+            weight += float(kept_w.sum())
+            if sink is not None:
+                sink.append(kui, kvi, kept_w)
+        scanner.last_scanned = scanned
+        scanner.last_kept = kept_edges
         return weight
 
-    while remaining > 0:
-        if max_passes is not None and pass_index >= max_passes:
-            break
-        pass_index += 1
-        sketch = CountSketch(tables=tables, buckets=buckets, seed=seed + pass_index)
-        if scanner is not None:
-            weight = _sketch_pass_numpy(sketch)
-        else:
-            weight = _sketch_pass_python(sketch)
-        density = weight / remaining
-        if pending is not None:
-            trace.append(
-                PassRecord(edges_after=weight, density_after=density, **pending)
+    try:
+        while remaining > 0:
+            if max_passes is not None and pass_index >= max_passes:
+                break
+            pass_index += 1
+            sketch = CountSketch(
+                tables=tables, buckets=buckets, seed=seed + pass_index
             )
-            if density > best_density:  # type: ignore[operator]
+            if scanner is not None:
+                sink = None
+                if compactor is not None and compactor.due():
+                    sink = compactor.open_sink()
+                weight = _sketch_pass_numpy(sketch, sink=sink)
+                if compactor is not None:
+                    if sink is not None:
+                        scan_stream = compactor.finish(sink)
+                    else:
+                        compactor.observe(
+                            scanner.last_scanned, scanner.last_kept
+                        )
+            else:
+                weight = _sketch_pass_python(sketch)
+            density = weight / remaining
+            if pending is not None:
+                trace.append(
+                    PassRecord(edges_after=weight, density_after=density, **pending)
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_set = alive_indices()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
                 best_density = density
-                best_set = [i for i in range(n) if alive[i]]
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density
-        threshold = factor * density
-        alive_ids = [i for i in range(n) if alive[i]]
-        estimates = sketch.estimate_many(alive_ids)
-        to_remove = [
-            i
-            for i, est in zip(alive_ids, estimates)
-            if est <= threshold + THRESHOLD_EPS
-        ]
-        min_batch = max(1, int(epsilon / (1.0 + epsilon) * remaining))
-        if len(to_remove) < min_batch and remaining > 1:
-            # Sketch noise can over-estimate degrees enough that fewer
-            # than the Lemma-4 fraction of nodes clear the threshold —
-            # in the worst case none, stalling the peel into O(n)
-            # passes.  Fall back to removing the eps/(1+eps) fraction
-            # with the smallest estimates, which restores the
-            # O(log_{1+eps} n) pass bound while still trusting the
-            # sketch's ranking of expendable nodes.
-            order = np.argsort(estimates, kind="stable")
-            to_remove = [alive_ids[i] for i in order[: min(min_batch, remaining)]]
-        pending = {
-            "pass_index": pass_index,
-            "nodes_before": remaining,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": len(to_remove),
-            "nodes_after": remaining - len(to_remove),
-        }
-        for i in to_remove:
-            alive[i] = False
-        remaining -= len(to_remove)
+            threshold = factor * density
+            alive_ids = alive_indices()
+            estimates = sketch.estimate_many(alive_ids)
+            to_remove = [
+                i
+                for i, est in zip(alive_ids, estimates)
+                if est <= threshold + THRESHOLD_EPS
+            ]
+            min_batch = max(1, int(epsilon / (1.0 + epsilon) * remaining))
+            if len(to_remove) < min_batch and remaining > 1:
+                # Sketch noise can over-estimate degrees enough that fewer
+                # than the Lemma-4 fraction of nodes clear the threshold —
+                # in the worst case none, stalling the peel into O(n)
+                # passes.  Fall back to removing the eps/(1+eps) fraction
+                # with the smallest estimates, which restores the
+                # O(log_{1+eps} n) pass bound while still trusting the
+                # sketch's ranking of expendable nodes.
+                order = np.argsort(estimates, kind="stable")
+                to_remove = [alive_ids[i] for i in order[: min(min_batch, remaining)]]
+            pending = {
+                "pass_index": pass_index,
+                "nodes_before": remaining,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": len(to_remove),
+                "nodes_after": remaining - len(to_remove),
+            }
+            if alive_arr is not None:
+                if to_remove:
+                    alive_arr[to_remove] = False
+            else:
+                for i in to_remove:
+                    alive[i] = False
+            remaining -= len(to_remove)
+            if compactor is not None:
+                compactor.note_nodes(remaining)
 
-    if pending is not None:
-        if remaining == 0:
-            edges_after, density_after = 0.0, 0.0
-        else:
-            weight = 0.0
-            for u, v, w in stream.edges():
-                if alive[index[u]] and alive[index[v]]:
-                    weight += w
-            edges_after = weight
-            density_after = weight / remaining
-            if density_after > (best_density or 0.0):
-                best_density = density_after
-                best_set = [i for i in range(n) if alive[i]]
-                best_pass = pending["pass_index"]
-        trace.append(
-            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
-        )
+        if pending is not None:
+            if remaining == 0:
+                edges_after, density_after = 0.0, 0.0
+            else:
+                # Truncation valuation: one counted pass summing the
+                # surviving weight, through the scanner when one exists
+                # (a record loop here would re-read the whole store
+                # through Python on the engine's hottest input shape).
+                if scanner is not None:
+                    weight = _sketch_pass_numpy(None)
+                else:
+                    weight = 0.0
+                    for u, v, w in scan_stream.edges():
+                        if alive[index[u]] and alive[index[v]]:
+                            weight += w
+                edges_after = weight
+                density_after = weight / remaining
+                if density_after > (best_density or 0.0):
+                    best_density = density_after
+                    best_set = alive_indices()
+                    best_pass = pending["pass_index"]
+            trace.append(
+                PassRecord(
+                    edges_after=edges_after, density_after=density_after, **pending
+                )
+            )
+    finally:
+        if compactor is not None:
+            compactor.close()
 
     return DensestSubgraphResult(
         nodes=frozenset(labels[i] for i in best_set),

@@ -28,6 +28,7 @@ def stream_ratio_sweep(
     delta: float = 2.0,
     ratios: Optional[Iterable[float]] = None,
     accountant: Optional[MemoryAccountant] = None,
+    compaction=None,
 ) -> RatioSweepResult:
     """Search over c with the streaming engine (§4.3 in-model).
 
@@ -49,6 +50,11 @@ def stream_ratio_sweep(
         The per-ratio runs execute sequentially with identically-sized
         state, so the sweep's peak between-pass footprint is one run's
         footprint; only the first run is charged.
+    compaction:
+        Pass-compaction control, forwarded to every per-ratio run (see
+        :func:`~repro.streaming.engine.stream_densest_subgraph`).  Each
+        run compacts independently — different ratios peel different
+        subgraphs — against the same base stream.
 
     Returns
     -------
@@ -71,6 +77,7 @@ def stream_ratio_sweep(
             ratio=c,
             epsilon=epsilon,
             accountant=accountant if i == 0 else None,
+            compaction=compaction,
         )
         for i, c in enumerate(grid)
     ]

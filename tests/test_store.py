@@ -341,7 +341,12 @@ class TestStoreProblems:
         store, _ = self._store(tmp_path)
         problem = DensestSubgraph(store, epsilon=0.3)
         assert problem.input_mode == "shards"
-        assert available_backends(problem) == ["core-csr", "streaming", "mapreduce"]
+        assert available_backends(problem) == [
+            "core-csr",
+            "streaming",
+            "sketch",
+            "mapreduce",
+        ]
 
     def test_direction_validation(self, tmp_path):
         directed_store, _ = self._store(tmp_path, directed=True)
@@ -374,3 +379,108 @@ class TestStoreProblems:
             solve(problem, context=ExecutionContext(memory_budget=5 * n)).backend
             == "streaming"
         )
+
+
+class TestSkipSummaries:
+    """Per-shard skip indices: min/max + endpoint bitmaps (manifest)."""
+
+    def _summarized_store(self, tmp_path, n=40, num_shards=4):
+        from repro.store.shards import ShardWriter
+
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, n, size=300)
+        dst = rng.integers(0, n, size=300)
+        keep = src != dst
+        with ShardWriter(
+            tmp_path / "summarized",
+            directed=False,
+            num_shards=num_shards,
+            num_nodes=n,
+            skip_summaries=True,
+        ) as writer:
+            writer.append_arrays(src[keep], dst[keep])
+        return ShardedEdgeStore.open(tmp_path / "summarized"), n
+
+    def test_manifest_round_trip(self, tmp_path):
+        store, n = self._summarized_store(tmp_path)
+        reopened = ShardedEdgeStore.open(store.path)
+        for shard in range(store.num_shards):
+            summary = reopened.shard_summary(shard)
+            if store.manifest.shard_edges[shard] == 0:
+                continue
+            u, v, _ = store.shard_arrays(shard)
+            endpoints = np.union1d(u, v)
+            assert summary.min_node == int(endpoints.min())
+            assert summary.max_node == int(endpoints.max())
+            unpacked = np.unpackbits(summary.nodes)[:n].astype(bool)
+            assert np.array_equal(np.flatnonzero(unpacked), endpoints)
+
+    def test_alive_filter_preserves_surviving_edges(self, tmp_path):
+        store, n = self._summarized_store(tmp_path)
+        rng = np.random.default_rng(11)
+        alive = rng.random(n) < 0.2
+        survivors = sorted(
+            (int(u), int(v))
+            for u, v, _ in store.iter_edges()
+            if alive[u] and alive[v]
+        )
+        scanned = []
+        for u, v, _ in store.iter_shard_arrays(alive=alive):
+            keep = alive[u] & alive[v]
+            scanned.extend(zip(u[keep].tolist(), v[keep].tolist()))
+        assert sorted(scanned) == survivors
+
+    def test_dead_shards_not_opened(self, tmp_path, monkeypatch):
+        store, n = self._summarized_store(tmp_path)
+        # Kill every endpoint of shard 0: the scan must skip it.
+        u, v, _ = store.shard_arrays(0)
+        alive = np.ones(n, dtype=bool)
+        alive[np.union1d(u, v)] = False
+        opened = []
+        original = ShardedEdgeStore.shard_arrays
+
+        def spy(self, shard):
+            opened.append(shard)
+            return original(self, shard)
+
+        monkeypatch.setattr(ShardedEdgeStore, "shard_arrays", spy)
+        list(store.iter_shard_arrays(alive=alive))
+        assert 0 not in opened
+
+    def test_all_dead_scans_nothing(self, tmp_path):
+        store, n = self._summarized_store(tmp_path)
+        assert store.alive_shards(np.zeros(n, dtype=bool)) == []
+
+    def test_directed_two_mask_rule(self, tmp_path):
+        from repro.store.shards import ShardWriter
+
+        n = 10
+        with ShardWriter(
+            tmp_path / "directed-skip",
+            directed=True,
+            num_shards=1,
+            num_nodes=n,
+            skip_summaries=True,
+        ) as writer:
+            writer.append_arrays(np.array([1, 2]), np.array([3, 4]))
+        store = ShardedEdgeStore.open(tmp_path / "directed-skip")
+        src_alive = np.zeros(n, dtype=bool)
+        dst_alive = np.zeros(n, dtype=bool)
+        src_alive[1] = True  # a source endpoint survives...
+        assert store.alive_shards(src_alive, dst_alive) == []  # ...but no dest
+        dst_alive[3] = True
+        assert store.alive_shards(src_alive, dst_alive) == [0]
+
+    def test_stores_without_summaries_scan_everything(self, tmp_path):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 3])
+        store = ShardedEdgeStore.write(
+            tmp_path / "plain", (src, dst), directed=False, num_shards=2
+        )
+        assert store.shard_summary(0) is None
+        alive = np.zeros(4, dtype=bool)  # everything dead, no proof
+        nonempty = [
+            s for s in range(store.num_shards)
+            if store.manifest.shard_edges[s] > 0
+        ]
+        assert store.alive_shards(alive) == nonempty

@@ -120,3 +120,116 @@ class TestGeneratorEdgeStream:
 
         s = GeneratorEdgeStream(factory, nodes=range(6))
         assert len(list(s.edges())) == 5
+
+
+class TestStreamAccounting:
+    def test_per_pass_breakdown(self):
+        s = MemoryEdgeStream([(1, 2), (2, 3), (3, 1)])
+        list(s.edges())
+        list(s.edges())
+        acct = s.accounting
+        assert acct.pass_edges == [3, 3]
+        assert acct.pass_bytes == [72, 72]
+        assert s.bytes_scanned == 144
+        s.reset_accounting()
+        assert acct.pass_edges == [] and s.bytes_scanned == 0
+
+    def test_array_pass_counts_bytes(self):
+        s = MemoryEdgeStream([(1, 2), (2, 3)])
+        assert s.edge_arrays() is not None
+        assert s.accounting.pass_edges == [2]
+        assert s.bytes_scanned == 48
+
+    def test_shared_accounting_spans_compaction(self):
+        s = MemoryEdgeStream([(1, 2), (2, 3), (3, 4)])
+        compacted = s.compact({1, 2, 3})
+        assert compacted.accounting is s.accounting
+        assert s.passes_made == 1  # the compaction pass was counted
+        list(compacted.edges())
+        assert s.passes_made == 2  # a pass on the child counts on the parent
+
+
+class TestCompactProtocol:
+    def test_base_stream_declines(self):
+        s = GeneratorEdgeStream(lambda: [(1, 2, 1.0)], nodes=[1, 2])
+        assert s.compact({1, 2}) is None
+        assert s.has_array_chunks() is False
+
+    def test_memory_compact_set_and_mask(self):
+        import numpy as np
+
+        edges = [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 1.0)]
+        s = MemoryEdgeStream(edges, nodes=range(4))
+        by_set = s.compact({0, 1, 2})
+        assert list(by_set._generate()) == [(0, 1, 2.0), (1, 2, 1.0)]
+        mask = np.array([True, True, True, False])
+        by_mask = MemoryEdgeStream(edges, nodes=range(4)).compact(mask)
+        assert list(by_mask._generate()) == [(0, 1, 2.0), (1, 2, 1.0)]
+
+    def test_memory_compact_directed_masks(self):
+        edges = [(0, 1, 1.0), (1, 0, 1.0)]
+        s = MemoryEdgeStream(edges)
+        out = s.compact({0}, {1})  # source must be 0, destination 1
+        assert list(out._generate()) == [(0, 1, 1.0)]
+
+
+class TestArrayEdgeStream:
+    def test_basics(self):
+        import numpy as np
+
+        from repro.streaming.stream import ArrayEdgeStream
+
+        s = ArrayEdgeStream([0, 1, 2], [1, 2, 3], [1.0, 2.0, 0.5])
+        assert s.num_nodes == 4 and len(s) == 3
+        assert sorted(s.nodes()) == [0, 1, 2, 3]
+        triples = list(s.edges())
+        assert triples == [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5)]
+        u, v, w = s.edge_arrays()
+        assert u.tolist() == [0, 1, 2]
+        assert s.passes_made == 2
+
+    def test_compact_masks(self):
+        import numpy as np
+
+        from repro.streaming.stream import ArrayEdgeStream
+
+        s = ArrayEdgeStream([0, 1, 2], [1, 2, 3])
+        alive = np.array([True, True, True, False])
+        out = s.compact(alive)
+        assert len(out) == 2 and out.num_nodes == 4
+        assert out.accounting is s.accounting
+
+    def test_validation(self):
+        from repro.streaming.stream import ArrayEdgeStream
+
+        with pytest.raises(StreamError, match="equal length"):
+            ArrayEdgeStream([0, 1], [1])
+        with pytest.raises(StreamError, match="weights"):
+            ArrayEdgeStream([0, 1], [1, 2], [1.0])
+
+
+class TestShardStreamCompact:
+    def test_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.store import ShardedEdgeStore
+        from repro.streaming.stream import ShardEdgeStream
+
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 4])
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst), directed=False, num_shards=2, num_nodes=5
+        )
+        s = ShardEdgeStream(store)
+        alive = np.array([True, True, True, False, False])
+        compacted = s.compact(alive, spill_dir=str(tmp_path / "compacted"))
+        assert compacted.accounting is s.accounting
+        assert len(compacted) == 2  # (0,1) and (1,2)
+        assert compacted.num_nodes == 5  # universe preserved
+        kept = sorted((u, v) for u, v, _ in compacted.store.iter_edges())
+        assert kept == [(0, 1), (1, 2)]
+        # compacted stores carry skip summaries
+        assert any(
+            compacted.store.shard_summary(i) is not None
+            for i in range(compacted.store.num_shards)
+        )
