@@ -36,6 +36,12 @@ Three suites, selected with ``--suite``:
   ratio (~1.7x here) while ``bytes_ratio`` (3–5x) is the
   hardware-independent measure and what the wall ratio approaches when
   rescans are genuinely disk-bound.  Gate CI on bytes, not wall.
+* ``serve`` load-tests the HTTP serving layer end to end and writes
+  ``BENCH_serve.json``: an in-process server over the ≈18M-edge
+  nested-core store, cold ``POST /solve`` misses vs concurrent warm
+  catalog hits (p50/p99/QPS), asserting every warm payload is
+  byte-identical to its cold counterpart.  ``--min-speedup`` gates
+  the warm-hit p50 speedup over the cold p50.
 
 Both reports are machine-readable so successive PRs can track the
 trajectory of the hot paths instead of eyeballing pytest-benchmark
@@ -563,6 +569,170 @@ def run_streaming_benches(scale_factor: float, repeats: int):
     return records
 
 
+def run_serve_benches(scale_factor: float, repeats: int):
+    """Load-test the HTTP serving layer: cold solves vs warm catalog hits.
+
+    End-to-end over real sockets: build a large sharded store (the
+    ≈18M-edge nested-core fixture at full scale), start an in-process
+    server on a free port, register the store over HTTP, then time
+
+    * ``serve_cold_solve`` — ``POST /solve`` misses (one per distinct
+      epsilon; a key can only be cold once), solver pool end to end;
+    * ``serve_warm_hit`` — concurrent clients re-requesting the same
+      key, answered from the SQLite catalog.  The row records p50/p99
+      latency and throughput, and ``speedup`` = cold p50 / warm p50
+      (what ``--min-speedup`` gates on).
+
+    The driver asserts every warm payload is byte-for-byte identical to
+    its cold counterpart — a catalog that answers fast but differently
+    fails the bench, not just the gate.
+    """
+    import json as _json
+    import os
+    import tempfile
+    import threading
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.datasets.synthetic import nested_core_edge_arrays
+    from repro.serve import build_server
+    from repro.store import ShardedEdgeStore
+
+    records: list = []
+    oo_n = int(1_000_000 * scale_factor)
+    warm_clients = 4
+    warm_requests = 200
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "serve-store")
+        src, dst = nested_core_edge_arrays(oo_n, degree=18.0, shrink=0.5, seed=42)
+        store = ShardedEdgeStore.write(
+            store_path, (src, dst), directed=False, num_shards=16, num_nodes=oo_n
+        )
+        del src, dst
+        fixture = f"nested_core_store@n={oo_n}"
+        print(f"fixture {fixture}: m={store.num_edges}, "
+              f"store {store.nbytes() / 1e6:.1f} MB")
+
+        server = build_server(
+            port=0,
+            catalog_path=os.path.join(tmp, "catalog.sqlite"),
+            workers=2,
+            spill_dir=os.path.join(tmp, "spill"),
+        )
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://{host}:{port}"
+
+        def request(method, path, body=None, timeout=600):
+            data = _json.dumps(body).encode() if body is not None else None
+            req = urllib.request.Request(
+                base + path, data=data, method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, _json.loads(resp.read())
+
+        try:
+            status, payload = request(
+                "POST", "/datasets", {"name": "bench", "store": store_path}
+            )
+            assert status == 201, payload
+
+            def solve_body(epsilon):
+                return {
+                    "dataset": "bench",
+                    "problem": {"kind": "densest_subgraph", "epsilon": epsilon},
+                    "wait": 600,
+                }
+
+            # Cold solves: one per distinct epsilon (first touch of each
+            # key), timed from the client side.
+            epsilons = [0.5, 0.6, 0.7][: max(1, min(repeats, 3))]
+            cold_times, cold_payloads = [], {}
+            for epsilon in epsilons:
+                t0 = time.perf_counter()
+                status, payload = request("POST", "/solve", solve_body(epsilon))
+                cold_times.append(time.perf_counter() - t0)
+                assert status == 200 and payload["cached"] is False, payload
+                cold_payloads[epsilon] = payload
+            cold_p50 = statistics.median(cold_times)
+
+            # Warm hits: concurrent clients hammer the cached keys.
+            def warm_worker(worker_id):
+                times = []
+                for i in range(warm_requests // warm_clients):
+                    epsilon = epsilons[i % len(epsilons)]
+                    t0 = time.perf_counter()
+                    status, payload = request(
+                        "POST", "/solve", solve_body(epsilon)
+                    )
+                    times.append(time.perf_counter() - t0)
+                    assert status == 200 and payload["cached"] is True
+                    # Warm answers must ship the cold solve's bytes.
+                    cold = cold_payloads[epsilon]
+                    assert payload["key"] == cold["key"]
+                    assert _json.dumps(
+                        payload["solution"], sort_keys=True
+                    ) == _json.dumps(cold["solution"], sort_keys=True), (
+                        f"warm payload diverged from cold for eps={epsilon}"
+                    )
+                return times
+
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=warm_clients) as pool:
+                all_times = [
+                    t
+                    for times in pool.map(warm_worker, range(warm_clients))
+                    for t in times
+                ]
+            warm_wall = time.perf_counter() - t0
+            all_times.sort()
+            warm_p50 = statistics.median(all_times)
+            warm_p99 = all_times[int(len(all_times) * 0.99)]
+            qps = len(all_times) / warm_wall if warm_wall > 0 else None
+
+            status, stats = request("GET", "/stats")
+            assert stats["results"] == len(epsilons)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    records.append(
+        {
+            "bench": "serve_cold_solve",
+            "fixture": fixture,
+            "engine": "http-miss",
+            "median_seconds": cold_p50,
+            "samples": len(cold_times),
+            "edges": store.num_edges,
+        }
+    )
+    records.append(
+        {
+            "bench": "serve_warm_hit",
+            "fixture": fixture,
+            "engine": "http-hit",
+            "median_seconds": warm_p50,
+            "p99_seconds": warm_p99,
+            "qps": qps,
+            "samples": len(all_times),
+            "clients": warm_clients,
+            "hits": stats["hits"],
+            "hit_ratio": stats["hit_ratio"],
+            "speedup": cold_p50 / warm_p50 if warm_p50 > 0 else None,
+        }
+    )
+    print(f"{'serve_cold_solve':28s} p50 {cold_p50 * 1e3:9.1f} ms   "
+          f"({len(cold_times)} misses)")
+    print(f"{'serve_warm_hit':28s} p50 {warm_p50 * 1e3:9.3f} ms   "
+          f"p99 {warm_p99 * 1e3:9.3f} ms   {qps:7.0f} req/s   "
+          f"x{cold_p50 / warm_p50:8.1f}")
+    return records
+
+
 #: Per-suite configuration: bench driver, default report path, and the
 #: benches the ``--min-speedup`` gate applies to.
 SUITES = {
@@ -587,6 +757,11 @@ SUITES = {
         "run": run_streaming_benches,
         "output": "BENCH_stream.json",
         "gate": {"stream_peel_eps0.1", "stream_peel_eps0.5"},
+    },
+    "serve": {
+        "run": run_serve_benches,
+        "output": "BENCH_serve.json",
+        "gate": {"serve_warm_hit"},
     },
 }
 

@@ -16,8 +16,8 @@ modes they accept.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import ClassVar, Optional, Tuple, Union
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Optional, Tuple, Union
 
 from .._validation import check_epsilon, check_positive_float, check_positive_int
 from ..errors import ParameterError
@@ -102,6 +102,55 @@ class Problem:
     def num_nodes(self) -> int:
         """|V| of the input (one counted discovery pass for bare streams)."""
         return self.input.num_nodes
+
+    def canonical_params(self) -> Dict[str, object]:
+        """The problem's parameters in canonical, input-free form.
+
+        Every field except ``input``, with names sorted and values
+        normalized to plain python types (numpy scalars unwrapped,
+        tuples as lists), so two problem instances describing the same
+        task — ``eps=0.1`` vs ``eps=.1``, kwargs in any order, numpy
+        vs python numbers — produce the *identical* dict and therefore
+        the identical cache key.  The serving layer's result catalog
+        keys on exactly this (see :func:`repro.serve.catalog.result_key`).
+
+        Examples
+        --------
+        >>> from repro.graph.generators import clique
+        >>> DensestSubgraph(clique(3), epsilon=.1).canonical_params()
+        {'epsilon': 0.1, 'max_passes': None}
+        """
+        return {
+            f.name: _canonical_value(
+                getattr(self, f.name), f.name, as_float="float" in str(f.type)
+            )
+            for f in sorted(fields(self), key=lambda f: f.name)
+            if f.name != "input"
+        }
+
+
+def _canonical_value(value, name: str, as_float: bool = False):
+    """Normalize one parameter value for canonical hashing.
+
+    ``as_float`` marks float-typed fields so an integer-valued argument
+    (``epsilon=1``) hashes identically to its float spelling
+    (``epsilon=1.0``).
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return float(value) if as_float else int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, (tuple, list)):
+        return [_canonical_value(v, name, as_float) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return _canonical_value(item(), name, as_float)
+    raise ParameterError(
+        f"problem parameter {name!r} has non-canonicalizable type "
+        f"{type(value).__name__}"
+    )
 
 
 @dataclass(frozen=True, eq=False)

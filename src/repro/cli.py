@@ -32,6 +32,12 @@ Legacy commands (thin wrappers over ``densest``)::
     repro-densest run-directed --dataset twitter_sim --epsilon 1 --delta 2
     repro-densest exact --dataset grqc_sim
 
+Serve densest-subgraph queries over HTTP with a SQLite result catalog
+(see ``repro.serve`` and DESIGN.md §10)::
+
+    repro-densest serve --port 8080 --catalog /data/catalog.sqlite \
+        --workers 4 --spill-dir /data/serve
+
 Regenerate a paper table/figure::
 
     repro-densest experiment table2 --scale 0.5
@@ -219,6 +225,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument(
         "--memory-budget-mb", type=int, default=64,
         help="writer spill budget in MiB",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the densest-subgraph HTTP service (see repro.serve)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--catalog", default="catalog.sqlite",
+        help="SQLite result-catalog path (created on first run)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="solver threads in the job pool"
+    )
+    p_serve.add_argument(
+        "--spill-dir", default=None,
+        help="directory for stores built from registered edge lists",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=8,
+        help="shard count for stores built from registered edge lists",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="waiting-job limit before /solve answers 429",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -561,6 +598,22 @@ def _cmd_shard(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import run_server
+
+    run_server(
+        host=args.host,
+        port=args.port,
+        catalog_path=args.catalog,
+        workers=args.workers,
+        spill_dir=args.spill_dir,
+        shard_count=args.shards,
+        max_queue=args.max_queue,
+        verbose=args.verbose,
+    )
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     names = sorted(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -584,6 +637,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "exact": _cmd_exact,
         "enumerate": _cmd_enumerate,
         "shard": _cmd_shard,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
     }
     try:

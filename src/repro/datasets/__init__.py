@@ -10,6 +10,24 @@ Use :func:`~repro.datasets.registry.load` to build a dataset by name and
 :func:`~repro.datasets.registry.names` to enumerate them.
 """
 
-from .registry import DatasetInfo, load, info, names, summary_rows
+from .registry import (
+    DatasetInfo,
+    ServedDataset,
+    info,
+    load,
+    names,
+    summary_rows,
+    synthetic_descriptor,
+    synthetic_fingerprint,
+)
 
-__all__ = ["DatasetInfo", "load", "info", "names", "summary_rows"]
+__all__ = [
+    "DatasetInfo",
+    "ServedDataset",
+    "load",
+    "info",
+    "names",
+    "summary_rows",
+    "synthetic_descriptor",
+    "synthetic_fingerprint",
+]

@@ -180,6 +180,100 @@ def load(name: str, *, scale: float = 1.0, seed: Optional[int] = None) -> Graph:
     return meta.builder(scale, use_seed)
 
 
+# ----------------------------------------------------------------------
+# Served dataset records
+# ----------------------------------------------------------------------
+# The serving subsystem (:mod:`repro.serve`) registers inputs under
+# stable names and caches solutions keyed by a *content fingerprint* so
+# repeat queries become catalog hits.  Shard stores carry their own
+# content hash (:meth:`repro.store.ShardedEdgeStore.fingerprint`);
+# registry datasets are deterministic functions of ``(name, scale,
+# seed)``, so their fingerprint hashes that descriptor instead of the
+# materialized edges.
+
+
+@dataclass(frozen=True)
+class ServedDataset:
+    """One dataset registered with the serving layer.
+
+    Attributes
+    ----------
+    name:
+        The caller-chosen registration name (unique per server).
+    fingerprint:
+        Content hash the result catalog keys on.
+    source:
+        Where the edges come from: a store/edge-list path, or
+        ``"synthetic:<registry name>"``.
+    input_kind:
+        ``"store"``, ``"edge_list"``, or ``"synthetic"``.
+    directed:
+        Whether the input is a directed graph.
+    num_nodes / num_edges:
+        Size facts recorded at registration.
+    scale / seed:
+        Synthetic-builder parameters (``None`` for on-disk inputs).
+    registered_at:
+        UTC ISO-8601 registration timestamp.
+    """
+
+    name: str
+    fingerprint: str
+    source: str
+    input_kind: str
+    directed: bool
+    num_nodes: int
+    num_edges: int
+    scale: Optional[float] = None
+    seed: Optional[int] = None
+    registered_at: str = ""
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "input_kind": self.input_kind,
+            "directed": self.directed,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "scale": self.scale,
+            "seed": self.seed,
+            "registered_at": self.registered_at,
+        }
+
+
+def synthetic_descriptor(
+    name: str, *, scale: float = 1.0, seed: Optional[int] = None
+) -> Dict[str, object]:
+    """The canonical build recipe of a registry dataset instance.
+
+    Resolves the default seed so ``seed=None`` and an explicit default
+    seed describe — and fingerprint as — the same graph.
+    """
+    meta = info(name)
+    return {
+        "synthetic": name,
+        "scale": float(scale),
+        "seed": int(meta.default_seed if seed is None else seed),
+    }
+
+
+def synthetic_fingerprint(
+    name: str, *, scale: float = 1.0, seed: Optional[int] = None
+) -> str:
+    """Deterministic content fingerprint of a registry dataset instance."""
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        synthetic_descriptor(name, scale=scale, seed=seed),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(f"repro-synthetic:{payload}".encode()).hexdigest()
+
+
 def summary_rows(*, scale: float = 1.0, group: Optional[str] = None) -> List[Tuple]:
     """(name, type, |V|, |E|, stands-in-for, paper |V|, paper |E|) rows.
 

@@ -1,0 +1,39 @@
+"""Densest-subgraph-as-a-service: HTTP query layer + result catalog.
+
+``repro.serve`` turns the solver registry into a long-lived process:
+
+* :mod:`~repro.serve.catalog` — SQLite (WAL) result catalog keyed by
+  ``(dataset fingerprint, problem kind, canonical params, backend)``;
+* :mod:`~repro.serve.jobs` — bounded thread-pool job manager with
+  single-flight coalescing and cancellation;
+* :mod:`~repro.serve.app` — the stdlib ``ThreadingHTTPServer`` routes.
+
+Start one with ``python -m repro.cli serve --port 8080`` or embed one
+via :func:`~repro.serve.app.build_server` (see ``examples/serving.py``).
+"""
+
+from .app import (
+    DensestHTTPServer,
+    DensestService,
+    HTTPError,
+    build_server,
+    run_server,
+)
+from .catalog import CatalogError, ResultCatalog, params_json, problem_key, result_key
+from .jobs import Job, JobManager, QueueFullError
+
+__all__ = [
+    "CatalogError",
+    "DensestHTTPServer",
+    "DensestService",
+    "HTTPError",
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "ResultCatalog",
+    "build_server",
+    "params_json",
+    "problem_key",
+    "result_key",
+    "run_server",
+]

@@ -1,0 +1,553 @@
+"""HTTP query layer: densest-subgraph-as-a-service.
+
+A dependency-light serving process over the solver registry — stdlib
+``http.server.ThreadingHTTPServer`` + ``json``, one thread per
+connection, solves on the :class:`~repro.serve.jobs.JobManager` pool,
+answers out of the :class:`~repro.serve.catalog.ResultCatalog`.
+
+Endpoints
+---------
+=======  =======================  =========================================
+method   path                     purpose
+=======  =======================  =========================================
+GET      ``/healthz``             liveness probe
+GET      ``/stats``               hit ratio, queue depth, per-backend counts
+GET      ``/datasets``            registered datasets
+GET      ``/datasets/<name>``     one dataset record
+POST     ``/datasets``            register a shard store / edge list /
+                                  registry dataset
+POST     ``/solve``               catalog consult -> cached answer or job
+GET      ``/jobs``                recent jobs
+GET      ``/jobs/<id>``           job status (result key when DONE)
+DELETE   ``/jobs/<id>``           cancel a queued job
+GET      ``/results``             catalog listing (paginated)
+GET      ``/results/<key>``       one solution (member list paginated)
+=======  =======================  =========================================
+
+``POST /solve`` body::
+
+    {"dataset": "<name or fingerprint>",
+     "problem": {"kind": "densest_subgraph", "epsilon": 0.1, ...},
+     "backend": "auto",          # optional
+     "options": {"engine": "numpy"},  # optional solver knobs
+     "wait": 30.0}               # optional: block up to N seconds
+
+A catalog hit answers ``200`` immediately with the stored solution
+bytes; a miss submits a job and answers ``202`` with the job id (or
+``200`` after joining it when ``wait`` is given); a full queue answers
+``429``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..api import ExecutionContext, solve
+from ..api.problems import (
+    DensestAtLeastK,
+    DensestSubgraph,
+    DirectedDensest,
+    Problem,
+)
+from ..datasets import registry as dataset_registry
+from ..datasets.registry import ServedDataset
+from ..errors import ParameterError, ReproError
+from .catalog import CatalogError, ResultCatalog, params_json, result_key
+from .jobs import DONE, FAILED, JobManager, QueueFullError
+
+#: Problem kinds constructible over HTTP.
+PROBLEM_TYPES = {
+    cls.kind: cls for cls in (DensestSubgraph, DensestAtLeastK, DirectedDensest)
+}
+
+#: Default member-list page size on ``GET /results/<key>`` when a page
+#: is requested (no ``limit``/``offset`` means the full solution).
+DEFAULT_PAGE = 1000
+
+
+class HTTPError(ReproError):
+    """A service error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class DensestService:
+    """The serving logic behind the HTTP handler (transport-free).
+
+    Owns the catalog, the job manager, and the resolved dataset inputs.
+    All methods are thread-safe; the HTTP layer is a thin JSON shim
+    over them, which is also what the in-process tests drive.
+    """
+
+    def __init__(
+        self,
+        catalog: ResultCatalog,
+        *,
+        context: Optional[ExecutionContext] = None,
+        max_queue: int = 64,
+    ) -> None:
+        self.catalog = catalog
+        self.context = context or ExecutionContext(workers=2)
+        self.jobs = JobManager(self.context.workers, max_queue=max_queue)
+        self.started_at = time.time()
+        self._inputs: Dict[str, Any] = {}  # fingerprint -> resolved input
+        self._inputs_lock = threading.Lock()
+
+    # -- datasets ------------------------------------------------------
+    def register_dataset(self, spec: Dict[str, Any]) -> ServedDataset:
+        """Register an input under a stable name.
+
+        ``spec`` names exactly one source:
+
+        * ``{"name": ..., "store": "<dir>"}`` — an existing
+          :class:`~repro.store.ShardedEdgeStore` (content-fingerprinted);
+        * ``{"name": ..., "edge_list": "<path>", "directed": bool}`` —
+          converted into a store under the service spill dir first;
+        * ``{"name": ..., "dataset": "<registry name>", "scale": ...,
+          "seed": ...}`` — a deterministic synthetic registry graph.
+        """
+        name = spec.get("name")
+        if not name or not isinstance(name, str):
+            raise HTTPError(400, "dataset registration needs a string 'name'")
+        sources = [k for k in ("store", "edge_list", "dataset") if spec.get(k)]
+        if len(sources) != 1:
+            raise HTTPError(
+                400,
+                "give exactly one of 'store', 'edge_list', or 'dataset' "
+                f"(got {sources or 'none'})",
+            )
+        kind = sources[0]
+        try:
+            if kind == "store":
+                record, input_obj = self._register_store(name, spec["store"])
+            elif kind == "edge_list":
+                record, input_obj = self._register_edge_list(
+                    name, spec["edge_list"], bool(spec.get("directed", False))
+                )
+            else:
+                record, input_obj = self._register_synthetic(
+                    name,
+                    spec["dataset"],
+                    float(spec.get("scale", 1.0)),
+                    spec.get("seed"),
+                )
+        except HTTPError:
+            raise
+        except ReproError as exc:
+            raise HTTPError(400, str(exc)) from exc
+        try:
+            record = self.catalog.register_dataset(record)
+        except CatalogError as exc:
+            raise HTTPError(409, str(exc)) from exc
+        with self._inputs_lock:
+            self._inputs[record.fingerprint] = input_obj
+        return record
+
+    def _register_store(self, name: str, path: str) -> Tuple[ServedDataset, Any]:
+        from ..store import ShardedEdgeStore
+
+        store = ShardedEdgeStore.open(path)
+        record = ServedDataset(
+            name=name,
+            fingerprint=store.fingerprint(),
+            source=str(store.path),
+            input_kind="store",
+            directed=store.directed,
+            num_nodes=store.num_nodes,
+            num_edges=store.num_edges,
+        )
+        return record, store
+
+    def _register_edge_list(
+        self, name: str, path: str, directed: bool
+    ) -> Tuple[ServedDataset, Any]:
+        import os
+
+        from ..store import ShardedEdgeStore, write_edge_list_store
+        from ..store.shards import MANIFEST_NAME
+
+        if not self.context.spill_dir:
+            raise HTTPError(
+                400,
+                "edge-list registration converts into a shard store and "
+                "needs the server started with --spill-dir",
+            )
+        store_dir = os.path.join(self.context.spill_dir, f"dataset-{name}")
+        if os.path.exists(os.path.join(store_dir, MANIFEST_NAME)):
+            store = ShardedEdgeStore.open(store_dir)
+        else:
+            store = write_edge_list_store(
+                path,
+                store_dir,
+                directed=directed,
+                num_shards=self.context.shard_count,
+            )
+        record, _ = self._register_store(name, store_dir)
+        record = ServedDataset(**{**record.to_jsonable(), "input_kind": "edge_list"})
+        return record, store
+
+    def _register_synthetic(
+        self, name: str, dataset: str, scale: float, seed: Optional[int]
+    ) -> Tuple[ServedDataset, Any]:
+        meta = dataset_registry.info(dataset)
+        graph = dataset_registry.load(dataset, scale=scale, seed=seed)
+        record = ServedDataset(
+            name=name,
+            fingerprint=dataset_registry.synthetic_fingerprint(
+                dataset, scale=scale, seed=seed
+            ),
+            source=f"synthetic:{dataset}",
+            input_kind="synthetic",
+            directed=meta.kind == "directed",
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            scale=scale,
+            seed=meta.default_seed if seed is None else int(seed),
+        )
+        return record, graph
+
+    def _resolve_input(self, record: ServedDataset) -> Any:
+        """The live input object for a dataset record (lazily reopened)."""
+        with self._inputs_lock:
+            cached = self._inputs.get(record.fingerprint)
+        if cached is not None:
+            return cached
+        if record.input_kind in ("store", "edge_list"):
+            from ..store import ShardedEdgeStore
+
+            input_obj = ShardedEdgeStore.open(record.source)
+        else:
+            input_obj = dataset_registry.load(
+                record.source.split(":", 1)[1],
+                scale=record.scale if record.scale is not None else 1.0,
+                seed=record.seed,
+            )
+        with self._inputs_lock:
+            self._inputs.setdefault(record.fingerprint, input_obj)
+        return input_obj
+
+    # -- solving -------------------------------------------------------
+    def _build_problem(self, record: ServedDataset, spec: Dict[str, Any]) -> Problem:
+        if not isinstance(spec, dict):
+            raise HTTPError(400, "'problem' must be an object")
+        kind = spec.get("kind", "densest_subgraph")
+        cls = PROBLEM_TYPES.get(kind)
+        if cls is None:
+            raise HTTPError(
+                400,
+                f"unknown problem kind {kind!r} "
+                f"(one of: {', '.join(sorted(PROBLEM_TYPES))})",
+            )
+        params = {k: v for k, v in spec.items() if k != "kind"}
+        if "ratio_grid" in params and params["ratio_grid"] is not None:
+            params["ratio_grid"] = tuple(params["ratio_grid"])
+        input_obj = self._resolve_input(record)
+        try:
+            return cls(input_obj, **params)
+        except TypeError as exc:
+            raise HTTPError(400, f"bad problem parameters: {exc}") from None
+        except ParameterError as exc:
+            raise HTTPError(400, str(exc)) from None
+
+    def solve_request(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Handle ``POST /solve``; returns ``(http_status, payload)``."""
+        record = self._dataset_or_404(body.get("dataset"))
+        backend = body.get("backend", "auto")
+        if not isinstance(backend, str):
+            raise HTTPError(400, "'backend' must be a string")
+        problem = self._build_problem(record, body.get("problem") or {})
+        params = params_json(problem)
+        options = body.get("options") or {}
+        if not isinstance(options, dict):
+            raise HTTPError(400, "'options' must be an object")
+        key = result_key(record.fingerprint, problem.kind, params, backend)
+
+        row = self.catalog.get(key)  # counts the hit/miss
+        if row is not None:
+            return 200, self._result_payload(row, cached=True)
+
+        def run():
+            start = time.perf_counter()
+            solution = solve(
+                problem, backend=backend, context=self.context, **options
+            )
+            elapsed = time.perf_counter() - start
+            return self.catalog.put(
+                key,
+                dataset_fingerprint=record.fingerprint,
+                problem_kind=problem.kind,
+                params=params,
+                backend=backend,
+                solution=solution,
+                solve_seconds=elapsed,
+            )
+
+        description = {
+            "dataset": record.name,
+            "problem_kind": problem.kind,
+            "params": json.loads(params),
+            "backend": backend,
+        }
+        try:
+            job, created = self.jobs.submit(key, run, description)
+        except QueueFullError as exc:
+            raise HTTPError(429, str(exc)) from None
+        if not created:
+            self.catalog.bump_counter("coalesced")
+
+        wait = body.get("wait")
+        if wait is not None:
+            job.wait(float(wait))
+        if job.status == DONE:
+            return 200, self._result_payload(job.result, cached=False)
+        if job.status == FAILED:
+            return 500, {"job": job.to_jsonable()}
+        return 202, {"job": job.to_jsonable()}
+
+    def _dataset_or_404(self, name: Any) -> ServedDataset:
+        if not name or not isinstance(name, str):
+            raise HTTPError(400, "'dataset' must name a registered dataset")
+        record = self.catalog.get_dataset(name)
+        if record is None:
+            raise HTTPError(404, f"no dataset registered as {name!r}")
+        return record
+
+    # -- payload shaping ----------------------------------------------
+    def _result_payload(
+        self,
+        row: Dict[str, Any],
+        *,
+        cached: bool,
+        offset: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        solution = json.loads(row["solution_json"])
+        payload = {
+            "key": row["key"],
+            "cached": cached,
+            "dataset_fingerprint": row["dataset_fingerprint"],
+            "problem_kind": row["problem_kind"],
+            "params": json.loads(row["params_json"]),
+            "backend": row["backend"],
+            "solved_backend": row["solved_backend"],
+            "density": row["density"],
+            "size": row["size"],
+            "solve_seconds": row["solve_seconds"],
+            "created_at": row["created_at"],
+            "hits": row["hits"],
+            "solution": solution,
+        }
+        if offset is not None or limit is not None:
+            offset = max(0, int(offset or 0))
+            limit = int(limit if limit is not None else DEFAULT_PAGE)
+            members = solution.get("nodes", {})
+            members = members.get("__set__", members) if isinstance(members, dict) else members
+            page = members[offset : offset + limit]
+            payload["solution"] = {**solution, "nodes": {"__set__": page}}
+            payload["page"] = {
+                "offset": offset,
+                "limit": limit,
+                "returned": len(page),
+                "total": row["size"],
+            }
+        return payload
+
+    def result_by_key(
+        self, key: str, *, offset: Optional[int], limit: Optional[int]
+    ) -> Dict[str, Any]:
+        row = self.catalog.get(key)
+        if row is None:
+            raise HTTPError(404, f"no cached result under key {key!r}")
+        return self._result_payload(row, cached=True, offset=offset, limit=limit)
+
+    def stats(self) -> Dict[str, Any]:
+        payload = self.catalog.stats()
+        payload["queue"] = self.jobs.queue_depth()
+        payload["uptime_seconds"] = time.time() - self.started_at
+        return payload
+
+    def close(self) -> None:
+        self.jobs.shutdown(wait=False)
+        self.catalog.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class DensestRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs + paths onto the :class:`DensestService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-densest"
+
+    #: Max accepted request body (datasets are registered by *path*, so
+    #: request bodies are small problem descriptions).
+    MAX_BODY = 1 << 20
+
+    def log_message(self, fmt, *args):  # pragma: no cover - quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    @property
+    def service(self) -> DensestService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.MAX_BODY:
+            raise HTTPError(413, f"request body over {self.MAX_BODY} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise HTTPError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        try:
+            status, payload = self._route(method, parts, query)
+        except HTTPError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a handler must answer
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._send_json(status, payload)
+
+    # -- routing -------------------------------------------------------
+    def _route(self, method, parts, query) -> Tuple[int, Dict[str, Any]]:
+        service = self.service
+        if method == "GET" and parts == ["healthz"]:
+            return 200, {"status": "ok", "uptime_seconds": time.time() - service.started_at}
+        if method == "GET" and parts == ["stats"]:
+            return 200, service.stats()
+        if method == "GET" and parts == ["datasets"]:
+            return 200, {
+                "datasets": [r.to_jsonable() for r in service.catalog.list_datasets()]
+            }
+        if method == "GET" and len(parts) == 2 and parts[0] == "datasets":
+            return 200, {"dataset": service._dataset_or_404(parts[1]).to_jsonable()}
+        if method == "POST" and parts == ["datasets"]:
+            record = service.register_dataset(self._read_json())
+            return 201, {"dataset": record.to_jsonable()}
+        if method == "POST" and parts == ["solve"]:
+            return service.solve_request(self._read_json())
+        if method == "GET" and parts == ["jobs"]:
+            limit = int(query.get("limit", 100))
+            return 200, {
+                "jobs": [j.to_jsonable() for j in service.jobs.list_jobs(limit=limit)]
+            }
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = service.jobs.get(parts[1])
+            if job is None:
+                raise HTTPError(404, f"no job {parts[1]!r}")
+            if method == "GET":
+                payload = {"job": job.to_jsonable()}
+                if job.status == DONE and job.result is not None:
+                    payload["result_key"] = job.result["key"]
+                return 200, payload
+            if method == "DELETE":
+                cancelled = service.jobs.cancel(parts[1])
+                return (200 if cancelled else 409), {
+                    "job": job.to_jsonable(),
+                    "cancelled": cancelled,
+                }
+        if method == "GET" and parts == ["results"]:
+            offset = int(query.get("offset", 0))
+            limit = int(query.get("limit", 100))
+            return 200, {
+                "results": service.catalog.list_results(offset=offset, limit=limit)
+            }
+        if method == "GET" and len(parts) == 2 and parts[0] == "results":
+            offset = query.get("offset")
+            limit = query.get("limit")
+            return 200, service.result_by_key(
+                parts[1],
+                offset=int(offset) if offset is not None else None,
+                limit=int(limit) if limit is not None else None,
+            )
+        raise HTTPError(404, f"no route {method} /{'/'.join(parts)}")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class DensestHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer owning a :class:`DensestService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: DensestService, *, verbose: bool = False):
+        super().__init__(address, DensestRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    def shutdown(self) -> None:  # also stop the solver pool
+        super().shutdown()
+        self.service.close()
+
+
+def build_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    catalog_path: str = "catalog.sqlite",
+    workers: int = 2,
+    spill_dir: Optional[str] = None,
+    shard_count: int = 8,
+    max_queue: int = 64,
+    verbose: bool = False,
+) -> DensestHTTPServer:
+    """Construct a ready-to-run server (``port=0`` picks a free port)."""
+    context = ExecutionContext(
+        workers=workers, spill_dir=spill_dir, shard_count=shard_count
+    )
+    service = DensestService(
+        ResultCatalog(catalog_path), context=context, max_queue=max_queue
+    )
+    return DensestHTTPServer((host, port), service, verbose=verbose)
+
+
+def run_server(**kwargs) -> None:
+    """Build and serve forever (the ``repro-densest serve`` entry)."""
+    server = build_server(**kwargs)
+    host, port = server.server_address[:2]
+    print(f"repro-densest serving on http://{host}:{port}")
+    print(f"  catalog : {server.service.catalog.path}")
+    print(f"  workers : {server.service.jobs.workers}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

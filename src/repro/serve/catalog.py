@@ -1,0 +1,382 @@
+"""SQLite result catalog: materialized answers next to the solver.
+
+The serving layer's thesis (ROADMAP item #1, and the paper's framing of
+densest subgraph as a primitive queried repeatedly) is that the path to
+heavy traffic is mostly *not re-peeling*: a solve's output is tiny
+compared to its cost, so answers are materialized into a catalog keyed
+by ``(dataset_fingerprint, problem_kind, canonical_params)`` and repeat
+queries become indexed reads.
+
+Storage is a single SQLite database in WAL mode — concurrent readers
+never block, and all writes go through one in-process writer queue (a
+lock; SQLite allows exactly one writer per database anyway).  Every
+HTTP worker thread gets its own connection via a ``threading.local``;
+cross-process sharing works the same way because WAL + busy_timeout
+serialize the writers.
+
+Schema
+------
+``datasets``
+    One row per registered dataset: fingerprint (primary key), unique
+    name, source path/recipe, kind, directedness, size facts.
+``results``
+    One row per cached solve: the canonical key (primary key), the
+    key's three components, the requested backend, the solution's
+    canonical JSON (exactly the bytes :meth:`Solution.to_json`
+    produced — a hit ships the cold solve's bytes), density/size for
+    listing without decoding, solve wall time, and a hit counter.
+``counters``
+    Monotonic service counters (hits / misses / coalesced) surviving
+    restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import threading
+from dataclasses import replace
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..api.problems import Problem
+from ..api.solution import Solution, canonical_json
+from ..datasets.registry import ServedDataset
+from ..errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+class CatalogError(ReproError):
+    """Raised for result-catalog misuse (duplicate names, bad keys)."""
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS datasets (
+    fingerprint   TEXT PRIMARY KEY,
+    name          TEXT NOT NULL UNIQUE,
+    source        TEXT NOT NULL,
+    input_kind    TEXT NOT NULL,
+    directed      INTEGER NOT NULL,
+    num_nodes     INTEGER NOT NULL,
+    num_edges     INTEGER NOT NULL,
+    scale         REAL,
+    seed          INTEGER,
+    registered_at TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    key                 TEXT PRIMARY KEY,
+    dataset_fingerprint TEXT NOT NULL,
+    problem_kind        TEXT NOT NULL,
+    params_json         TEXT NOT NULL,
+    backend             TEXT NOT NULL,
+    solved_backend      TEXT NOT NULL,
+    solution_json       TEXT NOT NULL,
+    density             REAL NOT NULL,
+    size                INTEGER NOT NULL,
+    solve_seconds       REAL NOT NULL,
+    created_at          TEXT NOT NULL,
+    hits                INTEGER NOT NULL DEFAULT 0,
+    last_hit_at         TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_results_dataset
+    ON results (dataset_fingerprint, problem_kind);
+CREATE TABLE IF NOT EXISTS counters (
+    name  TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S.%fZ")
+
+
+def params_json(problem: Problem) -> str:
+    """Canonical JSON of a problem's parameters (input excluded)."""
+    return canonical_json(problem.canonical_params())
+
+
+def result_key(
+    dataset_fingerprint: str,
+    problem_kind: str,
+    params: Union[str, Dict[str, Any]],
+    backend: str = "auto",
+) -> str:
+    """The catalog's primary key for one (dataset, problem, backend).
+
+    ``params`` is the canonical parameter dict (or its canonical JSON);
+    two spellings of the same problem — reordered kwargs, ``0.1`` vs
+    ``.1``, numpy vs python scalars — produce the identical key.  The
+    *requested* backend is part of the key because backends differ in
+    semantics (exact vs approximation), so their answers must not alias.
+    """
+    if not isinstance(params, str):
+        params = canonical_json(params)
+    return hashlib.sha256(
+        f"{dataset_fingerprint}|{problem_kind}|{backend}|{params}".encode()
+    ).hexdigest()
+
+
+def problem_key(
+    dataset_fingerprint: str, problem: Problem, backend: str = "auto"
+) -> str:
+    """:func:`result_key` for a live :class:`Problem` instance."""
+    return result_key(
+        dataset_fingerprint, problem.kind, params_json(problem), backend
+    )
+
+
+class ResultCatalog:
+    """WAL-mode SQLite catalog of datasets and cached solutions.
+
+    Thread model: any number of threads may call any method; each
+    thread reads over its own connection (WAL readers don't block), and
+    all writes serialize through one lock.  Use as a context manager or
+    call :meth:`close` to drop this thread's connection; connections in
+    other threads close with their threads.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> cat = ResultCatalog(os.path.join(tempfile.mkdtemp(), "c.sqlite"))
+    >>> cat.stats()["results"]
+    0
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._local = threading.local()
+        self._write_lock = threading.Lock()
+        with self._write_lock:
+            self._conn().executescript(_SCHEMA)
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.execute("PRAGMA foreign_keys=ON")
+            self._local.conn = conn
+        return conn
+
+    # -- context management -------------------------------------------
+    def __enter__(self) -> "ResultCatalog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the calling thread's connection (others self-close)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- datasets ------------------------------------------------------
+    def register_dataset(self, record: ServedDataset) -> ServedDataset:
+        """Insert a dataset record; idempotent for identical re-registration.
+
+        Raises
+        ------
+        CatalogError
+            When the name is taken by a different fingerprint (or the
+            fingerprint by a different name) — registrations must be
+            stable, not silently rebound.
+        """
+        existing = self.get_dataset(record.name) or self.get_dataset(
+            record.fingerprint
+        )
+        if existing is not None:
+            if (
+                existing.name == record.name
+                and existing.fingerprint == record.fingerprint
+            ):
+                return existing
+            raise CatalogError(
+                f"dataset name {record.name!r} / fingerprint "
+                f"{record.fingerprint[:12]}... conflicts with existing "
+                f"registration {existing.name!r} ({existing.fingerprint[:12]}...)"
+            )
+        if not record.registered_at:
+            record = replace(record, registered_at=_utcnow())
+        with self._write_lock:
+            with self._conn() as conn:
+                conn.execute(
+                    "INSERT INTO datasets (fingerprint, name, source, input_kind,"
+                    " directed, num_nodes, num_edges, scale, seed, registered_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        record.fingerprint,
+                        record.name,
+                        record.source,
+                        record.input_kind,
+                        int(record.directed),
+                        record.num_nodes,
+                        record.num_edges,
+                        record.scale,
+                        record.seed,
+                        record.registered_at,
+                    ),
+                )
+        return record
+
+    def get_dataset(self, name_or_fingerprint: str) -> Optional[ServedDataset]:
+        """Look a dataset up by registration name or fingerprint."""
+        row = self._conn().execute(
+            "SELECT * FROM datasets WHERE name = ? OR fingerprint = ?",
+            (name_or_fingerprint, name_or_fingerprint),
+        ).fetchone()
+        return _dataset_from_row(row) if row is not None else None
+
+    def list_datasets(self) -> List[ServedDataset]:
+        """All registered datasets, in registration order."""
+        rows = self._conn().execute(
+            "SELECT * FROM datasets ORDER BY registered_at, name"
+        ).fetchall()
+        return [_dataset_from_row(row) for row in rows]
+
+    # -- results -------------------------------------------------------
+    def get(self, key: str, *, count_hit: bool = True) -> Optional[Dict[str, Any]]:
+        """Fetch a cached result row; counts a hit (or miss) by default.
+
+        Returns the row as a plain dict with ``solution_json`` holding
+        the stored canonical bytes, or ``None`` on a miss.
+        """
+        row = self._conn().execute(
+            "SELECT * FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            if count_hit:
+                self.bump_counter("misses")
+            return None
+        result = dict(row)
+        if count_hit:
+            with self._write_lock:
+                with self._conn() as conn:
+                    conn.execute(
+                        "UPDATE results SET hits = hits + 1, last_hit_at = ?"
+                        " WHERE key = ?",
+                        (_utcnow(), key),
+                    )
+                    _bump(conn, "hits", 1)
+            result["hits"] += 1
+        return result
+
+    def put(
+        self,
+        key: str,
+        *,
+        dataset_fingerprint: str,
+        problem_kind: str,
+        params: Union[str, Dict[str, Any]],
+        backend: str,
+        solution: Solution,
+        solve_seconds: float,
+    ) -> Dict[str, Any]:
+        """Store one solve's answer (idempotent: first write wins).
+
+        The solution is stored as its canonical JSON; a later hit
+        returns exactly these bytes.
+        """
+        if not isinstance(params, str):
+            params = canonical_json(params)
+        solution_json = solution.to_json()
+        with self._write_lock:
+            with self._conn() as conn:
+                conn.execute(
+                    "INSERT OR IGNORE INTO results (key, dataset_fingerprint,"
+                    " problem_kind, params_json, backend, solved_backend,"
+                    " solution_json, density, size, solve_seconds, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        key,
+                        dataset_fingerprint,
+                        problem_kind,
+                        params,
+                        backend,
+                        solution.backend,
+                        solution_json,
+                        float(solution.density),
+                        int(solution.size),
+                        float(solve_seconds),
+                        _utcnow(),
+                    ),
+                )
+        return self.get(key, count_hit=False)
+
+    def list_results(
+        self, *, offset: int = 0, limit: int = 100
+    ) -> List[Dict[str, Any]]:
+        """Catalog listing (no solution payloads), newest first."""
+        rows = self._conn().execute(
+            "SELECT key, dataset_fingerprint, problem_kind, params_json,"
+            " backend, solved_backend, density, size, solve_seconds,"
+            " created_at, hits FROM results"
+            " ORDER BY created_at DESC, key LIMIT ? OFFSET ?",
+            (limit, offset),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    # -- counters and stats -------------------------------------------
+    def bump_counter(self, name: str, amount: int = 1) -> None:
+        """Increment a monotonic service counter."""
+        with self._write_lock:
+            with self._conn() as conn:
+                _bump(conn, name, amount)
+
+    def counters(self) -> Dict[str, int]:
+        rows = self._conn().execute("SELECT name, value FROM counters").fetchall()
+        return {row["name"]: row["value"] for row in rows}
+
+    def stats(self) -> Dict[str, Any]:
+        """Catalog-side service statistics (the data behind ``/stats``)."""
+        conn = self._conn()
+        counters = self.counters()
+        hits = counters.get("hits", 0)
+        misses = counters.get("misses", 0)
+        per_backend = {
+            row["solved_backend"]: row["n"]
+            for row in conn.execute(
+                "SELECT solved_backend, COUNT(*) AS n FROM results"
+                " GROUP BY solved_backend ORDER BY solved_backend"
+            )
+        }
+        return {
+            "datasets": conn.execute("SELECT COUNT(*) FROM datasets").fetchone()[0],
+            "results": conn.execute("SELECT COUNT(*) FROM results").fetchone()[0],
+            "hits": hits,
+            "misses": misses,
+            "coalesced": counters.get("coalesced", 0),
+            "hit_ratio": hits / (hits + misses) if hits + misses else None,
+            "solves_by_backend": per_backend,
+        }
+
+
+def _bump(conn: sqlite3.Connection, name: str, amount: int) -> None:
+    conn.execute(
+        "INSERT INTO counters (name, value) VALUES (?, ?)"
+        " ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+        (name, amount),
+    )
+
+
+def _dataset_from_row(row: sqlite3.Row) -> ServedDataset:
+    return ServedDataset(
+        name=row["name"],
+        fingerprint=row["fingerprint"],
+        source=row["source"],
+        input_kind=row["input_kind"],
+        directed=bool(row["directed"]),
+        num_nodes=row["num_nodes"],
+        num_edges=row["num_edges"],
+        scale=row["scale"],
+        seed=row["seed"],
+        registered_at=row["registered_at"],
+    )

@@ -1,0 +1,264 @@
+"""Async solve-job manager: submit, poll, cancel, backpressure.
+
+Cold solves are seconds-to-minutes while HTTP handlers must answer in
+milliseconds, so ``POST /solve`` misses become *jobs*: the handler
+enqueues the solve on a thread pool (sized by
+``ExecutionContext.workers``) and returns a job id the client polls via
+``GET /jobs/<id>``.
+
+Three serving behaviors live here rather than in the HTTP layer:
+
+* **Single-flight** — concurrent requests for the same catalog key
+  attach to the one in-flight job instead of solving N times; the
+  attachments are counted (``coalesced``) so ``/stats`` shows the
+  thundering-herd suppression.
+* **Bounded queue** — at most ``max_queue`` jobs may be waiting; past
+  that, :meth:`JobManager.submit` raises :class:`QueueFullError`, which
+  the HTTP layer maps to ``429 Too Many Requests``.  A full queue sheds
+  load instead of accumulating latency.
+* **Cancellation** — a job that has not started is cancelled in place
+  (``CANCELLED``); a running solve cannot be interrupted mid-peel, so
+  cancelling it reports ``False`` and the job runs to completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Job lifecycle states.
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: States a job can still leave.
+_LIVE = (PENDING, RUNNING)
+
+
+class QueueFullError(ReproError):
+    """Raised when the job queue is at capacity (HTTP 429)."""
+
+
+class Job:
+    """One submitted solve: status, timing, and the eventual result.
+
+    Mutable by the manager only; readers see a consistent snapshot via
+    :meth:`to_jsonable`.  ``wait`` blocks until the job reaches a
+    terminal state.
+    """
+
+    def __init__(self, job_id: str, key: str, description: Dict[str, Any]) -> None:
+        self.id = job_id
+        self.key = key
+        self.description = description
+        self.status = PENDING
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.traceback: Optional[str] = None
+        self.result: Any = None
+        self.solve_seconds: Optional[float] = None
+        self._done = threading.Event()
+        self._future = None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until terminal (DONE/FAILED/CANCELLED); False on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "solve_seconds": self.solve_seconds,
+            "error": self.error,
+        }
+        payload.update(self.description)
+        return payload
+
+
+class JobManager:
+    """Thread-pool executor with keyed single-flight and a bounded queue.
+
+    Parameters
+    ----------
+    workers:
+        Solver threads (``ExecutionContext.workers`` in the serving
+        process).  Solves overlap each other and the HTTP handlers;
+        NumPy kernels release the GIL for the heavy array work.
+    max_queue:
+        Maximum *waiting* (not yet running) jobs before
+        :class:`QueueFullError` backpressure.
+    max_history:
+        Finished jobs retained for ``GET /jobs/<id>`` polling before
+        the oldest are evicted.
+    """
+
+    def __init__(
+        self, workers: int = 2, *, max_queue: int = 64, max_history: int = 1024
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ReproError(f"max_queue must be >= 1, got {max_queue}")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.max_history = max_history
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-solve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # insertion order, for history eviction
+        self._in_flight: Dict[str, Job] = {}  # key -> live job
+        self._pending = 0
+        self._running = 0
+        self._ids = itertools.count(1)
+        self._shutdown = False
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        key: str,
+        fn: Callable[[], Any],
+        description: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[Job, bool]:
+        """Enqueue ``fn`` under ``key``; returns ``(job, created)``.
+
+        ``created`` is ``False`` when an identical key was already in
+        flight and the caller was attached to that job (single-flight).
+
+        Raises
+        ------
+        QueueFullError
+            When ``max_queue`` jobs are already waiting to run.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ReproError("job manager is shut down")
+            existing = self._in_flight.get(key)
+            if existing is not None:
+                return existing, False
+            if self._pending >= self.max_queue:
+                raise QueueFullError(
+                    f"job queue is full ({self._pending} waiting, "
+                    f"limit {self.max_queue}); retry later"
+                )
+            job = Job(f"job-{next(self._ids)}", key, description or {})
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._in_flight[key] = job
+            self._pending += 1
+            self._evict_locked()
+            job._future = self._pool.submit(self._run, job, fn)
+        return job, True
+
+    def _run(self, job: Job, fn: Callable[[], Any]) -> None:
+        with self._lock:
+            if job.status is not PENDING:  # cancelled while queued
+                return
+            job.status = RUNNING
+            job.started_at = time.time()
+            self._pending -= 1
+            self._running += 1
+        try:
+            result = fn()
+        except BaseException as exc:  # propagate *any* failure to pollers
+            with self._lock:
+                job.status = FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.traceback = traceback.format_exc()
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                self._finish(job)
+                raise
+        else:
+            with self._lock:
+                job.status = DONE
+                job.result = result
+        self._finish(job)
+
+    def _finish(self, job: Job) -> None:
+        with self._lock:
+            job.finished_at = time.time()
+            if job.started_at is not None:
+                job.solve_seconds = job.finished_at - job.started_at
+                self._running -= 1
+            if self._in_flight.get(job.key) is job:
+                del self._in_flight[job.key]
+        job._done.set()
+
+    def _evict_locked(self) -> None:
+        while len(self._order) > self.max_history:
+            oldest = self._jobs.get(self._order[0])
+            if oldest is not None and not oldest.finished:
+                break  # never evict a live job
+            self._order.pop(0)
+            if oldest is not None:
+                del self._jobs[oldest.id]
+
+    # -- queries -------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        """Look a job up by id (``None`` once evicted or unknown)."""
+        return self._jobs.get(job_id)
+
+    def in_flight(self, key: str) -> Optional[Job]:
+        """The live job for a catalog key, if any."""
+        return self._in_flight.get(key)
+
+    def list_jobs(self, *, limit: int = 100) -> List[Job]:
+        """Most recent jobs, newest first."""
+        with self._lock:
+            ids = self._order[-limit:]
+        return [self._jobs[i] for i in reversed(ids) if i in self._jobs]
+
+    def queue_depth(self) -> Dict[str, int]:
+        """Live queue gauges for ``/stats``."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "running": self._running,
+                "capacity": self.max_queue,
+                "workers": self.workers,
+            }
+
+    # -- cancellation and shutdown ------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; ``False`` otherwise."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return False
+        with self._lock:
+            if job.status is not PENDING:
+                return False
+            cancelled = job._future.cancel() if job._future is not None else True
+            if not cancelled:
+                return False
+            job.status = CANCELLED
+            self._pending -= 1
+            if self._in_flight.get(job.key) is job:
+                del self._in_flight[job.key]
+        job.finished_at = time.time()
+        job._done.set()
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and shut the pool down."""
+        with self._lock:
+            self._shutdown = True
+        self._pool.shutdown(wait=wait, cancel_futures=True)

@@ -191,6 +191,11 @@ class ShardManifest:
     #: Optional per-shard skip summaries (parallel to ``shard_files``;
     #: ``None`` entries mean "no summary, always scan").
     shard_summaries: Optional[List[Optional[ShardSummary]]] = None
+    #: Cached content fingerprint (see
+    #: :meth:`ShardedEdgeStore.fingerprint`); ``None`` until computed.
+    #: Writers never carry one over — any rewrite produces a fresh
+    #: manifest with the cache empty, which is the invalidation.
+    fingerprint: Optional[str] = None
     format_version: int = FORMAT_VERSION
 
     def to_json(self) -> str:
@@ -202,20 +207,20 @@ class ShardManifest:
                 if summary is not None:
                     entry.update(summary.to_entry())
             shards.append(entry)
-        return json.dumps(
-            {
-                "format": "repro-edge-shards",
-                "format_version": self.format_version,
-                "num_shards": self.num_shards,
-                "num_nodes": self.num_nodes,
-                "num_edges": self.num_edges,
-                "total_weight": self.total_weight,
-                "weighted": self.weighted,
-                "directed": self.directed,
-                "shards": shards,
-            },
-            indent=2,
-        )
+        payload = {
+            "format": "repro-edge-shards",
+            "format_version": self.format_version,
+            "num_shards": self.num_shards,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "total_weight": self.total_weight,
+            "weighted": self.weighted,
+            "directed": self.directed,
+            "shards": shards,
+        }
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
+        return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ShardManifest":
@@ -246,6 +251,7 @@ class ShardManifest:
             shard_files=[s["file"] for s in shards],
             shard_edges=[int(s["edges"]) for s in shards],
             shard_summaries=summaries if any(s is not None for s in summaries) else None,
+            fingerprint=data.get("fingerprint"),
         )
 
 
@@ -583,6 +589,24 @@ def _shard_name(shard: int) -> str:
     return f"shard-{shard:05d}.npy"
 
 
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (uint64 in, uint64 out)."""
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def _mix_records(u: np.ndarray, v: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """One well-mixed uint64 per edge record, for order-independent
+    content fingerprints (weights enter via their IEEE-754 bit image)."""
+    uu = u.astype(np.uint64, copy=False)
+    vv = v.astype(np.uint64, copy=False)
+    wbits = np.ascontiguousarray(w, dtype=np.float64).view(np.uint64)
+    mixed = _splitmix64(uu + np.uint64(0x9E3779B97F4A7C15))
+    mixed = _splitmix64(mixed ^ _splitmix64(vv + np.uint64(0xD1B54A32D192ED03)))
+    return _splitmix64(mixed ^ wbits)
+
+
 def write_edge_list_store(
     edge_list: PathLike,
     store_path: PathLike,
@@ -745,6 +769,51 @@ class ShardedEdgeStore:
     def nbytes(self) -> int:
         """On-disk payload size of the edge records (headers excluded)."""
         return self.num_edges * SHARD_DTYPE.itemsize
+
+    def fingerprint(self, *, cache: bool = True) -> str:
+        """Content hash of the stored edge set, for catalog keys.
+
+        A 64-hex-character digest over the edge record *multiset* plus
+        the manifest facts consumers dispatch on (node universe,
+        directedness) — deliberately independent of record order and of
+        the shard partitioning, so two stores holding the same edges
+        agree no matter the append order or ``num_shards`` they were
+        written with.  Per-record 64-bit mixes are combined with
+        commutative reductions (sum and xor), then folded into SHA-256
+        with the manifest facts.
+
+        The first computation scans every shard once; the result is
+        cached in ``manifest.json`` (``cache=False``, or a read-only
+        store directory, skips the write-back) and any rewrite of the
+        store produces a fresh manifest without the cached value.
+        """
+        if self.manifest.fingerprint is not None:
+            return self.manifest.fingerprint
+        import hashlib
+
+        acc_sum = np.uint64(0)
+        acc_xor = np.uint64(0)
+        with np.errstate(over="ignore"):
+            for u, v, w in self.iter_shard_arrays():
+                mixed = _mix_records(np.asarray(u), np.asarray(v), np.asarray(w))
+                acc_sum = acc_sum + mixed.sum(dtype=np.uint64)
+                acc_xor = acc_xor ^ np.bitwise_xor.reduce(
+                    mixed, initial=np.uint64(0)
+                )
+        m = self.manifest
+        digest = hashlib.sha256(
+            f"repro-edge-shards:{m.num_nodes}:{int(m.directed)}:"
+            f"{m.num_edges}:{int(acc_sum):016x}:{int(acc_xor):016x}".encode()
+        ).hexdigest()
+        self.manifest.fingerprint = digest
+        if cache:
+            try:
+                (self.path / MANIFEST_NAME).write_text(
+                    self.manifest.to_json() + "\n"
+                )
+            except OSError:  # read-only store: still return the value
+                pass
+        return digest
 
     # -- readers -------------------------------------------------------
     def shard_path(self, shard: int) -> Path:

@@ -1,0 +1,378 @@
+"""Result-catalog and job-manager tests (concurrency included)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import DensestSubgraph, solve
+from repro.graph.generators import clique, disjoint_union, star
+from repro.serve.catalog import (
+    CatalogError,
+    ResultCatalog,
+    params_json,
+    problem_key,
+    result_key,
+)
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    JobManager,
+    QueueFullError,
+)
+from repro.datasets.registry import ServedDataset
+
+
+def _record(name="g", fingerprint="fp-1"):
+    return ServedDataset(
+        name=name,
+        fingerprint=fingerprint,
+        source="synthetic:grqc_sim",
+        input_kind="synthetic",
+        directed=False,
+        num_nodes=10,
+        num_edges=20,
+        scale=0.1,
+        seed=13,
+    )
+
+
+def _solved():
+    graph = disjoint_union([clique(8), star(20)])
+    problem = DensestSubgraph(graph, epsilon=0.1)
+    return problem, solve(problem)
+
+
+class TestResultKey:
+    def test_param_spelling_invariant(self):
+        graph = clique(4)
+        a = problem_key("fp", DensestSubgraph(graph, epsilon=0.1))
+        b = problem_key("fp", DensestSubgraph(graph, epsilon=.1))
+        assert a == b
+
+    def test_backend_is_part_of_key(self):
+        graph = clique(4)
+        problem = DensestSubgraph(graph, epsilon=0.1)
+        assert problem_key("fp", problem, "auto") != problem_key(
+            "fp", problem, "exact-flow"
+        )
+
+    def test_components_all_matter(self):
+        base = result_key("fp", "densest_subgraph", {"epsilon": 0.1})
+        assert base != result_key("fp2", "densest_subgraph", {"epsilon": 0.1})
+        assert base != result_key("fp", "densest_at_least_k", {"epsilon": 0.1})
+        assert base != result_key("fp", "densest_subgraph", {"epsilon": 0.2})
+
+
+class TestCatalog:
+    def test_dataset_roundtrip_and_idempotence(self, tmp_path):
+        with ResultCatalog(tmp_path / "c.sqlite") as cat:
+            record = cat.register_dataset(_record())
+            assert record.registered_at  # stamped by the catalog
+            again = cat.register_dataset(_record())
+            assert again.fingerprint == record.fingerprint
+            assert cat.get_dataset("g").fingerprint == "fp-1"
+            assert cat.get_dataset("fp-1").name == "g"
+            assert [d.name for d in cat.list_datasets()] == ["g"]
+            assert cat.get_dataset("nope") is None
+
+    def test_conflicting_registrations_rejected(self, tmp_path):
+        with ResultCatalog(tmp_path / "c.sqlite") as cat:
+            cat.register_dataset(_record())
+            with pytest.raises(CatalogError):
+                cat.register_dataset(_record(name="g", fingerprint="fp-2"))
+            with pytest.raises(CatalogError):
+                cat.register_dataset(_record(name="other", fingerprint="fp-1"))
+
+    def test_put_get_hits_and_counters(self, tmp_path):
+        problem, solution = _solved()
+        key = problem_key("fp-1", problem)
+        with ResultCatalog(tmp_path / "c.sqlite") as cat:
+            assert cat.get(key) is None  # counted miss
+            row = cat.put(
+                key,
+                dataset_fingerprint="fp-1",
+                problem_kind=problem.kind,
+                params=params_json(problem),
+                backend="auto",
+                solution=solution,
+                solve_seconds=0.5,
+            )
+            assert row["hits"] == 0
+            assert row["solution_json"] == solution.to_json()
+            hit = cat.get(key)
+            assert hit["hits"] == 1
+            assert hit["solution_json"] == solution.to_json()
+            stats = cat.stats()
+            assert stats["hits"] == 1 and stats["misses"] == 1
+            assert stats["hit_ratio"] == 0.5
+            assert stats["solves_by_backend"] == {solution.backend: 1}
+
+    def test_put_is_first_write_wins(self, tmp_path):
+        problem, solution = _solved()
+        key = problem_key("fp-1", problem)
+        kwargs = dict(
+            dataset_fingerprint="fp-1",
+            problem_kind=problem.kind,
+            params=params_json(problem),
+            backend="auto",
+            solution=solution,
+        )
+        with ResultCatalog(tmp_path / "c.sqlite") as cat:
+            first = cat.put(key, solve_seconds=1.0, **kwargs)
+            second = cat.put(key, solve_seconds=9.0, **kwargs)
+            assert second["solve_seconds"] == first["solve_seconds"] == 1.0
+
+    def test_list_results_pagination(self, tmp_path):
+        problem, solution = _solved()
+        with ResultCatalog(tmp_path / "c.sqlite") as cat:
+            for i in range(5):
+                cat.put(
+                    f"key-{i}",
+                    dataset_fingerprint="fp-1",
+                    problem_kind=problem.kind,
+                    params=params_json(problem),
+                    backend="auto",
+                    solution=solution,
+                    solve_seconds=0.1,
+                )
+            assert len(cat.list_results(limit=3)) == 3
+            rest = cat.list_results(offset=3, limit=10)
+            assert len(rest) == 2
+            assert "solution_json" not in rest[0]  # listing stays light
+
+    def test_persistence_across_reopen(self, tmp_path):
+        problem, solution = _solved()
+        key = problem_key("fp-1", problem)
+        path = tmp_path / "c.sqlite"
+        with ResultCatalog(path) as cat:
+            cat.register_dataset(_record())
+            cat.put(
+                key,
+                dataset_fingerprint="fp-1",
+                problem_kind=problem.kind,
+                params=params_json(problem),
+                backend="auto",
+                solution=solution,
+                solve_seconds=0.1,
+            )
+        with ResultCatalog(path) as cat:
+            assert cat.get_dataset("g") is not None
+            assert cat.get(key, count_hit=False)["solution_json"] == solution.to_json()
+
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        # N threads hammer counters and reads on one WAL catalog; the
+        # final counts must be exact (no lost updates, no lock errors).
+        with ResultCatalog(tmp_path / "c.sqlite") as cat:
+            errors = []
+
+            def worker():
+                try:
+                    for _ in range(25):
+                        cat.bump_counter("hits")
+                        cat.counters()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert cat.counters()["hits"] == 8 * 25
+
+
+class TestJobManager:
+    def test_done_flow(self):
+        manager = JobManager(workers=2)
+        try:
+            job, created = manager.submit("k", lambda: 41 + 1)
+            assert created
+            assert job.wait(10)
+            assert job.status == DONE and job.result == 42
+            assert job.solve_seconds is not None
+            assert manager.get(job.id) is job
+        finally:
+            manager.shutdown()
+
+    def test_failed_propagation(self):
+        manager = JobManager(workers=1)
+        try:
+            def boom():
+                raise ValueError("no such store")
+
+            job, _ = manager.submit("k", boom)
+            assert job.wait(10)
+            assert job.status == FAILED
+            assert "ValueError: no such store" in job.error
+            assert "boom" in job.traceback
+        finally:
+            manager.shutdown()
+
+    def test_single_flight_race_one_solve_n_attachments(self, tmp_path):
+        # The satellite contract: N threads racing the same key yield
+        # exactly ONE execution; the rest attach (and later all N
+        # answers come from the catalog as hits).
+        problem, _ = _solved()
+        key = problem_key("fp-1", problem)
+        solves = []
+        release = threading.Event()
+        manager = JobManager(workers=2)
+        cat = ResultCatalog(tmp_path / "c.sqlite")
+        try:
+            def run():
+                release.wait(10)
+                solves.append(1)
+                solution = solve(problem)
+                return cat.put(
+                    key,
+                    dataset_fingerprint="fp-1",
+                    problem_kind=problem.kind,
+                    params=params_json(problem),
+                    backend="auto",
+                    solution=solution,
+                    solve_seconds=0.1,
+                )
+
+            jobs, flags = [], []
+            barrier = threading.Barrier(8)
+
+            def client():
+                barrier.wait(10)
+                job, created = manager.submit(key, run)
+                jobs.append(job)
+                flags.append(created)
+
+            threads = [threading.Thread(target=client) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            release.set()
+            assert all(j.wait(30) for j in jobs)
+            assert len(set(j.id for j in jobs)) == 1  # all the same job
+            assert sum(flags) == 1  # exactly one creator
+            assert len(solves) == 1  # exactly one solve ran
+            # ... and N follow-up reads are all catalog hits.
+            for _ in range(8):
+                assert cat.get(key) is not None
+            assert cat.counters()["hits"] == 8
+        finally:
+            manager.shutdown()
+            cat.close()
+
+    def test_key_reusable_after_finish(self):
+        manager = JobManager(workers=1)
+        try:
+            a, created_a = manager.submit("k", lambda: 1)
+            assert a.wait(10) and created_a
+            b, created_b = manager.submit("k", lambda: 2)
+            assert created_b and b.id != a.id
+            assert b.wait(10) and b.result == 2
+        finally:
+            manager.shutdown()
+
+    def test_cancellation_of_queued_job(self):
+        manager = JobManager(workers=1)
+        gate = threading.Event()
+        try:
+            blocker, _ = manager.submit("block", lambda: gate.wait(10))
+            queued, _ = manager.submit("queued", lambda: 99)
+            assert queued.status == PENDING
+            assert manager.cancel(queued.id)
+            assert queued.status == CANCELLED and queued.finished
+            # a cancelled key is immediately reusable
+            again, created = manager.submit("queued", lambda: 7)
+            assert created
+            gate.set()
+            assert again.wait(10) and again.result == 7
+            assert blocker.wait(10)
+        finally:
+            gate.set()
+            manager.shutdown()
+
+    def test_cannot_cancel_running_or_done(self):
+        manager = JobManager(workers=1)
+        started = threading.Event()
+        gate = threading.Event()
+        try:
+            def run():
+                started.set()
+                gate.wait(10)
+                return 1
+
+            job, _ = manager.submit("k", run)
+            assert started.wait(10)
+            assert not manager.cancel(job.id)  # running
+            gate.set()
+            assert job.wait(10)
+            assert not manager.cancel(job.id)  # done
+            assert job.status == DONE
+        finally:
+            gate.set()
+            manager.shutdown()
+
+    def test_backpressure_queue_full(self):
+        manager = JobManager(workers=1, max_queue=2)
+        gate = threading.Event()
+        started = threading.Event()
+        try:
+            def block():
+                started.set()
+                gate.wait(10)
+
+            manager.submit("running", block)
+            assert started.wait(10)  # occupies the only worker
+            manager.submit("q1", lambda: 1)
+            manager.submit("q2", lambda: 2)
+            with pytest.raises(QueueFullError):
+                manager.submit("q3", lambda: 3)
+            # same-key attach still works at capacity (no new queue slot)
+            _, created = manager.submit("q1", lambda: 1)
+            assert not created
+            depth = manager.queue_depth()
+            assert depth["pending"] == 2 and depth["capacity"] == 2
+        finally:
+            gate.set()
+            manager.shutdown()
+
+    def test_history_eviction_keeps_live_jobs(self):
+        manager = JobManager(workers=1, max_history=3)
+        try:
+            jobs = []
+            for i in range(6):
+                job, _ = manager.submit(f"k{i}", lambda i=i: i)
+                assert job.wait(10)
+                jobs.append(job)
+            listed = manager.list_jobs()
+            assert len(listed) <= 3 + 1  # history bound (+1 in-flight slack)
+            assert manager.get(jobs[0].id) is None  # oldest evicted
+            assert manager.get(jobs[-1].id) is jobs[-1]
+        finally:
+            manager.shutdown()
+
+    def test_shutdown_rejects_new_work(self):
+        manager = JobManager(workers=1)
+        manager.shutdown()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            manager.submit("k", lambda: 1)
+
+    def test_queue_depth_gauges(self):
+        manager = JobManager(workers=3, max_queue=5)
+        try:
+            depth = manager.queue_depth()
+            assert depth == {
+                "pending": 0,
+                "running": 0,
+                "capacity": 5,
+                "workers": 3,
+            }
+        finally:
+            manager.shutdown()

@@ -1,0 +1,202 @@
+"""Serving codec tests: Solution/CostReport JSON + canonical params."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import DensestSubgraph, solve
+from repro.api.problems import DensestAtLeastK, DirectedDensest
+from repro.api.solution import (
+    CostReport,
+    Solution,
+    canonical_json,
+    decode_value,
+    encode_value,
+)
+from repro.core.trace import PassRecord
+from repro.errors import ParameterError
+from repro.graph.generators import clique, disjoint_union, star
+from repro.graph.directed import DirectedGraph
+
+
+def _solved():
+    graph = disjoint_union([clique(12), star(40)])
+    return solve(DensestSubgraph(graph, epsilon=0.1))
+
+
+class TestValueCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 3, -1, "x", 0.25):
+            assert decode_value(encode_value(value)) == value
+
+    def test_nonfinite_floats(self):
+        for value in (float("inf"), float("-inf")):
+            assert decode_value(encode_value(value)) == value
+        nan = decode_value(encode_value(float("nan")))
+        assert nan != nan
+
+    def test_numpy_scalars_become_python(self):
+        out = encode_value(np.float64(0.5))
+        assert type(out) is float and out == 0.5
+        out = encode_value(np.int32(7))
+        assert type(out) is int and out == 7
+        assert encode_value(np.bool_(True)) is True
+
+    def test_ndarray_roundtrip_preserves_dtype_and_shape(self):
+        for arr in (
+            np.arange(6, dtype=np.int64).reshape(2, 3),
+            np.linspace(0, 1, 5, dtype=np.float32),
+            np.array([], dtype=np.float64),
+        ):
+            back = decode_value(encode_value(arr))
+            assert isinstance(back, np.ndarray)
+            assert back.dtype == arr.dtype and back.shape == arr.shape
+            assert np.array_equal(back, arr)
+
+    def test_sets_tuples_dicts(self):
+        value = {
+            "s": frozenset({3, 1, 2}),
+            "t": (1, "a", (2.5,)),
+            "nested": [{"k": {0, 9}}],
+        }
+        back = decode_value(encode_value(value))
+        assert back["s"] == frozenset({1, 2, 3})
+        assert back["t"] == (1, "a", (2.5,))
+        assert back["nested"][0]["k"] == {0, 9}
+
+    def test_nonstring_dict_keys(self):
+        back = decode_value(encode_value({1: "a", (2, 3): "b"}))
+        assert back == {1: "a", (2, 3): "b"}
+
+    def test_set_encoding_is_order_canonical(self):
+        a = canonical_json(encode_value({3, 1, 2}))
+        b = canonical_json(encode_value({2, 3, 1}))
+        assert a == b
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(ParameterError):
+            encode_value(object())
+
+
+class TestSolutionRoundTrip:
+    def test_lossless_roundtrip(self):
+        solution = _solved()
+        back = Solution.from_json(solution.to_json())
+        assert back.nodes == solution.nodes
+        assert back.density == solution.density
+        assert back.backend == solution.backend
+        assert back.problem_kind == solution.problem_kind
+        assert back.exact == solution.exact
+        assert back.certificate == solution.certificate
+        assert back.cost == solution.cost
+
+    def test_reencode_is_byte_stable(self):
+        solution = _solved()
+        text = solution.to_json()
+        assert Solution.from_json(text).to_json() == text
+
+    def test_details_deliberately_dropped(self):
+        solution = _solved()
+        assert Solution.from_json(solution.to_json()).details is None
+
+    def test_directed_sides_roundtrip(self):
+        graph = DirectedGraph([(0, 1), (0, 2), (1, 2), (2, 1), (3, 1)])
+        solution = solve(DirectedDensest(graph, epsilon=0.5))
+        back = Solution.from_json(solution.to_json())
+        assert back.s_nodes == solution.s_nodes
+        assert back.t_nodes == solution.t_nodes
+        assert back.ratio == solution.ratio
+
+    def test_numpy_members_roundtrip(self):
+        # numpy scalar node ids and array-valued cost fields survive.
+        solution = Solution(
+            nodes=frozenset(np.arange(4, dtype=np.int64)),
+            density=np.float64(1.5),
+            backend="core",
+            problem_kind="densest_subgraph",
+            certificate=(
+                PassRecord(1, 4, 6.0, np.float64(1.5), 3.3, 2, 2, 2.0, 1.0),
+            ),
+            cost=CostReport(passes=np.int32(3), edges_streamed=12),
+        )
+        back = Solution.from_json(solution.to_json())
+        assert back.nodes == frozenset({0, 1, 2, 3})
+        assert back.density == 1.5
+        assert back.cost.passes == 3
+        assert back.certificate[0].density_before == 1.5
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(ParameterError):
+            Solution.from_jsonable({"density": 1.0})
+
+    def test_costreport_roundtrip(self):
+        report = CostReport(passes=3, bytes_scanned=1 << 30)
+        assert CostReport.from_json(report.to_json()) == report
+
+
+class TestCanonicalParams:
+    def test_spelling_invariance(self):
+        graph = clique(5)
+        a = DensestSubgraph(graph, epsilon=0.1)
+        b = DensestSubgraph(graph, epsilon=.1)  # noqa: same value, other spelling
+        assert a.canonical_params() == b.canonical_params()
+        assert canonical_json(a.canonical_params()) == canonical_json(
+            b.canonical_params()
+        )
+
+    def test_int_float_coercion_for_float_fields(self):
+        graph = clique(5)
+        assert (
+            DensestSubgraph(graph, epsilon=1).canonical_params()
+            == DensestSubgraph(graph, epsilon=1.0).canonical_params()
+        )
+
+    def test_numpy_scalars_canonicalize(self):
+        graph = clique(5)
+        assert (
+            DensestSubgraph(graph, epsilon=np.float64(0.1)).canonical_params()
+            == DensestSubgraph(graph, epsilon=0.1).canonical_params()
+        )
+
+    def test_input_excluded_and_keys_sorted(self):
+        params = DirectedDensest(
+            DirectedGraph([(0, 1)]), epsilon=0.5
+        ).canonical_params()
+        assert "input" not in params
+        assert list(params) == sorted(params)
+
+    @given(
+        epsilon=st.floats(min_value=1e-6, max_value=10, allow_nan=False),
+        max_passes=st.one_of(st.none(), st.integers(min_value=1, max_value=50)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_json_key_is_deterministic(self, epsilon, max_passes):
+        # Same logical parameters -> byte-identical canonical JSON, no
+        # matter how they were spelled (numpy vs python, kwarg order).
+        graph = clique(4)
+        a = DensestSubgraph(graph, epsilon=epsilon, max_passes=max_passes)
+        b = DensestSubgraph(
+            graph,
+            max_passes=None if max_passes is None else int(max_passes),
+            epsilon=np.float64(epsilon),
+        )
+        assert canonical_json(a.canonical_params()) == canonical_json(
+            b.canonical_params()
+        )
+        decoded = json.loads(canonical_json(a.canonical_params()))
+        assert decoded["epsilon"] == pytest.approx(epsilon)
+
+    @given(
+        k=st.integers(min_value=1, max_value=100),
+        epsilon=st.floats(min_value=1e-6, max_value=2, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_atleast_k_int_stays_int(self, k, epsilon):
+        params = DensestAtLeastK(clique(4), k=k, epsilon=epsilon).canonical_params()
+        assert type(params["k"]) is int and params["k"] == k
+        assert type(params["epsilon"]) is float

@@ -484,3 +484,89 @@ class TestSkipSummaries:
             if store.manifest.shard_edges[s] > 0
         ]
         assert store.alive_shards(alive) == nonempty
+
+
+class TestFingerprint:
+    """Content fingerprints: order- and partition-independent hashes."""
+
+    def test_shard_order_and_count_independent(self, tmp_path):
+        # The satellite contract: two stores built from the same edges in
+        # different append orders (and even different shard counts) must
+        # fingerprint identically — the hash covers *content*, not layout.
+        src, dst, w, n = _undirected_arrays()
+        rng = np.random.default_rng(7)
+        perm = rng.permutation(src.size)
+        a = ShardedEdgeStore.write(
+            tmp_path / "a", (src, dst, w), directed=False, num_shards=4, num_nodes=n
+        )
+        b = ShardedEdgeStore.write(
+            tmp_path / "b", (src[perm], dst[perm], w[perm]),
+            directed=False, num_shards=7, num_nodes=n,
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_content_changes_fingerprint(self, tmp_path):
+        src, dst, w, n = _undirected_arrays()
+        a = ShardedEdgeStore.write(
+            tmp_path / "a", (src, dst, w), directed=False, num_nodes=n
+        )
+        w2 = w.copy()
+        w2[0] *= 2.0
+        b = ShardedEdgeStore.write(
+            tmp_path / "b", (src, dst, w2), directed=False, num_nodes=n
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_directedness_changes_fingerprint(self, tmp_path):
+        src, dst, w, n = _directed_arrays()
+        a = ShardedEdgeStore.write(
+            tmp_path / "a", (src, dst, w), directed=True, num_nodes=n
+        )
+        b = ShardedEdgeStore.write(
+            tmp_path / "b", (src, dst, w), directed=False, num_nodes=n
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cached_in_manifest_and_reused_on_reopen(self, tmp_path):
+        import json
+
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=False, num_nodes=n
+        )
+        manifest = json.loads((tmp_path / "st" / "manifest.json").read_text())
+        assert "fingerprint" not in manifest  # not computed yet
+        fp = store.fingerprint()
+        manifest = json.loads((tmp_path / "st" / "manifest.json").read_text())
+        assert manifest["fingerprint"] == fp  # cached on first compute
+        reopened = ShardedEdgeStore.open(tmp_path / "st")
+        assert reopened.manifest.fingerprint == fp
+        assert reopened.fingerprint() == fp
+
+    def test_rewrite_invalidates_cache(self, tmp_path):
+        # A compaction rewrite produces a new store; its manifest must
+        # not carry the source's (now stale) fingerprint forward.
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=False, num_nodes=n
+        )
+        fp = store.fingerprint()
+        alive = np.zeros(n, dtype=bool)
+        alive[: n // 2] = True
+        compacted = ShardEdgeStream(store).compact(
+            alive, spill_dir=tmp_path / "st2"
+        )
+        assert compacted.store.manifest.fingerprint is None
+        assert compacted.store.fingerprint() != fp
+
+    def test_uncached_compute_leaves_manifest_alone(self, tmp_path):
+        src, dst, w, n = _undirected_arrays()
+        store = ShardedEdgeStore.write(
+            tmp_path / "st", (src, dst, w), directed=False, num_nodes=n
+        )
+        fp = store.fingerprint(cache=False)
+        assert store.fingerprint(cache=False) == fp
+        import json
+
+        manifest = json.loads((tmp_path / "st" / "manifest.json").read_text())
+        assert "fingerprint" not in manifest
