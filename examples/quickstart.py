@@ -5,10 +5,14 @@ Builds a small graph with an obvious dense core, then solves the same
 ``DensestSubgraph`` problem on three backends of ``repro.solve``:
 
 1. ``core`` — Algorithm 1 (the paper's few-pass peeling); the
-   ``engine="python"|"numpy"`` option switches between the interpreted
-   loops and the vectorized CSR kernels (identical answers — the
-   kernels are just faster; ``repro-densest densest --engine numpy``
-   is the CLI spelling),
+   ``engine=`` option walks the tier ladder — ``python`` (interpreted
+   loops), ``numpy`` (vectorized CSR kernels), ``native`` (incremental
+   bucket-queue peeler, compiled via numba or a ctypes-loaded C
+   library when a toolchain is present, pure-numpy bucket queue
+   otherwise) — all bit-identical answers, each tier just faster;
+   ``engine="auto"`` picks by input size and ``repro-densest densest
+   --engine native`` is the CLI spelling (``repro-densest backends
+   --verbose`` shows which compiled backend is live),
 2. ``greedy`` — Charikar's one-node-per-step greedy baseline,
 3. ``exact-flow`` — Goldberg's exact max-flow solver,
 
@@ -45,13 +49,20 @@ def main() -> None:
             f"(guarantee: >= rho*/{2 * (1 + epsilon):.1f})"
         )
 
-    # Same peel on both execution engines: identical answer, the numpy
-    # engine just runs it on vectorized CSR kernels (see DESIGN.md §6).
+    # Same peel on every execution engine: identical answer, each tier
+    # just runs it faster (see DESIGN.md §6 and §11).  "native" is the
+    # incremental bucket-queue peeler; it uses a compiled backend
+    # (numba or C) when one is available and falls back to the
+    # pure-numpy bucket queue otherwise — the answer never changes.
     py = solve(DensestSubgraph(graph, epsilon=0.5), backend="core", engine="python")
     vec = solve(DensestSubgraph(graph, epsilon=0.5), backend="core", engine="numpy")
+    nat = solve(DensestSubgraph(graph, epsilon=0.5), backend="core", engine="native")
+    from repro.kernels.native import available_backend
+
     print(
-        f"engine parity        : python == numpy is {py.nodes == vec.nodes} "
-        f"(rho={vec.density:.3f}, backend 'core-csr' pins the numpy engine)"
+        f"engine parity        : python == numpy == native is "
+        f"{py.nodes == vec.nodes == nat.nodes} (rho={nat.density:.3f}, "
+        f"compiled backend: {available_backend() or 'none, bucketq fallback'})"
     )
 
     # --- Baselines ------------------------------------------------------

@@ -36,6 +36,13 @@ Three suites, selected with ``--suite``:
   ratio (~1.7x here) while ``bytes_ratio`` (3–5x) is the
   hardware-independent measure and what the wall ratio approaches when
   rescans are genuinely disk-bound.  Gate CI on bytes, not wall.
+* ``kernels`` times the kernel tier ladder and writes
+  ``BENCH_kernels.json``: numpy vs bucketq vs native (numba/C) peels on
+  the BENCH_core fixtures and on the ≈18M-edge nested-core store
+  (CSR-loaded; wall-clock, not a bytes proxy), plus one threaded
+  shard-scan pass (4 threads vs sequential, bit-exact counters).  The
+  driver asserts cross-tier result parity before recording any row;
+  ``--min-speedup`` gates the native rows on the core fixtures.
 * ``serve`` load-tests the HTTP serving layer end to end and writes
   ``BENCH_serve.json``: an in-process server over the ≈18M-edge
   nested-core store, cold ``POST /solve`` misses vs concurrent warm
@@ -569,6 +576,251 @@ def run_streaming_benches(scale_factor: float, repeats: int):
     return records
 
 
+def run_kernels_benches(scale_factor: float, repeats: int):
+    """Kernel tier ladder: numpy vs bucketq vs native peels.
+
+    Three regimes, all on the BENCH_core peel fixtures (flickr_sim /
+    livejournal_sim CSR snapshots) plus the big shard store:
+
+    * **Shallow peels** (the BENCH_core configs: eps 0.5–2.0, 3–6
+      passes): reported for context, not gated.  At a handful of
+      passes the numpy engine's per-pass O(m) rescan only runs a few
+      times, so the native tier's structural advantage barely shows;
+      measured headroom on these fixtures tops out around 4–5x.
+    * **Deep peels** (eps 0.02–0.05 at-least-k, 48–160+ passes — the
+      paper's high-accuracy regime, where small epsilon buys a tight
+      approximation at the cost of many passes): the numpy engine
+      rescans all m edges every pass while the bucket queue does O(m)
+      total work, so the gap widens with pass count.  These are the
+      rows ``--min-speedup`` gates (target ≥5x).
+    * The ≈18M-edge nested-core shard store: loaded once through
+      ``CSRGraph.from_shards``, then peeled by the numpy and native
+      tiers — a wall-clock comparison on a real out-of-core-sized
+      input; the driver asserts the native tier wins wall-clock
+      (>1x) outright.  Plus one ``stream_scan_threads`` row timing a
+      threaded shard-scan pass (4 threads vs sequential) with
+      bit-exact degree/weight asserts; its speedup is reported but
+      not gated — on a single-core box (see ``cpu_count`` in the
+      report) no thread win is physically possible.
+
+    Every tier-bench row (shallow and deep) first asserts identical
+    node sets, pass counts, and densities across all importable tiers.
+    ``speedup`` (numpy-median / native-median) appears on native rows
+    only — that is what ``--min-speedup`` gates — bucketq rows carry
+    an informational ``speedup_vs_numpy``.
+    """
+    import os
+    import tempfile
+
+    from repro.core.atleast_k import densest_subgraph_atleast_k
+    from repro.core.directed import densest_subgraph_directed
+    from repro.core.undirected import densest_subgraph
+    from repro.datasets import load
+    from repro.datasets.synthetic import nested_core_edge_arrays
+    from repro.kernels import CSRDigraph, CSRGraph, native_backend
+    from repro.store import ShardedEdgeStore
+
+    records: list = []
+    backend = native_backend()
+    tiers = ["bucketq"] + (["native"] if backend is not None else [])
+    print(f"kernel tiers: numpy, {', '.join(tiers)} "
+          f"(native backend: {backend or 'none'})")
+
+    flickr = load("flickr_sim", scale=0.25 * scale_factor)
+    lj = load("livejournal_sim", scale=0.2 * scale_factor)
+    flickr_csr = CSRGraph.from_undirected(flickr)
+    lj_csr = CSRDigraph.from_directed(lj)
+    lj_und_csr = CSRGraph.from_undirected(lj.to_undirected())
+    flickr_name = f"flickr_sim@{0.25 * scale_factor:g}"
+    lj_name = f"livejournal_sim@{0.2 * scale_factor:g}"
+    lj_und_name = lj_name + "-und"
+    k = max(2, flickr.num_nodes // 10)
+    lj_k = max(2, lj_und_csr.num_nodes // 20)
+
+    def assert_same(ref, out, bench):
+        if hasattr(ref, "s_nodes"):
+            assert ref.s_nodes == out.s_nodes and ref.t_nodes == out.t_nodes, bench
+        else:
+            assert ref.nodes == out.nodes, bench
+        assert ref.passes == out.passes, bench
+        assert abs(ref.density - out.density) < 1e-9, bench
+
+    def tier_bench(name, fixture, solve_fn):
+        results = {tier: solve_fn(tier) for tier in ["numpy"] + tiers}
+        for tier in tiers:
+            assert_same(results["numpy"], results[tier], name)
+        medians = {
+            tier: _median_seconds(lambda t=tier: solve_fn(t), repeats)
+            for tier in ["numpy"] + tiers
+        }
+        records.append(
+            {
+                "bench": name,
+                "fixture": fixture,
+                "engine": "numpy",
+                "median_seconds": medians["numpy"],
+            }
+        )
+        parts = [f"numpy {medians['numpy'] * 1e3:9.3f} ms"]
+        for tier in tiers:
+            row = {
+                "bench": name,
+                "fixture": fixture,
+                "engine": tier,
+                "median_seconds": medians[tier],
+            }
+            ratio = (
+                medians["numpy"] / medians[tier] if medians[tier] > 0 else None
+            )
+            if tier == "native":
+                row["speedup"] = ratio
+            else:
+                row["speedup_vs_numpy"] = ratio
+            records.append(row)
+            parts.append(f"{tier} {medians[tier] * 1e3:9.3f} ms x{ratio:5.2f}")
+        print(f"{name:28s} " + "   ".join(parts))
+
+    tier_bench(
+        "undirected_peel_eps05",
+        flickr_name,
+        lambda tier: densest_subgraph(flickr_csr, 0.5, engine=tier),
+    )
+    tier_bench(
+        "undirected_peel_eps2",
+        flickr_name,
+        lambda tier: densest_subgraph(flickr_csr, 2.0, engine=tier),
+    )
+    tier_bench(
+        "atleastk_peel",
+        flickr_name,
+        lambda tier: densest_subgraph_atleast_k(flickr_csr, k, 0.5, engine=tier),
+    )
+    tier_bench(
+        "directed_peel",
+        lj_name,
+        lambda tier: densest_subgraph_directed(
+            lj_csr, ratio=1.0, epsilon=1.0, engine=tier
+        ),
+    )
+    # Deep peels: the gated ≥5x rows (many passes; see docstring).
+    tier_bench(
+        "atleastk_deep_flickr",
+        flickr_name,
+        lambda tier: densest_subgraph_atleast_k(
+            flickr_csr, k, 0.05, engine=tier
+        ),
+    )
+    tier_bench(
+        "atleastk_deep_livejournal",
+        lj_und_name,
+        lambda tier: densest_subgraph_atleast_k(
+            lj_und_csr, lj_k, 0.02, engine=tier
+        ),
+    )
+
+    # Deep-peel regime: the ≈18M-edge nested-core store (same fixture
+    # as the streaming/serve suites), CSR-loaded, numpy vs native.
+    oo_n = int(1_000_000 * scale_factor)
+    reps = max(1, min(repeats, 3))
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "kernels-store")
+        src, dst = nested_core_edge_arrays(oo_n, degree=18.0, shrink=0.5, seed=42)
+        store = ShardedEdgeStore.write(
+            store_path, (src, dst), directed=False, num_shards=16, num_nodes=oo_n
+        )
+        del src, dst
+        fixture = f"nested_core_store@n={oo_n}"
+        print(f"fixture {fixture}: m={store.num_edges}, "
+              f"store {store.nbytes() / 1e6:.1f} MB")
+        big_csr = CSRGraph.from_shards(store)
+        big_engines = ["numpy"] + (["native"] if backend is not None else [])
+        big_results = {
+            tier: densest_subgraph(big_csr, 0.5, engine=tier)
+            for tier in big_engines
+        }
+        for tier in big_engines[1:]:
+            assert_same(big_results["numpy"], big_results[tier], "oocore_csr_peel")
+        big_medians = {
+            tier: _median_seconds(
+                lambda t=tier: densest_subgraph(big_csr, 0.5, engine=t), reps
+            )
+            for tier in big_engines
+        }
+        del big_csr
+        records.append(
+            {
+                "bench": "oocore_csr_peel",
+                "fixture": fixture,
+                "engine": "numpy",
+                "median_seconds": big_medians["numpy"],
+                "edges": store.num_edges,
+                "passes": big_results["numpy"].passes,
+            }
+        )
+        line = f"{'oocore_csr_peel':28s} numpy {big_medians['numpy']:7.2f}s"
+        if "native" in big_medians:
+            ratio = (
+                big_medians["numpy"] / big_medians["native"]
+                if big_medians["native"] > 0
+                else None
+            )
+            assert ratio is not None and ratio > 1.0, (
+                f"native tier must win wall-clock on the big store "
+                f"(got x{ratio})"
+            )
+            records.append(
+                {
+                    "bench": "oocore_csr_peel",
+                    "fixture": fixture,
+                    "engine": "native",
+                    "median_seconds": big_medians["native"],
+                    "edges": store.num_edges,
+                    "passes": big_results["native"].passes,
+                    "speedup": ratio,
+                }
+            )
+            line += f"   native {big_medians['native']:7.2f}s   x{ratio:5.2f}"
+        print(line)
+
+        # One full shard-scan pass, sequential vs 4 worker threads —
+        # the threaded path must produce bit-identical counters.
+        import numpy as _np
+
+        from repro.streaming.engine import _IntStreamScanner
+        from repro.streaming.stream import ShardEdgeStream
+
+        alive = _np.ones(store.num_nodes, dtype=bool)
+        threads = 4
+
+        def scan(thread_count):
+            scanner = _IntStreamScanner.build(
+                range(store.num_nodes), threads=thread_count
+            )
+            return scanner.scan_undirected(ShardEdgeStream(store), alive)
+
+        deg_seq, w_seq = scan(1)
+        deg_par, w_par = scan(threads)
+        assert w_seq == w_par, "threaded scan diverged on total weight"
+        assert _np.array_equal(deg_seq, deg_par), "threaded scan diverged"
+        seq_s = _median_seconds(lambda: scan(1), reps)
+        par_s = _median_seconds(lambda: scan(threads), reps)
+        records.append(
+            {
+                "bench": "stream_scan_threads",
+                "fixture": fixture,
+                "engine": f"threads-{threads}",
+                "median_seconds": par_s,
+                "sequential_seconds": seq_s,
+                "speedup": seq_s / par_s if par_s > 0 else None,
+                "edges": store.num_edges,
+            }
+        )
+        print(f"{'stream_scan_threads':28s} seq {seq_s:7.2f}s   "
+              f"threads-{threads} {par_s:7.2f}s   x{seq_s / par_s:5.2f} "
+              f"(cpu_count={os.cpu_count()})")
+    return records
+
+
 def run_serve_benches(scale_factor: float, repeats: int):
     """Load-test the HTTP serving layer: cold solves vs warm catalog hits.
 
@@ -762,6 +1014,19 @@ SUITES = {
         "run": run_serve_benches,
         "output": "BENCH_serve.json",
         "gate": {"serve_warm_hit"},
+    },
+    "kernels": {
+        "run": run_kernels_benches,
+        "output": "BENCH_kernels.json",
+        # Gate the native tier's deep-peel rows (the many-pass regime
+        # the bucket queue exists for; shallow 3–6 pass rows are
+        # context).  The big-store wall-clock win (>1x) is asserted
+        # in-driver; stream_scan_threads is reported ungated (a
+        # thread win needs >1 core — check cpu_count in the report).
+        "gate": {
+            "atleastk_deep_flickr",
+            "atleastk_deep_livejournal",
+        },
     },
 }
 

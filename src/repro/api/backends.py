@@ -246,9 +246,11 @@ def _directed_grid(problem: DirectedDensest) -> list:
 class CoreSolver:
     """Algorithms 1–3 on an in-memory graph (the reference peel).
 
-    Accepts an ``engine="auto"|"python"|"numpy"`` option, forwarded to
-    the core peels; ``"auto"`` (the default) lets
-    :func:`repro.kernels.resolve_engine` pick per graph.
+    Accepts an ``engine=`` option (any name in
+    :data:`repro.kernels.ENGINES`), forwarded to the core peels;
+    ``"auto"`` (the default) lets :func:`repro.kernels.resolve_engine`
+    pick per graph.  ``"native"``/``"numba"`` request the compiled
+    backend and degrade (with a warning) to the best importable tier.
     """
 
     name = "core"
@@ -262,8 +264,14 @@ class CoreSolver:
             exact=False,
             memory_class=MEM_EDGES,
             semantics="batch-peel",
-            # Advertise only the engines that can actually run here.
-            engines=("python", "numpy") if CSRGraph is not None else ("python",),
+            # Advertise only the engines that can actually run here;
+            # "native"/"numba" resolve (possibly with a fallback
+            # warning) whenever the numpy tier exists underneath them.
+            engines=(
+                ("python", "numpy", "bucketq", "native", "numba")
+                if CSRGraph is not None
+                else ("python",)
+            ),
         )
 
     def estimated_memory_words(self, problem: Problem) -> Optional[int]:
@@ -482,6 +490,9 @@ class StreamingSolver:
         _reject_options(self.name, options, ("accountant", "compaction"))
         compaction = _compaction_policy(options, context, problem)
         accountant = options.get("accountant")
+        # context.workers > 1 turns on thread-parallel per-shard degree
+        # scans (honored by shard-backed streams; identical results).
+        scan_threads = context.workers if context.workers > 1 else None
         stream = _as_stream(problem)
         meter = _StreamMeter(stream)
         if isinstance(problem, DensestSubgraph):
@@ -491,6 +502,7 @@ class StreamingSolver:
                 max_passes=problem.max_passes,
                 accountant=accountant,
                 compaction=compaction,
+                scan_threads=scan_threads,
             )
             return _undirected_solution(
                 result,
@@ -505,6 +517,7 @@ class StreamingSolver:
                 problem.epsilon,
                 accountant=accountant,
                 compaction=compaction,
+                scan_threads=scan_threads,
             )
             return _undirected_solution(
                 result,
@@ -521,6 +534,7 @@ class StreamingSolver:
                     ratios=problem.ratio_grid,
                     accountant=accountant,
                     compaction=compaction,
+                    scan_threads=scan_threads,
                 )
                 return _sweep_solution(
                     sweep,
@@ -534,6 +548,7 @@ class StreamingSolver:
                 problem.epsilon,
                 accountant=accountant,
                 compaction=compaction,
+                scan_threads=scan_threads,
             )
             return _directed_solution(
                 result,

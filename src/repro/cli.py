@@ -99,7 +99,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_datasets = sub.add_parser("datasets", help="list registered datasets")
     p_datasets.add_argument("--group", choices=["evaluation", "table2"], default=None)
 
-    sub.add_parser("backends", help="list registered solver backends")
+    p_backends = sub.add_parser("backends", help="list registered solver backends")
+    p_backends.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also report the kernel tier ladder: which peel engines "
+        "(python/numpy/bucketq/native) are importable here, which "
+        "compiled backend (numba or C) serves the native tier, and the "
+        "input sizes at which engine=auto switches tiers",
+    )
 
     p_solve = sub.add_parser(
         "densest",
@@ -114,11 +122,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument(
         "--engine",
-        choices=["auto", "python", "numpy"],
+        choices=["auto", "python", "numpy", "bucketq", "native", "numba"],
         default="auto",
         help="execution engine for the core/mapreduce/sketch backends: "
         "'python' (interpreted record loops), 'numpy' (vectorized kernels / "
-        "columnar MapReduce batches), or 'auto' (pick per graph)",
+        "columnar MapReduce batches), 'bucketq' (incremental bucket-queue "
+        "peel), 'native'/'numba' (compiled bucket-queue kernels, degrading "
+        "to the best importable tier), or 'auto' (pick per graph; see "
+        "`repro-densest backends --verbose`)",
     )
     p_solve.add_argument("--epsilon", type=float, default=0.5)
     p_solve.add_argument(
@@ -283,7 +294,7 @@ def _load_any(args) -> Union[UndirectedGraph, DirectedGraph]:
     """
     directed = getattr(args, "directed", False)
     wants_csr = (
-        getattr(args, "engine", "auto") == "numpy"
+        getattr(args, "engine", "auto") in ("numpy", "bucketq", "native", "numba")
         or getattr(args, "backend", None) == "core-csr"
     )
     if getattr(args, "shard_store", None):
@@ -377,6 +388,25 @@ def _cmd_backends(args) -> int:
             rows,
         )
     )
+    if getattr(args, "verbose", False):
+        from .kernels import tier_report
+
+        report = tier_report()
+        print()
+        print("kernel tiers (peel engines importable in this environment):")
+        for tier in ("python", "numpy", "bucketq", "native"):
+            status = "yes" if report[tier] else "no"
+            if tier == "native" and report[tier]:
+                status = f"yes ({report['native_backend']} backend)"
+            print(f"  {tier:<8} {status}")
+        ladder = report["auto_ladder"]
+        print("engine=auto ladder (CSR/int-labeled graphs, by node count):")
+        print(
+            f"  n >= {ladder['native_cutoff']}: native"
+            "  (when a compiled backend is importable)"
+        )
+        print(f"  n >= {ladder['bucketq_cutoff']}: bucketq")
+        print("  otherwise: numpy")
     return 0
 
 

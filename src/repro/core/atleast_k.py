@@ -85,11 +85,14 @@ def densest_subgraph_atleast_k(
             f"k={k} exceeds the graph's {graph.num_nodes} nodes; no feasible set"
         )
 
-    if resolve_engine(engine, graph) == "numpy":
-        from ..kernels import peel_atleast_k
+    resolved = resolve_engine(engine, graph)
+    if resolved != "python":
+        from ..kernels import peel_functions
 
         csr = _as_csr(graph)
-        out = peel_atleast_k(csr, k, epsilon, stop_below_k=stop_below_k)
+        out = peel_functions(resolved).peel_atleast_k(
+            csr, k, epsilon, stop_below_k=stop_below_k
+        )
         return DensestSubgraphResult(
             nodes=frozenset(csr.to_labels(out.best_indices)),
             density=out.best_density,

@@ -121,11 +121,14 @@ def densest_subgraph_directed(
     if graph.num_nodes == 0:
         raise EmptyGraphError("graph has no nodes")
 
-    if resolve_engine(engine, graph) == "numpy":
-        from ..kernels import peel_directed
+    resolved = resolve_engine(engine, graph)
+    if resolved != "python":
+        from ..kernels import peel_functions
 
         csr = _as_csr_digraph(graph)
-        outcome = peel_directed(csr, ratio, epsilon, side_rule=side_rule)
+        outcome = peel_functions(resolved).peel_directed(
+            csr, ratio, epsilon, side_rule=side_rule
+        )
         return _directed_result_from_outcome(csr, outcome, ratio, epsilon)
 
     compact = CompactDirected(_as_dict_digraph(graph))
@@ -327,7 +330,8 @@ def ratio_sweep(
         grid_delta = None
         if not grid:
             raise ParameterError("ratios must be non-empty")
-    if graph.num_nodes > 0 and resolve_engine(engine, graph) == "numpy":
+    resolved = resolve_engine(engine, graph) if graph.num_nodes > 0 else "python"
+    if resolved != "python":
         epsilon = check_epsilon(epsilon)
         if side_rule not in _SIDE_RULES:
             raise ParameterError(
@@ -335,10 +339,12 @@ def ratio_sweep(
             )
         for c in grid:
             check_positive_float(c, "ratio")
-        from ..kernels import peel_directed_sweep
+        from ..kernels import peel_functions
 
         csr = _as_csr_digraph(graph)
-        outcomes = peel_directed_sweep(csr, grid, epsilon, side_rule=side_rule)
+        outcomes = peel_functions(resolved).peel_directed_sweep(
+            csr, grid, epsilon, side_rule=side_rule
+        )
         results = [
             _directed_result_from_outcome(csr, outcome, c, epsilon)
             for c, outcome in zip(grid, outcomes)

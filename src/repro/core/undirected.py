@@ -105,11 +105,14 @@ def densest_subgraph(
     if graph.num_nodes == 0:
         raise EmptyGraphError("graph has no nodes")
 
-    if resolve_engine(engine, graph) == "numpy":
-        from ..kernels import peel_undirected
+    resolved = resolve_engine(engine, graph)
+    if resolved != "python":
+        from ..kernels import peel_functions
 
         csr = _as_csr(graph)
-        out = peel_undirected(csr, epsilon, max_passes=max_passes)
+        out = peel_functions(resolved).peel_undirected(
+            csr, epsilon, max_passes=max_passes
+        )
         return DensestSubgraphResult(
             nodes=frozenset(csr.to_labels(out.best_indices)),
             density=out.best_density,

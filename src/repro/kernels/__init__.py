@@ -1,20 +1,36 @@
 """Vectorized CSR kernel layer.
 
-This package holds the NumPy execution engine behind the peeling
-algorithms: CSR graph snapshots (:mod:`repro.kernels.csr`) and the
-per-pass vectorized kernels (:mod:`repro.kernels.peel`).  The engines
-in :mod:`repro.core` route through here when ``engine="numpy"`` is
-selected (or ``engine="auto"`` resolves to it); results are identical
-to the pure-Python loops pass-for-pass.
+This package holds the execution engines behind the peeling
+algorithms, arranged as a tier ladder:
 
-NumPy is a hard dependency of the package, but every import of this
-layer from the algorithm modules is guarded so a stripped environment
-degrades to the pure-Python engine instead of failing at import time.
+``python``
+    The interpreted reference loops in :mod:`repro.core` (not in this
+    package; selecting it simply skips the kernels).
+``numpy``
+    Per-pass vectorized kernels (:mod:`repro.kernels.peel`) over CSR
+    snapshots (:mod:`repro.kernels.csr`).
+``bucketq``
+    Incremental bucket-queue peeler (:mod:`repro.kernels.bucketq`):
+    O(m + n) total work with no per-pass rescans, pure numpy.
+``native``
+    The bucket-queue algorithm compiled — numba ``@njit`` kernels when
+    numba is importable, else a ctypes-loaded C library built with the
+    system toolchain (:mod:`repro.kernels.native`).  ``numba`` is
+    accepted as an engine alias that *requests* the numba backend
+    specifically and warns when it degrades.
+
+All tiers return identical node sets, traces, and pass counts;
+``engine="auto"`` walks the ladder by input size (compiled > bucketq >
+numpy > python).  NumPy is a hard dependency of the package, but every
+import of this layer from the algorithm modules is guarded so a
+stripped environment degrades to the pure-Python engine instead of
+failing at import time.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import Dict, Optional
 
 from ..errors import ParameterError
 
@@ -37,12 +53,26 @@ if HAVE_NUMPY:
     )
 
 #: Engine names accepted by the ``engine=`` parameter of the core peels.
-ENGINES = ("auto", "python", "numpy")
+#: ``numba`` is an alias for ``native`` that insists on the numba
+#: backend (falling back with a warning when it is not importable).
+ENGINES = ("auto", "python", "numpy", "bucketq", "native", "numba")
+
+#: The tiers an ``engine=`` argument can resolve to.
+RESOLVED_TIERS = ("python", "numpy", "bucketq", "native")
 
 #: ``engine="auto"`` switches to the vectorized kernels at this node
 #: count even for graphs with non-integer labels (the O(n) label
 #: factorization is then negligible next to the per-pass savings).
 AUTO_SIZE_CUTOFF = 256
+
+#: ``engine="auto"`` prefers the compiled tier from this node count
+#: (below it, the per-call scratch setup outweighs the loop savings).
+NATIVE_SIZE_CUTOFF = 2048
+
+#: Without a compiled backend, ``auto`` switches from the numpy tier to
+#: the pure-numpy bucket queue here — deep peels on graphs this big are
+#: where the per-pass O(n) mask rescans start to dominate.
+BUCKETQ_SIZE_CUTOFF = 32768
 
 
 def _is_int_labeled(graph) -> bool:
@@ -53,48 +83,159 @@ def _is_int_labeled(graph) -> bool:
     return _all_int_labels(graph.nodes())
 
 
-def resolve_engine(engine: str, graph=None) -> str:
-    """Resolve an ``engine=`` argument to ``"python"`` or ``"numpy"``.
+def native_backend() -> Optional[str]:
+    """Name of the compiled backend (``"numba"``/``"c"``), or None.
 
-    ``"auto"`` picks the numpy engine when it is importable and the
+    The first call probes (importing numba or compiling the C library);
+    the result is memoized by :mod:`repro.kernels.native`.
+    """
+    if not HAVE_NUMPY:
+        return None
+    from . import native
+
+    return native.available_backend()
+
+
+def auto_tier(num_nodes: int) -> str:
+    """The tier ``engine="auto"`` picks for an int-labeled input of
+    ``num_nodes`` nodes (assuming numpy is importable)."""
+    if not HAVE_NUMPY:
+        return "python"
+    if num_nodes >= NATIVE_SIZE_CUTOFF and native_backend() is not None:
+        return "native"
+    if num_nodes >= BUCKETQ_SIZE_CUTOFF:
+        return "bucketq"
+    return "numpy"
+
+
+def tier_report(num_nodes: Optional[int] = None) -> Dict[str, object]:
+    """Which kernel tiers are importable and what ``auto`` would pick.
+
+    Used by ``repro-densest backends --verbose`` and the serve layer's
+    ``/stats``.  ``num_nodes`` (optional) adds the ``auto`` resolution
+    for that input size.
+    """
+    backend = native_backend()
+    report: Dict[str, object] = {
+        "python": True,
+        "numpy": HAVE_NUMPY,
+        "bucketq": HAVE_NUMPY,
+        "native": backend is not None,
+        "native_backend": backend,
+        "auto_ladder": {
+            "native_cutoff": NATIVE_SIZE_CUTOFF,
+            "bucketq_cutoff": BUCKETQ_SIZE_CUTOFF,
+            "numpy_label_cutoff": AUTO_SIZE_CUTOFF,
+        },
+    }
+    if num_nodes is not None:
+        report["auto_pick"] = auto_tier(int(num_nodes))
+    return report
+
+
+def peel_functions(tier: str):
+    """The kernel module implementing ``tier`` (numpy/bucketq/native).
+
+    The returned module exposes ``peel_undirected`` / ``peel_atleast_k``
+    / ``peel_directed`` / ``peel_directed_sweep`` with identical
+    signatures, so core dispatch is one attribute lookup away from any
+    tier.
+    """
+    if tier == "numpy":
+        from . import peel as mod
+    elif tier == "bucketq":
+        from . import bucketq as mod
+    elif tier == "native":
+        from . import native as mod
+    else:
+        raise ParameterError(f"no kernel module for tier {tier!r}")
+    return mod
+
+
+def resolve_engine(engine: str, graph=None) -> str:
+    """Resolve an ``engine=`` argument to one of :data:`RESOLVED_TIERS`.
+
+    ``"auto"`` picks a vectorized tier when numpy is importable and the
     graph is int-labeled, already a CSR snapshot, or at least
-    :data:`AUTO_SIZE_CUTOFF` nodes; small exotic-label graphs stay on
-    the Python loops, where the per-pass constant is lower.
+    :data:`AUTO_SIZE_CUTOFF` nodes — then walks the ladder by size
+    (compiled ≥ :data:`NATIVE_SIZE_CUTOFF`, bucket queue ≥
+    :data:`BUCKETQ_SIZE_CUTOFF`, numpy otherwise).  Small exotic-label
+    graphs stay on the Python loops, where the per-pass constant is
+    lower.
+
+    ``"native"`` / ``"numba"`` degrade gracefully: when the compiled
+    backend (or numba specifically) is unavailable they fall back to
+    the bucket-queue tier with a :class:`RuntimeWarning` instead of
+    raising — the answer is identical, only the speed differs.
 
     Raises
     ------
     ParameterError
-        On an unknown engine name, or ``engine="numpy"`` without numpy.
+        On an unknown engine name, or ``engine="numpy"``/``"bucketq"``
+        without numpy.
     """
     if engine not in ENGINES:
         raise ParameterError(f"engine must be one of {ENGINES}, got {engine!r}")
-    if engine == "numpy":
-        if not HAVE_NUMPY:
-            raise ParameterError(
-                "engine='numpy' requires numpy, which is not importable; "
-                "use engine='python'"
-            )
-        return "numpy"
     if engine == "python":
         return "python"
+    if engine in ("numpy", "bucketq"):
+        if not HAVE_NUMPY:
+            raise ParameterError(
+                f"engine={engine!r} requires numpy, which is not importable; "
+                "use engine='python'"
+            )
+        return engine
+    if engine in ("native", "numba"):
+        if not HAVE_NUMPY:
+            warnings.warn(
+                f"engine={engine!r} requires numpy, which is not importable; "
+                "falling back to the python engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return "python"
+        backend = native_backend()
+        if backend is None:
+            warnings.warn(
+                f"engine={engine!r} requested but no compiled backend is "
+                "available (numba not importable, no C toolchain); falling "
+                "back to the bucketq tier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return "bucketq"
+        if engine == "numba" and backend != "numba":
+            warnings.warn(
+                "engine='numba' requested but numba is not importable; "
+                "using the compiled C backend instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "native"
+    # engine == "auto"
     if not HAVE_NUMPY:
         return "python"
     if graph is None:
         return "numpy"
-    if HAVE_NUMPY and isinstance(graph, (CSRGraph, CSRDigraph)):
-        return "numpy"
-    if graph.num_nodes >= AUTO_SIZE_CUTOFF:
-        return "numpy"
-    if _is_int_labeled(graph):
-        return "numpy"
+    if isinstance(graph, (CSRGraph, CSRDigraph)):
+        return auto_tier(graph.num_nodes)
+    if graph.num_nodes >= AUTO_SIZE_CUTOFF or _is_int_labeled(graph):
+        return auto_tier(graph.num_nodes)
     return "python"
 
 
 __all__ = [
     "AUTO_SIZE_CUTOFF",
+    "BUCKETQ_SIZE_CUTOFF",
     "ENGINES",
     "HAVE_NUMPY",
+    "NATIVE_SIZE_CUTOFF",
+    "RESOLVED_TIERS",
+    "auto_tier",
+    "native_backend",
+    "peel_functions",
     "resolve_engine",
+    "tier_report",
 ]
 if HAVE_NUMPY:
     __all__ += [

@@ -1,0 +1,363 @@
+"""Numba ``@njit`` mirrors of the C kernels in ``peel_kernels.c``.
+
+Importing this module requires numba; :mod:`repro.kernels.native`
+guards the import and falls back to the C backend (or the pure-numpy
+bucket queue) when it is missing.  The three kernels take the exact
+argument tuple the C entry points take — caller-allocated degree /
+alive / bucket-link / frontier / trace arrays — and return
+``(status, best_density, best_pass, passes)`` with ``status == 1``
+meaning the trace buffer overflowed (caller grows it and reruns).
+
+The loop structure is a line-for-line port of the C: frontier from
+pass-start degrees, ascending-id sequential kills, lazy downward
+bucket moves.  Keeping both backends shape-identical means the parity
+tests exercise one algorithm, not two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # raises ImportError when numba is absent
+
+TRACE_OVERFLOW = 1
+
+
+@njit(cache=True, inline="always")
+def _bucket_index(value, width, nb):
+    b = np.int64(value / width)  # truncation, like the C cast
+    if b < 0:
+        b = 0
+    elif b > nb - 1:
+        b = nb - 1
+    return b
+
+
+@njit(cache=True, inline="always")
+def _list_unlink(i, b, head, nxt, prv):
+    p = prv[i]
+    x = nxt[i]
+    if p >= 0:
+        nxt[p] = x
+    else:
+        head[b] = x
+    if x >= 0:
+        prv[x] = p
+
+
+@njit(cache=True, inline="always")
+def _list_push(i, b, head, nxt, prv, bucket_of):
+    prv[i] = -1
+    nxt[i] = head[b]
+    if head[b] >= 0:
+        prv[head[b]] = i
+    head[b] = i
+    bucket_of[i] = b
+
+
+@njit(cache=True)
+def _build_buckets(deg, n, nb, head, nxt, prv, bucket_of):
+    vmax = 0.0
+    for i in range(n):
+        if deg[i] > vmax:
+            vmax = deg[i]
+    width = vmax / nb if vmax > 0.0 else 1.0
+    for b in range(nb):
+        head[b] = -1
+    for i in range(n - 1, -1, -1):
+        _list_push(
+            np.int32(i), np.int32(_bucket_index(deg[i], width, nb)),
+            head, nxt, prv, bucket_of,
+        )
+    return width
+
+
+@njit(cache=True)
+def peel_undirected(
+    indptr, indices, weights, n, total_weight, factor, eps_slack,
+    max_passes, nb, deg, alive, best_alive, bucket_of, nxt, prv, head,
+    frontier, trace,
+):
+    trace_cap = trace.shape[0]
+    width = _build_buckets(deg, n, nb, head, nxt, prv, bucket_of)
+    remaining = n
+    W = total_weight
+    best_density = W / n if n > 0 else 0.0
+    best_pass = np.int64(0)
+    passes = np.int64(0)
+
+    while remaining > 0:
+        if max_passes >= 0 and passes >= max_passes:
+            break
+        if passes >= trace_cap:
+            return TRACE_OVERFLOW, best_density, best_pass, passes
+        passes += 1
+        density = W / remaining
+        threshold = factor * density
+        cutoff = threshold + eps_slack
+        bstar = _bucket_index(cutoff, width, nb)
+        nodes_before = remaining
+        weight_before = W
+
+        r = 0
+        for b in range(bstar + 1):
+            i = head[b]
+            while i >= 0:
+                nxt_i = nxt[i]
+                if deg[i] <= cutoff:
+                    _list_unlink(i, np.int32(b), head, nxt, prv)
+                    bucket_of[i] = -1
+                    frontier[r] = i
+                    r += 1
+                i = nxt_i
+        front = frontier[:r]
+        front.sort()  # ascending: the python kill order
+
+        for t in range(r):
+            i = front[t]
+            alive[i] = 0
+            for p in range(indptr[i], indptr[i + 1]):
+                j = indices[p]
+                if alive[j]:
+                    w = weights[p]
+                    W -= w
+                    deg[j] -= w
+                    bj = bucket_of[j]
+                    if bj >= 0:
+                        tb = _bucket_index(deg[j], width, nb)
+                        if tb < bj:
+                            _list_unlink(j, bj, head, nxt, prv)
+                            _list_push(j, np.int32(tb), head, nxt, prv, bucket_of)
+        remaining -= r
+        density_after = W / remaining if remaining > 0 else 0.0
+        row = passes - 1
+        trace[row, 0] = nodes_before
+        trace[row, 1] = weight_before
+        trace[row, 2] = density
+        trace[row, 3] = threshold
+        trace[row, 4] = r
+        trace[row, 5] = remaining
+        trace[row, 6] = W
+        trace[row, 7] = density_after
+        if density_after > best_density:
+            best_density = density_after
+            best_pass = passes
+            best_alive[:] = alive
+    return 0, best_density, best_pass, passes
+
+
+@njit(cache=True)
+def peel_atleast_k(
+    indptr, indices, weights, n, total_weight, factor, batch_fraction,
+    eps_slack, k, stop_below_k, nb, deg, alive, best_alive, bucket_of,
+    nxt, prv, head, frontier, trace,
+):
+    trace_cap = trace.shape[0]
+    width = _build_buckets(deg, n, nb, head, nxt, prv, bucket_of)
+    remaining = n
+    W = total_weight
+    best_density = W / n if n > 0 else 0.0
+    best_pass = np.int64(0)
+    passes = np.int64(0)
+
+    while remaining > 0:
+        if stop_below_k and remaining < k:
+            break
+        if passes >= trace_cap:
+            return TRACE_OVERFLOW, best_density, best_pass, passes
+        passes += 1
+        density = W / remaining
+        threshold = factor * density
+        cutoff = threshold + eps_slack
+        bstar = _bucket_index(cutoff, width, nb)
+        nodes_before = remaining
+        weight_before = W
+
+        c = 0
+        for b in range(bstar + 1):
+            i = head[b]
+            while i >= 0:
+                if deg[i] <= cutoff:
+                    frontier[c] = i
+                    c += 1
+                i = nxt[i]
+        cand = frontier[:c]
+        cand.sort()  # ascending ids first ...
+        # ... then a stable sort on degree reproduces the reference's
+        # (degree, index) tie-break exactly.
+        order = np.argsort(deg[cand], kind="mergesort")
+        batch = np.int64(np.floor(batch_fraction * remaining))
+        if batch < 1:
+            batch = 1
+        if batch > c:
+            batch = c
+        picked = cand[order[:batch]].copy()
+
+        for t in range(batch):
+            i = picked[t]
+            _list_unlink(i, bucket_of[i], head, nxt, prv)
+            bucket_of[i] = -1
+        for t in range(batch):
+            i = picked[t]
+            alive[i] = 0
+            for p in range(indptr[i], indptr[i + 1]):
+                j = indices[p]
+                if alive[j]:
+                    w = weights[p]
+                    W -= w
+                    deg[j] -= w
+                    bj = bucket_of[j]
+                    if bj >= 0:
+                        tb = _bucket_index(deg[j], width, nb)
+                        if tb < bj:
+                            _list_unlink(j, bj, head, nxt, prv)
+                            _list_push(j, np.int32(tb), head, nxt, prv, bucket_of)
+        remaining -= batch
+        density_after = W / remaining if remaining > 0 else 0.0
+        row = passes - 1
+        trace[row, 0] = nodes_before
+        trace[row, 1] = weight_before
+        trace[row, 2] = density
+        trace[row, 3] = threshold
+        trace[row, 4] = batch
+        trace[row, 5] = remaining
+        trace[row, 6] = W
+        trace[row, 7] = density_after
+        if remaining >= k and density_after > best_density:
+            best_density = density_after
+            best_pass = passes
+            best_alive[:] = alive
+    return 0, best_density, best_pass, passes
+
+
+@njit(cache=True)
+def peel_directed(
+    out_indptr, out_indices, out_weights, in_indptr, in_indices, in_weights,
+    n, total_weight, ratio, one_plus_eps, eps_slack, use_max_degree_rule, nb,
+    out_to_t, in_from_s, in_s, in_t, best_s, best_t,
+    s_bucket_of, s_nxt, s_prv, s_head, t_bucket_of, t_nxt, t_prv, t_head,
+    frontier, trace,
+):
+    trace_cap = trace.shape[0]
+    s_width = _build_buckets(out_to_t, n, nb, s_head, s_nxt, s_prv, s_bucket_of)
+    t_width = _build_buckets(in_from_s, n, nb, t_head, t_nxt, t_prv, t_bucket_of)
+    s_size = n
+    t_size = n
+    W = total_weight
+    best_density = W / np.sqrt(np.float64(n) * np.float64(n)) if n > 0 else 0.0
+    best_pass = np.int64(0)
+    passes = np.int64(0)
+
+    while s_size > 0 and t_size > 0:
+        if passes >= trace_cap:
+            return TRACE_OVERFLOW, best_density, best_pass, passes
+        passes += 1
+        density = W / np.sqrt(np.float64(s_size) * np.float64(t_size))
+        if use_max_degree_rule:
+            max_out = 0.0
+            max_in = 0.0
+            for i in range(n):
+                if in_s[i] and out_to_t[i] > max_out:
+                    max_out = out_to_t[i]
+                if in_t[i] and in_from_s[i] > max_in:
+                    max_in = in_from_s[i]
+            peel_s = True if max_out <= 0.0 else (max_in / max_out >= ratio)
+        else:
+            peel_s = np.float64(s_size) / np.float64(t_size) >= ratio
+
+        s_before = s_size
+        t_before = t_size
+        weight_before = W
+        r = 0
+        if peel_s:
+            threshold = one_plus_eps * W / s_size
+            cutoff = threshold + eps_slack
+            bstar = _bucket_index(cutoff, s_width, nb)
+            for b in range(bstar + 1):
+                i = s_head[b]
+                while i >= 0:
+                    nxt_i = s_nxt[i]
+                    if out_to_t[i] <= cutoff:
+                        _list_unlink(i, np.int32(b), s_head, s_nxt, s_prv)
+                        s_bucket_of[i] = -1
+                        frontier[r] = i
+                        r += 1
+                    i = nxt_i
+            front = frontier[:r]
+            front.sort()
+            for t in range(r):
+                i = front[t]
+                in_s[i] = 0
+                for p in range(out_indptr[i], out_indptr[i + 1]):
+                    j = out_indices[p]
+                    if in_t[j]:
+                        w = out_weights[p]
+                        W -= w
+                        in_from_s[j] -= w
+                        bj = t_bucket_of[j]
+                        if bj >= 0:
+                            tb = _bucket_index(in_from_s[j], t_width, nb)
+                            if tb < bj:
+                                _list_unlink(j, bj, t_head, t_nxt, t_prv)
+                                _list_push(
+                                    j, np.int32(tb), t_head, t_nxt, t_prv,
+                                    t_bucket_of,
+                                )
+            s_size -= r
+        else:
+            threshold = one_plus_eps * W / t_size
+            cutoff = threshold + eps_slack
+            bstar = _bucket_index(cutoff, t_width, nb)
+            for b in range(bstar + 1):
+                j = t_head[b]
+                while j >= 0:
+                    nxt_j = t_nxt[j]
+                    if in_from_s[j] <= cutoff:
+                        _list_unlink(j, np.int32(b), t_head, t_nxt, t_prv)
+                        t_bucket_of[j] = -1
+                        frontier[r] = j
+                        r += 1
+                    j = nxt_j
+            front = frontier[:r]
+            front.sort()
+            for t in range(r):
+                j = front[t]
+                in_t[j] = 0
+                for p in range(in_indptr[j], in_indptr[j + 1]):
+                    i = in_indices[p]
+                    if in_s[i]:
+                        w = in_weights[p]
+                        W -= w
+                        out_to_t[i] -= w
+                        bi = s_bucket_of[i]
+                        if bi >= 0:
+                            tb = _bucket_index(out_to_t[i], s_width, nb)
+                            if tb < bi:
+                                _list_unlink(i, bi, s_head, s_nxt, s_prv)
+                                _list_push(
+                                    i, np.int32(tb), s_head, s_nxt, s_prv,
+                                    s_bucket_of,
+                                )
+            t_size -= r
+
+        if s_size > 0 and t_size > 0:
+            density_after = W / np.sqrt(np.float64(s_size) * np.float64(t_size))
+        else:
+            density_after = 0.0
+        row = passes - 1
+        trace[row, 0] = 0.0 if peel_s else 1.0
+        trace[row, 1] = s_before
+        trace[row, 2] = t_before
+        trace[row, 3] = weight_before
+        trace[row, 4] = density
+        trace[row, 5] = threshold
+        trace[row, 6] = r
+        trace[row, 7] = s_size
+        trace[row, 8] = t_size
+        trace[row, 9] = W
+        trace[row, 10] = density_after
+        if density_after > best_density:
+            best_density = density_after
+            best_pass = passes
+            best_s[:] = in_s
+            best_t[:] = in_t
+    return 0, best_density, best_pass, passes

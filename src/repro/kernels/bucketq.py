@@ -1,0 +1,494 @@
+"""Incremental bucket-queue peeling kernels (the ``bucketq`` tier).
+
+The numpy kernels in :mod:`repro.kernels.peel` pay a full O(n) mask
+scan per pass to find the removal frontier, so a deep peel costs
+O(n·passes) on top of the O(m) edge work.  This module replaces the
+per-pass rescan with a monotone *bucket queue* over the degree values:
+
+* Degrees are hashed into ``NUM_BUCKETS`` equal-width buckets keyed by
+  ``trunc(degree / width)`` (width fixed from the initial maximum
+  degree).  Peeling only ever *decreases* degrees, so a node's bucket
+  index is non-increasing — moves are appended lazily to the target
+  bucket and stale entries left behind in higher buckets are filtered
+  by a current-bucket check on drain (classic lazy deletion).
+* A pass with cutoff ``c`` drains exactly the buckets ``<=
+  trunc(c / width)``: truncation is monotone, so every node with
+  ``degree <= c`` provably lives in a drained bucket.  Drained
+  survivors (boundary-bucket nodes above the cutoff) are re-appended.
+* Total appends are O(n + moves) and each edge moves its endpoint at
+  most O(1) amortized times per weight decrement, so the queue work is
+  O(m + n) across the whole peel — no per-pass O(n) rescans.
+
+Parity contract (the reason this file re-uses the exact removal
+arithmetic of :mod:`repro.kernels.peel`): the removal frontier is
+computed from the degrees *at pass start*, the removed index arrays
+are produced in the same order as ``np.flatnonzero`` / the reference
+stable sort, and the degree decrements go through the same
+``np.bincount`` calls — so the bucketq tier's node sets, traces, pass
+counts, *and float fields* are bit-identical to the numpy engine, not
+merely tolerance-close.  ``tests/test_kernels_parity.py`` and
+``tests/test_kernels_tiers.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._tolerances import THRESHOLD_EPS
+from ..core.trace import DirectedPassRecord, PassRecord
+from .csr import CSRDigraph, CSRGraph
+from .peel import DirectedPeelOutcome, PeelOutcome, _gather_rows
+
+#: Bucket count of the degree queue.  More buckets mean tighter drains
+#: (fewer above-cutoff nodes touched in the boundary bucket) at the
+#: cost of a longer per-pass bucket walk; 2048 keeps both negligible.
+NUM_BUCKETS = 2048
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class BucketQueue:
+    """Monotone lazy-deletion bucket queue over float keys.
+
+    Keys may only decrease after insertion (the peeling invariant).
+    Entries are id arrays chunked per bucket; a node's authoritative
+    bucket is ``bucket_of[node]`` (−1 once removed), and any chunk
+    entry whose bucket disagrees is stale and dropped on drain.
+    """
+
+    __slots__ = ("width", "num_buckets", "bucket_of", "_chunks")
+
+    def __init__(self, values: np.ndarray, num_buckets: int = NUM_BUCKETS) -> None:
+        n = int(values.size)
+        vmax = float(values.max()) if n else 0.0
+        self.num_buckets = int(num_buckets)
+        self.width = vmax / self.num_buckets if vmax > 0.0 else 1.0
+        self.bucket_of = self._bucket_index(values)
+        self._chunks: List[List[np.ndarray]] = [[] for _ in range(self.num_buckets)]
+        if n:
+            order = np.argsort(self.bucket_of, kind="stable")
+            self._append_grouped(order.astype(np.int64), self.bucket_of[order])
+
+    def _bucket_index(self, values: np.ndarray) -> np.ndarray:
+        # Truncation (not floor): degrees are >= 0 up to fp noise, and
+        # for tiny negatives truncation rounds *up* to bucket 0, which
+        # keeps the drain guarantee (cutoffs are always > 0).
+        b = (np.asarray(values, dtype=np.float64) / self.width).astype(np.int64)
+        np.clip(b, 0, self.num_buckets - 1, out=b)
+        return b
+
+    def _append_grouped(self, ids: np.ndarray, buckets: np.ndarray) -> None:
+        """Append ``ids`` to their buckets; ``buckets`` must be sorted."""
+        if not ids.size:
+            return
+        starts = np.flatnonzero(np.r_[True, buckets[1:] != buckets[:-1]])
+        bounds = np.append(starts, ids.size)
+        for i, start in enumerate(starts.tolist()):
+            self._chunks[int(buckets[start])].append(ids[start : bounds[i + 1]])
+
+    def drain_upto(self, cutoff: float) -> np.ndarray:
+        """Pop every current entry in buckets ``<= trunc(cutoff/width)``.
+
+        Returns the (unsorted, duplicate-free) ids; every queued node
+        with key ``<= cutoff`` is guaranteed to be among them.  The
+        caller decides removals and must :meth:`reinsert` survivors.
+        """
+        if cutoff < 0.0:
+            return _EMPTY
+        bstar = min(int(cutoff / self.width), self.num_buckets - 1)
+        bucket_of = self.bucket_of
+        popped: List[np.ndarray] = []
+        for b in range(bstar + 1):
+            chunks = self._chunks[b]
+            if not chunks:
+                continue
+            self._chunks[b] = []
+            for chunk in chunks:
+                valid = chunk[bucket_of[chunk] == b]
+                if valid.size:
+                    popped.append(valid)
+        if not popped:
+            return _EMPTY
+        return popped[0] if len(popped) == 1 else np.concatenate(popped)
+
+    def reinsert(self, ids: np.ndarray) -> None:
+        """Put drained-but-kept ids back into their current buckets."""
+        if not ids.size:
+            return
+        buckets = self.bucket_of[ids]
+        order = np.argsort(buckets, kind="stable")
+        self._append_grouped(ids[order], buckets[order])
+
+    def remove(self, ids: np.ndarray) -> None:
+        """Mark ids as gone (their chunk entries become stale)."""
+        if ids.size:
+            self.bucket_of[ids] = -1
+
+    def decrease(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Note decreased keys for ``ids``; moves lazily to lower buckets.
+
+        Ids already removed from the queue are ignored.
+        """
+        if not ids.size:
+            return
+        current = self.bucket_of[ids]
+        target = self._bucket_index(values)
+        moved = (current >= 0) & (target < current)
+        if not moved.any():
+            return
+        ids = ids[moved]
+        target = target[moved]
+        self.bucket_of[ids] = target
+        order = np.argsort(target, kind="stable")
+        self._append_grouped(ids[order], target[order])
+
+
+def _remove_frontier_undirected(
+    csr: CSRGraph,
+    removed: np.ndarray,
+    remove_mask: np.ndarray,
+    alive: np.ndarray,
+    degrees: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """Kill ``removed``; return (weight that left S, touched survivors).
+
+    Same gather/bincount arithmetic as
+    :func:`repro.kernels.peel._remove_frontier_undirected` — the float
+    results are bit-identical — plus the sorted unique external
+    neighbors, which is what the bucket queue needs to relocate.
+    """
+    pos = _gather_rows(csr.indptr, removed)
+    nbr = csr.indices[pos]
+    wts = csr.weights[pos]
+    live = alive[nbr]  # neighbors alive before this pass
+    nbr = nbr[live]
+    wts = wts[live]
+    internal = remove_mask[nbr]
+    removed_weight = float(wts.sum()) - 0.5 * float(wts[internal].sum())
+    external = ~internal
+    touched = _EMPTY
+    if external.any():
+        ext = nbr[external]
+        degrees -= np.bincount(ext, weights=wts[external], minlength=alive.size)
+        touched = np.unique(ext)
+    alive[removed] = False
+    return removed_weight, touched
+
+
+def peel_undirected(
+    csr: CSRGraph,
+    epsilon: float,
+    *,
+    max_passes: Optional[int] = None,
+) -> PeelOutcome:
+    """Algorithm 1 on the bucket queue (bit-identical to the numpy tier)."""
+    n = csr.num_nodes
+    alive = np.ones(n, dtype=bool)
+    degrees = csr.degrees.astype(np.float64, copy=True)
+    remaining_nodes = n
+    remaining_weight = csr.total_weight
+
+    best_indices = np.arange(n, dtype=np.int64)
+    best_density = remaining_weight / remaining_nodes
+    best_pass = 0
+
+    trace: List[PassRecord] = []
+    pass_index = 0
+    factor = 2.0 * (1.0 + epsilon)
+    queue = BucketQueue(degrees)
+    remove_mask = np.zeros(n, dtype=bool)
+
+    while remaining_nodes > 0:
+        if max_passes is not None and pass_index >= max_passes:
+            break
+        pass_index += 1
+        density = remaining_weight / remaining_nodes
+        threshold = factor * density
+        cutoff = threshold + THRESHOLD_EPS
+        drained = queue.drain_upto(cutoff)
+        below = degrees[drained] <= cutoff
+        # Ascending order = the numpy engine's np.flatnonzero order, so
+        # the shared removal arithmetic sees the same input sequence.
+        removed = np.sort(drained[below])
+        queue.reinsert(drained[~below])
+        nodes_before = remaining_nodes
+        weight_before = remaining_weight
+        if removed.size:
+            queue.remove(removed)
+            remove_mask[removed] = True
+            removed_weight, touched = _remove_frontier_undirected(
+                csr, removed, remove_mask, alive, degrees
+            )
+            remove_mask[removed] = False
+            queue.decrease(touched, degrees[touched])
+            remaining_weight -= removed_weight
+            remaining_nodes -= int(removed.size)
+        density_after = (
+            remaining_weight / remaining_nodes if remaining_nodes > 0 else 0.0
+        )
+        trace.append(
+            PassRecord(
+                pass_index=pass_index,
+                nodes_before=nodes_before,
+                edges_before=weight_before,
+                density_before=density,
+                threshold=threshold,
+                removed=int(removed.size),
+                nodes_after=remaining_nodes,
+                edges_after=remaining_weight,
+                density_after=density_after,
+            )
+        )
+        if density_after > best_density:
+            best_density = density_after
+            best_indices = np.flatnonzero(alive)
+            best_pass = pass_index
+
+    return PeelOutcome(
+        best_indices=best_indices,
+        best_density=best_density,
+        passes=pass_index,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+
+
+def peel_atleast_k(
+    csr: CSRGraph,
+    k: int,
+    epsilon: float,
+    *,
+    stop_below_k: bool = True,
+) -> PeelOutcome:
+    """Algorithm 2 on the bucket queue (bit-identical to the numpy tier)."""
+    n = csr.num_nodes
+    alive = np.ones(n, dtype=bool)
+    degrees = csr.degrees.astype(np.float64, copy=True)
+    remaining_nodes = n
+    remaining_weight = csr.total_weight
+
+    best_indices = np.arange(n, dtype=np.int64)
+    best_density = remaining_weight / remaining_nodes
+    best_pass = 0
+
+    trace: List[PassRecord] = []
+    pass_index = 0
+    factor = 2.0 * (1.0 + epsilon)
+    batch_fraction = epsilon / (1.0 + epsilon)
+    queue = BucketQueue(degrees)
+    remove_mask = np.zeros(n, dtype=bool)
+
+    while remaining_nodes > 0:
+        if stop_below_k and remaining_nodes < k:
+            break
+        pass_index += 1
+        density = remaining_weight / remaining_nodes
+        threshold = factor * density
+        cutoff = threshold + THRESHOLD_EPS
+        drained = queue.drain_upto(cutoff)
+        below = degrees[drained] <= cutoff
+        # The reference enumerates candidates in ascending index order
+        # and stable-sorts by degree; sorting the drained set first
+        # reproduces that tie-break exactly.
+        candidates = np.sort(drained[below])
+        queue.reinsert(drained[~below])
+        batch_size = max(1, math.floor(batch_fraction * remaining_nodes))
+        batch_size = min(batch_size, int(candidates.size))
+        order = np.argsort(degrees[candidates], kind="stable")
+        removed = candidates[order[:batch_size]]
+        queue.reinsert(candidates[order[batch_size:]])
+
+        nodes_before = remaining_nodes
+        weight_before = remaining_weight
+        if removed.size:
+            queue.remove(removed)
+            remove_mask[removed] = True
+            removed_weight, touched = _remove_frontier_undirected(
+                csr, removed, remove_mask, alive, degrees
+            )
+            remove_mask[removed] = False
+            queue.decrease(touched, degrees[touched])
+            remaining_weight -= removed_weight
+            remaining_nodes -= int(removed.size)
+        density_after = (
+            remaining_weight / remaining_nodes if remaining_nodes > 0 else 0.0
+        )
+        trace.append(
+            PassRecord(
+                pass_index=pass_index,
+                nodes_before=nodes_before,
+                edges_before=weight_before,
+                density_before=density,
+                threshold=threshold,
+                removed=int(removed.size),
+                nodes_after=remaining_nodes,
+                edges_after=remaining_weight,
+                density_after=density_after,
+            )
+        )
+        if remaining_nodes >= k and density_after > best_density:
+            best_density = density_after
+            best_indices = np.flatnonzero(alive)
+            best_pass = pass_index
+
+    return PeelOutcome(
+        best_indices=best_indices,
+        best_density=best_density,
+        passes=pass_index,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+
+
+def _max_degree_rule_arrays(
+    out_to_t: np.ndarray,
+    in_from_s: np.ndarray,
+    in_s: np.ndarray,
+    in_t: np.ndarray,
+    ratio: float,
+) -> bool:
+    """The §4.3 ablation rule (O(n) per pass; same as the numpy tier)."""
+    max_out = float(out_to_t[in_s].max()) if in_s.any() else 0.0
+    max_in = float(in_from_s[in_t].max()) if in_t.any() else 0.0
+    if max_out <= 0.0:
+        return True
+    return max_in / max_out >= ratio
+
+
+def peel_directed(
+    csr: CSRDigraph,
+    ratio: float,
+    epsilon: float,
+    *,
+    side_rule: str = "size_ratio",
+) -> DirectedPeelOutcome:
+    """Algorithm 3 on two bucket queues (bit-identical to the numpy tier).
+
+    The S side queues w(E(i,T)) and the T side queues w(E(S,j)); a peel
+    on one side cascades key decreases into the *other* side's queue.
+    """
+    n = csr.num_nodes
+    in_s = np.ones(n, dtype=bool)
+    in_t = np.ones(n, dtype=bool)
+    s_size = n
+    t_size = n
+    out_to_t = csr.out_degrees.astype(np.float64, copy=True)
+    in_from_s = csr.in_degrees.astype(np.float64, copy=True)
+    edge_weight = csr.total_weight
+
+    best_s = np.arange(n, dtype=np.int64)
+    best_t = np.arange(n, dtype=np.int64)
+    best_density = edge_weight / math.sqrt(n * n)
+    best_pass = 0
+
+    trace: List[DirectedPassRecord] = []
+    pass_index = 0
+    one_plus_eps = 1.0 + epsilon
+    s_queue = BucketQueue(out_to_t)
+    t_queue = BucketQueue(in_from_s)
+
+    while s_size > 0 and t_size > 0:
+        pass_index += 1
+        density = edge_weight / math.sqrt(s_size * t_size)
+        if side_rule == "size_ratio":
+            peel_s = s_size / t_size >= ratio
+        else:
+            peel_s = _max_degree_rule_arrays(out_to_t, in_from_s, in_s, in_t, ratio)
+
+        s_before, t_before = s_size, t_size
+        weight_before = edge_weight
+        if peel_s:
+            threshold = one_plus_eps * edge_weight / s_size
+            cutoff = threshold + THRESHOLD_EPS
+            drained = s_queue.drain_upto(cutoff)
+            below = out_to_t[drained] <= cutoff
+            removed = np.sort(drained[below])
+            s_queue.reinsert(drained[~below])
+            s_queue.remove(removed)
+            pos = _gather_rows(csr.out_indptr, removed)
+            nbr = csr.out_indices[pos]
+            wts = csr.out_weights[pos]
+            live = in_t[nbr]
+            nbr = nbr[live]
+            wts = wts[live]
+            edge_weight -= float(wts.sum())
+            if nbr.size:
+                in_from_s -= np.bincount(nbr, weights=wts, minlength=n)
+                touched = np.unique(nbr)
+                t_queue.decrease(touched, in_from_s[touched])
+            in_s[removed] = False
+            s_size -= int(removed.size)
+            side = "S"
+        else:
+            threshold = one_plus_eps * edge_weight / t_size
+            cutoff = threshold + THRESHOLD_EPS
+            drained = t_queue.drain_upto(cutoff)
+            below = in_from_s[drained] <= cutoff
+            removed = np.sort(drained[below])
+            t_queue.reinsert(drained[~below])
+            t_queue.remove(removed)
+            pos = _gather_rows(csr.in_indptr, removed)
+            nbr = csr.in_indices[pos]
+            wts = csr.in_weights[pos]
+            live = in_s[nbr]
+            nbr = nbr[live]
+            wts = wts[live]
+            edge_weight -= float(wts.sum())
+            if nbr.size:
+                out_to_t -= np.bincount(nbr, weights=wts, minlength=n)
+                touched = np.unique(nbr)
+                s_queue.decrease(touched, out_to_t[touched])
+            in_t[removed] = False
+            t_size -= int(removed.size)
+            side = "T"
+
+        if s_size > 0 and t_size > 0:
+            density_after = edge_weight / math.sqrt(s_size * t_size)
+        else:
+            density_after = 0.0
+        trace.append(
+            DirectedPassRecord(
+                pass_index=pass_index,
+                side=side,
+                s_before=s_before,
+                t_before=t_before,
+                edges_before=weight_before,
+                density_before=density,
+                threshold=threshold,
+                removed=int(removed.size),
+                s_after=s_size,
+                t_after=t_size,
+                edges_after=edge_weight,
+                density_after=density_after,
+            )
+        )
+        if density_after > best_density:
+            best_density = density_after
+            best_s = np.flatnonzero(in_s)
+            best_t = np.flatnonzero(in_t)
+            best_pass = pass_index
+
+    return DirectedPeelOutcome(
+        best_s=best_s,
+        best_t=best_t,
+        best_density=best_density,
+        passes=pass_index,
+        best_pass=best_pass,
+        trace=tuple(trace),
+    )
+
+
+def peel_directed_sweep(
+    csr: CSRDigraph,
+    ratios: Sequence[float],
+    epsilon: float,
+    *,
+    side_rule: str = "size_ratio",
+) -> List[DirectedPeelOutcome]:
+    """Run :func:`peel_directed` for every c in ``ratios`` (shared CSR)."""
+    return [
+        peel_directed(csr, ratio, epsilon, side_rule=side_rule) for ratio in ratios
+    ]

@@ -360,7 +360,12 @@ class CSRGraph:
         Sum of all edge weights, each undirected edge counted once.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "degrees", "labels", "total_weight")
+    # _peel_args caches the contiguity-checked arrays (plus their raw
+    # pointers) the native tier passes to the compiled kernels.
+    __slots__ = (
+        "indptr", "indices", "weights", "degrees", "labels", "total_weight",
+        "_peel_args",
+    )
 
     def __init__(
         self,
@@ -620,6 +625,7 @@ class CSRDigraph:
         "in_degrees",
         "labels",
         "total_weight",
+        "_peel_args",
     )
 
     def __init__(

@@ -114,6 +114,10 @@ def peel_undirected(
     trace: List[PassRecord] = []
     pass_index = 0
     factor = 2.0 * (1.0 + epsilon)
+    # One reusable frontier mask for the whole peel: the per-pass
+    # comparison writes into it in place instead of allocating two
+    # fresh n-length temporaries every round.
+    remove_mask = np.empty(n, dtype=bool)
 
     while remaining_nodes > 0:
         if max_passes is not None and pass_index >= max_passes:
@@ -121,7 +125,8 @@ def peel_undirected(
         pass_index += 1
         density = remaining_weight / remaining_nodes
         threshold = factor * density
-        remove_mask = alive & (degrees <= threshold + THRESHOLD_EPS)
+        np.less_equal(degrees, threshold + THRESHOLD_EPS, out=remove_mask)
+        remove_mask &= alive
         removed = np.flatnonzero(remove_mask)
         nodes_before = remaining_nodes
         weight_before = remaining_weight
@@ -187,6 +192,11 @@ def peel_atleast_k(
     pass_index = 0
     factor = 2.0 * (1.0 + epsilon)
     batch_fraction = epsilon / (1.0 + epsilon)
+    # Reusable scratch: the candidate mask is overwritten per pass; the
+    # removal mask stays all-False between passes and only the batch's
+    # entries are set and reset, so no per-pass O(n) zeroing either.
+    candidate_mask = np.empty(n, dtype=bool)
+    remove_mask = np.zeros(n, dtype=bool)
 
     while remaining_nodes > 0:
         if stop_below_k and remaining_nodes < k:
@@ -194,20 +204,22 @@ def peel_atleast_k(
         pass_index += 1
         density = remaining_weight / remaining_nodes
         threshold = factor * density
-        candidates = np.flatnonzero(alive & (degrees <= threshold + THRESHOLD_EPS))
+        np.less_equal(degrees, threshold + THRESHOLD_EPS, out=candidate_mask)
+        candidate_mask &= alive
+        candidates = np.flatnonzero(candidate_mask)
         batch_size = max(1, math.floor(batch_fraction * remaining_nodes))
         batch_size = min(batch_size, int(candidates.size))
         order = np.argsort(degrees[candidates], kind="stable")
         removed = candidates[order[:batch_size]]
-        remove_mask = np.zeros(n, dtype=bool)
-        remove_mask[removed] = True
 
         nodes_before = remaining_nodes
         weight_before = remaining_weight
         if removed.size:
+            remove_mask[removed] = True
             remaining_weight -= _remove_frontier_undirected(
                 csr, removed, remove_mask, alive, degrees
             )
+            remove_mask[removed] = False
             remaining_nodes -= int(removed.size)
         density_after = (
             remaining_weight / remaining_nodes if remaining_nodes > 0 else 0.0
@@ -279,6 +291,8 @@ def peel_directed(
     trace: List[DirectedPassRecord] = []
     pass_index = 0
     one_plus_eps = 1.0 + epsilon
+    # Reused across passes; per pass the side's comparison overwrites it.
+    frontier_mask = np.empty(n, dtype=bool)
 
     while s_size > 0 and t_size > 0:
         pass_index += 1
@@ -292,7 +306,9 @@ def peel_directed(
         weight_before = edge_weight
         if peel_s:
             threshold = one_plus_eps * edge_weight / s_size
-            removed = np.flatnonzero(in_s & (out_to_t <= threshold + THRESHOLD_EPS))
+            np.less_equal(out_to_t, threshold + THRESHOLD_EPS, out=frontier_mask)
+            frontier_mask &= in_s
+            removed = np.flatnonzero(frontier_mask)
             pos = _gather_rows(csr.out_indptr, removed)
             nbr = csr.out_indices[pos]
             wts = csr.out_weights[pos]
@@ -307,7 +323,9 @@ def peel_directed(
             side = "S"
         else:
             threshold = one_plus_eps * edge_weight / t_size
-            removed = np.flatnonzero(in_t & (in_from_s <= threshold + THRESHOLD_EPS))
+            np.less_equal(in_from_s, threshold + THRESHOLD_EPS, out=frontier_mask)
+            frontier_mask &= in_t
+            removed = np.flatnonzero(frontier_mask)
             pos = _gather_rows(csr.in_indptr, removed)
             nbr = csr.in_indices[pos]
             wts = csr.in_weights[pos]

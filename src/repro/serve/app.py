@@ -371,6 +371,12 @@ class DensestService:
         payload = self.catalog.stats()
         payload["queue"] = self.jobs.queue_depth()
         payload["uptime_seconds"] = time.time() - self.started_at
+        try:
+            from ..kernels import tier_report
+
+            payload["kernel_tiers"] = tier_report()
+        except Exception:  # pragma: no cover - report must never break /stats
+            payload["kernel_tiers"] = None
         return payload
 
     def close(self) -> None:

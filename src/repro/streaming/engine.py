@@ -88,8 +88,10 @@ class _IntStreamScanner:
     most recent scan's record counts for the compaction trigger.
     """
 
-    def __init__(self, labels) -> None:
+    def __init__(self, labels, threads: int = 1) -> None:
         from ..kernels.csr import build_label_index
+
+        self.threads = max(1, int(threads))
 
         if isinstance(labels, range):
             # Dense-identity universes (shard stores) skip the O(n)
@@ -120,7 +122,7 @@ class _IntStreamScanner:
         self.last_kept = 0
 
     @classmethod
-    def build(cls, labels) -> Optional["_IntStreamScanner"]:
+    def build(cls, labels, threads: int = 1) -> Optional["_IntStreamScanner"]:
         """A scanner for ``labels``, or None when ineligible."""
         if FORCE_PYTHON_SCAN or _np is None or not labels:
             return None
@@ -129,7 +131,7 @@ class _IntStreamScanner:
 
             if not _all_int_labels(labels):
                 return None
-        return cls(labels)
+        return cls(labels, threads=threads)
 
     def _missing(self, first_bad):
         return StreamError(
@@ -193,6 +195,157 @@ class _IntStreamScanner:
             if arr.size < _SCAN_CHUNK:
                 return
 
+    def _chunk_tasks(self, stream: EdgeStream, alive=None, dst_alive=None):
+        """A task-shaped pass for the threaded scan, or None.
+
+        Eligible only when this scanner has a thread pool to feed
+        (``threads > 1``) and the stream serves
+        :meth:`~repro.streaming.stream.EdgeStream.edge_array_chunk_tasks`.
+        Skip hints follow the same rule as :meth:`_chunks`: forwarded
+        only when dense indices and node ids coincide.
+        """
+        if self.threads <= 1:
+            return None
+        dense = getattr(stream, "dense_ids", False)
+        if alive is not None and (dense or self._identity):
+            return stream.edge_array_chunk_tasks(alive=alive, dst_alive=dst_alive)
+        return stream.edge_array_chunk_tasks()
+
+    def _run_ordered(self, tasks, process):
+        """Yield ``process(*task())`` for every task, in task order.
+
+        A sized thread pool (``self.threads`` workers) runs the tasks
+        concurrently — the shard memmap page-in and the numpy chunk
+        work both release the GIL — while a bounded in-flight window
+        (2× the pool) caps transient memory at O(window · chunk).
+        Results are consumed strictly in submission order, which is
+        what keeps the caller's merge bit-identical to the sequential
+        scan.
+        """
+        from collections import deque
+        from concurrent.futures import ThreadPoolExecutor
+
+        pending = deque()
+        task_iter = iter(tasks)
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+
+            def submit_next() -> bool:
+                try:
+                    task = next(task_iter)
+                except StopIteration:
+                    return False
+                pending.append(pool.submit(lambda t=task: process(*t())))
+                return True
+
+            for _ in range(self.threads * 2):
+                if not submit_next():
+                    break
+            while pending:
+                result = pending.popleft().result()
+                submit_next()
+                yield result
+
+    def _scan_undirected_parallel(self, pass_obj, alive, sink, dense):
+        """The threaded body of :meth:`scan_undirected`.
+
+        Workers map, mask, and bincount whole chunks; the main thread
+        merges the partial counters in shard order — arithmetic
+        identical to the sequential per-chunk loop, which accumulates
+        in exactly that order.
+        """
+        degrees = _np.zeros(self.n, dtype=_np.float64)
+        weight = 0.0
+        scanned = 0
+        kept_edges = 0
+        all_alive = bool(alive.all())
+
+        def process(u, v, w):
+            ui = _np.asarray(u, dtype=_np.int64)
+            vi = _np.asarray(v, dtype=_np.int64)
+            wf = _np.asarray(w, dtype=_np.float64)
+            if not dense:
+                ui = self._map(ui)
+                vi = self._map(vi)
+            n_records = int(ui.size)
+            if all_alive:
+                kui, kvi, kept = ui, vi, wf
+            else:
+                keep = alive[ui] & alive[vi]
+                if keep.all():
+                    kui, kvi, kept = ui, vi, wf
+                elif keep.any():
+                    kui = ui[keep]
+                    kvi = vi[keep]
+                    kept = wf[keep]
+                else:
+                    return n_records, None, None, None, None, None, 0.0
+            bu = _np.bincount(kui, weights=kept)
+            bv = _np.bincount(kvi, weights=kept)
+            return n_records, kui, kvi, kept, bu, bv, float(kept.sum())
+
+        for n_records, kui, kvi, kept, bu, bv, chunk_weight in self._run_ordered(
+            pass_obj.tasks, process
+        ):
+            pass_obj.count(n_records)
+            scanned += n_records
+            if kui is None:
+                continue
+            kept_edges += int(kui.size)
+            degrees[: bu.size] += bu
+            degrees[: bv.size] += bv
+            weight += chunk_weight
+            if sink is not None:
+                sink.append(kui, kvi, kept)
+        self.last_scanned = scanned
+        self.last_kept = kept_edges
+        return degrees, weight
+
+    def _scan_directed_parallel(self, pass_obj, in_s, in_t, sink, dense):
+        """The threaded body of :meth:`scan_directed` (same merge rule)."""
+        out_to_t = _np.zeros(self.n, dtype=_np.float64)
+        in_from_s = _np.zeros(self.n, dtype=_np.float64)
+        weight = 0.0
+        scanned = 0
+        kept_edges = 0
+
+        def process(u, v, w):
+            ui = _np.asarray(u, dtype=_np.int64)
+            vi = _np.asarray(v, dtype=_np.int64)
+            wf = _np.asarray(w, dtype=_np.float64)
+            if not dense:
+                ui = self._map(ui)
+                vi = self._map(vi)
+            n_records = int(ui.size)
+            keep = in_s[ui] & in_t[vi]
+            if keep.all():
+                kui, kvi, kept = ui, vi, wf
+            elif keep.any():
+                kui = ui[keep]
+                kvi = vi[keep]
+                kept = wf[keep]
+            else:
+                return n_records, None, None, None, None, None, 0.0
+            bu = _np.bincount(kui, weights=kept)
+            bv = _np.bincount(kvi, weights=kept)
+            return n_records, kui, kvi, kept, bu, bv, float(kept.sum())
+
+        for n_records, kui, kvi, kept, bu, bv, chunk_weight in self._run_ordered(
+            pass_obj.tasks, process
+        ):
+            pass_obj.count(n_records)
+            scanned += n_records
+            if kui is None:
+                continue
+            kept_edges += int(kui.size)
+            out_to_t[: bu.size] += bu
+            in_from_s[: bv.size] += bv
+            weight += chunk_weight
+            if sink is not None:
+                sink.append(kui, kvi, kept)
+        self.last_scanned = scanned
+        self.last_kept = kept_edges
+        return out_to_t, in_from_s, weight
+
     def scan_undirected(
         self, stream: EdgeStream, alive, sink=None
     ) -> Tuple["_np.ndarray", float]:
@@ -200,7 +353,16 @@ class _IntStreamScanner:
 
         With a ``sink``, every surviving record is also appended to it
         (dense index space) — the fused compaction write.
+
+        With ``threads > 1`` and a task-serving stream (shard stores),
+        the per-chunk work fans out to a thread pool; results and
+        accounting are bit-identical to the sequential scan.
         """
+        pass_obj = self._chunk_tasks(stream, alive=alive)
+        if pass_obj is not None:
+            return self._scan_undirected_parallel(
+                pass_obj, alive, sink, getattr(stream, "dense_ids", False)
+            )
         degrees = _np.zeros(self.n, dtype=_np.float64)
         weight = 0.0
         scanned = 0
@@ -254,6 +416,11 @@ class _IntStreamScanner:
         self, stream: EdgeStream, in_s, in_t, sink=None
     ) -> Tuple["_np.ndarray", "_np.ndarray", float]:
         """w(E(i,T)), w(E(S,j)), and w(E(S,T)), one stream pass."""
+        pass_obj = self._chunk_tasks(stream, alive=in_s, dst_alive=in_t)
+        if pass_obj is not None:
+            return self._scan_directed_parallel(
+                pass_obj, in_s, in_t, sink, getattr(stream, "dense_ids", False)
+            )
         out_to_t = _np.zeros(self.n, dtype=_np.float64)
         in_from_s = _np.zeros(self.n, dtype=_np.float64)
         weight = 0.0
@@ -326,14 +493,21 @@ class _UndirectedPassState:
     invoke :meth:`close` (in a ``finally``) to reap spill directories.
     """
 
-    def __init__(self, stream: EdgeStream, compaction=None) -> None:
+    def __init__(
+        self,
+        stream: EdgeStream,
+        compaction=None,
+        scan_threads: Optional[int] = None,
+    ) -> None:
         self.stream = stream
         self.labels = stream.node_universe()
         if not self.labels:
             raise StreamError("stream has an empty node universe")
         self.n = len(self.labels)
         self.remaining = self.n
-        self._scanner = _IntStreamScanner.build(self.labels)
+        self._scanner = _IntStreamScanner.build(
+            self.labels, threads=scan_threads or 1
+        )
         self._compactor = None
         if self._scanner is not None:
             # The alive state lives only in the maintained dense mask;
@@ -431,6 +605,7 @@ def stream_densest_subgraph(
     max_passes: Optional[int] = None,
     accountant: Optional[MemoryAccountant] = None,
     compaction=None,
+    scan_threads: Optional[int] = None,
 ) -> DensestSubgraphResult:
     """Algorithm 1 in the semi-streaming model.
 
@@ -455,6 +630,10 @@ def stream_densest_subgraph(
         and pass counts, geometrically fewer bytes.  Honored on the
         vectorized scanner path (int-labeled streams); the per-edge
         reference scan ignores it.
+    scan_threads:
+        Thread count for per-shard degree scans (default 1, sequential).
+        Honored only by shard-backed streams on the vectorized scanner
+        path; results and accounting are bit-identical to sequential.
 
     Returns
     -------
@@ -464,7 +643,9 @@ def stream_densest_subgraph(
     epsilon = check_epsilon(epsilon)
     from .compaction import CompactionPolicy
 
-    state = _UndirectedPassState(stream, CompactionPolicy.coerce(compaction))
+    state = _UndirectedPassState(
+        stream, CompactionPolicy.coerce(compaction), scan_threads=scan_threads
+    )
     _charge_exact_memory(accountant, state.n, vectorized=state._scanner is not None)
 
     best_set = None  # None = the full universe (no improvement yet)
@@ -549,20 +730,23 @@ def stream_densest_subgraph_atleast_k(
     *,
     accountant: Optional[MemoryAccountant] = None,
     compaction=None,
+    scan_threads: Optional[int] = None,
 ) -> DensestSubgraphResult:
     """Algorithm 2 in the semi-streaming model (size lower bound k).
 
     Mirrors :func:`repro.core.densest_subgraph_atleast_k`: per pass the
     ε/(1+ε)·|S| lowest-degree members of the threshold set are removed,
     and peeling stops when |S| < k (Lemma 11's pass bound).
-    ``compaction`` is the same control as
+    ``compaction`` and ``scan_threads`` are the same controls as
     :func:`stream_densest_subgraph`'s.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_int(k, "k")
     from .compaction import CompactionPolicy
 
-    state = _UndirectedPassState(stream, CompactionPolicy.coerce(compaction))
+    state = _UndirectedPassState(
+        stream, CompactionPolicy.coerce(compaction), scan_threads=scan_threads
+    )
     if k > state.n:
         raise ParameterError(f"k={k} exceeds the universe of {state.n} nodes")
     _charge_exact_memory(accountant, state.n, vectorized=state._scanner is not None)
@@ -649,12 +833,13 @@ def stream_densest_subgraph_directed(
     *,
     accountant: Optional[MemoryAccountant] = None,
     compaction=None,
+    scan_threads: Optional[int] = None,
 ) -> DirectedDensestSubgraphResult:
     """Algorithm 3 in the semi-streaming model at a fixed ratio c.
 
     Keeps two O(n) counter arrays — w(E(i, T)) and w(E(S, j)) — plus the
     two alive bitmaps; one stream pass per peeling pass recomputes them.
-    ``compaction`` is the same control as
+    ``compaction`` and ``scan_threads`` are the same controls as
     :func:`stream_densest_subgraph`'s — here an edge survives (and is
     rewritten) while its source is still in S *and* its destination
     still in T.
@@ -668,7 +853,7 @@ def stream_densest_subgraph_directed(
     if not labels:
         raise StreamError("stream has an empty node universe")
     n = len(labels)
-    scanner = _IntStreamScanner.build(labels)
+    scanner = _IntStreamScanner.build(labels, threads=scan_threads or 1)
     # The dict index feeds only the per-edge fallback scan.
     index = (
         None if scanner is not None else {node: i for i, node in enumerate(labels)}

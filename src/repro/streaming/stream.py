@@ -79,6 +79,24 @@ class StreamAccounting:
             self.pass_bytes[-1] += nbytes
 
 
+class ChunkTaskPass:
+    """One counted pass served as independently-runnable chunk tasks.
+
+    ``tasks`` is a list of zero-arg callables, each returning one
+    ``(u, v, w)`` array triple; they are thread-safe and may be invoked
+    concurrently.  ``count`` must be called exactly once per completed
+    chunk — with its record count, from a single thread — which is how
+    the pass's edge/byte accounting happens (task invocation itself
+    does not count).
+    """
+
+    __slots__ = ("tasks", "count")
+
+    def __init__(self, tasks, count: Callable[[int], None]) -> None:
+        self.tasks = tasks
+        self.count = count
+
+
 def _alive_test(alive) -> Callable[[Node], bool]:
     """A membership predicate from a set-like or bool-array ``alive``."""
     getitem = getattr(alive, "__getitem__", None)
@@ -199,6 +217,22 @@ class EdgeStream(ABC):
         Skipping never changes scan results — only dead records are
         elided — but it does reduce the edge/byte accounting, which is
         the point.
+        """
+        return None
+
+    def edge_array_chunk_tasks(self, alive=None, dst_alive=None):
+        """One counted pass as independently-runnable chunk tasks, or None.
+
+        The thread-parallel sibling of :meth:`edge_array_chunks`: a
+        :class:`ChunkTaskPass` whose ``tasks`` are zero-arg callables
+        each returning one ``(u, v, w)`` array triple.  Tasks are
+        thread-safe and may run concurrently; the consumer must merge
+        their results in list order (and call ``count`` once per
+        completed chunk, from a single thread) so results and
+        accounting stay bit-identical with the sequential chunk scan.
+        ``alive``/``dst_alive`` are the same skip hints as
+        :meth:`edge_array_chunks`.  The base implementation returns
+        None (no task-shaped pass available).
         """
         return None
 
@@ -450,6 +484,22 @@ class ShardEdgeStream(EdgeStream):
                 yield u, v, w
 
         return chunks()
+
+    def edge_array_chunk_tasks(self, alive=None, dst_alive=None):
+        """One counted pass as per-shard reader tasks (see base class).
+
+        Shard selection (including skip-summary elision under an
+        ``alive`` mask) matches :meth:`edge_array_chunks` exactly, so a
+        task-shaped pass scans the same records and bytes as the
+        sequential one.
+        """
+        acct = self.accounting
+        acct.begin_pass()
+
+        def count(records: int) -> None:
+            acct.count(int(records), int(records) * TRIPLE_BYTES)
+
+        return ChunkTaskPass(self.store.shard_chunk_readers(alive, dst_alive), count)
 
     def compact(
         self,
