@@ -18,6 +18,16 @@ Builds a small graph with an obvious dense core, then solves the same
 
 and compares answers, densities, and pass counts.
 
+Robustness (see DESIGN.md §12): long streaming peels survive crashes
+— pass ``--checkpoint-dir DIR --checkpoint-every N`` to
+``repro-densest densest`` (or set ``checkpoint_dir`` /
+``checkpoint_every`` on ``ExecutionContext``) and a re-run resumes
+from the last checkpoint with a bit-identical result; ``repro-densest
+verify-store PATH [--repair]`` checks a sharded edge store's
+per-shard checksums and quarantines damaged shards; ``--deadline S``
+bounds a solve (CLI and serve) with a typed timeout instead of a
+hang.
+
 Run:  python examples/quickstart.py
 """
 

@@ -57,15 +57,21 @@ from .core import (
     ratio_sweep,
 )
 from .errors import (
+    CheckpointError,
     DatasetError,
+    DeadlineExceededError,
     EmptyGraphError,
     GraphError,
+    InjectedFaultError,
+    JobCancelledError,
     MapReduceError,
     ParameterError,
     ReproError,
     SolverError,
+    StoreCorruptionError,
     StreamError,
 )
+from .faults import FaultPlan, FaultPoint, RunControl
 from .graph import DirectedGraph, UndirectedGraph
 from .mapreduce import (
     MapReduceRunReport,
@@ -74,8 +80,9 @@ from .mapreduce import (
     mr_densest_subgraph_atleast_k,
     mr_densest_subgraph_directed,
 )
-from .store import ShardedEdgeStore, ShardWriter
+from .store import ShardedEdgeStore, ShardWriter, StoreVerification
 from .streaming import (
+    CheckpointConfig,
     EdgeStream,
     FileEdgeStream,
     GraphEdgeStream,
@@ -125,6 +132,8 @@ __all__ = [
     "ShardEdgeStream",
     "ShardedEdgeStore",
     "ShardWriter",
+    "StoreVerification",
+    "CheckpointConfig",
     "stream_densest_subgraph",
     "stream_densest_subgraph_atleast_k",
     "stream_densest_subgraph_directed",
@@ -140,6 +149,10 @@ __all__ = [
     "DensestSubgraphResult",
     "DirectedDensestSubgraphResult",
     "RatioSweepResult",
+    # robustness
+    "FaultPlan",
+    "FaultPoint",
+    "RunControl",
     # errors
     "ReproError",
     "GraphError",
@@ -149,4 +162,9 @@ __all__ = [
     "MapReduceError",
     "SolverError",
     "DatasetError",
+    "StoreCorruptionError",
+    "CheckpointError",
+    "JobCancelledError",
+    "DeadlineExceededError",
+    "InjectedFaultError",
 ]

@@ -486,6 +486,9 @@ class StreamingSolver:
         )
         from ..streaming.sweep import stream_ratio_sweep
 
+        from ..faults import RunControl
+        from ..streaming.checkpoint import CheckpointConfig
+
         context = _pop_context(options)
         _reject_options(self.name, options, ("accountant", "compaction"))
         compaction = _compaction_policy(options, context, problem)
@@ -493,6 +496,16 @@ class StreamingSolver:
         # context.workers > 1 turns on thread-parallel per-shard degree
         # scans (honored by shard-backed streams; identical results).
         scan_threads = context.workers if context.workers > 1 else None
+        # Robustness knobs: checkpoint/resume for the undirected peels,
+        # cooperative cancel/deadline/fault checks for every peel.
+        control = RunControl.from_context(context)
+        checkpoint = (
+            CheckpointConfig(
+                path=context.checkpoint_dir, every=context.checkpoint_every
+            )
+            if context.checkpoint_dir
+            else None
+        )
         stream = _as_stream(problem)
         meter = _StreamMeter(stream)
         if isinstance(problem, DensestSubgraph):
@@ -503,6 +516,8 @@ class StreamingSolver:
                 accountant=accountant,
                 compaction=compaction,
                 scan_threads=scan_threads,
+                checkpoint=checkpoint,
+                control=control,
             )
             return _undirected_solution(
                 result,
@@ -518,6 +533,8 @@ class StreamingSolver:
                 accountant=accountant,
                 compaction=compaction,
                 scan_threads=scan_threads,
+                checkpoint=checkpoint,
+                control=control,
             )
             return _undirected_solution(
                 result,
@@ -549,6 +566,7 @@ class StreamingSolver:
                 accountant=accountant,
                 compaction=compaction,
                 scan_threads=scan_threads,
+                control=control,
             )
             return _directed_solution(
                 result,
@@ -677,7 +695,9 @@ class MapReduceSolver:
             from ..mapreduce.runtime import MapReduceRuntime
 
             runtime = owned_runtime = MapReduceRuntime(
-                executor="process", workers=context.workers
+                executor="process",
+                workers=context.workers,
+                fault_plan=context.fault_plan,
             )
         try:
             return self._solve(problem, runtime, options.get("engine", "auto"))

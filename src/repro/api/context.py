@@ -25,6 +25,23 @@ count       compaction spill sinks)
 compaction_ ``streaming``/``sketch`` — pass-compaction shrink trigger
 threshold   in (0, 1]; setting it (or a memory budget / spill dir) on
             a shard-store input auto-enables compaction
+checkpoint_ ``streaming`` — directory for peel checkpoints; long peels
+dir         persist their between-pass state every
+            ``checkpoint_every`` passes and resume from it (see
+            :mod:`repro.streaming.checkpoint`)
+checkpoint_ checkpoint interval in passes (default 16; only read when
+every       ``checkpoint_dir`` is set)
+cancel_     ``streaming`` — a ``threading.Event`` checked between peel
+event       passes; setting it unwinds the solve with
+            :class:`~repro.errors.JobCancelledError` (the serving
+            tier's cooperative DELETE /jobs/<id>)
+deadline_   ``streaming`` — wall-clock budget in seconds from solve
+seconds     start; overrunning it raises
+            :class:`~repro.errors.DeadlineExceededError`
+fault_plan  fault-injection schedule
+            (:class:`~repro.faults.FaultPlan`) consulted by the store
+            writer, the peel engines, and the process executor;
+            ``None`` (production) short-circuits every consultation
 ========== ==========================================================
 """
 
@@ -52,10 +69,16 @@ class ExecutionContext:
     spill_dir: Optional[str] = None
     shard_count: int = 8
     compaction_threshold: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 16
+    cancel_event: Optional[object] = None
+    deadline_seconds: Optional[float] = None
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.workers, "workers")
         check_positive_int(self.shard_count, "shard_count")
+        check_positive_int(self.checkpoint_every, "checkpoint_every")
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise ParameterError(
                 f"memory_budget must be positive, got {self.memory_budget}"
@@ -66,4 +89,8 @@ class ExecutionContext:
             raise ParameterError(
                 f"compaction_threshold must be in (0, 1], got "
                 f"{self.compaction_threshold}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ParameterError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
             )

@@ -26,6 +26,13 @@ solve on it (or do both in one command with ``--spill-dir``)::
     repro-densest densest --shard-store /data/big-store --compaction on
     repro-densest densest --shard-store /data/big-store --compaction-threshold 0.75
 
+Robustness: checksum-audit a store, checkpoint a deep peel so an
+interrupted run resumes (bit-identically) instead of restarting::
+
+    repro-densest verify-store /data/big-store [--repair]
+    repro-densest densest --shard-store /data/big-store --backend streaming \
+        --k 500 --checkpoint-dir /data/ckpt --checkpoint-every 16
+
 Legacy commands (thin wrappers over ``densest``)::
 
     repro-densest run --dataset flickr_sim --epsilon 0.5
@@ -181,6 +188,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="surviving-edge fraction that triggers a compaction rewrite "
         "(default 0.5; implies the streaming backend when --backend auto)",
     )
+    p_solve.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist the peel's between-pass state into this directory "
+        "and resume from it on a rerun (streaming backend; an "
+        "interrupted deep peel restarts from its last checkpoint "
+        "instead of pass 0, with bit-identical results)",
+    )
+    p_solve.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="checkpoint interval in passes (with --checkpoint-dir)",
+    )
+    p_solve.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget in seconds; an overrunning streaming "
+        "solve stops at the next pass boundary with a timeout error",
+    )
     p_solve.add_argument("--show-nodes", type=int, default=0, help="print up to N member nodes")
 
     p_run = sub.add_parser(
@@ -238,6 +261,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="writer spill budget in MiB",
     )
 
+    p_verify = sub.add_parser(
+        "verify-store",
+        help="checksum-verify a sharded edge store (and optionally "
+        "quarantine corrupt shards)",
+    )
+    p_verify.add_argument("store", help="path to a sharded store directory")
+    p_verify.add_argument(
+        "--repair", action="store_true",
+        help="move corrupt shards into <store>/quarantine/ and mark them "
+        "in the manifest, so intact shards stay readable and corrupt "
+        "ones fail with a typed error instead of bad data",
+    )
+    p_verify.add_argument(
+        "--shallow", action="store_true",
+        help="structural checks only (file presence and sizes); skip the "
+        "full checksum pass over shard payloads",
+    )
+
     p_serve = sub.add_parser(
         "serve",
         help="run the densest-subgraph HTTP service (see repro.serve)",
@@ -264,6 +305,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-queue", type=int, default=64,
         help="waiting-job limit before /solve answers 429",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-job wall-clock budget in seconds; an overrunning solve "
+        "fails with a timeout instead of holding a worker forever",
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -502,6 +548,8 @@ def _cmd_densest(args) -> int:
         args.workers > 1
         or args.spill_dir
         or args.compaction_threshold is not None
+        or args.checkpoint_dir
+        or args.deadline is not None
     ):
         from .api import ExecutionContext
 
@@ -511,6 +559,9 @@ def _cmd_densest(args) -> int:
             spill_dir=args.spill_dir,
             shard_count=args.shards,
             compaction_threshold=args.compaction_threshold,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            deadline_seconds=args.deadline,
         )
     solution = solve(
         problem, backend=backend, memory_budget=args.memory_budget, **options
@@ -628,6 +679,30 @@ def _cmd_shard(args) -> int:
     return 0
 
 
+def _cmd_verify_store(args) -> int:
+    from .store import ShardedEdgeStore
+
+    store = ShardedEdgeStore.open(args.store)
+    deep = not args.shallow
+    report = store.verify(deep=deep)
+    mode = "deep (checksums)" if deep else "shallow (structure only)"
+    print(f"verify {store.path} [{mode}]")
+    print(f"  shards  : {report.shards}")
+    if report.ok:
+        print("  status  : OK")
+        return 0
+    for shard, problem in report.problems:
+        print(f"  BAD shard {shard}: {problem}")
+    if args.repair:
+        store.repair(deep=deep)
+        bad = [shard for shard, _ in report.problems]
+        print(f"  repaired: quarantined shards {bad} -> "
+              f"{store.path}/quarantine/")
+        return 0
+    print("  status  : CORRUPT (rerun with --repair to quarantine)")
+    return 1
+
+
 def _cmd_serve(args) -> int:
     from .serve import run_server
 
@@ -639,6 +714,7 @@ def _cmd_serve(args) -> int:
         spill_dir=args.spill_dir,
         shard_count=args.shards,
         max_queue=args.max_queue,
+        deadline_seconds=args.deadline,
         verbose=args.verbose,
     )
     return 0
@@ -667,6 +743,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "exact": _cmd_exact,
         "enumerate": _cmd_enumerate,
         "shard": _cmd_shard,
+        "verify-store": _cmd_verify_store,
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
     }

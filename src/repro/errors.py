@@ -43,3 +43,35 @@ class DatasetError(ReproError):
 
 class StoreError(ReproError):
     """Raised for sharded edge-store format or protocol violations."""
+
+
+class StoreCorruptionError(StoreError):
+    """Raised when a shard store's on-disk bytes fail integrity checks.
+
+    Distinguishes "this store is damaged" (truncated shard, checksum
+    mismatch, quarantined data) from the plain :class:`StoreError`
+    protocol violations — readers raise it instead of ever returning a
+    silently-wrong edge set.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a peel checkpoint cannot be written, read, or safely
+    applied (e.g. it was taken under different algorithm parameters)."""
+
+
+class JobCancelledError(ReproError):
+    """Raised inside a solve when its cooperative cancel event fires."""
+
+
+class DeadlineExceededError(ReproError):
+    """Raised inside a solve when its wall-clock deadline elapses."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the fault-injection harness (:mod:`repro.faults`).
+
+    Never raised in production configurations — only when a
+    :class:`~repro.faults.FaultPlan` is armed, so tests can assert a
+    failure path fired exactly where the plan said it would.
+    """

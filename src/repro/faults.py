@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the execution and serving tiers.
+
+The robustness guarantees this library makes — crash-safe stores,
+checkpoint/resume peels, worker-loss recovery, cooperative cancellation
+— are only worth stating if tests exercise the *real* failure paths.
+This module is the harness that arms them:
+
+* A :class:`FaultPlan` is a seeded, declarative list of
+  :class:`FaultPoint` entries ("kill the worker running map task 1",
+  "crash the shard writer on shard 2", "raise at peel pass 10").  Code
+  under test consults the plan at named *sites*; every consultation is
+  one-shot, so a recovered retry does not re-trip the same fault and
+  recovery is deterministic.
+* :class:`RunControl` bundles the cooperative run controls (cancel
+  event, wall-clock deadline, armed fault plan) that engines check
+  between peel passes.  It is built from
+  :class:`~repro.api.context.ExecutionContext` fields, which is how the
+  serving tier threads a per-job cancel event and deadline into a
+  running solve.
+* :func:`corrupt_shard` flips one deterministic payload byte of an
+  on-disk shard — the "corrupt-byte-at-offset" plan used to prove the
+  store's checksum verification turns bit rot into a typed
+  :class:`~repro.errors.StoreCorruptionError` rather than a wrong
+  answer.
+
+Fault sites
+-----------
+========================  ==================================================
+site                      consulted by
+========================  ==================================================
+``store.shard_write``     :class:`~repro.store.shards.ShardWriter` once per
+                          shard while spilling (index = shard id)
+``streaming.pass``        the streaming peel engines at the top of every
+                          pass (index = 1-based pass number)
+``mapreduce.map``         the process-pool driver before *first* submission
+``mapreduce.reduce``      of a task (index = task id); ``kill_worker``
+                          points ship a marker the worker turns into
+                          ``SIGKILL`` on itself
+========================  ==================================================
+
+Nothing here runs unless a plan is explicitly armed: production
+configurations carry ``fault_plan=None`` and every consultation
+short-circuits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .errors import (
+    DeadlineExceededError,
+    InjectedFaultError,
+    JobCancelledError,
+    StoreError,
+)
+
+#: Fault modes a :class:`FaultPoint` may request.
+FAULT_MODES = ("raise", "kill_worker", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One armed fault: fire ``mode`` when ``site`` reaches ``index``.
+
+    ``mode="raise"`` raises :class:`InjectedFaultError` at the site;
+    ``mode="kill_worker"`` asks the executor to SIGKILL the worker
+    process running the task; ``mode="corrupt"`` is consumed by
+    :func:`corrupt_shard`-style helpers (``payload`` carries the byte
+    offset).
+    """
+
+    site: str
+    index: int
+    mode: str = "raise"
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"fault mode must be one of {FAULT_MODES}, got {self.mode!r}"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, one-shot-per-point fault schedule.
+
+    Sites call :meth:`take` (returns the matching point, if any, exactly
+    once) or :meth:`fire` (raises :class:`InjectedFaultError` for
+    ``"raise"``-mode points).  Every consultation that trips a point is
+    appended to :attr:`fired` so tests — and the CI fault-smoke job's
+    artifact log — can assert exactly which faults fired and in what
+    order.
+    """
+
+    points: List[FaultPoint] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed = list(self.points)
+        self.fired: List[dict] = []
+
+    # -- convenience constructors -------------------------------------
+    @classmethod
+    def kill_worker_at(cls, stage: str, task: int, **kw) -> "FaultPlan":
+        """Plan: SIGKILL the worker running ``stage`` task ``task``."""
+        return cls([FaultPoint(f"mapreduce.{stage}", task, "kill_worker")], **kw)
+
+    @classmethod
+    def crash_writer_at(cls, shard: int, **kw) -> "FaultPlan":
+        """Plan: crash the shard writer while spilling ``shard``."""
+        return cls([FaultPoint("store.shard_write", shard, "raise")], **kw)
+
+    @classmethod
+    def raise_at_pass(cls, pass_index: int, **kw) -> "FaultPlan":
+        """Plan: raise at the top of peel pass ``pass_index``."""
+        return cls([FaultPoint("streaming.pass", pass_index, "raise")], **kw)
+
+    # -- consultation --------------------------------------------------
+    def take(self, site: str, index: int) -> Optional[FaultPoint]:
+        """Return the armed point matching ``(site, index)``, at most once.
+
+        One-shot semantics are the recovery invariant: a retried task or
+        resumed peel consulting the same site again gets ``None``, so a
+        single armed fault produces exactly one failure plus one clean
+        recovery.
+        """
+        with self._lock:
+            for i, point in enumerate(self._armed):
+                if point.site == site and point.index == index:
+                    del self._armed[i]
+                    self.fired.append(
+                        {"site": site, "index": index, "mode": point.mode}
+                    )
+                    return point
+        return None
+
+    def fire(self, site: str, index: int) -> None:
+        """Raise :class:`InjectedFaultError` if a ``"raise"`` point matches."""
+        point = self.take(site, index)
+        if point is not None and point.mode == "raise":
+            raise InjectedFaultError(f"injected fault at {site}[{index}]")
+
+    # -- reporting -----------------------------------------------------
+    def pending(self) -> List[FaultPoint]:
+        """Points still armed (not yet consumed)."""
+        with self._lock:
+            return list(self._armed)
+
+    def save_log(self, path) -> None:
+        """Write the fired/pending record as JSON (the CI artifact)."""
+        with self._lock:
+            payload = {
+                "seed": self.seed,
+                "planned": [vars(p) | {} for p in self.points],
+                "fired": list(self.fired),
+                "pending": [vars(p) | {} for p in self._armed],
+            }
+        serializable = json.loads(json.dumps(payload, default=str))
+        with open(path, "w") as handle:
+            json.dump(serializable, handle, indent=2)
+            handle.write("\n")
+
+
+class RunControl:
+    """Cooperative run controls checked between peel passes.
+
+    Bundles the cancel event, wall-clock deadline, and armed fault plan
+    for one solve.  The deadline clock starts when the control is
+    constructed (i.e. at solve start, not at job submission).
+    """
+
+    __slots__ = ("cancel_event", "deadline_at", "fault_plan")
+
+    def __init__(
+        self,
+        cancel_event: Optional[threading.Event] = None,
+        deadline_seconds: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.cancel_event = cancel_event
+        self.deadline_at = (
+            time.monotonic() + float(deadline_seconds)
+            if deadline_seconds is not None
+            else None
+        )
+        self.fault_plan = fault_plan
+
+    @classmethod
+    def from_context(cls, context) -> Optional["RunControl"]:
+        """Build a control from an ``ExecutionContext``, or ``None``
+        when the context carries no control fields at all."""
+        if context is None:
+            return None
+        cancel = getattr(context, "cancel_event", None)
+        deadline = getattr(context, "deadline_seconds", None)
+        plan = getattr(context, "fault_plan", None)
+        if cancel is None and deadline is None and plan is None:
+            return None
+        return cls(cancel, deadline, plan)
+
+    def check_pass(self, pass_index: int) -> None:
+        """Raise the applicable control exception at a pass boundary."""
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise JobCancelledError(
+                f"solve cancelled before pass {pass_index}"
+            )
+        if self.deadline_at is not None and time.monotonic() > self.deadline_at:
+            raise DeadlineExceededError(
+                f"solve deadline exceeded before pass {pass_index}"
+            )
+        if self.fault_plan is not None:
+            self.fault_plan.fire("streaming.pass", pass_index)
+
+
+def corrupt_shard(
+    store_path, shard: int = 0, *, offset: Optional[int] = None, seed: int = 0
+) -> int:
+    """Flip one payload byte of an on-disk shard file, deterministically.
+
+    ``offset`` is relative to the start of the record payload (the fixed
+    preamble is never touched — header corruption is a different, easier
+    failure).  When omitted, a byte is picked by ``seed`` so repeated
+    runs corrupt the same bit.  Returns the absolute file offset flipped.
+    """
+    import random
+    from pathlib import Path
+
+    from .store.shards import _PREAMBLE_BYTES, _shard_name
+
+    path = Path(store_path)
+    if path.is_dir():
+        path = path / _shard_name(shard)
+    size = path.stat().st_size
+    payload = size - _PREAMBLE_BYTES
+    if payload <= 0:
+        raise StoreError(f"{path} has no payload bytes to corrupt")
+    if offset is None:
+        offset = random.Random(seed).randrange(payload)
+    if not 0 <= offset < payload:
+        raise StoreError(f"offset {offset} outside payload [0, {payload})")
+    absolute = _PREAMBLE_BYTES + offset
+    with open(path, "r+b") as handle:
+        handle.seek(absolute)
+        byte = handle.read(1)
+        handle.seek(absolute)
+        handle.write(bytes((byte[0] ^ 0xFF,)))
+    return absolute

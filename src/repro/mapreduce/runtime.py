@@ -134,13 +134,36 @@ def _reduce_task_body(job: MapReduceJob, partition) -> tuple:
     return grouped.num_groups, out
 
 
-def _process_map_task(name: str, module: str, split) -> tuple:
+def _apply_worker_fault(fault: Optional[str]) -> None:
+    """Honor a fault marker shipped with a task (fault injection only).
+
+    ``"kill_worker"`` SIGKILLs this worker process — the driver then
+    observes a broken pool, exactly as a real OOM-kill or crash looks.
+    Markers ride only on a task's *first* submission (and fault plans
+    are one-shot), so the recovery resubmission runs clean.
+    """
+    if fault is None:
+        return
+    if fault == "kill_worker":
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault == "raise":
+        raise TransientTaskError("injected transient task failure")
+
+
+def _process_map_task(name: str, module: str, split, fault: Optional[str] = None) -> tuple:
     """Worker-process entry: resolve the job, run the shared map body."""
+    _apply_worker_fault(fault)
     return _map_task_body(_resolve_job(name, module), split)
 
 
-def _process_reduce_task(name: str, module: str, partition) -> tuple:
+def _process_reduce_task(
+    name: str, module: str, partition, fault: Optional[str] = None
+) -> tuple:
     """Worker-process entry: resolve the job, run the shared reduce body."""
+    _apply_worker_fault(fault)
     return _reduce_task_body(_resolve_job(name, module), partition)
 
 
@@ -250,6 +273,22 @@ class MapReduceRuntime:
         process tasks on.  The runtime does not own a borrowed pool —
         :meth:`close` leaves it running — which lets benchmarks and
         test suites share one warm pool across many runtimes.
+    task_timeout:
+        Per-task deadline in seconds for process execution (default:
+        none).  A task that has not produced a result within the
+        deadline is treated like a lost worker: the pool is recycled
+        and the task retried, until ``max_task_retries`` is exhausted.
+    retry_backoff:
+        Base sleep (seconds) before resubmitting after a worker loss;
+        doubles per consecutive loss in a stage (capped at 2 s), so a
+        crash-looping task backs off instead of hot-spinning the pool.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; points at site
+        ``"mapreduce.map"`` / ``"mapreduce.reduce"`` fire when the
+        matching task index is first submitted (``kill_worker`` mode
+        SIGKILLs the worker running it; ``raise`` mode raises a
+        transient failure).  Plans are one-shot, so recovery retries
+        run clean — used by the fault-injection tests.
 
     Examples
     --------
@@ -274,6 +313,9 @@ class MapReduceRuntime:
         executor: str = "serial",
         workers: Optional[int] = None,
         pool=None,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.05,
+        fault_plan=None,
     ) -> None:
         check_positive_int(num_mappers, "num_mappers")
         check_positive_int(num_reducers, "num_reducers")
@@ -287,16 +329,29 @@ class MapReduceRuntime:
             )
         if workers is not None:
             check_positive_int(workers, "workers")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ParameterError(
+                f"task_timeout must be > 0 seconds, got {task_timeout}"
+            )
+        if retry_backoff < 0:
+            raise ParameterError(
+                f"retry_backoff must be >= 0 seconds, got {retry_backoff}"
+            )
         self.num_mappers = num_mappers
         self.num_reducers = num_reducers
         self.max_task_retries = max_task_retries
         self.executor = executor
         self.workers = workers
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
+        self.fault_plan = fault_plan
         self._pool = pool
         self._owns_pool = False
         self._rng = random.Random(seed)
         self.history: List[JobCounters] = []
         self.task_retries: int = 0
+        self.tasks_retried: int = 0
+        self.workers_lost: int = 0
 
     # ------------------------------------------------------------------
     # Process-pool lifecycle
@@ -318,6 +373,25 @@ class MapReduceRuntime:
             )
             self._owns_pool = True
         return self._pool
+
+    def _respawn_pool(self) -> None:
+        """Replace a broken/stalled owned pool (lost-worker recovery).
+
+        A borrowed pool is the caller's to manage: the runtime refuses
+        to recycle it and fails the job with a typed error instead.
+        """
+        if self._pool is not None and not self._owns_pool:
+            raise MapReduceError(
+                "externally provided process pool is broken or stalled; "
+                "the runtime cannot respawn a pool it does not own"
+            )
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._pool = None
+            self._owns_pool = False
 
     def close(self) -> None:
         """Shut down an owned process pool (borrowed pools are left alone)."""
@@ -356,37 +430,89 @@ class MapReduceRuntime:
         the same retry accounting as the serial path.  Results come
         back indexed by task id, so the caller's merge order — and
         therefore the output batch — is identical to serial execution.
+
+        The stage survives lost workers: when a worker dies (SIGKILL,
+        OOM, hard crash) every in-flight future on the pool fails with
+        ``BrokenExecutor``, so the runtime respawns an owned pool,
+        resubmits every unfinished task, and charges one attempt to the
+        task it was waiting on — with exponential backoff between
+        consecutive losses.  A ``task_timeout`` expiry is handled the
+        same way (the stuck worker is abandoned with the old pool).
+        Counters: ``workers_lost`` counts pool recycles,
+        ``tasks_retried`` counts task resubmissions of either kind.
         """
+        import time
+        from concurrent.futures import BrokenExecutor
+        from concurrent.futures import TimeoutError as FuturesTimeoutError
+
         if _JOB_REGISTRY.get(job.name) is not job:
             raise MapReduceError(
                 f"job {job.name!r} is not registered for process execution; "
                 f"call repro.mapreduce.register_job({job.name!r}) at import "
                 f"time of its defining module"
             )
-        pool = self._ensure_pool()
         module = _job_module(job)
-        futures = [pool.submit(task_fn, job.name, module, inp) for inp in inputs]
         attempts = self.max_task_retries + 1
-        results: List[tuple] = [()] * len(futures)
-        for task, future in enumerate(futures):
-            last_error: Optional[TransientTaskError] = None
-            for attempt in range(attempts):
+        results: List[tuple] = [()] * len(inputs)
+        tries: List[int] = [0] * len(inputs)
+        pending: Dict[int, Any] = {}
+
+        def submit(task: int) -> None:
+            fault = None
+            if self.fault_plan is not None and tries[task] == 0:
+                point = self.fault_plan.take(f"mapreduce.{stage}", task)
+                if point is not None:
+                    fault = (
+                        "kill_worker" if point.mode == "kill_worker" else "raise"
+                    )
+            pool = self._ensure_pool()
+            pending[task] = pool.submit(
+                task_fn, job.name, module, inputs[task], fault
+            )
+
+        for task in range(len(inputs)):
+            submit(task)
+
+        backoff = self.retry_backoff
+        for task in range(len(inputs)):
+            while True:
                 try:
-                    results[task] = future.result()
-                    last_error = None
+                    results[task] = pending[task].result(timeout=self.task_timeout)
+                    del pending[task]
                     break
                 except TransientTaskError as exc:
                     self.task_retries += 1
-                    last_error = exc
-                    if attempt + 1 < attempts:
-                        future = pool.submit(
-                            task_fn, job.name, module, inputs[task]
+                    self.tasks_retried += 1
+                    tries[task] += 1
+                    if tries[task] >= attempts:
+                        raise MapReduceError(
+                            f"job {job.name!r} {stage} task {task} failed "
+                            f"after {attempts} attempts: {exc}"
                         )
-            if last_error is not None:
-                raise MapReduceError(
-                    f"job {job.name!r} {stage} task {task} failed after "
-                    f"{attempts} attempts: {last_error}"
-                )
+                    submit(task)
+                except (BrokenExecutor, FuturesTimeoutError) as exc:
+                    self.workers_lost += 1
+                    tries[task] += 1
+                    why = (
+                        "task deadline exceeded"
+                        if isinstance(exc, FuturesTimeoutError)
+                        else f"worker lost ({exc or type(exc).__name__})"
+                    )
+                    if tries[task] >= attempts:
+                        raise MapReduceError(
+                            f"job {job.name!r} {stage} task {task} failed "
+                            f"after {attempts} attempts: {why}"
+                        )
+                    # Every unfinished future died (or is stuck) with
+                    # the old pool; recycle it and resubmit them all.
+                    self._respawn_pool()
+                    lost = sorted(pending)
+                    self.tasks_retried += len(lost)
+                    for unfinished in lost:
+                        submit(unfinished)
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    backoff = min(max(backoff, 0.01) * 2, 2.0)
         return results
 
     # ------------------------------------------------------------------

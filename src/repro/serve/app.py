@@ -19,7 +19,9 @@ POST     ``/datasets``            register a shard store / edge list /
 POST     ``/solve``               catalog consult -> cached answer or job
 GET      ``/jobs``                recent jobs
 GET      ``/jobs/<id>``           job status (result key when DONE)
-DELETE   ``/jobs/<id>``           cancel a queued job
+DELETE   ``/jobs/<id>``           cancel a queued job, or cooperatively
+                                  cancel a running one (the response's
+                                  ``outcome`` says which happened)
 GET      ``/results``             catalog listing (paginated)
 GET      ``/results/<key>``       one solution (member list paginated)
 =======  =======================  =========================================
@@ -40,6 +42,7 @@ bytes; a miss submits a job and answers ``202`` with the job id (or
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 import time
@@ -273,10 +276,16 @@ class DensestService:
         if row is not None:
             return 200, self._result_payload(row, cached=True)
 
+        # Each job gets its own cancel event, threaded into the solve
+        # through the context so DELETE /jobs/<id> can interrupt a
+        # running peel at its next pass boundary.
+        cancel_event = threading.Event()
+        job_context = dataclasses.replace(self.context, cancel_event=cancel_event)
+
         def run():
             start = time.perf_counter()
             solution = solve(
-                problem, backend=backend, context=self.context, **options
+                problem, backend=backend, context=job_context, **options
             )
             elapsed = time.perf_counter() - start
             return self.catalog.put(
@@ -296,7 +305,9 @@ class DensestService:
             "backend": backend,
         }
         try:
-            job, created = self.jobs.submit(key, run, description)
+            job, created = self.jobs.submit(
+                key, run, description, cancel_event=cancel_event
+            )
         except QueueFullError as exc:
             raise HTTPError(429, str(exc)) from None
         if not created:
@@ -476,10 +487,11 @@ class DensestRequestHandler(BaseHTTPRequestHandler):
                     payload["result_key"] = job.result["key"]
                 return 200, payload
             if method == "DELETE":
-                cancelled = service.jobs.cancel(parts[1])
-                return (200 if cancelled else 409), {
+                outcome = service.jobs.cancel(parts[1])
+                return (200 if outcome else 409), {
                     "job": job.to_jsonable(),
-                    "cancelled": cancelled,
+                    "cancelled": outcome == "cancelled",
+                    "outcome": outcome or "finished",
                 }
         if method == "GET" and parts == ["results"]:
             offset = int(query.get("offset", 0))
@@ -531,11 +543,20 @@ def build_server(
     spill_dir: Optional[str] = None,
     shard_count: int = 8,
     max_queue: int = 64,
+    deadline_seconds: Optional[float] = None,
     verbose: bool = False,
 ) -> DensestHTTPServer:
-    """Construct a ready-to-run server (``port=0`` picks a free port)."""
+    """Construct a ready-to-run server (``port=0`` picks a free port).
+
+    ``deadline_seconds`` is the per-job wall-clock budget: a solve that
+    overruns it unwinds cooperatively and the job reports
+    ``FAILED`` with a ``timeout:`` error instead of running forever.
+    """
     context = ExecutionContext(
-        workers=workers, spill_dir=spill_dir, shard_count=shard_count
+        workers=workers,
+        spill_dir=spill_dir,
+        shard_count=shard_count,
+        deadline_seconds=deadline_seconds,
     )
     service = DensestService(
         ResultCatalog(catalog_path), context=context, max_queue=max_queue
@@ -544,12 +565,29 @@ def build_server(
 
 
 def run_server(**kwargs) -> None:
-    """Build and serve forever (the ``repro-densest serve`` entry)."""
+    """Build and serve forever (the ``repro-densest serve`` entry).
+
+    Installs a SIGTERM handler for graceful drain: the listener stops
+    accepting connections, in-flight handlers finish, and the solver
+    pool shuts down — the clean-exit path under process supervisors.
+    """
+    import signal
+
     server = build_server(**kwargs)
     host, port = server.server_address[:2]
     print(f"repro-densest serving on http://{host}:{port}")
     print(f"  catalog : {server.service.catalog.path}")
     print(f"  workers : {server.service.jobs.workers}")
+
+    def _drain(signum, frame):  # pragma: no cover - signal delivery
+        # shutdown() must not run on the serve_forever thread (it
+        # joins the serve loop), so hand it to a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit

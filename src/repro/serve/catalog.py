@@ -151,7 +151,38 @@ class ResultCatalog:
         self._local = threading.local()
         self._write_lock = threading.Lock()
         with self._write_lock:
-            self._conn().executescript(_SCHEMA)
+            try:
+                self._conn().executescript(_SCHEMA)
+            except sqlite3.DatabaseError as exc:
+                # A truncated/garbled database file (crash mid-write,
+                # disk fault) must not brick the service: move the
+                # wreck aside for post-mortem and start a fresh
+                # catalog.  Cached results are re-derivable — losing
+                # them costs re-solves, not correctness.
+                self._rebuild_corrupt(exc)
+
+    def _rebuild_corrupt(self, cause: sqlite3.DatabaseError) -> None:
+        """Quarantine an unreadable database file and re-init the schema."""
+        import warnings
+
+        self.close()
+        moved = self.path.with_name(self.path.name + ".corrupt")
+        counter = 0
+        while moved.exists():
+            counter += 1
+            moved = self.path.with_name(f"{self.path.name}.corrupt.{counter}")
+        self.path.replace(moved)
+        for suffix in ("-wal", "-shm"):
+            sidecar = Path(str(self.path) + suffix)
+            if sidecar.exists():
+                sidecar.replace(Path(str(moved) + suffix))
+        warnings.warn(
+            f"result catalog {self.path} was unreadable ({cause}); moved it "
+            f"to {moved} and rebuilt an empty catalog",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._conn().executescript(_SCHEMA)
 
     def _conn(self) -> sqlite3.Connection:
         conn = getattr(self._local, "conn", None)

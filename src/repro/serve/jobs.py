@@ -17,8 +17,18 @@ Three serving behaviors live here rather than in the HTTP layer:
   the HTTP layer maps to ``429 Too Many Requests``.  A full queue sheds
   load instead of accumulating latency.
 * **Cancellation** — a job that has not started is cancelled in place
-  (``CANCELLED``); a running solve cannot be interrupted mid-peel, so
-  cancelling it reports ``False`` and the job runs to completion.
+  (``CANCELLED``).  A *running* solve is cancelled cooperatively: the
+  job moves to ``CANCELLING`` and its cancel event is set; the solve
+  observes the event at its next pass boundary (the engines check a
+  :class:`~repro.faults.RunControl` between peel passes) and unwinds
+  with :class:`~repro.errors.JobCancelledError`, landing the job in
+  ``CANCELLED``.  A solve that finishes before noticing the event
+  completes normally — cancellation arrived too late.
+* **Deadlines** — a per-job wall-clock budget
+  (``ExecutionContext.deadline_seconds``) is enforced the same
+  cooperative way; an overrunning solve unwinds with
+  :class:`~repro.errors.DeadlineExceededError` and the job lands in
+  ``FAILED`` with a ``timeout:`` error.
 """
 
 from __future__ import annotations
@@ -30,17 +40,18 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import ReproError
+from ..errors import DeadlineExceededError, JobCancelledError, ReproError
 
 #: Job lifecycle states.
 PENDING = "PENDING"
 RUNNING = "RUNNING"
+CANCELLING = "CANCELLING"
 DONE = "DONE"
 FAILED = "FAILED"
 CANCELLED = "CANCELLED"
 
 #: States a job can still leave.
-_LIVE = (PENDING, RUNNING)
+_LIVE = (PENDING, RUNNING, CANCELLING)
 
 
 class QueueFullError(ReproError):
@@ -55,7 +66,13 @@ class Job:
     terminal state.
     """
 
-    def __init__(self, job_id: str, key: str, description: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        key: str,
+        description: Dict[str, Any],
+        cancel_event: Optional[threading.Event] = None,
+    ) -> None:
         self.id = job_id
         self.key = key
         self.description = description
@@ -67,6 +84,7 @@ class Job:
         self.traceback: Optional[str] = None
         self.result: Any = None
         self.solve_seconds: Optional[float] = None
+        self.cancel_event = cancel_event if cancel_event is not None else threading.Event()
         self._done = threading.Event()
         self._future = None
 
@@ -138,11 +156,16 @@ class JobManager:
         key: str,
         fn: Callable[[], Any],
         description: Optional[Dict[str, Any]] = None,
+        *,
+        cancel_event: Optional[threading.Event] = None,
     ) -> Tuple[Job, bool]:
         """Enqueue ``fn`` under ``key``; returns ``(job, created)``.
 
         ``created`` is ``False`` when an identical key was already in
         flight and the caller was attached to that job (single-flight).
+        ``cancel_event``, when given, is the event ``fn`` watches for
+        cooperative cancellation; :meth:`cancel` sets it for a running
+        job (otherwise the job carries a private, unobserved event).
 
         Raises
         ------
@@ -160,7 +183,9 @@ class JobManager:
                     f"job queue is full ({self._pending} waiting, "
                     f"limit {self.max_queue}); retry later"
                 )
-            job = Job(f"job-{next(self._ids)}", key, description or {})
+            job = Job(
+                f"job-{next(self._ids)}", key, description or {}, cancel_event
+            )
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._in_flight[key] = job
@@ -179,6 +204,15 @@ class JobManager:
             self._running += 1
         try:
             result = fn()
+        except JobCancelledError as exc:
+            with self._lock:
+                job.status = CANCELLED
+                job.error = f"cancelled: {exc}"
+        except DeadlineExceededError as exc:
+            with self._lock:
+                job.status = FAILED
+                job.error = f"timeout: {exc}"
+                job.traceback = traceback.format_exc()
         except BaseException as exc:  # propagate *any* failure to pollers
             with self._lock:
                 job.status = FAILED
@@ -238,24 +272,54 @@ class JobManager:
             }
 
     # -- cancellation and shutdown ------------------------------------
-    def cancel(self, job_id: str) -> bool:
-        """Cancel a job that has not started; ``False`` otherwise."""
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job; returns what happened (``None`` when nothing).
+
+        * ``"cancelled"`` — the job had not started and was cancelled in
+          place (terminal immediately).
+        * ``"cancelling"`` — the job is running; its cancel event was
+          set and the job moved to ``CANCELLING``.  The solve unwinds
+          at its next pass boundary (idempotent: repeating the call
+          returns ``"cancelling"`` again until the job is terminal).
+        * ``None`` — unknown id, or the job already reached a terminal
+          state; there is nothing left to cancel.
+
+        The outcomes are truthy strings, so ``if manager.cancel(id):``
+        still reads as "did this request have any effect".
+        """
         job = self._jobs.get(job_id)
         if job is None:
-            return False
+            return None
         with self._lock:
-            if job.status is not PENDING:
-                return False
-            cancelled = job._future.cancel() if job._future is not None else True
-            if not cancelled:
-                return False
-            job.status = CANCELLED
-            self._pending -= 1
-            if self._in_flight.get(job.key) is job:
-                del self._in_flight[job.key]
-        job.finished_at = time.time()
-        job._done.set()
-        return True
+            if job.status is PENDING:
+                cancelled = (
+                    job._future.cancel() if job._future is not None else True
+                )
+                if cancelled:
+                    job.status = CANCELLED
+                    self._pending -= 1
+                    if self._in_flight.get(job.key) is job:
+                        del self._in_flight[job.key]
+                    job.finished_at = time.time()
+                    job._done.set()
+                    return "cancelled"
+                # The pool grabbed the task between our check and the
+                # cancel, but its thread has not marked it RUNNING yet.
+                # Pre-set the event — the solve sees it at its first
+                # pass boundary — and leave the status transition to
+                # the worker thread (flipping it here would trip the
+                # worker's cancelled-while-queued guard).
+                job.cancel_event.set()
+                return "cancelling"
+            if job.status in (RUNNING, CANCELLING):
+                job.cancel_event.set()
+                job.status = CANCELLING
+                # release the single-flight slot: new requests for this
+                # key should start a fresh solve, not join a dying one
+                if self._in_flight.get(job.key) is job:
+                    del self._in_flight[job.key]
+                return "cancelling"
+        return None
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs and shut the pool down."""

@@ -15,6 +15,7 @@ from .shards import (
     ShardManifest,
     ShardWriter,
     ShardedEdgeStore,
+    StoreVerification,
     write_edge_list_store,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "ShardManifest",
     "ShardWriter",
     "ShardedEdgeStore",
+    "StoreVerification",
     "write_edge_list_store",
 ]

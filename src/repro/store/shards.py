@@ -21,6 +21,24 @@ Format
   on: node/edge counts, total weight, weighted/directed flags, and the
   per-shard file names and edge counts.
 
+Crash safety
+------------
+* Durable writes are atomic: shard records stream into ``*.tmp``
+  siblings renamed into place at finalization (the same tmp+rename
+  discipline as the kernel build cache), and the manifest — the commit
+  record — is written last, also tmp+rename.  A crash at any point
+  leaves either the previous complete state or recognizable ``*.tmp``
+  debris (swept on the next open/write), never a half-written store
+  that reads as valid.
+* The manifest records a CRC-32 of every shard's record payload.
+  Readers verify file size and (when recorded) checksum lazily on the
+  first open of each shard per store instance, raising
+  :class:`~repro.errors.StoreCorruptionError` on mismatch instead of
+  returning silently-wrong edges.  :meth:`ShardedEdgeStore.verify`
+  audits a whole store; :meth:`ShardedEdgeStore.repair` moves damaged
+  shards into a ``quarantine/`` subdirectory and marks them in the
+  manifest so later reads fail with a clear typed error.
+
 Invariants
 ----------
 * Node ids are dense non-negative int64 indices in ``[0, num_nodes)``;
@@ -70,7 +88,9 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import struct
+import zlib
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
@@ -78,7 +98,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import StoreError
+from ..errors import StoreCorruptionError, StoreError
 from ..mapreduce.columnar import stable_hash_int64
 
 PathLike = Union[str, Path]
@@ -89,6 +109,8 @@ SHARD_DTYPE = np.dtype([("u", "<i8"), ("v", "<i8"), ("w", "<f8")])
 #: Manifest schema version (bump on incompatible layout changes).
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
+#: Subdirectory `repair()` moves damaged shard files into.
+_QUARANTINE_DIR = "quarantine"
 
 #: Default writer spill budget: flush shard buffers past 64 MiB.
 DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
@@ -197,11 +219,23 @@ class ShardManifest:
     #: manifest with the cache empty, which is the invalidation.
     fingerprint: Optional[str] = None
     format_version: int = FORMAT_VERSION
+    #: Optional CRC-32 of each shard's record payload (parallel to
+    #: ``shard_files``; ``None`` entries mean "no checksum recorded" —
+    #: stores written before checksums, which read fine but verify by
+    #: size only).
+    shard_crcs: Optional[List[Optional[int]]] = None
+    #: Shard indices quarantined by :meth:`ShardedEdgeStore.repair`;
+    #: reading a quarantined shard raises ``StoreCorruptionError``.
+    quarantined: List[int] = field(default_factory=list)
 
     def to_json(self) -> str:
         shards = []
         for i, (name, count) in enumerate(zip(self.shard_files, self.shard_edges)):
             entry = {"file": name, "edges": count}
+            if self.shard_crcs is not None and self.shard_crcs[i] is not None:
+                entry["crc32"] = int(self.shard_crcs[i])
+            if i in self.quarantined:
+                entry["quarantined"] = True
             if self.shard_summaries is not None:
                 summary = self.shard_summaries[i]
                 if summary is not None:
@@ -241,6 +275,9 @@ class ShardManifest:
         summaries: List[Optional[ShardSummary]] = [
             ShardSummary.from_entry(s) for s in shards
         ]
+        crcs: List[Optional[int]] = [
+            int(s["crc32"]) if "crc32" in s else None for s in shards
+        ]
         return cls(
             num_shards=int(data["num_shards"]),
             num_nodes=int(data["num_nodes"]),
@@ -252,6 +289,8 @@ class ShardManifest:
             shard_edges=[int(s["edges"]) for s in shards],
             shard_summaries=summaries if any(s is not None for s in summaries) else None,
             fingerprint=data.get("fingerprint"),
+            shard_crcs=crcs if any(c is not None for c in crcs) else None,
+            quarantined=[i for i, s in enumerate(shards) if s.get("quarantined")],
         )
 
 
@@ -338,6 +377,16 @@ class ShardWriter:
         endpoint bitmap when ``num_nodes`` is declared) in the
         manifest, enabling dead-shard skipping at read time.  Costs
         O(num_nodes) transient bytes per shard while writing.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; the writer consults
+        site ``"store.shard_write"`` once per shard while spilling, so
+        tests can crash a write mid-spill deterministically.
+
+    Crash safety: records stream into ``*.tmp`` siblings that are
+    renamed into place only at :meth:`close`, with the manifest written
+    (atomically) last — an interrupted write leaves no final shard
+    files and no manifest, and both :meth:`abort` and the next
+    writer/reader on the directory sweep the tmp debris.
     """
 
     DUPLICATE_POLICIES = ("keep", "first")
@@ -352,6 +401,7 @@ class ShardWriter:
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         duplicates: str = "keep",
         skip_summaries: bool = False,
+        fault_plan=None,
     ) -> None:
         if num_shards < 1:
             raise StoreError(f"num_shards must be >= 1, got {num_shards}")
@@ -368,7 +418,10 @@ class ShardWriter:
         self.path.mkdir(parents=True, exist_ok=True)
         if (self.path / MANIFEST_NAME).exists():
             raise StoreError(f"{self.path} already holds a shard store")
+        _sweep_tmp_debris(self.path)  # a crashed predecessor's leftovers
         self.num_shards = num_shards
+        self._fault_plan = fault_plan
+        self._crcs = [0] * num_shards
         self.directed = directed
         self.memory_budget = memory_budget
         self.duplicates = duplicates
@@ -472,18 +525,21 @@ class ShardWriter:
                 return
 
     def flush(self) -> None:
-        """Spill every shard buffer to its on-disk file."""
+        """Spill every shard buffer to its on-disk ``*.tmp`` file."""
         for shard, chunks in enumerate(self._buffers):
             if not chunks:
                 continue
+            if self._fault_plan is not None:
+                self._fault_plan.fire("store.shard_write", shard)
             handle = self._handles[shard]
             if handle is None:
-                handle = open(self.path / _shard_name(shard), "wb")
+                handle = open(self.path / _tmp_shard_name(shard), "wb")
                 handle.write(_npy_preamble(0))
                 self._handles[shard] = handle
             for rec in chunks:
                 rec.tofile(handle)
                 self._counts[shard] += int(rec.size)
+                self._crcs[shard] = zlib.crc32(rec.tobytes(), self._crcs[shard])
             self._buffers[shard] = []
         self._buffered_bytes = 0
 
@@ -496,9 +552,12 @@ class ShardWriter:
             key = rec["u"] * np.int64(num_nodes) + rec["v"]
             first = np.unique(key, return_index=True)[1]
             rec = rec[np.sort(first)]  # first occurrences, arrival order
-            with open(path, "wb") as out:
+            tmp = self.path / _tmp_shard_name(shard)
+            with open(tmp, "wb") as out:
                 out.write(_npy_preamble(int(rec.size)))
                 rec.tofile(out)
+            os.replace(tmp, path)
+            self._crcs[shard] = zlib.crc32(rec.tobytes())
         self._counts[shard] = int(rec.size)
         self._dedup_weight += float(rec["w"].sum())
         if not self._dedup_weighted and bool((rec["w"] != 1.0).any()):
@@ -508,6 +567,13 @@ class ShardWriter:
         """Finalize shard headers, write the manifest, return the store."""
         if self._closed:
             return ShardedEdgeStore.open(self.path)
+        try:
+            return self._finalize()
+        except BaseException:
+            self.abort()
+            raise
+
+    def _finalize(self) -> "ShardedEdgeStore":
         self.flush()
         num_nodes = (
             self._declared_nodes
@@ -524,15 +590,17 @@ class ShardWriter:
         shard_files: List[str] = []
         for shard in range(self.num_shards):
             name = _shard_name(shard)
+            tmp = self.path / _tmp_shard_name(shard)
             handle = self._handles[shard]
             if handle is None:  # empty shard: header only
-                with open(self.path / name, "wb") as out:
+                with open(tmp, "wb") as out:
                     out.write(_npy_preamble(0))
             else:
                 handle.seek(0)
                 handle.write(_npy_preamble(self._counts[shard]))
                 handle.close()
                 self._handles[shard] = None
+            os.replace(tmp, self.path / name)
             shard_files.append(name)
         if self.duplicates == "first":
             self._dedup_weight = 0.0
@@ -571,22 +639,63 @@ class ShardWriter:
             shard_files=shard_files,
             shard_edges=list(self._counts),
             shard_summaries=summaries,
+            shard_crcs=list(self._crcs),
         )
-        (self.path / MANIFEST_NAME).write_text(manifest.to_json() + "\n")
+        # The manifest is the commit record: written atomically, last.
+        _atomic_write_text(self.path / MANIFEST_NAME, manifest.to_json() + "\n")
         self._closed = True
-        return ShardedEdgeStore(self.path, manifest)
+        # This process just wrote (and checksummed) every byte, so the
+        # returned reader skips re-verification.
+        return ShardedEdgeStore(self.path, manifest, _trusted=True)
 
     def abort(self) -> None:
-        """Close handles without writing a manifest (failed write)."""
+        """Close handles and remove tmp debris — no manifest, no final
+        shard files, so the directory never reads as a valid store."""
         for shard, handle in enumerate(self._handles):
             if handle is not None:
                 handle.close()
                 self._handles[shard] = None
+        _sweep_tmp_debris(self.path)
         self._closed = True
 
 
 def _shard_name(shard: int) -> str:
     return f"shard-{shard:05d}.npy"
+
+
+def _tmp_shard_name(shard: int) -> str:
+    return _shard_name(shard) + ".tmp"
+
+
+def _sweep_tmp_debris(path: Path) -> None:
+    """Remove ``*.tmp`` leftovers of an interrupted writer or rewrite."""
+    try:
+        for stale in path.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:  # raced or read-only: harmless either way
+                pass
+    except OSError:  # pragma: no cover - unreadable dir surfaces later
+        pass
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp + atomic rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _payload_crc(path: Path) -> int:
+    """CRC-32 of a shard file's record payload (preamble excluded)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        handle.seek(_PREAMBLE_BYTES)
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                return crc
+            crc = zlib.crc32(chunk, crc)
 
 
 def _splitmix64(x: np.ndarray) -> np.ndarray:
@@ -654,6 +763,30 @@ def write_edge_list_store(
 # ----------------------------------------------------------------------
 # Store (reader)
 # ----------------------------------------------------------------------
+@dataclass
+class StoreVerification:
+    """Result of :meth:`ShardedEdgeStore.verify`.
+
+    ``problems`` lists ``(shard, description)`` pairs for every shard
+    that failed its integrity checks; an empty list means the store is
+    healthy (:attr:`ok`).
+    """
+
+    path: Path
+    shards: int
+    problems: List[Tuple[int, str]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_corrupt(self) -> None:
+        """Raise :class:`StoreCorruptionError` summarizing any damage."""
+        if self.problems:
+            detail = "; ".join(msg for _, msg in self.problems)
+            raise StoreCorruptionError(f"{self.path}: {detail}")
+
+
 class ShardedEdgeStore:
     """A finalized on-disk sharded edge set with memmap readers.
 
@@ -673,9 +806,15 @@ class ShardedEdgeStore:
     (3, 3, False)
     """
 
-    def __init__(self, path: PathLike, manifest: ShardManifest) -> None:
+    def __init__(
+        self, path: PathLike, manifest: ShardManifest, *, _trusted: bool = False
+    ) -> None:
         self.path = Path(path)
         self.manifest = manifest
+        # Shards integrity-checked by this instance (size + CRC on the
+        # first memmap open of each).  A writer that just produced the
+        # bytes hands back a fully-trusted reader.
+        self._verified = set(range(manifest.num_shards)) if _trusted else set()
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -687,6 +826,7 @@ class ShardedEdgeStore:
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
             raise StoreError(f"no shard store at {path} (missing {MANIFEST_NAME})")
+        _sweep_tmp_debris(path)
         return cls(path, ShardManifest.from_json(manifest_path.read_text()))
 
     @classmethod
@@ -808,12 +948,100 @@ class ShardedEdgeStore:
         self.manifest.fingerprint = digest
         if cache:
             try:
-                (self.path / MANIFEST_NAME).write_text(
-                    self.manifest.to_json() + "\n"
+                _atomic_write_text(
+                    self.path / MANIFEST_NAME, self.manifest.to_json() + "\n"
                 )
             except OSError:  # read-only store: still return the value
                 pass
         return digest
+
+    # -- integrity -----------------------------------------------------
+    def _check_shard(self, shard: int, *, deep: bool = True) -> Optional[str]:
+        """Integrity-check one shard; returns a problem string or None.
+
+        Size is always checked (truncation detection); the payload CRC
+        is checked when the manifest records one and ``deep`` is set.
+        """
+        m = self.manifest
+        if shard in m.quarantined:
+            return (
+                f"shard {shard} is quarantined (moved to "
+                f"{_QUARANTINE_DIR}/ by repair); re-ingest the store"
+            )
+        path = self.shard_path(shard)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return f"shard {shard} file {path.name} is missing"
+        expected = _PREAMBLE_BYTES + m.shard_edges[shard] * SHARD_DTYPE.itemsize
+        if size != expected:
+            return (
+                f"shard {shard} file {path.name} is truncated or padded: "
+                f"{size} bytes on disk, manifest says {expected}"
+            )
+        if deep and m.shard_crcs is not None:
+            recorded = m.shard_crcs[shard]
+            if recorded is not None:
+                actual = _payload_crc(path)
+                if actual != recorded:
+                    return (
+                        f"shard {shard} payload checksum mismatch: "
+                        f"crc32 {actual:#010x} != recorded {recorded:#010x}"
+                    )
+        return None
+
+    def _require_shard(self, shard: int) -> None:
+        """Lazily verify a shard on its first open by this instance."""
+        if shard in self._verified:
+            return
+        problem = self._check_shard(shard)
+        if problem is not None:
+            raise StoreCorruptionError(f"{self.path}: {problem}")
+        self._verified.add(shard)
+
+    def verify(self, *, deep: bool = True) -> "StoreVerification":
+        """Audit every shard; returns a report instead of raising.
+
+        ``deep=False`` checks existence and size only (cheap);
+        ``deep=True`` (default) additionally re-reads each shard's
+        payload to validate the manifest CRCs.
+        """
+        problems = []
+        for shard in range(self.num_shards):
+            problem = self._check_shard(shard, deep=deep)
+            if problem is not None:
+                problems.append((shard, problem))
+        return StoreVerification(
+            path=self.path, shards=self.num_shards, problems=problems
+        )
+
+    def repair(self, *, deep: bool = True) -> "StoreVerification":
+        """Quarantine every corrupt shard so reads fail fast and typed.
+
+        Damaged shard files move into ``quarantine/`` (evidence is kept,
+        never deleted) and the manifest marks the shard quarantined —
+        subsequent reads raise :class:`StoreCorruptionError` with a
+        clear message instead of a checksum trace.  A healthy store is
+        a no-op.  Returns the pre-repair verification report.
+        """
+        report = self.verify(deep=deep)
+        if not report.problems:
+            return report
+        qdir = self.path / _QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        for shard, _ in report.problems:
+            if shard in self.manifest.quarantined:
+                continue
+            src = self.shard_path(shard)
+            if src.exists():
+                os.replace(src, qdir / src.name)
+            self.manifest.quarantined.append(shard)
+            self._verified.discard(shard)
+        self.manifest.quarantined.sort()
+        _atomic_write_text(
+            self.path / MANIFEST_NAME, self.manifest.to_json() + "\n"
+        )
+        return report
 
     # -- readers -------------------------------------------------------
     def shard_path(self, shard: int) -> Path:
@@ -821,7 +1049,12 @@ class ShardedEdgeStore:
         return self.path / self.manifest.shard_files[shard]
 
     def shard_arrays(self, shard: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Zero-copy ``(u, v, w)`` views of one shard (memmap-backed)."""
+        """Zero-copy ``(u, v, w)`` views of one shard (memmap-backed).
+
+        The first open of each shard by this instance verifies file
+        size and (when recorded) payload CRC, raising
+        :class:`StoreCorruptionError` on damage."""
+        self._require_shard(shard)
         rec = np.load(self.shard_path(shard), mmap_mode="r")
         return rec["u"], rec["v"], rec["w"]
 

@@ -39,6 +39,7 @@ from .engine import (
     stream_densest_subgraph_directed,
 )
 from .compaction import CompactionPolicy
+from .checkpoint import CheckpointConfig
 from .countsketch import CountSketch
 from .sketch_engine import sketch_densest_subgraph
 from .memory import MemoryAccountant
@@ -55,6 +56,7 @@ __all__ = [
     "ArrayEdgeStream",
     "StreamAccounting",
     "CompactionPolicy",
+    "CheckpointConfig",
     "stream_densest_subgraph",
     "stream_densest_subgraph_atleast_k",
     "stream_densest_subgraph_directed",

@@ -205,6 +205,14 @@ class _MemorySink:
             u, v, w, num_nodes=num_nodes, dense_ids=True, accounting=accounting
         )
 
+    def abort(self) -> None:
+        """Drop held chunks; abort any spill writer (interrupted scan)."""
+        self._u = []
+        self._v = []
+        self._w = []
+        if self._spill is not None:
+            self._spill.abort()
+
 
 class _SpillSink:
     """Streams surviving records into a fresh on-disk shard store."""

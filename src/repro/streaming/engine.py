@@ -538,9 +538,16 @@ class _UndirectedPassState:
             sink = None
             if compact and self._compactor is not None and self._compactor.due():
                 sink = self._compactor.open_sink()
-            degrees, weight = self._scanner.scan_undirected(
-                self.stream, self._alive_arr, sink=sink
-            )
+            try:
+                degrees, weight = self._scanner.scan_undirected(
+                    self.stream, self._alive_arr, sink=sink
+                )
+            except BaseException:
+                # A scan interrupted mid-pass (fault, cancel, I/O error)
+                # must not leak the sink's half-written spill store.
+                if sink is not None:
+                    sink.abort()
+                raise
             if self._compactor is not None:
                 if sink is not None:
                     self.stream = self._compactor.finish(sink)
@@ -592,10 +599,72 @@ class _UndirectedPassState:
             return _np.flatnonzero(self._alive_arr).tolist()
         return list(self.alive_nodes)
 
+    def restore(self, alive: "_np.ndarray", remaining: int) -> None:
+        """Adopt a checkpoint's alive mask (scanner path only).
+
+        The next :meth:`scan` recomputes degrees from the base stream
+        under this mask, so the resumed peel is bit-identical to an
+        uninterrupted one from this point on.
+        """
+        if self._scanner is None:
+            raise StreamError("checkpoint restore requires the vectorized scanner")
+        self._alive_arr = _np.asarray(alive, dtype=bool).copy()
+        self.remaining = int(remaining)
+        if self._compactor is not None:
+            # Seed the node trigger so compaction re-fires on the same
+            # shrink signal the interrupted run had already earned.
+            self._compactor.note_nodes(self.remaining)
+
     def close(self) -> None:
         """Reap compaction spill state (idempotent)."""
         if self._compactor is not None:
             self._compactor.close()
+
+
+def _load_engine_checkpoint(config, kind, params, state, stream):
+    """Resume helper shared by the undirected engines.
+
+    Returns the loaded state dict (already applied to ``state`` and the
+    stream accounting) or ``None`` when no checkpoint exists.
+    """
+    from ..errors import CheckpointError
+    from .checkpoint import load_peel_checkpoint, restore_accounting
+
+    if state._scanner is None:
+        raise CheckpointError(
+            "peel checkpointing requires the vectorized scanner "
+            "(integer node ids and numpy)"
+        )
+    loaded = load_peel_checkpoint(config, kind=kind, params=params, n=state.n)
+    if loaded is None:
+        return None
+    state.restore(loaded["alive"], loaded["remaining"])
+    restore_accounting(stream.accounting, loaded["accounting"])
+    return loaded
+
+
+def _save_engine_checkpoint(
+    config, kind, params, state, stream,
+    pass_index, best_set, best_density, best_pass, pending, trace,
+):
+    """Persist one undirected peel's between-pass state."""
+    from .checkpoint import save_peel_checkpoint
+
+    save_peel_checkpoint(
+        config,
+        kind=kind,
+        params=params,
+        n=state.n,
+        pass_index=pass_index,
+        remaining=state.remaining,
+        alive=state._alive_arr,
+        best_set=best_set,
+        best_density=best_density,
+        best_pass=best_pass,
+        pending=pending,
+        trace=trace,
+        accounting=stream.accounting,
+    )
 
 
 def stream_densest_subgraph(
@@ -606,6 +675,8 @@ def stream_densest_subgraph(
     accountant: Optional[MemoryAccountant] = None,
     compaction=None,
     scan_threads: Optional[int] = None,
+    checkpoint=None,
+    control=None,
 ) -> DensestSubgraphResult:
     """Algorithm 1 in the semi-streaming model.
 
@@ -634,6 +705,17 @@ def stream_densest_subgraph(
         Thread count for per-shard degree scans (default 1, sequential).
         Honored only by shard-backed streams on the vectorized scanner
         path; results and accounting are bit-identical to sequential.
+    checkpoint:
+        ``None`` (off), a directory path, or a
+        :class:`~repro.streaming.checkpoint.CheckpointConfig`: persist
+        the O(n) between-pass state every ``every`` passes and resume
+        from the latest checkpoint on a rerun of the same solve —
+        bit-identical node sets, traces, and pass counts.  Requires the
+        vectorized scanner path.
+    control:
+        Optional :class:`~repro.faults.RunControl` checked at each pass
+        boundary — cooperative cancellation, wall-clock deadline, and
+        fault injection.
 
     Returns
     -------
@@ -641,8 +723,10 @@ def stream_densest_subgraph(
         Same node set and trace as the in-memory reference.
     """
     epsilon = check_epsilon(epsilon)
+    from .checkpoint import CheckpointConfig
     from .compaction import CompactionPolicy
 
+    checkpoint = CheckpointConfig.coerce(checkpoint)
     state = _UndirectedPassState(
         stream, CompactionPolicy.coerce(compaction), scan_threads=scan_threads
     )
@@ -656,10 +740,25 @@ def stream_densest_subgraph(
     trace: List[PassRecord] = []
     pass_index = 0
 
+    ckpt_params = {"epsilon": epsilon, "max_passes": max_passes}
+    if checkpoint is not None:
+        loaded = _load_engine_checkpoint(
+            checkpoint, "stream-densest", ckpt_params, state, stream
+        )
+        if loaded is not None:
+            pass_index = loaded["pass_index"]
+            best_set = loaded["best_set"]
+            best_density = loaded["best_density"]
+            best_pass = loaded["best_pass"]
+            pending = loaded["pending"]
+            trace = loaded["trace"]
+
     try:
         while state.remaining > 0:
             if max_passes is not None and pass_index >= max_passes:
                 break
+            if control is not None:
+                control.check_pass(pass_index + 1)
             pass_index += 1
             degrees, weight = state.scan()
             density = weight / state.remaining
@@ -688,6 +787,12 @@ def stream_densest_subgraph(
                 "nodes_after": state.remaining - len(to_remove),
             }
             state.kill(to_remove)
+            if checkpoint is not None and pass_index % checkpoint.every == 0:
+                _save_engine_checkpoint(
+                    checkpoint, "stream-densest", ckpt_params, state, stream,
+                    pass_index, best_set, best_density, best_pass, pending,
+                    trace,
+                )
 
         if pending is not None:
             if state.remaining == 0:
@@ -708,6 +813,11 @@ def stream_densest_subgraph(
             )
     finally:
         state.close()
+
+    if checkpoint is not None and not checkpoint.keep:
+        from .checkpoint import clear_checkpoint
+
+        clear_checkpoint(checkpoint)
 
     return DensestSubgraphResult(
         nodes=(
@@ -731,19 +841,25 @@ def stream_densest_subgraph_atleast_k(
     accountant: Optional[MemoryAccountant] = None,
     compaction=None,
     scan_threads: Optional[int] = None,
+    checkpoint=None,
+    control=None,
 ) -> DensestSubgraphResult:
     """Algorithm 2 in the semi-streaming model (size lower bound k).
 
     Mirrors :func:`repro.core.densest_subgraph_atleast_k`: per pass the
     ε/(1+ε)·|S| lowest-degree members of the threshold set are removed,
     and peeling stops when |S| < k (Lemma 11's pass bound).
-    ``compaction`` and ``scan_threads`` are the same controls as
-    :func:`stream_densest_subgraph`'s.
+    ``compaction``, ``scan_threads``, ``checkpoint``, and ``control``
+    are the same controls as :func:`stream_densest_subgraph`'s — deep
+    at-least-k peels (small ε, hundreds of passes) are checkpointing's
+    motivating case.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_int(k, "k")
+    from .checkpoint import CheckpointConfig
     from .compaction import CompactionPolicy
 
+    checkpoint = CheckpointConfig.coerce(checkpoint)
     state = _UndirectedPassState(
         stream, CompactionPolicy.coerce(compaction), scan_threads=scan_threads
     )
@@ -760,8 +876,23 @@ def stream_densest_subgraph_atleast_k(
     trace: List[PassRecord] = []
     pass_index = 0
 
+    ckpt_params = {"epsilon": epsilon, "k": k}
+    if checkpoint is not None:
+        loaded = _load_engine_checkpoint(
+            checkpoint, "stream-densest-atleast-k", ckpt_params, state, stream
+        )
+        if loaded is not None:
+            pass_index = loaded["pass_index"]
+            best_set = loaded["best_set"]
+            best_density = loaded["best_density"]
+            best_pass = loaded["best_pass"]
+            pending = loaded["pending"]
+            trace = loaded["trace"]
+
     try:
         while state.remaining >= k and state.remaining > 0:
+            if control is not None:
+                control.check_pass(pass_index + 1)
             pass_index += 1
             degrees, weight = state.scan()
             density = weight / state.remaining
@@ -793,6 +924,12 @@ def stream_densest_subgraph_atleast_k(
                 "nodes_after": state.remaining - len(to_remove),
             }
             state.kill(to_remove)
+            if checkpoint is not None and pass_index % checkpoint.every == 0:
+                _save_engine_checkpoint(
+                    checkpoint, "stream-densest-atleast-k", ckpt_params, state,
+                    stream, pass_index, best_set, best_density, best_pass,
+                    pending, trace,
+                )
 
         if pending is not None:
             if state.remaining == 0:
@@ -816,6 +953,11 @@ def stream_densest_subgraph_atleast_k(
     finally:
         state.close()
 
+    if checkpoint is not None and not checkpoint.keep:
+        from .checkpoint import clear_checkpoint
+
+        clear_checkpoint(checkpoint)
+
     return DensestSubgraphResult(
         nodes=frozenset(state.labels[i] for i in best_set),
         density=best_density if best_density is not None else 0.0,
@@ -834,15 +976,16 @@ def stream_densest_subgraph_directed(
     accountant: Optional[MemoryAccountant] = None,
     compaction=None,
     scan_threads: Optional[int] = None,
+    control=None,
 ) -> DirectedDensestSubgraphResult:
     """Algorithm 3 in the semi-streaming model at a fixed ratio c.
 
     Keeps two O(n) counter arrays — w(E(i, T)) and w(E(S, j)) — plus the
     two alive bitmaps; one stream pass per peeling pass recomputes them.
-    ``compaction`` and ``scan_threads`` are the same controls as
-    :func:`stream_densest_subgraph`'s — here an edge survives (and is
-    rewritten) while its source is still in S *and* its destination
-    still in T.
+    ``compaction``, ``scan_threads``, and ``control`` are the same
+    controls as :func:`stream_densest_subgraph`'s — here an edge
+    survives (and is rewritten) while its source is still in S *and*
+    its destination still in T.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_float(ratio, "ratio")
@@ -915,14 +1058,21 @@ def stream_densest_subgraph_directed(
     scan_stream = stream
     try:
         while s_size > 0 and t_size > 0:
+            if control is not None:
+                control.check_pass(pass_index + 1)
             pass_index += 1
             if scanner is not None:
                 sink = None
                 if compactor is not None and compactor.due():
                     sink = compactor.open_sink()
-                out_to_t, in_from_s, weight = scanner.scan_directed(
-                    scan_stream, in_s_arr, in_t_arr, sink=sink
-                )
+                try:
+                    out_to_t, in_from_s, weight = scanner.scan_directed(
+                        scan_stream, in_s_arr, in_t_arr, sink=sink
+                    )
+                except BaseException:
+                    if sink is not None:
+                        sink.abort()
+                    raise
                 if compactor is not None:
                     if sink is not None:
                         scan_stream = compactor.finish(sink)

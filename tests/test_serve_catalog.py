@@ -18,6 +18,7 @@ from repro.serve.catalog import (
 )
 from repro.serve.jobs import (
     CANCELLED,
+    CANCELLING,
     DONE,
     FAILED,
     PENDING,
@@ -296,7 +297,7 @@ class TestJobManager:
             gate.set()
             manager.shutdown()
 
-    def test_cannot_cancel_running_or_done(self):
+    def test_cancel_running_is_cooperative(self):
         manager = JobManager(workers=1)
         started = threading.Event()
         gate = threading.Event()
@@ -308,11 +309,17 @@ class TestJobManager:
 
             job, _ = manager.submit("k", run)
             assert started.wait(10)
-            assert not manager.cancel(job.id)  # running
+            # running: the cancel is cooperative — the event is set and
+            # the job moves to CANCELLING until the solve reacts
+            assert manager.cancel(job.id) == "cancelling"
+            assert job.status == CANCELLING
+            assert job.cancel_event.is_set()
+            assert manager.cancel(job.id) == "cancelling"  # idempotent
             gate.set()
             assert job.wait(10)
-            assert not manager.cancel(job.id)  # done
-            assert job.status == DONE
+            # this fn never observes the event, so it ran to completion
+            assert job.status == DONE and job.result == 1
+            assert manager.cancel(job.id) is None  # terminal: no-op
         finally:
             gate.set()
             manager.shutdown()

@@ -1,0 +1,182 @@
+"""Serving-layer fault handling: cancellation, deadlines, catalog rot.
+
+End-to-end robustness of the serve stack: a RUNNING solve is stopped
+cooperatively (CANCELLING -> CANCELLED, never a hung thread), a
+per-job deadline turns into ``FAILED`` with a ``timeout:`` error, and
+a corrupted SQLite catalog is moved aside and rebuilt instead of
+taking the service down.
+"""
+
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.api import ExecutionContext
+from repro.errors import JobCancelledError
+from repro.serve.app import DensestService
+from repro.serve.catalog import ResultCatalog
+from repro.serve.jobs import CANCELLED, CANCELLING, DONE, FAILED, JobManager
+
+
+def _service(tmp_path, name="cat.sqlite", **context_kwargs):
+    catalog = ResultCatalog(str(tmp_path / name))
+    return DensestService(
+        catalog, context=ExecutionContext(workers=2, **context_kwargs)
+    )
+
+
+def _submit_long_solve(service):
+    service.register_dataset({"name": "g", "dataset": "grqc_sim", "scale": 1.0})
+    status, payload = service.solve_request(
+        {
+            "dataset": "g",
+            "problem": {"kind": "densest_at_least_k", "k": 40, "epsilon": 0.001},
+            "backend": "streaming",
+        }
+    )
+    assert status == 202, (status, payload)
+    return service.jobs.get(payload["job"]["id"])
+
+
+class TestCooperativeCancel:
+    def test_cancel_running_solve_terminates_cancelled(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            job = _submit_long_solve(service)
+            for _ in range(500):
+                if job.status != "PENDING":
+                    break
+                time.sleep(0.01)
+            outcome = service.jobs.cancel(job.id)
+            assert outcome in ("cancelled", "cancelling")
+            assert job.wait(30), "job never terminated after cancel"
+            assert job.status == CANCELLED, (job.status, job.error)
+            assert job.error.startswith("cancelled:")
+        finally:
+            service.close()
+
+    def test_each_job_gets_its_own_cancel_event(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            first = _submit_long_solve(service)
+            service.jobs.cancel(first.id)
+            assert first.wait(30)
+            # a later job must not inherit the fired event
+            status, payload = service.solve_request(
+                {
+                    "dataset": "g",
+                    "problem": {"kind": "densest_at_least_k", "k": 40,
+                                "epsilon": 0.05},
+                    "backend": "streaming",
+                    "wait": 60,
+                }
+            )
+            assert status == 200, (status, payload)
+            assert payload.get("cached") is False  # fresh solve completed
+        finally:
+            service.close()
+
+
+class TestJobDeadline:
+    def test_deadline_times_out_as_failed(self, tmp_path):
+        service = _service(tmp_path, deadline_seconds=0.0001)
+        try:
+            service.register_dataset(
+                {"name": "g", "dataset": "grqc_sim", "scale": 1.0}
+            )
+            status, payload = service.solve_request(
+                {
+                    "dataset": "g",
+                    "problem": {"kind": "densest_at_least_k", "k": 40,
+                                "epsilon": 0.001},
+                    "backend": "streaming",
+                    "wait": 30,
+                }
+            )
+            assert status == 500, (status, payload)
+            assert payload["job"]["status"] == FAILED
+            assert payload["job"]["error"].startswith("timeout:")
+        finally:
+            service.close()
+
+
+class TestCatalogRecovery:
+    def test_corrupt_catalog_is_moved_aside_and_rebuilt(self, tmp_path):
+        path = str(tmp_path / "cat.sqlite")
+        with open(path, "wb") as handle:
+            handle.write(b"this is definitely not a sqlite database " * 200)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            catalog = ResultCatalog(path)
+        try:
+            assert catalog.stats()["results"] == 0
+            assert any("rebuilt" in str(w.message) for w in caught)
+            assert os.path.exists(path + ".corrupt")
+        finally:
+            catalog.close()
+
+    def test_rebuild_does_not_clobber_prior_corpse(self, tmp_path):
+        path = str(tmp_path / "cat.sqlite")
+        for expected in (path + ".corrupt", path + ".corrupt.1"):
+            with open(path, "wb") as handle:
+                handle.write(b"garbage " * 400)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                ResultCatalog(path).close()
+            assert os.path.exists(expected)
+            os.remove(path)
+
+    def test_healthy_catalog_untouched(self, tmp_path):
+        path = str(tmp_path / "cat.sqlite")
+        ResultCatalog(path).close()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ResultCatalog(path).close()
+        assert not caught
+        assert not os.path.exists(path + ".corrupt")
+
+
+class TestJobManagerLifecycle:
+    def test_cancelling_transitions_and_slot_release(self, tmp_path):
+        manager = JobManager(workers=1)
+        event = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            event.wait(30)
+            raise JobCancelledError("observed cancel")
+
+        job, _ = manager.submit("k1", slow, cancel_event=event)
+        assert started.wait(10)
+        assert manager.cancel(job.id) == "cancelling"
+        assert job.status == CANCELLING
+        assert manager.cancel(job.id) == "cancelling"  # idempotent
+        assert job.wait(10)
+        assert job.status == CANCELLED
+        assert manager.cancel(job.id) is None  # terminal
+        manager.shutdown()
+
+    def test_cancelling_releases_slot_for_next_job(self, tmp_path):
+        manager = JobManager(workers=1)
+        event = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            event.wait(30)
+            raise JobCancelledError("observed cancel")
+
+        job, _ = manager.submit("k1", slow, cancel_event=event)
+        assert started.wait(10)
+        manager.cancel(job.id)
+        # the in-flight slot is released at cancel time, so a fresh
+        # job is accepted while the cancelled one is still draining
+        other, created = manager.submit("k2", lambda: 42)
+        assert created
+        assert other.wait(10)
+        assert other.status == DONE and other.result == 42
+        manager.shutdown()

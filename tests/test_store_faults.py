@@ -1,0 +1,173 @@
+"""Crash safety and corruption detection for the sharded edge store.
+
+The store's robustness contract: a crashed writer leaves no readable
+half-store behind (the manifest is the commit record), and bit rot in
+a shard payload surfaces as a typed :class:`StoreCorruptionError` on
+first read — never as silently wrong edges.  ``verify``/``repair``
+turn a damaged store into an explicitly quarantined one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectedFaultError, StoreError, StoreCorruptionError
+from repro.faults import FaultPlan, corrupt_shard
+from repro.store import ShardWriter, ShardedEdgeStore
+from repro.store.shards import MANIFEST_NAME, _PREAMBLE_BYTES
+
+
+def _write_store(path, *, num_shards=4, n=300, m=2500, seed=0, fault_plan=None):
+    rng = np.random.default_rng(seed)
+    with ShardWriter(
+        path,
+        num_shards=num_shards,
+        num_nodes=n,
+        directed=False,
+        fault_plan=fault_plan,
+    ) as writer:
+        writer.append_arrays(rng.integers(0, n, m), rng.integers(0, n, m))
+    return ShardedEdgeStore.open(path)
+
+
+class TestAtomicWrites:
+    def test_manifest_records_shard_crcs(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        assert store.manifest.shard_crcs is not None
+        assert len(store.manifest.shard_crcs) == store.num_shards
+        assert all(isinstance(c, int) for c in store.manifest.shard_crcs)
+
+    def test_no_tmp_debris_after_clean_close(self, tmp_path):
+        _write_store(tmp_path / "st")
+        assert not list((tmp_path / "st").glob("*.tmp"))
+
+    def test_injected_writer_crash_leaves_no_manifest(self, tmp_path):
+        plan = FaultPlan.crash_writer_at(shard=1)
+        with pytest.raises(InjectedFaultError):
+            _write_store(tmp_path / "st", fault_plan=plan)
+        # no commit record -> the directory is not a store
+        assert not (tmp_path / "st" / MANIFEST_NAME).exists()
+        with pytest.raises(StoreError, match="no shard store"):
+            ShardedEdgeStore.open(tmp_path / "st")
+        assert plan.pending() == []
+
+    def test_rerun_after_crash_succeeds_identically(self, tmp_path):
+        plan = FaultPlan.crash_writer_at(shard=1)
+        with pytest.raises(InjectedFaultError):
+            _write_store(tmp_path / "st", fault_plan=plan)
+        # same directory, same data, no armed fault: clean store
+        recovered = _write_store(tmp_path / "st")
+        reference = _write_store(tmp_path / "ref")
+        assert recovered.fingerprint() == reference.fingerprint()
+        assert not list((tmp_path / "st").glob("*.tmp"))
+
+    def test_open_sweeps_stale_tmp_debris(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        debris = tmp_path / "st" / "shard-00000.npy.tmp"
+        debris.write_bytes(b"leftover")
+        store = ShardedEdgeStore.open(tmp_path / "st")
+        assert not debris.exists()
+        assert store.num_edges > 0
+
+
+class TestCorruptionDetection:
+    def test_flipped_payload_byte_raises_typed_error(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        corrupt_shard(tmp_path / "st", shard=2)
+        reopened = ShardedEdgeStore.open(tmp_path / "st")
+        with pytest.raises(StoreCorruptionError, match="checksum mismatch"):
+            reopened.shard_arrays(2)
+
+    def test_intact_shards_stay_readable(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        corrupt_shard(tmp_path / "st", shard=2)
+        reopened = ShardedEdgeStore.open(tmp_path / "st")
+        for shard in (0, 1, 3):
+            src, dst, _ = reopened.shard_arrays(shard)
+            assert src.size == reopened.manifest.shard_edges[shard]
+
+    def test_truncated_shard_detected_without_checksum(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        path = store.shard_path(1)
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 24)
+        reopened = ShardedEdgeStore.open(tmp_path / "st")
+        with pytest.raises(StoreCorruptionError, match="bytes"):
+            reopened.shard_arrays(1)
+        # shallow verification (no checksum pass) also sees it
+        assert not reopened.verify(deep=False).ok
+
+    def test_verification_is_lazy_and_cached(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        reopened = ShardedEdgeStore.open(tmp_path / "st")
+        reopened.shard_arrays(0)
+        # corrupting after a shard passed verification is not re-checked
+        # (verification is first-open; this documents the cache)
+        corrupt_shard(tmp_path / "st", shard=0)
+        reopened.shard_arrays(0)
+        # ...but a fresh open re-verifies and catches it
+        with pytest.raises(StoreCorruptionError):
+            ShardedEdgeStore.open(tmp_path / "st").shard_arrays(0)
+
+
+class TestVerifyRepair:
+    def test_verify_reports_all_problems(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        assert store.verify().ok
+        corrupt_shard(tmp_path / "st", shard=0)
+        corrupt_shard(tmp_path / "st", shard=3)
+        report = ShardedEdgeStore.open(tmp_path / "st").verify()
+        assert not report.ok
+        assert sorted(shard for shard, _ in report.problems) == [0, 3]
+        with pytest.raises(StoreCorruptionError):
+            report.raise_if_corrupt()
+
+    def test_repair_quarantines_and_marks_manifest(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        corrupt_shard(tmp_path / "st", shard=2)
+        damaged = ShardedEdgeStore.open(tmp_path / "st")
+        damaged.repair()
+        assert (tmp_path / "st" / "quarantine" / "shard-00002.npy").exists()
+        assert not damaged.shard_path(2).exists()
+        # manifest remembers across reopen; reads fail typed, fast
+        reopened = ShardedEdgeStore.open(tmp_path / "st")
+        assert reopened.manifest.quarantined == [2]
+        with pytest.raises(StoreCorruptionError, match="quarantined"):
+            reopened.shard_arrays(2)
+        # healthy shards unaffected
+        src, _, _ = reopened.shard_arrays(0)
+        assert src.size == reopened.manifest.shard_edges[0]
+
+    def test_repair_on_healthy_store_is_noop(self, tmp_path):
+        store = _write_store(tmp_path / "st")
+        report = store.repair()
+        assert report.ok
+        assert not (tmp_path / "st" / "quarantine").exists()
+
+
+class TestFaultPlanSemantics:
+    def test_take_is_one_shot(self):
+        plan = FaultPlan.crash_writer_at(shard=1)
+        assert plan.take("store.shard_write", 1) is not None
+        assert plan.take("store.shard_write", 1) is None
+        assert plan.fired == [
+            {"site": "store.shard_write", "index": 1, "mode": "raise"}
+        ]
+
+    def test_save_log_roundtrip(self, tmp_path):
+        import json
+
+        plan = FaultPlan.kill_worker_at("map", 3, seed=7)
+        plan.take("mapreduce.map", 3)
+        log = tmp_path / "faults.json"
+        plan.save_log(log)
+        payload = json.loads(log.read_text())
+        assert payload["seed"] == 7
+        assert payload["fired"][0]["mode"] == "kill_worker"
+        assert payload["pending"] == []
+
+    def test_corrupt_offset_deterministic(self, tmp_path):
+        _write_store(tmp_path / "a", seed=5)
+        _write_store(tmp_path / "b", seed=5)
+        off_a = corrupt_shard(tmp_path / "a", shard=1, seed=9)
+        off_b = corrupt_shard(tmp_path / "b", shard=1, seed=9)
+        assert off_a == off_b >= _PREAMBLE_BYTES
