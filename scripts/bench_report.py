@@ -13,12 +13,20 @@ Three suites, selected with ``--suite``:
   ``BENCH_mapreduce.json``.
 * ``exec`` times the execution substrate and writes ``BENCH_exec.json``:
   the columnar MapReduce runtime serial vs on a warm 4-worker process
-  pool (Fig 6.7-scale im_sim fixture, array-native), plus an
-  out-of-core probe — a subprocess solving a sharded store with the
-  semi-streaming backend while its peak RSS is compared against the
-  store's edge-array size.  The report records ``cpu_count``; on a
-  single-core box the process rows measure pure executor overhead (no
-  parallel speedup is physically possible there).
+  pool (Fig 6.7-scale im_sim fixture, array-native) with both shuffle
+  transports — driver-shuffle (intermediate partitions pickle through
+  the driver) and file-shuffle (map tasks spill run files, reducers
+  memmap them) — plus the fused peel (``mr_fused_peel``: one
+  broadcast-parameter round per pass; the driver asserts it shuffles
+  ≤ 0.6x the classic bytes and returns identical results), a
+  driver-RSS probe comparing the two shuffle transports in fresh
+  child processes, and an out-of-core probe — a subprocess solving a
+  sharded store with the semi-streaming backend while its peak RSS is
+  compared against the store's edge-array size.  ``--min-speedup``
+  gates the ``mr_fused_peel`` file-shuffle row.  The report records
+  ``cpu_count``; on a single-core box the process rows measure pure
+  executor overhead (no parallel speedup is physically possible
+  there).
 * ``streaming`` times pass compaction and writes ``BENCH_stream.json``:
   the semi-streaming engine over a large synthetic sharded store (a
   nested-core deep-peel graph, ≈18M edges at full scale), full-rescan
@@ -345,8 +353,49 @@ def _oocore_child(store_path: str, epsilon: float) -> dict:
     }
 
 
+def _exec_driver_rss_child(scale: float, shuffle: bool) -> dict:
+    """Driver-RSS probe body, run in a fresh worker process.
+
+    Runs one fused process-pool peel with either shuffle transport and
+    reports this (driver) process's peak RSS: with the driver shuffle,
+    every round's intermediate partitions pickle through here; with the
+    file shuffle only run manifests do, so the driver's high-water mark
+    stops tracking the shuffle volume.
+    """
+    import multiprocessing
+    import os
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.datasets.synthetic import synthetic_edge_arrays
+    from repro.kernels import CSRGraph
+    from repro.mapreduce.densest import mr_densest_subgraph
+    from repro.mapreduce.runtime import MapReduceRuntime
+
+    src, dst, n, _ = synthetic_edge_arrays("im_sim", scale=scale)
+    csr = CSRGraph.from_edge_arrays(src, dst, num_nodes=n)
+    del src, dst
+    baseline = _vm_peak_bytes()
+    with tempfile.TemporaryDirectory() as tmp, ProcessPoolExecutor(
+        max_workers=2, mp_context=multiprocessing.get_context("spawn")
+    ) as pool:
+        runtime = MapReduceRuntime(
+            num_mappers=8, num_reducers=8, seed=1,
+            executor="process", pool=pool,
+            shuffle_dir=tmp if shuffle else None,
+        )
+        report = mr_densest_subgraph(csr, 0.5, runtime=runtime, engine="numpy")
+    return {
+        "baseline_rss_bytes": baseline,
+        "peak_rss_bytes": _vm_peak_bytes(),
+        "shuffle_bytes": sum(
+            c.shuffle_bytes for rounds in report.rounds_per_pass for c in rounds
+        ),
+    }
+
+
 def run_exec_benches(scale_factor: float, repeats: int):
-    """Time the execution substrate: process pool + out-of-core."""
+    """Time the execution substrate: process pool + shuffle + out-of-core."""
     import multiprocessing
     import os
     import tempfile
@@ -369,25 +418,63 @@ def run_exec_benches(scale_factor: float, repeats: int):
     fixture = f"im_sim_arrays@{scale:g}"
     print(f"fixture {fixture}: n={n}, m={src.size}, cpu_count={os.cpu_count()}")
 
-    with ProcessPoolExecutor(
+    def _total_shuffle_bytes(report):
+        return sum(
+            c.shuffle_bytes for rounds in report.rounds_per_pass for c in rounds
+        )
+
+    def _assert_same(ref, got, label):
+        assert got.result.nodes == ref.result.nodes, label
+        assert got.result.density == ref.result.density, label
+        assert got.result.trace == ref.result.trace, label
+
+    with tempfile.TemporaryDirectory() as shuffle_root, ProcessPoolExecutor(
         max_workers=workers, mp_context=multiprocessing.get_context("spawn")
     ) as pool:
         # Warm the pool (spawn + first imports) outside the timings.
         pool.submit(_vm_peak_bytes).result()
 
-        def serial():
-            runtime = MapReduceRuntime(num_mappers=8, num_reducers=8, seed=1)
-            mr_densest_subgraph(csr, 0.5, runtime=runtime, engine="numpy")
-
-        def process():
+        def peel(executor="serial", shuffle=False, fused=False):
+            kwargs = {}
+            if executor == "process":
+                kwargs = {"executor": "process", "pool": pool}
+                if shuffle:
+                    kwargs["shuffle_dir"] = shuffle_root
             runtime = MapReduceRuntime(
-                num_mappers=8, num_reducers=8, seed=1,
-                executor="process", pool=pool,
+                num_mappers=8, num_reducers=8, seed=1, **kwargs
             )
-            mr_densest_subgraph(csr, 0.5, runtime=runtime, engine="numpy")
+            return mr_densest_subgraph(
+                csr, 0.5, runtime=runtime, engine="numpy", fused=fused
+            )
 
-        serial_s = _median_seconds(serial, repeats)
-        process_s = _median_seconds(process, repeats)
+        # Parity gates first: every transport and the fused pipeline
+        # must return the serial classic run's exact answer before any
+        # timing row is recorded.
+        ref = peel()
+        _assert_same(ref, peel("process"), "driver-shuffle")
+        _assert_same(ref, peel("process", shuffle=True), "file-shuffle")
+        fused_ref = peel(fused=True)
+        _assert_same(ref, fused_ref, "fused-serial")
+        _assert_same(ref, peel("process", shuffle=True, fused=True),
+                     "fused-file-shuffle")
+        classic_bytes = _total_shuffle_bytes(ref)
+        fused_bytes = _total_shuffle_bytes(fused_ref)
+        bytes_ratio = fused_bytes / classic_bytes if classic_bytes else None
+        assert bytes_ratio is not None and bytes_ratio <= 0.6, (
+            f"fused peel shuffled {bytes_ratio:.2f}x the classic bytes "
+            f"(must be <= 0.6x)"
+        )
+
+        serial_s = _median_seconds(lambda: peel(), repeats)
+        process_s = _median_seconds(lambda: peel("process"), repeats)
+        file_s = _median_seconds(
+            lambda: peel("process", shuffle=True), repeats
+        )
+        fused_serial_s = _median_seconds(lambda: peel(fused=True), repeats)
+        fused_file_s = _median_seconds(
+            lambda: peel("process", shuffle=True, fused=True), repeats
+        )
+
     records.append(
         {
             "bench": "mr_columnar_peel",
@@ -400,14 +487,76 @@ def run_exec_benches(scale_factor: float, repeats: int):
         {
             "bench": "mr_columnar_peel",
             "fixture": fixture,
-            "engine": f"process-{workers}w",
+            "engine": f"process-{workers}w-driver-shuffle",
             "median_seconds": process_s,
             "speedup": serial_s / process_s if process_s > 0 else None,
         }
     )
+    records.append(
+        {
+            "bench": "mr_columnar_peel",
+            "fixture": fixture,
+            "engine": f"process-{workers}w-file-shuffle",
+            "median_seconds": file_s,
+            "speedup": serial_s / file_s if file_s > 0 else None,
+        }
+    )
+    records.append(
+        {
+            "bench": "mr_fused_peel",
+            "fixture": fixture,
+            "engine": "serial",
+            "median_seconds": fused_serial_s,
+            "shuffle_bytes": fused_bytes,
+            "classic_shuffle_bytes": classic_bytes,
+            "bytes_ratio": bytes_ratio,
+            "speedup_vs_classic_serial": (
+                serial_s / fused_serial_s if fused_serial_s > 0 else None
+            ),
+        }
+    )
+    records.append(
+        {
+            "bench": "mr_fused_peel",
+            "fixture": fixture,
+            "engine": f"process-{workers}w-file-shuffle",
+            "median_seconds": fused_file_s,
+            "speedup": fused_serial_s / fused_file_s if fused_file_s > 0 else None,
+        }
+    )
     print(f"{'mr_columnar_peel':28s} serial {serial_s * 1e3:9.3f} ms   "
-          f"process-{workers}w {process_s * 1e3:9.3f} ms   "
-          f"x{serial_s / process_s:6.2f}")
+          f"driver-shuffle {process_s * 1e3:9.3f} ms (x{serial_s / process_s:5.2f})   "
+          f"file-shuffle {file_s * 1e3:9.3f} ms (x{serial_s / file_s:5.2f})")
+    print(f"{'mr_fused_peel':28s} serial {fused_serial_s * 1e3:9.3f} ms   "
+          f"file-shuffle {fused_file_s * 1e3:9.3f} ms "
+          f"(x{fused_serial_s / fused_file_s:5.2f})   "
+          f"bytes x{bytes_ratio:.2f} of classic")
+
+    # Driver-RSS probe: the same fused process peel in fresh children,
+    # one per shuffle transport — with the file shuffle the driver's
+    # high-water mark must stop tracking the shuffle volume (reported,
+    # not gated: at quick scales the fixture dominates both peaks).
+    for shuffle, engine in ((False, "driver-shuffle"), (True, "file-shuffle")):
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=multiprocessing.get_context("spawn")
+        ) as probe_pool:
+            probe = probe_pool.submit(
+                _exec_driver_rss_child, scale, shuffle
+            ).result()
+        records.append(
+            {
+                "bench": "mr_driver_rss",
+                "fixture": fixture,
+                "engine": engine,
+                "baseline_rss_bytes": probe["baseline_rss_bytes"],
+                "peak_rss_bytes": probe["peak_rss_bytes"],
+                "shuffle_bytes": probe["shuffle_bytes"],
+            }
+        )
+        print(f"{'mr_driver_rss':28s} {engine:16s} "
+              f"baseline {probe['baseline_rss_bytes'] / 1e6:8.1f} MB   "
+              f"peak {probe['peak_rss_bytes'] / 1e6:8.1f} MB   "
+              f"shuffled {probe['shuffle_bytes'] / 1e6:8.1f} MB")
 
     # Out-of-core probe: a store larger than the solving process's peak
     # RSS (at full scale), solved by a fresh child so the measured
@@ -1204,7 +1353,7 @@ SUITES = {
         "output": "BENCH_exec.json",
         # Gate only on explicit --min-speedup: a 4-worker pool cannot
         # beat serial on fewer than ~2 physical cores.
-        "gate": {"mr_columnar_peel"},
+        "gate": {"mr_fused_peel"},
     },
     "streaming": {
         "run": run_streaming_benches,

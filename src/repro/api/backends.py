@@ -667,7 +667,11 @@ class MapReduceSolver:
     :class:`~repro.api.context.ExecutionContext` with ``workers > 1``
     (and no explicit ``runtime=``) runs the columnar rounds on a
     spawned process pool; the pool lives for this solve and is shut
-    down before returning.
+    down before returning.  ``context.shuffle_dir`` routes the pool's
+    intermediate data through the file-backed shuffle, and the
+    ``fused=True`` option collapses each peel pass to a single
+    broadcast-parameter degree round (DESIGN.md §13) — both are
+    bit-exact against the serial driver.
     """
 
     name = "mapreduce"
@@ -688,8 +692,9 @@ class MapReduceSolver:
 
     def solve(self, problem: Problem, **options) -> Solution:
         context = _pop_context(options)
-        _reject_options(self.name, options, ("runtime", "engine"))
+        _reject_options(self.name, options, ("runtime", "engine", "fused"))
         runtime = options.get("runtime")
+        fused = bool(options.get("fused", False))
         owned_runtime = None
         if runtime is None and context.workers > 1:
             from ..mapreduce.runtime import MapReduceRuntime
@@ -698,14 +703,19 @@ class MapReduceSolver:
                 executor="process",
                 workers=context.workers,
                 fault_plan=context.fault_plan,
+                shuffle_dir=context.shuffle_dir,
             )
         try:
-            return self._solve(problem, runtime, options.get("engine", "auto"))
+            return self._solve(
+                problem, runtime, options.get("engine", "auto"), fused
+            )
         finally:
             if owned_runtime is not None:
                 owned_runtime.close()
 
-    def _solve(self, problem: Problem, runtime, engine: str) -> Solution:
+    def _solve(
+        self, problem: Problem, runtime, engine: str, fused: bool = False
+    ) -> Solution:
         from ..mapreduce.densest import (
             mr_densest_subgraph,
             mr_densest_subgraph_atleast_k,
@@ -715,7 +725,7 @@ class MapReduceSolver:
         graph = _require_graph(problem, self.name, allow_csr=True, allow_shards=True)
         if isinstance(problem, DensestSubgraph):
             report = mr_densest_subgraph(
-                graph, problem.epsilon, runtime=runtime, engine=engine
+                graph, problem.epsilon, runtime=runtime, engine=engine, fused=fused
             )
             return _undirected_solution(
                 report.result,
@@ -729,7 +739,12 @@ class MapReduceSolver:
             )
         if isinstance(problem, DensestAtLeastK):
             report = mr_densest_subgraph_atleast_k(
-                graph, problem.k, problem.epsilon, runtime=runtime, engine=engine
+                graph,
+                problem.k,
+                problem.epsilon,
+                runtime=runtime,
+                engine=engine,
+                fused=fused,
             )
             return _undirected_solution(
                 report.result,
@@ -754,7 +769,12 @@ class MapReduceSolver:
                     graph = CSRDigraph.from_directed(graph)
                 reports = [
                     mr_densest_subgraph_directed(
-                        graph, ratio, problem.epsilon, runtime=runtime, engine=engine
+                        graph,
+                        ratio,
+                        problem.epsilon,
+                        runtime=runtime,
+                        engine=engine,
+                        fused=fused,
                     )
                     for ratio in _directed_grid(problem)
                 ]
@@ -776,7 +796,12 @@ class MapReduceSolver:
                     details=sweep,
                 )
             report = mr_densest_subgraph_directed(
-                graph, problem.ratio, problem.epsilon, runtime=runtime, engine=engine
+                graph,
+                problem.ratio,
+                problem.epsilon,
+                runtime=runtime,
+                engine=engine,
+                fused=fused,
             )
             return _directed_solution(
                 report.result,

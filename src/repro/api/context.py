@@ -22,6 +22,11 @@ spill_dir   callers converting edge sources into shard stores (the
             rewrites (spill sinks live under it)
 shard_      number of hash partitions for those conversions (and for
 count       compaction spill sinks)
+shuffle_    ``mapreduce`` — directory for the file-backed distributed
+dir         shuffle; with ``workers > 1`` map tasks spill
+            hash-partitioned columnar runs under it and reduce tasks
+            memmap only their partition's runs, so intermediate data
+            never routes through the driver (DESIGN.md §13)
 compaction_ ``streaming``/``sketch`` — pass-compaction shrink trigger
 threshold   in (0, 1]; setting it (or a memory budget / spill dir) on
             a shard-store input auto-enables compaction
@@ -68,6 +73,7 @@ class ExecutionContext:
     memory_budget: Optional[int] = None
     spill_dir: Optional[str] = None
     shard_count: int = 8
+    shuffle_dir: Optional[str] = None
     compaction_threshold: Optional[float] = None
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 16

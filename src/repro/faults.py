@@ -36,6 +36,14 @@ site                      consulted by
 ``mapreduce.reduce``      of a task (index = task id); ``kill_worker``
                           points ship a marker the worker turns into
                           ``SIGKILL`` on itself
+``mapreduce.shuffle``     the process-pool driver on file-shuffle map
+                          tasks (index = task id); ``raise`` /
+                          ``kill_worker`` fire between a spilled run's
+                          tmp write and its atomic rename (leaving
+                          realistic ``*.tmp`` debris), ``corrupt``
+                          flips a payload byte of a committed run while
+                          reporting the pristine checksum, so the
+                          reduce-side CRC check must catch it
 ========================  ==================================================
 
 Nothing here runs unless a plan is explicitly armed: production
@@ -115,6 +123,13 @@ class FaultPlan:
     def crash_writer_at(cls, shard: int, **kw) -> "FaultPlan":
         """Plan: crash the shard writer while spilling ``shard``."""
         return cls([FaultPoint("store.shard_write", shard, "raise")], **kw)
+
+    @classmethod
+    def corrupt_run_at(cls, task: int, **kw) -> "FaultPlan":
+        """Plan: flip a payload byte of map task ``task``'s first
+        spilled shuffle run (the manifest still reports the pristine
+        checksum, so the reduce-side CRC check must catch it)."""
+        return cls([FaultPoint("mapreduce.shuffle", task, "corrupt")], **kw)
 
     @classmethod
     def raise_at_pass(cls, pass_index: int, **kw) -> "FaultPlan":

@@ -133,6 +133,24 @@ class ColumnarKV:
         key plus each column's dtype itemsize, per record."""
         return 8 * self.num_records + sum(c.nbytes for c in self.columns.values())
 
+    def schema(self) -> Tuple[Tuple[str, str], ...]:
+        """The batch's column layout as ``((name, dtype_str), ...)``.
+
+        Picklable and hashable — shipped in shuffle-run manifests so
+        reduce tasks with no runs can still build an empty partition.
+        """
+        return tuple(
+            (name, column.dtype.str) for name, column in self.columns.items()
+        )
+
+    @classmethod
+    def empty(cls, schema: Sequence[Tuple[str, str]]) -> "ColumnarKV":
+        """A zero-record batch with the given :meth:`schema` layout."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            {name: np.empty(0, dtype=np.dtype(dt)) for name, dt in schema},
+        )
+
     def take(self, selector) -> "ColumnarKV":
         """A new batch of the rows a fancy index / mask / slice selects."""
         return ColumnarKV(

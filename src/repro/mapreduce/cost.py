@@ -19,7 +19,11 @@ declining per-pass shape is.
 ``shuffle_bytes`` comes from the runtime's deterministic per-type size
 model (8-byte ints/floats, ``len + 1`` strings, elementwise tuples;
 the columnar path charges dtype itemsizes), so the model prices both
-runtime engines on the same scale.
+runtime engines on the same scale.  On file-backed shuffle rounds the
+runtime meters the same counter from the spilled run-file manifests —
+the packed structured dtype makes the payload byte count identical to
+the in-memory ``ColumnarKV.byte_size()`` — so the model needs no
+file-shuffle special case (DESIGN.md §13).
 """
 
 from __future__ import annotations

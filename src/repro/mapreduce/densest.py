@@ -40,6 +40,17 @@ threshold decisions as :func:`repro.core.densest_subgraph` /
 are identical.  All rounds are metered, and
 :class:`MapReduceRunReport` groups counters by peeling pass so a
 :class:`~repro.mapreduce.cost.CostModel` can regenerate Figure 6.7.
+
+``fused=True`` replaces the degree + removal pipeline with a single
+*fused* round per pass: the edge input stays static across passes and
+the driver broadcasts the cumulative kill set as a per-round parameter
+(``takes_params`` jobs), so the fused mapper filters dead-endpoint
+edges and emits degree contributions in one pass — one round instead
+of three (undirected) or two (directed), and no edge records travel
+back to the driver.  Under a file-backed shuffle the fused columnar
+drivers additionally spill the edge input once up front
+(``runtime.spill_splits``) so every subsequent pass ships only the
+kill set to the workers.  See DESIGN.md §13.
 """
 
 from __future__ import annotations
@@ -256,6 +267,108 @@ REMOVAL_JOB_PIVOT_SECOND = register_job(MapReduceJob(
 
 
 # ----------------------------------------------------------------------
+# Fused peel round: filter + degree in ONE map/reduce round per pass.
+#
+# The classic pipeline pays three shuffles per pass (degree round + two
+# marker-filter rounds) and rewrites the whole edge set every pass.
+# The fused job inverts the data flow: the edge input stays *static*
+# across all passes, and the driver broadcasts the cumulative kill set
+# (a small ``params`` value — the driver already keeps O(n) alive
+# state) to the mappers, which drop dead-endpoint edges and emit the
+# degree contributions of the survivors; the combiner sums partial
+# degrees per map task, the reducer finishes the sum, and the driver
+# makes the kill decision directly off the degree output.  Markers,
+# pivot rounds, and the per-pass edge rewrite disappear — per-pass
+# shuffle drops to the (combiner-compacted) degree records alone.
+# ----------------------------------------------------------------------
+def _in_sorted(values: "np.ndarray", table: "np.ndarray") -> "np.ndarray":
+    """Vectorized membership of ``values`` in a sorted int64 ``table``
+    (``table`` must be nonempty)."""
+    pos = np.searchsorted(table, values)
+    pos[pos == table.size] = 0
+    return table[pos] == values
+
+
+def _fused_degree_mapper(u, edge, dead):
+    """Edge (u, (v, w)) -> degree contributions, unless an endpoint is
+    in the broadcast kill set."""
+    v, w = edge
+    if u in dead or v in dead:
+        return []
+    return [(u, w), (v, w)]
+
+
+def _fused_degree_mapper_batch(batch, dead):
+    """Batch twin of :func:`_fused_degree_mapper`; ``dead`` is a sorted
+    int64 label array (same membership the record twin's set tests)."""
+    keys = batch.keys
+    v = batch.columns["v"]
+    w = batch.columns["w"]
+    if dead.size:
+        keep = ~(_in_sorted(keys, dead) | _in_sorted(v, dead))
+        keys, v, w = keys[keep], v[keep], w[keep]
+    return ColumnarKV(
+        np.concatenate([keys, v]),
+        {"w": np.concatenate([w, w])},
+    )
+
+
+FUSED_DEGREE_JOB = register_job(MapReduceJob(
+    name="fused-degree",
+    mapper=_fused_degree_mapper,
+    reducer=_sum_reducer,
+    combiner=_sum_reducer,
+    mapper_batch=_fused_degree_mapper_batch,
+    reducer_batch=_sum_reducer_batch,
+    combiner_batch=_sum_reducer_batch,
+    takes_params=True,
+))
+
+
+def _fused_directed_degree_mapper(u, edge, dead):
+    """Directed fused twin: ``dead`` is a ``(dead_s, dead_t)`` pair;
+    an edge survives while its source is in S and its target in T."""
+    dead_s, dead_t = dead
+    v, w = edge
+    if u in dead_s or v in dead_t:
+        return []
+    return [(("out", u), w), (("in", v), w)]
+
+
+def _fused_directed_degree_mapper_batch(batch, dead):
+    """Batch twin of :func:`_fused_directed_degree_mapper` with the
+    same bit-packed side keys as the classic directed degree job."""
+    dead_s, dead_t = dead
+    keys = batch.keys
+    v = batch.columns["v"]
+    w = batch.columns["w"]
+    drop = np.zeros(keys.size, dtype=bool)
+    if dead_s.size:
+        drop |= _in_sorted(keys, dead_s)
+    if dead_t.size:
+        drop |= _in_sorted(v, dead_t)
+    if drop.any():
+        keep = ~drop
+        keys, v, w = keys[keep], v[keep], w[keep]
+    return ColumnarKV(
+        np.concatenate([keys * 2, v * 2 + 1]),
+        {"w": np.concatenate([w, w])},
+    )
+
+
+FUSED_DIRECTED_DEGREE_JOB = register_job(MapReduceJob(
+    name="fused-directed-degree",
+    mapper=_fused_directed_degree_mapper,
+    reducer=_sum_reducer,
+    combiner=_sum_reducer,
+    mapper_batch=_fused_directed_degree_mapper_batch,
+    reducer_batch=_sum_reducer_batch,
+    combiner_batch=_sum_reducer_batch,
+    takes_params=True,
+))
+
+
+# ----------------------------------------------------------------------
 # Engine resolution and columnar input construction
 # ----------------------------------------------------------------------
 #: Columnar-eligible labels must leave one bit of int64 headroom so the
@@ -344,6 +457,30 @@ def _edge_batch(graph) -> "ColumnarKV":
         arr = np.fromiter(graph.weighted_edges(), dtype=dtype, count=m)
         keys, v, w = arr["u"], arr["v"], arr["w"].copy()
     return ColumnarKV(keys, {"v": v, "w": w, "m": np.zeros(keys.size, dtype=bool)})
+
+
+def _fused_edge_batch(edges: "ColumnarKV") -> "ColumnarKV":
+    """The fused jobs' static input: edge rows without the marker
+    column (fused passes never inject markers, so the bool column
+    would be dead weight in every split shipped or spilled)."""
+    return ColumnarKV(
+        edges.keys, {"v": edges.columns["v"], "w": edges.columns["w"]}
+    )
+
+
+def _fused_columnar_input(edges: "ColumnarKV", runtime: MapReduceRuntime):
+    """The fused drivers' job input and (optional) spill handle.
+
+    Under the file-backed shuffle the static edge batch is spilled to
+    disk once, so each pass ships only the kill-set broadcast and run
+    manifests through the driver; otherwise the in-memory batch is
+    reused directly.  The caller must ``cleanup()`` a non-None handle.
+    """
+    fused_edges = _fused_edge_batch(edges)
+    if runtime.uses_file_shuffle:
+        spilled = runtime.spill_splits(fused_edges, tag="peel-input")
+        return spilled, spilled
+    return fused_edges, None
 
 
 def _marker_batch(marked_labels: "np.ndarray") -> "ColumnarKV":
@@ -437,6 +574,7 @@ def mr_densest_subgraph(
     *,
     runtime: Optional[MapReduceRuntime] = None,
     engine: str = "auto",
+    fused: bool = False,
 ) -> MapReduceRunReport:
     """Algorithm 1 as a chain of MapReduce rounds (§5.2).
 
@@ -446,12 +584,20 @@ def mr_densest_subgraph(
     runtime path: ``"python"`` (record-at-a-time), ``"numpy"``
     (columnar batches), or ``"auto"`` (columnar when the graph is
     int-labeled and numpy is importable).
+
+    ``fused=True`` collapses each pass to ONE round: the edge input
+    stays static, the driver broadcasts the cumulative kill set as job
+    params, and the fused job filters + counts degrees in the mapper
+    (combiner-compacted) — same node set, density, threshold
+    decisions, and pass count as the classic three-round pipeline
+    (bit-identical for dyadic weights, the usual float-reassociation
+    caveat otherwise) at a fraction of the shuffled bytes.
     """
     epsilon = check_epsilon(epsilon)
     if runtime is None:
         runtime = MapReduceRuntime()
     if resolve_mr_engine(engine, graph) == "numpy":
-        return _mr_densest_subgraph_columnar(graph, epsilon, runtime)
+        return _mr_densest_subgraph_columnar(graph, epsilon, runtime, fused=fused)
     labels = list(graph.nodes())
     if not labels:
         raise MapReduceError("graph has no nodes")
@@ -460,6 +606,7 @@ def mr_densest_subgraph(
     edges: List[Tuple[Node, Tuple[Node, float]]] = [
         (u, (v, w)) for u, v, w in graph.weighted_edges()
     ]
+    dead: set = set()
 
     best_set = list(labels)
     best_density: Optional[float] = None
@@ -475,7 +622,14 @@ def mr_densest_subgraph(
         pass_rounds: List[JobCounters] = []
 
         # Round 1: degrees (and, via their sum, the surviving weight).
-        degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
+        # Fused mode filters the static edge set against the broadcast
+        # kill set inside the same round.
+        if fused:
+            degree_pairs, counters = runtime.run(
+                FUSED_DEGREE_JOB, edges, params=frozenset(dead)
+            )
+        else:
+            degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
         pass_rounds.append(counters)
         degrees: Dict[Node, float] = dict(degree_pairs)
         weight = sum(degrees.values()) / 2.0
@@ -512,15 +666,20 @@ def mr_densest_subgraph(
             alive[u] = False
         remaining -= len(to_remove)
 
-        # Rounds 2-3: drop edges incident to removed nodes.  Markers are
-        # injected into the job input; the first round filters on the
-        # first endpoint and re-keys on the second, the second round
-        # filters on the (new) first key and re-keys back.
-        markers = [(u, _MARKER) for u in to_remove]
-        half_filtered, counters = runtime.run(REMOVAL_JOB, edges + markers)
-        pass_rounds.append(counters)
-        edges, counters = runtime.run(REMOVAL_JOB, half_filtered + markers)
-        pass_rounds.append(counters)
+        if fused:
+            # No removal rounds: next pass's mapper filter sees the
+            # grown kill set instead of a rewritten edge list.
+            dead.update(to_remove)
+        else:
+            # Rounds 2-3: drop edges incident to removed nodes.  Markers
+            # are injected into the job input; the first round filters on
+            # the first endpoint and re-keys on the second, the second
+            # round filters on the (new) first key and re-keys back.
+            markers = [(u, _MARKER) for u in to_remove]
+            half_filtered, counters = runtime.run(REMOVAL_JOB, edges + markers)
+            pass_rounds.append(counters)
+            edges, counters = runtime.run(REMOVAL_JOB, half_filtered + markers)
+            pass_rounds.append(counters)
         rounds_per_pass.append(pass_rounds)
 
     if pending is not None:
@@ -538,13 +697,15 @@ def mr_densest_subgraph(
 
 
 def _mr_densest_subgraph_columnar(
-    graph, epsilon: float, runtime: MapReduceRuntime
+    graph, epsilon: float, runtime: MapReduceRuntime, fused: bool = False
 ) -> MapReduceRunReport:
     """Columnar twin of :func:`mr_densest_subgraph`.
 
     Identical round structure and threshold decisions; the driver-side
     state is an alive bitmap plus a dense degree array scattered from
-    the degree job's output batch.
+    the degree job's output batch.  Fused mode additionally pre-spills
+    the static edge input once under a file-backed shuffle, so every
+    pass ships only the sorted kill-set broadcast.
     """
     labels, labels_arr, order, sorted_labels, edges = _columnar_state(graph)
     n = len(labels)
@@ -560,55 +721,72 @@ def _mr_densest_subgraph_columnar(
     rounds_per_pass: List[List[JobCounters]] = []
     pass_index = 0
 
-    while remaining > 0:
-        pass_index += 1
-        pass_rounds: List[JobCounters] = []
+    job_input = spilled = None
+    dead_sorted = np.empty(0, dtype=np.int64)
+    if fused:
+        job_input, spilled = _fused_columnar_input(edges, runtime)
 
-        degree_out, counters = runtime.run(DEGREE_JOB, edges)
-        pass_rounds.append(counters)
-        degrees = _scatter_by_label(
-            order, sorted_labels, n, degree_out.keys, degree_out.columns["w"]
-        )
-        weight = float(degrees.sum()) / 2.0
-        density = weight / remaining
+    try:
+        while remaining > 0:
+            pass_index += 1
+            pass_rounds: List[JobCounters] = []
 
-        if pending is not None:
-            trace.append(
-                PassRecord(edges_after=weight, density_after=density, **pending)
+            if fused:
+                degree_out, counters = runtime.run(
+                    FUSED_DEGREE_JOB, job_input, params=dead_sorted
+                )
+            else:
+                degree_out, counters = runtime.run(DEGREE_JOB, edges)
+            pass_rounds.append(counters)
+            degrees = _scatter_by_label(
+                order, sorted_labels, n, degree_out.keys, degree_out.columns["w"]
             )
-            if density > best_density:  # type: ignore[operator]
+            weight = float(degrees.sum()) / 2.0
+            density = weight / remaining
+
+            if pending is not None:
+                trace.append(
+                    PassRecord(edges_after=weight, density_after=density, **pending)
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_mask = alive.copy()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
                 best_density = density
-                best_mask = alive.copy()
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density
 
-        threshold = factor * density
-        remove_mask = alive & (degrees <= threshold + THRESHOLD_EPS)
-        removed = int(remove_mask.sum())
+            threshold = factor * density
+            remove_mask = alive & (degrees <= threshold + THRESHOLD_EPS)
+            removed = int(remove_mask.sum())
 
-        pending = {
-            "pass_index": pass_index,
-            "nodes_before": remaining,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": removed,
-            "nodes_after": remaining - removed,
-        }
-        alive &= ~remove_mask
-        remaining -= removed
+            pending = {
+                "pass_index": pass_index,
+                "nodes_before": remaining,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": removed,
+                "nodes_after": remaining - removed,
+            }
+            alive &= ~remove_mask
+            remaining -= removed
 
-        marked = labels_arr[remove_mask]
-        half_filtered, counters = runtime.run(
-            REMOVAL_JOB, _with_markers(edges, marked)
-        )
-        pass_rounds.append(counters)
-        edges, counters = runtime.run(
-            REMOVAL_JOB, _with_markers(half_filtered, marked)
-        )
-        pass_rounds.append(counters)
-        rounds_per_pass.append(pass_rounds)
+            if fused:
+                dead_sorted = np.sort(labels_arr[~alive])
+            else:
+                marked = labels_arr[remove_mask]
+                half_filtered, counters = runtime.run(
+                    REMOVAL_JOB, _with_markers(edges, marked)
+                )
+                pass_rounds.append(counters)
+                edges, counters = runtime.run(
+                    REMOVAL_JOB, _with_markers(half_filtered, marked)
+                )
+                pass_rounds.append(counters)
+            rounds_per_pass.append(pass_rounds)
+    finally:
+        if spilled is not None:
+            spilled.cleanup()
 
     if pending is not None:
         trace.append(PassRecord(edges_after=0.0, density_after=0.0, **pending))
@@ -634,6 +812,7 @@ def mr_densest_subgraph_atleast_k(
     *,
     runtime: Optional[MapReduceRuntime] = None,
     engine: str = "auto",
+    fused: bool = False,
 ) -> MapReduceRunReport:
     """Algorithm 2 as a chain of MapReduce rounds.
 
@@ -641,8 +820,10 @@ def mr_densest_subgraph_atleast_k(
     round + two removal rounds per pass); the driver restricts the
     removal batch to the ε/(1+ε)·|S| lowest-degree members of the
     threshold set and stops once |S| < k, matching
-    :func:`repro.core.densest_subgraph_atleast_k`.  ``engine`` selects
-    the runtime path as in :func:`mr_densest_subgraph`.
+    :func:`repro.core.densest_subgraph_atleast_k`.  ``engine`` and
+    ``fused`` select the runtime path as in
+    :func:`mr_densest_subgraph` (fused: one kill-set-broadcast round
+    per pass, including the final valuation round).
     """
     from .._validation import check_positive_int
 
@@ -651,7 +832,9 @@ def mr_densest_subgraph_atleast_k(
     if runtime is None:
         runtime = MapReduceRuntime()
     if resolve_mr_engine(engine, graph) == "numpy":
-        return _mr_densest_subgraph_atleast_k_columnar(graph, k, epsilon, runtime)
+        return _mr_densest_subgraph_atleast_k_columnar(
+            graph, k, epsilon, runtime, fused=fused
+        )
     labels = list(graph.nodes())
     if not labels:
         raise MapReduceError("graph has no nodes")
@@ -662,6 +845,7 @@ def mr_densest_subgraph_atleast_k(
     edges: List[Tuple[Node, Tuple[Node, float]]] = [
         (u, (v, w)) for u, v, w in graph.weighted_edges()
     ]
+    dead: set = set()
 
     best_set = list(labels)
     best_density: Optional[float] = None
@@ -676,7 +860,12 @@ def mr_densest_subgraph_atleast_k(
     while remaining >= k and remaining > 0:
         pass_index += 1
         pass_rounds: List[JobCounters] = []
-        degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
+        if fused:
+            degree_pairs, counters = runtime.run(
+                FUSED_DEGREE_JOB, edges, params=frozenset(dead)
+            )
+        else:
+            degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
         pass_rounds.append(counters)
         degrees: Dict[Node, float] = dict(degree_pairs)
         weight = sum(degrees.values()) / 2.0
@@ -718,11 +907,14 @@ def mr_densest_subgraph_atleast_k(
             alive[u] = False
         remaining -= len(to_remove)
 
-        markers = [(u, _MARKER) for u in to_remove]
-        half_filtered, counters = runtime.run(REMOVAL_JOB, edges + markers)
-        pass_rounds.append(counters)
-        edges, counters = runtime.run(REMOVAL_JOB, half_filtered + markers)
-        pass_rounds.append(counters)
+        if fused:
+            dead.update(to_remove)
+        else:
+            markers = [(u, _MARKER) for u in to_remove]
+            half_filtered, counters = runtime.run(REMOVAL_JOB, edges + markers)
+            pass_rounds.append(counters)
+            edges, counters = runtime.run(REMOVAL_JOB, half_filtered + markers)
+            pass_rounds.append(counters)
         rounds_per_pass.append(pass_rounds)
 
     if pending is not None:
@@ -731,7 +923,12 @@ def mr_densest_subgraph_atleast_k(
         else:
             # |S| fell below k; value the final state with one more
             # degree round so the trace is complete (cannot win).
-            degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
+            if fused:
+                degree_pairs, counters = runtime.run(
+                    FUSED_DEGREE_JOB, edges, params=frozenset(dead)
+                )
+            else:
+                degree_pairs, counters = runtime.run(DEGREE_JOB, edges)
             if rounds_per_pass:
                 rounds_per_pass[-1].append(counters)
             edges_after = sum(dict(degree_pairs).values()) / 2.0
@@ -756,7 +953,7 @@ def mr_densest_subgraph_atleast_k(
 
 
 def _mr_densest_subgraph_atleast_k_columnar(
-    graph, k: int, epsilon: float, runtime: MapReduceRuntime
+    graph, k: int, epsilon: float, runtime: MapReduceRuntime, fused: bool = False
 ) -> MapReduceRunReport:
     """Columnar twin of :func:`mr_densest_subgraph_atleast_k`."""
     labels, labels_arr, order, sorted_labels, edges = _columnar_state(graph)
@@ -776,82 +973,101 @@ def _mr_densest_subgraph_atleast_k_columnar(
     rounds_per_pass: List[List[JobCounters]] = []
     pass_index = 0
 
+    job_input = spilled = None
+    dead_sorted = np.empty(0, dtype=np.int64)
+    if fused:
+        job_input, spilled = _fused_columnar_input(edges, runtime)
+
     def _scatter_degrees(degree_out) -> "np.ndarray":
         return _scatter_by_label(
             order, sorted_labels, n, degree_out.keys, degree_out.columns["w"]
         )
 
-    while remaining >= k and remaining > 0:
-        pass_index += 1
-        pass_rounds: List[JobCounters] = []
-        degree_out, counters = runtime.run(DEGREE_JOB, edges)
-        pass_rounds.append(counters)
-        degrees = _scatter_degrees(degree_out)
-        weight = float(degrees.sum()) / 2.0
-        density = weight / remaining
+    def _degree_round():
+        if fused:
+            return runtime.run(FUSED_DEGREE_JOB, job_input, params=dead_sorted)
+        return runtime.run(DEGREE_JOB, edges)
+
+    try:
+        while remaining >= k and remaining > 0:
+            pass_index += 1
+            pass_rounds: List[JobCounters] = []
+            degree_out, counters = _degree_round()
+            pass_rounds.append(counters)
+            degrees = _scatter_degrees(degree_out)
+            weight = float(degrees.sum()) / 2.0
+            density = weight / remaining
+
+            if pending is not None:
+                trace.append(
+                    PassRecord(edges_after=weight, density_after=density, **pending)
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_mask = alive.copy()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
+                best_density = density
+
+            threshold = factor * density
+            candidate_idx = np.flatnonzero(
+                alive & (degrees <= threshold + THRESHOLD_EPS)
+            )
+            batch_size = min(
+                candidate_idx.size, max(1, math.floor(batch_fraction * remaining))
+            )
+            # Stable sort by degree keeps the record driver's label-order
+            # tie-break, so both engines remove the identical batch.
+            by_degree = np.argsort(degrees[candidate_idx], kind="stable")
+            remove_idx = candidate_idx[by_degree[:batch_size]]
+
+            pending = {
+                "pass_index": pass_index,
+                "nodes_before": remaining,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": int(remove_idx.size),
+                "nodes_after": remaining - int(remove_idx.size),
+            }
+            alive[remove_idx] = False
+            remaining -= int(remove_idx.size)
+
+            if fused:
+                dead_sorted = np.sort(labels_arr[~alive])
+            else:
+                marked = labels_arr[remove_idx]
+                half_filtered, counters = runtime.run(
+                    REMOVAL_JOB, _with_markers(edges, marked)
+                )
+                pass_rounds.append(counters)
+                edges, counters = runtime.run(
+                    REMOVAL_JOB, _with_markers(half_filtered, marked)
+                )
+                pass_rounds.append(counters)
+            rounds_per_pass.append(pass_rounds)
 
         if pending is not None:
+            if remaining == 0:
+                edges_after, density_after = 0.0, 0.0
+            else:
+                degree_out, counters = _degree_round()
+                if rounds_per_pass:
+                    rounds_per_pass[-1].append(counters)
+                edges_after = float(_scatter_degrees(degree_out).sum()) / 2.0
+                density_after = edges_after / remaining
+                if remaining >= k and density_after > (best_density or 0.0):
+                    best_density = density_after
+                    best_mask = alive.copy()
+                    best_pass = pending["pass_index"]
             trace.append(
-                PassRecord(edges_after=weight, density_after=density, **pending)
+                PassRecord(
+                    edges_after=edges_after, density_after=density_after, **pending
+                )
             )
-            if density > best_density:  # type: ignore[operator]
-                best_density = density
-                best_mask = alive.copy()
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density
-
-        threshold = factor * density
-        candidate_idx = np.flatnonzero(
-            alive & (degrees <= threshold + THRESHOLD_EPS)
-        )
-        batch_size = min(
-            candidate_idx.size, max(1, math.floor(batch_fraction * remaining))
-        )
-        # Stable sort by degree keeps the record driver's label-order
-        # tie-break, so both engines remove the identical batch.
-        by_degree = np.argsort(degrees[candidate_idx], kind="stable")
-        remove_idx = candidate_idx[by_degree[:batch_size]]
-
-        pending = {
-            "pass_index": pass_index,
-            "nodes_before": remaining,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": int(remove_idx.size),
-            "nodes_after": remaining - int(remove_idx.size),
-        }
-        alive[remove_idx] = False
-        remaining -= int(remove_idx.size)
-
-        marked = labels_arr[remove_idx]
-        half_filtered, counters = runtime.run(
-            REMOVAL_JOB, _with_markers(edges, marked)
-        )
-        pass_rounds.append(counters)
-        edges, counters = runtime.run(
-            REMOVAL_JOB, _with_markers(half_filtered, marked)
-        )
-        pass_rounds.append(counters)
-        rounds_per_pass.append(pass_rounds)
-
-    if pending is not None:
-        if remaining == 0:
-            edges_after, density_after = 0.0, 0.0
-        else:
-            degree_out, counters = runtime.run(DEGREE_JOB, edges)
-            if rounds_per_pass:
-                rounds_per_pass[-1].append(counters)
-            edges_after = float(_scatter_degrees(degree_out).sum()) / 2.0
-            density_after = edges_after / remaining
-            if remaining >= k and density_after > (best_density or 0.0):
-                best_density = density_after
-                best_mask = alive.copy()
-                best_pass = pending["pass_index"]
-        trace.append(
-            PassRecord(edges_after=edges_after, density_after=density_after, **pending)
-        )
+    finally:
+        if spilled is not None:
+            spilled.cleanup()
 
     result = DensestSubgraphResult(
         nodes=frozenset(labels[i] for i in np.flatnonzero(best_mask)),
@@ -874,6 +1090,7 @@ def mr_densest_subgraph_directed(
     *,
     runtime: Optional[MapReduceRuntime] = None,
     engine: str = "auto",
+    fused: bool = False,
 ) -> MapReduceRunReport:
     """Algorithm 3 as a chain of MapReduce rounds.
 
@@ -881,14 +1098,18 @@ def mr_densest_subgraph_directed(
     peeled side (S-peels filter on the first endpoint, T-peels pivot
     and filter on the second).  Returns the same pair and trace as
     :func:`repro.core.densest_subgraph_directed`.  ``engine`` selects
-    the runtime path as in :func:`mr_densest_subgraph`.
+    the runtime path as in :func:`mr_densest_subgraph`; ``fused``
+    collapses each pass to a single degree round that broadcasts the
+    per-side kill sets instead of rewriting the edge list.
     """
     epsilon = check_epsilon(epsilon)
     check_positive_float(ratio, "ratio")
     if runtime is None:
         runtime = MapReduceRuntime()
     if resolve_mr_engine(engine, graph) == "numpy":
-        return _mr_densest_subgraph_directed_columnar(graph, ratio, epsilon, runtime)
+        return _mr_densest_subgraph_directed_columnar(
+            graph, ratio, epsilon, runtime, fused=fused
+        )
     labels = list(graph.nodes())
     if not labels:
         raise MapReduceError("graph has no nodes")
@@ -898,6 +1119,8 @@ def mr_densest_subgraph_directed(
     edges: List[Tuple[Node, Tuple[Node, float]]] = [
         (u, (v, w)) for u, v, w in graph.weighted_edges()
     ]
+    dead_s: set = set()
+    dead_t: set = set()
 
     best_s = list(labels)
     best_t = list(labels)
@@ -913,7 +1136,14 @@ def mr_densest_subgraph_directed(
         pass_index += 1
         pass_rounds: List[JobCounters] = []
 
-        degree_pairs, counters = runtime.run(DIRECTED_DEGREE_JOB, edges)
+        if fused:
+            degree_pairs, counters = runtime.run(
+                FUSED_DIRECTED_DEGREE_JOB,
+                edges,
+                params=(frozenset(dead_s), frozenset(dead_t)),
+            )
+        else:
+            degree_pairs, counters = runtime.run(DIRECTED_DEGREE_JOB, edges)
         pass_rounds.append(counters)
         out_to_t: Dict[Node, float] = {}
         in_from_s: Dict[Node, float] = {}
@@ -970,26 +1200,36 @@ def mr_densest_subgraph_directed(
             "s_after": s_size - len(to_remove) if side == "S" else s_size,
             "t_after": t_size - len(to_remove) if side == "T" else t_size,
         }
-        markers = [(u, _MARKER) for u in to_remove]
         if side == "S":
             for u in to_remove:
                 in_s[u] = False
             s_size -= len(to_remove)
-            # Edges are keyed on the first endpoint already: one round
-            # filters the marked sources, keeping the key orientation.
-            edges, counters = runtime.run(REMOVAL_JOB_KEEP_KEY, edges + markers)
-            pass_rounds.append(counters)
+            if fused:
+                dead_s.update(to_remove)
+            else:
+                # Edges are keyed on the first endpoint already: one
+                # round filters the marked sources, keeping the key
+                # orientation.
+                markers = [(u, _MARKER) for u in to_remove]
+                edges, counters = runtime.run(
+                    REMOVAL_JOB_KEEP_KEY, edges + markers
+                )
+                pass_rounds.append(counters)
         else:
             for u in to_remove:
                 in_t[u] = False
             t_size -= len(to_remove)
-            # Pivot onto the second endpoint in the mapper, filter the
-            # marked targets, and the reducer re-keys survivors back on
-            # the first endpoint — one round.
-            edges, counters = runtime.run(
-                REMOVAL_JOB_PIVOT_SECOND, edges + markers
-            )
-            pass_rounds.append(counters)
+            if fused:
+                dead_t.update(to_remove)
+            else:
+                # Pivot onto the second endpoint in the mapper, filter
+                # the marked targets, and the reducer re-keys survivors
+                # back on the first endpoint — one round.
+                markers = [(u, _MARKER) for u in to_remove]
+                edges, counters = runtime.run(
+                    REMOVAL_JOB_PIVOT_SECOND, edges + markers
+                )
+                pass_rounds.append(counters)
         rounds_per_pass.append(pass_rounds)
 
     if pending is not None:
@@ -1011,7 +1251,7 @@ def mr_densest_subgraph_directed(
 
 
 def _mr_densest_subgraph_directed_columnar(
-    graph, ratio: float, epsilon: float, runtime: MapReduceRuntime
+    graph, ratio: float, epsilon: float, runtime: MapReduceRuntime, fused: bool = False
 ) -> MapReduceRunReport:
     """Columnar twin of :func:`mr_densest_subgraph_directed`.
 
@@ -1035,84 +1275,108 @@ def _mr_densest_subgraph_directed_columnar(
     rounds_per_pass: List[List[JobCounters]] = []
     pass_index = 0
 
-    while s_size > 0 and t_size > 0:
-        pass_index += 1
-        pass_rounds: List[JobCounters] = []
+    job_input = spilled = None
+    dead_s_sorted = np.empty(0, dtype=np.int64)
+    dead_t_sorted = np.empty(0, dtype=np.int64)
+    if fused:
+        job_input, spilled = _fused_columnar_input(edges, runtime)
 
-        degree_out, counters = runtime.run(DIRECTED_DEGREE_JOB, edges)
-        pass_rounds.append(counters)
-        keys = degree_out.keys
-        values = degree_out.columns["w"]
-        is_in = (keys & 1).astype(bool)
-        node_labels = keys >> 1
-        out_sel = ~is_in
-        out_to_t = _scatter_by_label(
-            order, sorted_labels, n, node_labels[out_sel], values[out_sel]
-        )
-        in_from_s = _scatter_by_label(
-            order, sorted_labels, n, node_labels[is_in], values[is_in]
-        )
-        weight = float(values[out_sel].sum())
-        density = weight / math.sqrt(s_size * t_size)
+    try:
+        while s_size > 0 and t_size > 0:
+            pass_index += 1
+            pass_rounds: List[JobCounters] = []
+
+            if fused:
+                degree_out, counters = runtime.run(
+                    FUSED_DIRECTED_DEGREE_JOB,
+                    job_input,
+                    params=(dead_s_sorted, dead_t_sorted),
+                )
+            else:
+                degree_out, counters = runtime.run(DIRECTED_DEGREE_JOB, edges)
+            pass_rounds.append(counters)
+            keys = degree_out.keys
+            values = degree_out.columns["w"]
+            is_in = (keys & 1).astype(bool)
+            node_labels = keys >> 1
+            out_sel = ~is_in
+            out_to_t = _scatter_by_label(
+                order, sorted_labels, n, node_labels[out_sel], values[out_sel]
+            )
+            in_from_s = _scatter_by_label(
+                order, sorted_labels, n, node_labels[is_in], values[is_in]
+            )
+            weight = float(values[out_sel].sum())
+            density = weight / math.sqrt(s_size * t_size)
+
+            if pending is not None:
+                trace.append(
+                    DirectedPassRecord(
+                        edges_after=weight, density_after=density, **pending
+                    )
+                )
+                if density > best_density:  # type: ignore[operator]
+                    best_density = density
+                    best_s_mask = in_s.copy()
+                    best_t_mask = in_t.copy()
+                    best_pass = pending["pass_index"]
+            if best_density is None:
+                best_density = density
+
+            peel_s = s_size / t_size >= ratio
+            if peel_s:
+                threshold = one_plus_eps * weight / s_size
+                remove_mask = in_s & (out_to_t <= threshold + THRESHOLD_EPS)
+                side = "S"
+            else:
+                threshold = one_plus_eps * weight / t_size
+                remove_mask = in_t & (in_from_s <= threshold + THRESHOLD_EPS)
+                side = "T"
+            removed = int(remove_mask.sum())
+
+            pending = {
+                "pass_index": pass_index,
+                "side": side,
+                "s_before": s_size,
+                "t_before": t_size,
+                "edges_before": weight,
+                "density_before": density,
+                "threshold": threshold,
+                "removed": removed,
+                "s_after": s_size - removed if side == "S" else s_size,
+                "t_after": t_size - removed if side == "T" else t_size,
+            }
+            if side == "S":
+                in_s &= ~remove_mask
+                s_size -= removed
+                if fused:
+                    dead_s_sorted = np.sort(labels_arr[~in_s])
+                else:
+                    edges, counters = runtime.run(
+                        REMOVAL_JOB_KEEP_KEY,
+                        _with_markers(edges, labels_arr[remove_mask]),
+                    )
+                    pass_rounds.append(counters)
+            else:
+                in_t &= ~remove_mask
+                t_size -= removed
+                if fused:
+                    dead_t_sorted = np.sort(labels_arr[~in_t])
+                else:
+                    edges, counters = runtime.run(
+                        REMOVAL_JOB_PIVOT_SECOND,
+                        _with_markers(edges, labels_arr[remove_mask]),
+                    )
+                    pass_rounds.append(counters)
+            rounds_per_pass.append(pass_rounds)
 
         if pending is not None:
             trace.append(
-                DirectedPassRecord(
-                    edges_after=weight, density_after=density, **pending
-                )
+                DirectedPassRecord(edges_after=0.0, density_after=0.0, **pending)
             )
-            if density > best_density:  # type: ignore[operator]
-                best_density = density
-                best_s_mask = in_s.copy()
-                best_t_mask = in_t.copy()
-                best_pass = pending["pass_index"]
-        if best_density is None:
-            best_density = density
-
-        peel_s = s_size / t_size >= ratio
-        if peel_s:
-            threshold = one_plus_eps * weight / s_size
-            remove_mask = in_s & (out_to_t <= threshold + THRESHOLD_EPS)
-            side = "S"
-        else:
-            threshold = one_plus_eps * weight / t_size
-            remove_mask = in_t & (in_from_s <= threshold + THRESHOLD_EPS)
-            side = "T"
-        removed = int(remove_mask.sum())
-
-        pending = {
-            "pass_index": pass_index,
-            "side": side,
-            "s_before": s_size,
-            "t_before": t_size,
-            "edges_before": weight,
-            "density_before": density,
-            "threshold": threshold,
-            "removed": removed,
-            "s_after": s_size - removed if side == "S" else s_size,
-            "t_after": t_size - removed if side == "T" else t_size,
-        }
-        marked = labels_arr[remove_mask]
-        if side == "S":
-            in_s &= ~remove_mask
-            s_size -= removed
-            edges, counters = runtime.run(
-                REMOVAL_JOB_KEEP_KEY, _with_markers(edges, marked)
-            )
-            pass_rounds.append(counters)
-        else:
-            in_t &= ~remove_mask
-            t_size -= removed
-            edges, counters = runtime.run(
-                REMOVAL_JOB_PIVOT_SECOND, _with_markers(edges, marked)
-            )
-            pass_rounds.append(counters)
-        rounds_per_pass.append(pass_rounds)
-
-    if pending is not None:
-        trace.append(
-            DirectedPassRecord(edges_after=0.0, density_after=0.0, **pending)
-        )
+    finally:
+        if spilled is not None:
+            spilled.cleanup()
 
     result = DirectedDensestSubgraphResult(
         s_nodes=frozenset(labels[i] for i in np.flatnonzero(best_s_mask)),

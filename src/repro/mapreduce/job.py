@@ -56,6 +56,15 @@ class MapReduceJob:
         :class:`~repro.mapreduce.columnar.ColumnarKV` batches; a job
         declaring both mapper_batch and reducer_batch can run on the
         columnar runtime path.
+    takes_params:
+        When True the mappers take a third argument — a small,
+        picklable, per-round broadcast value the driver passes to
+        ``runtime.run(job, input, params=...)`` (record form
+        ``mapper(key, value, params)``, batch form
+        ``mapper_batch(batch, params)``).  This is the Hadoop
+        "job configuration / distributed cache" idiom: fused peel
+        rounds broadcast the cumulative kill set this way instead of
+        rewriting the edge input every pass.
     """
 
     name: str
@@ -65,6 +74,7 @@ class MapReduceJob:
     mapper_batch: Optional[BatchMapper] = None
     reducer_batch: Optional[BatchReducer] = None
     combiner_batch: Optional[BatchCombiner] = None
+    takes_params: bool = False
 
     @property
     def supports_batches(self) -> bool:

@@ -37,6 +37,22 @@ order and counters are order-independent sums, so output batches,
 record counters, and driver traces are bit-identical to
 ``executor="serial"``.  The record path always executes serially (its
 per-record Python objects cost more to ship than to process).
+
+With a ``shuffle_dir``, the process executor switches to a
+**file-backed distributed shuffle**: each map task hash-partitions its
+local output inside the worker and spills one columnar run file per
+nonempty partition under a per-round shuffle directory (tmp + atomic
+rename, fixed-preamble ``.npy`` — the store's shard conventions), and
+each reduce task memmaps only its own partition's runs.  The driver
+moves manifests — (path, records, bytes, crc) tuples — never record
+bytes, so driver memory is independent of shuffle volume.  Shuffle
+counters are metered from the manifests; because a run's payload is
+exactly 8 bytes of key plus the column dtypes per record, the metered
+bytes are bit-identical to the in-memory path's
+:meth:`ColumnarKV.byte_size` model.  Iterative drivers can further
+pre-spill a static input once via :meth:`MapReduceRuntime.spill_splits`
+and pass the resulting :class:`SpilledSplits` to every round, shipping
+only a small per-round broadcast (``params``) instead of the input.
 """
 
 from __future__ import annotations
@@ -44,7 +60,7 @@ from __future__ import annotations
 import importlib
 import random
 from collections import defaultdict
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, NamedTuple, Tuple
 
 from typing import Optional
 
@@ -114,10 +130,13 @@ def _resolve_job(name: str, module: str) -> MapReduceJob:
         ) from None
 
 
-def _map_task_body(job: MapReduceJob, split) -> tuple:
+def _map_task_body(job: MapReduceJob, split, params=None) -> tuple:
     """One columnar map task (+ per-task combiner); both executors run
     exactly this, so the serial and process paths cannot drift."""
-    local = job.mapper_batch(split)
+    if job.takes_params:
+        local = job.mapper_batch(split, params)
+    else:
+        local = job.mapper_batch(split)
     _check_batch(local, job.name, "mapper_batch")
     raw_count = local.num_records
     if job.combiner_batch is not None:
@@ -132,6 +151,72 @@ def _reduce_task_body(job: MapReduceJob, partition) -> tuple:
     out = job.reducer_batch(grouped)
     _check_batch(out, job.name, "reducer_batch")
     return grouped.num_groups, out
+
+
+# ----------------------------------------------------------------------
+# File-backed shuffle: run manifests and pre-spilled input splits.
+# ----------------------------------------------------------------------
+class RunRef(NamedTuple):
+    """Manifest entry of one spilled run file.
+
+    This is everything the driver sees of a run: where it is, how many
+    records and payload bytes it holds (the shuffle metering source),
+    and the payload CRC the reading task re-verifies.
+    """
+
+    path: str
+    records: int
+    byte_size: int
+    crc: int
+
+
+class SpilledSplits:
+    """Input splits pre-spilled to disk as run files, one per map task.
+
+    Produced by :meth:`MapReduceRuntime.spill_splits` and accepted by
+    :meth:`MapReduceRuntime.run` anywhere a :class:`ColumnarKV` batch
+    is.  Under the file-backed shuffle, map workers memmap their own
+    split, so an iterative driver ships a static input to disk once
+    and then only O(manifest + params) bytes per round.  Call
+    :meth:`cleanup` when the job chain is done with the input.
+    """
+
+    __slots__ = ("runs", "schema", "num_records", "directory")
+
+    def __init__(self, runs, schema, num_records: int, directory: str) -> None:
+        self.runs = list(runs)
+        self.schema = tuple(schema)
+        self.num_records = num_records
+        self.directory = directory
+
+    @property
+    def num_splits(self) -> int:
+        return len(self.runs)
+
+    def load_splits(self) -> list:
+        """Read the split batches back into memory (serial executor)."""
+        return [_load_run(ref) for ref in self.runs]
+
+    def cleanup(self) -> None:
+        """Remove the split run files (idempotent, best-effort)."""
+        import shutil
+
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def _load_run(ref: RunRef):
+    """Memmap one run file back as a batch, verifying its payload CRC."""
+    from ..store.shards import read_run_file
+
+    keys, columns = read_run_file(ref.path, expected_crc=ref.crc)
+    return ColumnarKV(keys, dict(columns))
+
+
+def _load_map_source(source):
+    """A map task's input: an in-memory split or a spilled split run."""
+    if source[0] == "mem":
+        return source[1]
+    return _load_run(source[1])
 
 
 def _apply_worker_fault(fault: Optional[str]) -> None:
@@ -153,18 +238,95 @@ def _apply_worker_fault(fault: Optional[str]) -> None:
         raise TransientTaskError("injected transient task failure")
 
 
-def _process_map_task(name: str, module: str, split, fault: Optional[str] = None) -> tuple:
+def _process_map_task(
+    name: str, module: str, split, fault: Optional[str] = None, params=None
+) -> tuple:
     """Worker-process entry: resolve the job, run the shared map body."""
     _apply_worker_fault(fault)
-    return _map_task_body(_resolve_job(name, module), split)
+    return _map_task_body(_resolve_job(name, module), split, params)
 
 
 def _process_reduce_task(
-    name: str, module: str, partition, fault: Optional[str] = None
+    name: str, module: str, partition, fault: Optional[str] = None, params=None
 ) -> tuple:
     """Worker-process entry: resolve the job, run the shared reduce body."""
     _apply_worker_fault(fault)
     return _reduce_task_body(_resolve_job(name, module), partition)
+
+
+def _process_map_spill_task(
+    name: str, module: str, payload, fault: Optional[str] = None, params=None
+) -> tuple:
+    """Worker-process entry of the file-backed shuffle's map side.
+
+    Runs the shared map body, hash-partitions the local output inside
+    the worker, and spills each nonempty partition as a run file under
+    the round directory.  Returns the run *manifest* — counts, payload
+    bytes, CRCs — never the records themselves.
+
+    ``"shuffle:*"`` fault markers exercise the ``mapreduce.shuffle``
+    site: ``raise``/``kill_worker`` fire between the first run's tmp
+    write and its atomic rename (leaving ``*.tmp`` debris, like a real
+    mid-spill crash); ``corrupt`` flips a payload byte of the first
+    committed run while reporting the pristine CRC, so the damage must
+    be caught by the reduce-side checksum.
+    """
+    shuffle_fault = None
+    if isinstance(fault, str) and fault.startswith("shuffle:"):
+        shuffle_fault = fault.split(":", 1)[1]
+        fault = None
+    _apply_worker_fault(fault)
+    source, task, num_reducers, round_dir = payload
+    job = _resolve_job(name, module)
+    raw_count, local = _map_task_body(job, _load_map_source(source), params)
+
+    import os
+
+    from ..errors import InjectedFaultError
+    from ..store.shards import corrupt_run_file, write_run_file
+
+    runs: List[Tuple[int, RunRef]] = []
+    for part_index, part in enumerate(local.partition(num_reducers)):
+        if part.num_records == 0:
+            continue
+        path = os.path.join(round_dir, f"map-{task:04d}-p{part_index:04d}.npy")
+        injected = None
+        if not runs and shuffle_fault in ("raise", "kill_worker"):
+            injected = shuffle_fault
+        try:
+            records, nbytes, crc = write_run_file(
+                path, part.keys, part.columns, fault=injected
+            )
+        except InjectedFaultError as exc:
+            raise TransientTaskError(str(exc)) from exc
+        runs.append((part_index, RunRef(path, records, nbytes, crc)))
+    if shuffle_fault == "raise" and not runs:
+        raise TransientTaskError("injected shuffle failure (empty map output)")
+    if shuffle_fault == "corrupt" and runs:
+        corrupt_run_file(runs[0][1].path)
+    return raw_count, local.num_records, local.schema(), runs
+
+
+def _process_reduce_runs_task(
+    name: str, module: str, payload, fault: Optional[str] = None, params=None
+) -> tuple:
+    """Worker-process entry of the file-backed shuffle's reduce side.
+
+    Memmaps the partition's runs (verifying each payload CRC — a
+    corrupted run surfaces as a typed
+    :class:`~repro.errors.StoreCorruptionError`, never as silently
+    wrong output), concatenates them in map-task order — the same row
+    order the in-memory shuffle produces — and runs the shared reduce
+    body.
+    """
+    _apply_worker_fault(fault)
+    runs, schema = payload
+    job = _resolve_job(name, module)
+    if runs:
+        partition = ColumnarKV.concat([_load_run(ref) for ref in runs])
+    else:
+        partition = ColumnarKV.empty(schema)
+    return _reduce_task_body(job, partition)
 
 
 def _default_partitioner(key: Any, num_reducers: int) -> int:
@@ -240,6 +402,26 @@ def _pair_bytes(key: Any, value: Any) -> int:
     return _value_bytes(key) + _value_bytes(value)
 
 
+def shuffle_size(partition) -> Tuple[int, int]:
+    """``(records, bytes)`` one shuffled partition is metered at.
+
+    The single metering authority for every shuffle flavor: a record
+    partition (list of pairs) is charged :func:`_pair_bytes` per
+    record, a columnar partition its :meth:`ColumnarKV.byte_size` —
+    the same per-type size model, so an int-keyed job meters
+    identically on either path.  File-shuffle manifests report a run's
+    payload size, which equals ``byte_size()`` by construction (8-byte
+    key field + the column dtypes per record), so serial, in-memory
+    process, and file-shuffle process runs all count the same bytes.
+    """
+    if ColumnarKV is not None and isinstance(partition, ColumnarKV):
+        return partition.num_records, partition.byte_size()
+    total = 0
+    for key, value in partition:
+        total += _value_bytes(key) + _value_bytes(value)
+    return len(partition), total
+
+
 class MapReduceRuntime:
     """A metered, deterministic MapReduce simulator.
 
@@ -287,8 +469,23 @@ class MapReduceRuntime:
         ``"mapreduce.map"`` / ``"mapreduce.reduce"`` fire when the
         matching task index is first submitted (``kill_worker`` mode
         SIGKILLs the worker running it; ``raise`` mode raises a
-        transient failure).  Plans are one-shot, so recovery retries
-        run clean — used by the fault-injection tests.
+        transient failure).  Points at site ``"mapreduce.shuffle"``
+        fire inside a spilling map task (file-backed shuffle only):
+        ``raise``/``kill_worker`` strike between a run's tmp write and
+        its atomic rename, ``corrupt`` flips a payload byte of a
+        committed run so the reduce-side checksum must catch it.
+        Plans are one-shot, so recovery retries run clean — used by
+        the fault-injection tests.
+    shuffle_dir:
+        Optional directory enabling the file-backed distributed
+        shuffle under ``executor="process"``: map tasks spill
+        hash-partitioned columnar runs to a per-round subdirectory,
+        reduce tasks memmap only their own partition's runs, and the
+        driver handles manifests instead of record bytes.  Outputs,
+        traces, and counters stay bit-identical to the in-memory
+        shuffle; round directories are swept of ``*.tmp`` debris on
+        creation and removed when the round ends (success or failure).
+        Ignored by the serial executor.
 
     Examples
     --------
@@ -316,6 +513,7 @@ class MapReduceRuntime:
         task_timeout: Optional[float] = None,
         retry_backoff: float = 0.05,
         fault_plan=None,
+        shuffle_dir=None,
     ) -> None:
         check_positive_int(num_mappers, "num_mappers")
         check_positive_int(num_reducers, "num_reducers")
@@ -345,13 +543,20 @@ class MapReduceRuntime:
         self.task_timeout = task_timeout
         self.retry_backoff = retry_backoff
         self.fault_plan = fault_plan
+        self.shuffle_dir = str(shuffle_dir) if shuffle_dir is not None else None
         self._pool = pool
         self._owns_pool = False
         self._rng = random.Random(seed)
+        self._round_seq: int = 0
+        self._split_seq: int = 0
         self.history: List[JobCounters] = []
         self.task_retries: int = 0
         self.tasks_retried: int = 0
         self.workers_lost: int = 0
+        #: Run files spilled by file-shuffle rounds (driver-level, like
+        #: ``tasks_retried`` — not in :class:`JobCounters`, whose record
+        #: counters stay bit-identical across executors).
+        self.spilled_runs: int = 0
 
     # ------------------------------------------------------------------
     # Process-pool lifecycle
@@ -400,6 +605,11 @@ class MapReduceRuntime:
             self._pool = None
             self._owns_pool = False
 
+    @property
+    def uses_file_shuffle(self) -> bool:
+        """Whether columnar rounds will run the file-backed shuffle."""
+        return self.executor == "process" and self.shuffle_dir is not None
+
     def __enter__(self) -> "MapReduceRuntime":
         return self
 
@@ -421,7 +631,14 @@ class MapReduceRuntime:
         )
 
     def _run_stage_process(
-        self, stage: str, task_fn, job: MapReduceJob, inputs
+        self,
+        stage: str,
+        task_fn,
+        job: MapReduceJob,
+        inputs,
+        *,
+        params=None,
+        shuffle_faults: bool = False,
     ) -> List[tuple]:
         """Run one columnar stage's tasks on the process pool.
 
@@ -465,9 +682,13 @@ class MapReduceRuntime:
                     fault = (
                         "kill_worker" if point.mode == "kill_worker" else "raise"
                     )
+                elif shuffle_faults:
+                    point = self.fault_plan.take("mapreduce.shuffle", task)
+                    if point is not None:
+                        fault = f"shuffle:{point.mode}"
             pool = self._ensure_pool()
             pending[task] = pool.submit(
-                task_fn, job.name, module, inputs[task], fault
+                task_fn, job.name, module, inputs[task], fault, params
             )
 
         for task in range(len(inputs)):
@@ -516,32 +737,52 @@ class MapReduceRuntime:
         return results
 
     # ------------------------------------------------------------------
-    def run(self, job: MapReduceJob, input_pairs) -> Tuple[Any, JobCounters]:
+    def run(self, job: MapReduceJob, input_pairs, params=None) -> Tuple[Any, JobCounters]:
         """Execute one job; returns (output, counters).
 
         ``input_pairs`` may be a list of ``(key, value)`` pairs (record
-        path; output is a pair list) or a
+        path; output is a pair list), a
         :class:`~repro.mapreduce.columnar.ColumnarKV` batch (columnar
         path; the job must declare batch callables and the output is a
-        batch).
+        batch), or a :class:`SpilledSplits` handle from
+        :meth:`spill_splits` (columnar path over pre-spilled splits).
+
+        ``params`` is a small picklable per-round broadcast passed to
+        the mappers of a ``takes_params`` job (see
+        :class:`~repro.mapreduce.job.MapReduceJob`).
         """
-        if ColumnarKV is not None and isinstance(input_pairs, ColumnarKV):
+        if job.takes_params and params is None:
+            raise MapReduceError(
+                f"job {job.name!r} declares takes_params; call "
+                f"run(job, input, params=...)"
+            )
+        if params is not None and not job.takes_params:
+            raise MapReduceError(
+                f"job {job.name!r} does not declare takes_params but got params"
+            )
+        if isinstance(input_pairs, SpilledSplits) or (
+            ColumnarKV is not None and isinstance(input_pairs, ColumnarKV)
+        ):
             if not job.supports_batches:
                 raise MapReduceError(
                     f"job {job.name!r} got a columnar batch but declares no "
                     f"mapper_batch/reducer_batch"
                 )
-            return self._run_columnar(job, input_pairs)
-        return self._run_records(job, input_pairs)
+            return self._run_columnar(job, input_pairs, params)
+        return self._run_records(job, input_pairs, params)
 
     # ------------------------------------------------------------------
     # Record path (the reference semantics)
     # ------------------------------------------------------------------
     def _run_records(
-        self, job: MapReduceJob, input_pairs: List[KV]
+        self, job: MapReduceJob, input_pairs: List[KV], params=None
     ) -> Tuple[List[KV], JobCounters]:
         counters = JobCounters(job_name=job.name)
         counters.map_input_records = len(input_pairs)
+        if job.takes_params:
+            map_record = lambda key, value: job.mapper(key, value, params)  # noqa: E731
+        else:
+            map_record = job.mapper
 
         # 1. Input splits (round-robin keeps splits balanced).
         splits: List[List[KV]] = [[] for _ in range(self.num_mappers)]
@@ -558,7 +799,7 @@ class MapReduceRuntime:
             def map_task(task=task) -> tuple:
                 local: List[KV] = []
                 for key, value in splits[task]:
-                    for out in job.mapper(key, value):
+                    for out in map_record(key, value):
                         _check_pair(out, job.name, "mapper")
                         local.append(out)
                 raw_count = len(local)
@@ -581,15 +822,18 @@ class MapReduceRuntime:
             counters.combine_output_records += len(local)
             map_outputs[task] = local
 
-        # 3. Shuffle: partition by key.
+        # 3. Shuffle: partition by key; metered per partition by the
+        #    shared size model (see :func:`shuffle_size`).
         partitions: List[List[KV]] = [[] for _ in range(self.num_reducers)]
         for local in map_outputs:
             for key, value in local:
                 partitions[_default_partitioner(key, self.num_reducers)].append(
                     (key, value)
                 )
-                counters.shuffle_records += 1
-                counters.shuffle_bytes += _pair_bytes(key, value)
+        for part in partitions:
+            records, nbytes = shuffle_size(part)
+            counters.shuffle_records += records
+            counters.shuffle_bytes += nbytes
 
         # 4. Reduce tasks, in shuffled order; output concatenated in
         #    deterministic (partition, key-sorted) order.
@@ -626,7 +870,7 @@ class MapReduceRuntime:
     # Columnar path (array-native batches)
     # ------------------------------------------------------------------
     def _run_columnar(
-        self, job: MapReduceJob, batch: "ColumnarKV"
+        self, job: MapReduceJob, batch, params=None
     ) -> Tuple["ColumnarKV", JobCounters]:
         """The vectorized twin of :meth:`_run_records`.
 
@@ -635,80 +879,207 @@ class MapReduceRuntime:
         with every per-record loop replaced by an array operation.  The
         record counters are metered identically (same counts a record
         run of an equivalent job would produce); ``shuffle_bytes`` uses
-        the per-dtype size model of :meth:`ColumnarKV.byte_size`.
+        the per-dtype size model of :meth:`shuffle_size`.
+
+        With ``shuffle_dir`` set under the process executor, the
+        shuffle is file-backed: map workers partition and spill their
+        local output as run files, reduce workers memmap only their
+        own partition's runs, and this driver only aggregates the run
+        manifests — identical outputs and counters, O(1) driver memory
+        in the shuffle volume.
         """
         counters = JobCounters(job_name=job.name)
         counters.map_input_records = batch.num_records
 
+        parallel = self.executor == "process"
+        file_shuffle = parallel and self.shuffle_dir is not None
+        presplit = isinstance(batch, SpilledSplits)
+        if presplit and batch.num_splits != self.num_mappers:
+            raise MapReduceError(
+                f"SpilledSplits carries {batch.num_splits} splits but the "
+                f"runtime runs {self.num_mappers} map tasks"
+            )
+
         # 1. Round-robin splits via strided slicing (same record-to-task
-        #    assignment as the record path's `i % num_mappers`).
-        splits = batch.split(self.num_mappers)
+        #    assignment as the record path's `i % num_mappers`), unless
+        #    the input arrived pre-spilled.
+        splits = None
+        if not file_shuffle:
+            splits = batch.load_splits() if presplit else batch.split(self.num_mappers)
 
         # 2. Map tasks (+ per-task combiner on the grouped local
         #    output), shuffled order, with the same retry semantics.
         #    The shuffle is drawn under both executors so a seeded
         #    runtime consumes its rng stream identically either way.
-        parallel = self.executor == "process"
         task_order = list(range(self.num_mappers))
         self._rng.shuffle(task_order)
-        map_outputs: List[Optional[ColumnarKV]] = [None] * self.num_mappers
-        if parallel:
-            map_results = self._run_stage_process(
-                "map", _process_map_task, job, splits
-            )
-            for task, (raw_count, local) in enumerate(map_results):
-                counters.map_output_records += raw_count
-                counters.combine_output_records += local.num_records
-                map_outputs[task] = local
-        else:
-            for task in task_order:
-                raw_count, local = self._run_task_with_retries(
-                    f"job {job.name!r} map task {task}",
-                    lambda task=task: _map_task_body(job, splits[task]),
+        round_dir = self._new_round_dir() if file_shuffle else None
+        try:
+            run_lists = schema = None
+            if file_shuffle:
+                run_lists, schema = self._map_stage_spill(
+                    job, batch, round_dir, counters, params
                 )
-                counters.map_output_records += raw_count
-                counters.combine_output_records += local.num_records
-                map_outputs[task] = local
-
-        # 3. Shuffle: one vectorized hash over the concatenated map
-        #    output, then mask-partitioning (row order within each
-        #    partition matches the record path's task-order append).
-        combined = ColumnarKV.concat(map_outputs)
-        partitions = combined.partition(self.num_reducers)
-        for part in partitions:
-            counters.shuffle_records += part.num_records
-            counters.shuffle_bytes += part.byte_size()
-
-        # 4. Reduce tasks: sort-based group-by per partition, groups in
-        #    ascending key order (the record path's numeric-sorted
-        #    output order for int keys).  Under the process executor
-        #    the group-by runs inside the worker too — same grouped
-        #    rows (the sort is deterministic), so same output and
-        #    counters, but the O(p log p) argsort leaves the driver.
-        reduce_order = list(range(self.num_reducers))
-        self._rng.shuffle(reduce_order)
-        outputs: List[Optional[ColumnarKV]] = [None] * self.num_reducers
-        if parallel:
-            reduce_results = self._run_stage_process(
-                "reduce", _process_reduce_task, job, partitions
-            )
-            for task, (num_groups, out) in enumerate(reduce_results):
-                counters.reduce_groups += num_groups
-                counters.reduce_output_records += out.num_records
-                outputs[task] = out
-        else:
-            for task in reduce_order:
-                num_groups, out = self._run_task_with_retries(
-                    f"job {job.name!r} reduce task {task}",
-                    lambda task=task: _reduce_task_body(job, partitions[task]),
+            elif parallel:
+                map_outputs: List[Optional[ColumnarKV]] = [None] * self.num_mappers
+                map_results = self._run_stage_process(
+                    "map", _process_map_task, job, splits, params=params
                 )
-                counters.reduce_groups += num_groups
-                counters.reduce_output_records += out.num_records
-                outputs[task] = out
+                for task, (raw_count, local) in enumerate(map_results):
+                    counters.map_output_records += raw_count
+                    counters.combine_output_records += local.num_records
+                    map_outputs[task] = local
+            else:
+                map_outputs = [None] * self.num_mappers
+                for task in task_order:
+                    raw_count, local = self._run_task_with_retries(
+                        f"job {job.name!r} map task {task}",
+                        lambda task=task: _map_task_body(job, splits[task], params),
+                    )
+                    counters.map_output_records += raw_count
+                    counters.combine_output_records += local.num_records
+                    map_outputs[task] = local
+
+            # 3. Shuffle: one vectorized hash over the concatenated map
+            #    output, then mask-partitioning (row order within each
+            #    partition matches the record path's task-order append).
+            #    The file-backed flavor already partitioned inside the
+            #    map workers and metered from the run manifests.
+            if not file_shuffle:
+                combined = ColumnarKV.concat(map_outputs)
+                partitions = combined.partition(self.num_reducers)
+                for part in partitions:
+                    records, nbytes = shuffle_size(part)
+                    counters.shuffle_records += records
+                    counters.shuffle_bytes += nbytes
+
+            # 4. Reduce tasks: sort-based group-by per partition, groups
+            #    in ascending key order (the record path's numeric-sorted
+            #    output order for int keys).  Under the process executor
+            #    the group-by runs inside the worker too — same grouped
+            #    rows (the sort is deterministic), so same output and
+            #    counters, but the O(p log p) argsort leaves the driver.
+            reduce_order = list(range(self.num_reducers))
+            self._rng.shuffle(reduce_order)
+            outputs: List[Optional[ColumnarKV]] = [None] * self.num_reducers
+            if file_shuffle:
+                payloads = [
+                    (run_lists[part], schema) for part in range(self.num_reducers)
+                ]
+                reduce_results = self._run_stage_process(
+                    "reduce", _process_reduce_runs_task, job, payloads
+                )
+                for task, (num_groups, out) in enumerate(reduce_results):
+                    counters.reduce_groups += num_groups
+                    counters.reduce_output_records += out.num_records
+                    outputs[task] = out
+            elif parallel:
+                reduce_results = self._run_stage_process(
+                    "reduce", _process_reduce_task, job, partitions
+                )
+                for task, (num_groups, out) in enumerate(reduce_results):
+                    counters.reduce_groups += num_groups
+                    counters.reduce_output_records += out.num_records
+                    outputs[task] = out
+            else:
+                for task in reduce_order:
+                    num_groups, out = self._run_task_with_retries(
+                        f"job {job.name!r} reduce task {task}",
+                        lambda task=task: _reduce_task_body(job, partitions[task]),
+                    )
+                    counters.reduce_groups += num_groups
+                    counters.reduce_output_records += out.num_records
+                    outputs[task] = out
+        finally:
+            if round_dir is not None:
+                import shutil
+
+                shutil.rmtree(round_dir, ignore_errors=True)
 
         output = ColumnarKV.concat(outputs)
         self.history.append(counters)
         return output, counters
+
+    def _new_round_dir(self) -> str:
+        """Create (and debris-sweep) the next round's shuffle directory."""
+        from pathlib import Path
+
+        from ..store.shards import _sweep_tmp_debris
+
+        self._round_seq += 1
+        round_dir = Path(self.shuffle_dir) / f"round-{self._round_seq:04d}"
+        round_dir.mkdir(parents=True, exist_ok=True)
+        # The store's open()-sweep convention: a crashed predecessor's
+        # half-written runs are plain `*.tmp` files, removed on entry.
+        _sweep_tmp_debris(round_dir)
+        return str(round_dir)
+
+    def _map_stage_spill(
+        self, job: MapReduceJob, batch, round_dir: str, counters, params
+    ) -> Tuple[List[List[RunRef]], tuple]:
+        """File-backed map stage: spill per-partition runs, return the
+        manifest grouped by reduce partition (in map-task order, the
+        same row order the in-memory shuffle concatenates in)."""
+        if isinstance(batch, SpilledSplits):
+            sources = [("run", ref) for ref in batch.runs]
+        else:
+            sources = [("mem", split) for split in batch.split(self.num_mappers)]
+        payloads = [
+            (source, task, self.num_reducers, round_dir)
+            for task, source in enumerate(sources)
+        ]
+        map_results = self._run_stage_process(
+            "map",
+            _process_map_spill_task,
+            job,
+            payloads,
+            params=params,
+            shuffle_faults=True,
+        )
+        run_lists: List[List[RunRef]] = [[] for _ in range(self.num_reducers)]
+        schema = None
+        for raw_count, combined_count, task_schema, runs in map_results:
+            counters.map_output_records += raw_count
+            counters.combine_output_records += combined_count
+            if schema is None:
+                schema = task_schema
+            for part_index, ref in runs:
+                run_lists[part_index].append(ref)
+                counters.shuffle_records += ref.records
+                counters.shuffle_bytes += ref.byte_size
+                self.spilled_runs += 1
+        return run_lists, schema
+
+    def spill_splits(self, batch: "ColumnarKV", *, tag: str = "input") -> SpilledSplits:
+        """Pre-spill a batch's round-robin input splits as run files.
+
+        Iterative drivers call this once per job chain: every
+        subsequent :meth:`run` over the returned handle has its map
+        workers memmap a static on-disk split instead of the driver
+        re-pickling the full input each round, so per-round driver
+        traffic drops to the manifests plus any ``params`` broadcast.
+        Requires ``shuffle_dir``; the serial executor loads the splits
+        back into memory (same records, same results).
+        """
+        if self.shuffle_dir is None:
+            raise MapReduceError("spill_splits requires a runtime shuffle_dir")
+        if ColumnarKV is None or not isinstance(batch, ColumnarKV):
+            raise MapReduceError("spill_splits takes a ColumnarKV batch")
+        from pathlib import Path
+
+        from ..store.shards import _sweep_tmp_debris, write_run_file
+
+        self._split_seq += 1
+        directory = Path(self.shuffle_dir) / f"{tag}-{self._split_seq:04d}"
+        directory.mkdir(parents=True, exist_ok=True)
+        _sweep_tmp_debris(directory)
+        runs = []
+        for task, split in enumerate(batch.split(self.num_mappers)):
+            path = str(directory / f"split-{task:04d}.npy")
+            records, nbytes, crc = write_run_file(path, split.keys, split.columns)
+            runs.append(RunRef(path, records, nbytes, crc))
+            self.spilled_runs += 1
+        return SpilledSplits(runs, batch.schema(), batch.num_records, str(directory))
 
     def run_chain(
         self, jobs: List[MapReduceJob], input_pairs

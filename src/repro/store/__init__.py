@@ -16,7 +16,10 @@ from .shards import (
     ShardWriter,
     ShardedEdgeStore,
     StoreVerification,
+    corrupt_run_file,
+    read_run_file,
     write_edge_list_store,
+    write_run_file,
 )
 
 __all__ = [
@@ -26,5 +29,8 @@ __all__ = [
     "ShardWriter",
     "ShardedEdgeStore",
     "StoreVerification",
+    "corrupt_run_file",
+    "read_run_file",
     "write_edge_list_store",
+    "write_run_file",
 ]

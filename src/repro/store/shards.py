@@ -125,16 +125,28 @@ _PREAMBLE_BYTES = 128
 _NPY_MAGIC = b"\x93NUMPY"
 
 
-def _npy_preamble(count: int) -> bytes:
-    """A spec-compliant npy v1.0 preamble for ``count`` shard records."""
-    descr = np.lib.format.dtype_to_descr(SHARD_DTYPE)
+def _npy_preamble(
+    count: int,
+    dtype: np.dtype = SHARD_DTYPE,
+    total: int = _PREAMBLE_BYTES,
+) -> bytes:
+    """A spec-compliant npy v1.0 preamble for ``count`` records.
+
+    The preamble is padded to exactly ``total`` bytes so the shape can
+    be patched in place (shards) and so payload offsets are knowable
+    without parsing the header (shards and shuffle runs alike).
+    """
+    descr = np.lib.format.dtype_to_descr(dtype)
     header = "{'descr': %r, 'fortran_order': False, 'shape': (%d,), }" % (
         descr,
         count,
     )
-    space = _PREAMBLE_BYTES - 10
-    if len(header) + 1 > space:  # pragma: no cover - 1e100 edges
-        raise StoreError(f"shard header does not fit {count} records")
+    space = total - 10
+    if len(header) + 1 > space:
+        raise StoreError(
+            f"npy header does not fit {count} records of {descr!r} "
+            f"in a {total}-byte preamble"
+        )
     header = header.ljust(space - 1) + "\n"
     return _NPY_MAGIC + bytes((1, 0)) + struct.pack("<H", space) + header.encode("latin1")
 
@@ -686,16 +698,117 @@ def _atomic_write_text(path: Path, text: str) -> None:
     os.replace(tmp, path)
 
 
-def _payload_crc(path: Path) -> int:
-    """CRC-32 of a shard file's record payload (preamble excluded)."""
+def _payload_crc(path: Path, offset: int = _PREAMBLE_BYTES) -> int:
+    """CRC-32 of a file's record payload (preamble excluded)."""
     crc = 0
     with open(path, "rb") as handle:
-        handle.seek(_PREAMBLE_BYTES)
+        handle.seek(offset)
         while True:
             chunk = handle.read(1 << 20)
             if not chunk:
                 return crc
             crc = zlib.crc32(chunk, crc)
+
+
+# ----------------------------------------------------------------------
+# Shuffle run files
+# ----------------------------------------------------------------------
+#: Fixed preamble of a spilled shuffle run.  Runs carry a structured
+#: dtype built from the job's column schema (key field plus one field
+#: per value column), whose descr can outgrow the 128-byte shard
+#: preamble, so runs get a wider fixed slot.
+_RUN_PREAMBLE_BYTES = 256
+
+#: Structured-dtype field holding the int64 shuffle key.
+_RUN_KEY_FIELD = "k"
+
+
+def write_run_file(path: PathLike, keys, columns, *, fault: Optional[str] = None):
+    """Spill one hash-partitioned columnar run to ``path``.
+
+    The run is a spec-compliant ``.npy`` file with a fixed
+    ``_RUN_PREAMBLE_BYTES`` preamble and a structured-dtype payload:
+    field ``"k"`` holds the int64 keys, the remaining fields hold the
+    value columns in schema order.  Like shards, runs commit via tmp +
+    :func:`os.replace`, so a crashed map task leaves only ``*.tmp``
+    debris, never a half-written run.
+
+    ``fault`` injects a failure between the tmp write and the atomic
+    rename (the ``mapreduce.shuffle`` fault site): ``"raise"`` raises
+    :class:`~repro.errors.InjectedFaultError` leaving the tmp file
+    behind, ``"kill_worker"`` SIGKILLs the calling process.
+
+    Returns ``(records, payload_bytes, crc)``; ``payload_bytes`` is
+    exactly the run's on-disk payload size, which is what the driver
+    meters as shuffle traffic.
+    """
+    from ..errors import InjectedFaultError
+
+    names = list(columns)
+    if _RUN_KEY_FIELD in names:
+        raise StoreError(
+            f"column name {_RUN_KEY_FIELD!r} collides with the run key field"
+        )
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    dtype = np.dtype(
+        [(_RUN_KEY_FIELD, "<i8")]
+        + [(name, np.asarray(columns[name]).dtype.str) for name in names]
+    )
+    rows = np.empty(keys.shape[0], dtype=dtype)
+    rows[_RUN_KEY_FIELD] = keys
+    for name in names:
+        rows[name] = columns[name]
+    crc = zlib.crc32(rows.data) if rows.shape[0] else 0
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_npy_preamble(rows.shape[0], dtype, _RUN_PREAMBLE_BYTES))
+        handle.write(rows.data)
+        handle.flush()
+    if fault == "kill_worker":  # pragma: no cover - exercised via subprocess
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault == "raise":
+        raise InjectedFaultError(f"injected fault while spilling run {path.name}")
+    os.replace(tmp, path)
+    return rows.shape[0], rows.shape[0] * dtype.itemsize, crc
+
+
+def read_run_file(path: PathLike, *, expected_crc: Optional[int] = None):
+    """Memory-map a spilled run back as ``(keys, columns)``.
+
+    When ``expected_crc`` (from the map task's manifest) is given, the
+    payload is re-checksummed first and a mismatch raises
+    :class:`~repro.errors.StoreCorruptionError` — a corrupted run must
+    surface as a typed error, never as silently wrong reduce output.
+    """
+    path = Path(path)
+    if expected_crc is not None:
+        crc = _payload_crc(path, offset=_RUN_PREAMBLE_BYTES)
+        if crc != expected_crc:
+            raise StoreCorruptionError(
+                f"shuffle run {path} failed its checksum "
+                f"(expected {expected_crc:#010x}, got {crc:#010x})"
+            )
+    rows = np.load(path, mmap_mode="r")
+    names = rows.dtype.names
+    if not names or names[0] != _RUN_KEY_FIELD:
+        raise StoreCorruptionError(f"shuffle run {path} has no key field")
+    return rows[_RUN_KEY_FIELD], {name: rows[name] for name in names[1:]}
+
+
+def corrupt_run_file(path: PathLike, offset: int = 0) -> None:
+    """Flip one payload byte of a spilled run (test/fault helper)."""
+    path = Path(path)
+    position = _RUN_PREAMBLE_BYTES + offset
+    if path.stat().st_size <= position:
+        raise StoreError(f"{path}: no payload byte at offset {offset}")
+    with open(path, "r+b") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes((byte[0] ^ 0xFF,)))
 
 
 def _splitmix64(x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,250 @@
+"""Fused peel rounds: one broadcast-parameter degree round per pass.
+
+``fused=True`` keeps the edge input static and broadcasts the
+cumulative kill set as a per-round job parameter, so each peeling pass
+is a single map/reduce round instead of degree + removal rounds.  The
+contract mirrors the columnar parity suite: fused runs must produce
+identical results and traces to the classic pipeline on both engines
+(dyadic weights, so float sums are exact in any association order),
+meter identically between the record and columnar fused paths, and —
+the point of the optimization — shuffle at most 0.6x the classic
+pipeline's bytes.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.kernels import CSRDigraph, CSRGraph
+from repro.mapreduce.densest import (
+    mr_densest_subgraph,
+    mr_densest_subgraph_atleast_k,
+    mr_densest_subgraph_directed,
+)
+from repro.mapreduce.runtime import MapReduceRuntime
+
+#: Counter fields compared between the fused record and columnar
+#: paths.  ``shuffle_bytes`` is included for the undirected jobs
+#: (int64 keys meter identically on both paths) but not the directed
+#: ones, whose record keys are ``('out', u)`` tuples with a different
+#: per-type size than the columnar bit-packed int64 keys — the same
+#: split as the classic parity suite.
+COUNT_FIELDS = (
+    "map_input_records",
+    "map_output_records",
+    "combine_output_records",
+    "shuffle_records",
+    "reduce_groups",
+    "reduce_output_records",
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolExecutor(
+        max_workers=2, mp_context=multiprocessing.get_context("spawn")
+    ) as executor:
+        yield executor
+
+
+def _runtime(pool=None, **kwargs):
+    if pool is None:
+        return MapReduceRuntime(num_mappers=4, num_reducers=4, seed=11, **kwargs)
+    return MapReduceRuntime(
+        num_mappers=4, num_reducers=4, seed=11,
+        executor="process", pool=pool, **kwargs,
+    )
+
+
+def _undirected_csr(weighted: bool, n=90, m=700, seed=1):
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, n, (m, 2))
+    pairs = sorted({(min(u, v), max(u, v)) for u, v in raw if u != v})
+    src = np.array([p[0] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs], dtype=np.int64)
+    # Dyadic weights: exact float sums in any association order, so
+    # fused (whole-pass) and classic (shrinking-input) rounds make
+    # bit-identical threshold decisions.
+    w = rng.choice([0.25, 0.5, 1.0, 2.0], size=src.size) if weighted else None
+    return CSRGraph.from_edge_arrays(src, dst, w, num_nodes=n)
+
+
+def _directed_csr(weighted: bool, n=90, m=900, seed=2):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    key, idx = np.unique(src[keep] * n + dst[keep], return_index=True)
+    src = src[keep][idx].astype(np.int64)
+    dst = dst[keep][idx].astype(np.int64)
+    w = rng.choice([0.5, 1.0, 4.0], size=src.size) if weighted else None
+    return CSRDigraph.from_edge_arrays(src, dst, w, num_nodes=n)
+
+
+def _count_tuples(report, fields=COUNT_FIELDS):
+    return [
+        tuple(getattr(c, f) for f in fields)
+        for rounds in report.rounds_per_pass
+        for c in rounds
+    ]
+
+
+def _total_shuffle_bytes(report):
+    return sum(
+        c.shuffle_bytes for rounds in report.rounds_per_pass for c in rounds
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused == classic, per engine
+# ----------------------------------------------------------------------
+class TestFusedMatchesClassic:
+    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    @pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+    def test_undirected(self, engine, weighted):
+        graph = _undirected_csr(weighted)
+        classic = mr_densest_subgraph(graph, 0.5, runtime=_runtime(), engine=engine)
+        fused = mr_densest_subgraph(
+            graph, 0.5, runtime=_runtime(), engine=engine, fused=True
+        )
+        assert fused.result == classic.result
+        assert fused.result.trace == classic.result.trace
+        # One round per pass instead of three.
+        assert all(len(rounds) == 1 for rounds in fused.rounds_per_pass[:-1])
+
+    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    def test_atleast_k(self, engine):
+        graph = _undirected_csr(True)
+        classic = mr_densest_subgraph_atleast_k(
+            graph, 30, 0.5, runtime=_runtime(), engine=engine
+        )
+        fused = mr_densest_subgraph_atleast_k(
+            graph, 30, 0.5, runtime=_runtime(), engine=engine, fused=True
+        )
+        assert fused.result == classic.result
+        assert fused.result.trace == classic.result.trace
+
+    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    @pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+    def test_directed(self, engine, weighted):
+        graph = _directed_csr(weighted)
+        classic = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5, runtime=_runtime(), engine=engine
+        )
+        fused = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5, runtime=_runtime(), engine=engine, fused=True
+        )
+        assert fused.result == classic.result
+        assert fused.result.trace == classic.result.trace
+        assert all(len(rounds) == 1 for rounds in fused.rounds_per_pass)
+
+
+# ----------------------------------------------------------------------
+# Fused record path == fused columnar path (counters included)
+# ----------------------------------------------------------------------
+class TestFusedEnginesAgree:
+    def test_undirected_counters_identical(self):
+        graph = _undirected_csr(True)
+        record = mr_densest_subgraph(
+            graph, 0.1, runtime=_runtime(), engine="python", fused=True
+        )
+        columnar = mr_densest_subgraph(
+            graph, 0.1, runtime=_runtime(), engine="numpy", fused=True
+        )
+        assert record.result == columnar.result
+        fields = COUNT_FIELDS + ("shuffle_bytes",)
+        assert _count_tuples(record, fields) == _count_tuples(columnar, fields)
+
+    def test_directed_counters_identical(self):
+        graph = _directed_csr(True)
+        record = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5, runtime=_runtime(), engine="python", fused=True
+        )
+        columnar = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5, runtime=_runtime(), engine="numpy", fused=True
+        )
+        assert record.result == columnar.result
+        assert _count_tuples(record) == _count_tuples(columnar)
+
+
+# ----------------------------------------------------------------------
+# The optimization claim: fused shuffles ≤ 0.6x the classic bytes
+# ----------------------------------------------------------------------
+class TestFusedShufflesLess:
+    @pytest.mark.parametrize(
+        "driver",
+        ["undirected", "atleast_k", "directed"],
+    )
+    def test_byte_ratio(self, driver):
+        if driver == "undirected":
+            run = lambda fused: mr_densest_subgraph(
+                _undirected_csr(True), 0.5,
+                runtime=_runtime(), engine="numpy", fused=fused,
+            )
+        elif driver == "atleast_k":
+            run = lambda fused: mr_densest_subgraph_atleast_k(
+                _undirected_csr(True), 30, 0.5,
+                runtime=_runtime(), engine="numpy", fused=fused,
+            )
+        else:
+            run = lambda fused: mr_densest_subgraph_directed(
+                _directed_csr(True), 1.0, 0.5,
+                runtime=_runtime(), engine="numpy", fused=fused,
+            )
+        classic_bytes = _total_shuffle_bytes(run(False))
+        fused_bytes = _total_shuffle_bytes(run(True))
+        assert fused_bytes <= 0.6 * classic_bytes, (
+            f"{driver}: fused shuffled {fused_bytes} bytes, classic "
+            f"{classic_bytes} ({fused_bytes / classic_bytes:.2f}x > 0.6x)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fused under the process pool and the file-backed shuffle
+# ----------------------------------------------------------------------
+class TestFusedDistributed:
+    def test_process_file_shuffle_matches_serial(self, pool, tmp_path):
+        graph = _undirected_csr(True)
+        serial = mr_densest_subgraph(
+            graph, 0.1, runtime=_runtime(), engine="numpy", fused=True
+        )
+        runtime = _runtime(pool, shuffle_dir=str(tmp_path))
+        got = mr_densest_subgraph(
+            graph, 0.1, runtime=runtime, engine="numpy", fused=True
+        )
+        assert got.result == serial.result
+        assert got.result.trace == serial.result.trace
+        fields = COUNT_FIELDS + ("shuffle_bytes",)
+        assert _count_tuples(got, fields) == _count_tuples(serial, fields)
+        # The static edge input was spilled once up front (the
+        # peel-input splits) and the trailing round dirs are gone.
+        assert runtime.spilled_runs > 0
+        import os
+
+        assert os.listdir(tmp_path) == []
+
+    def test_directed_process_file_shuffle_matches_serial(self, pool, tmp_path):
+        graph = _directed_csr(False)
+        serial = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5, runtime=_runtime(), engine="numpy", fused=True
+        )
+        got = mr_densest_subgraph_directed(
+            graph, 1.0, 0.5,
+            runtime=_runtime(pool, shuffle_dir=str(tmp_path)),
+            engine="numpy", fused=True,
+        )
+        assert got.result == serial.result
+        assert _count_tuples(got) == _count_tuples(serial)
+
+    def test_solve_fused_option(self):
+        from repro.api import DensestSubgraph, solve
+
+        graph = _undirected_csr(True)
+        problem = DensestSubgraph(graph, epsilon=0.1)
+        classic = solve(problem, backend="mapreduce", engine="numpy")
+        fused = solve(problem, backend="mapreduce", engine="numpy", fused=True)
+        assert classic.nodes == fused.nodes
+        assert classic.density == fused.density
+        assert fused.cost.mapreduce_rounds < classic.cost.mapreduce_rounds
