@@ -8,26 +8,55 @@ result catalog — and shows the latency gap plus the byte-for-byte
 payload guarantee.  The same flow works against a standalone server
 started with ``repro-densest serve``.
 
+Also demonstrated: the overload posture (DESIGN.md §14).  A second
+server runs with a tight per-client rate limit; the well-behaved
+client below honors the 429's ``Retry-After`` header with jittered
+backoff instead of hammering the queue.
+
 Run:  python examples/serving.py
 """
 
 import json
+import random
 import tempfile
 import threading
 import time
+import urllib.error
 import urllib.request
 
 from repro.serve import build_server
 
 
-def request(base, method, path, body=None):
+def request(base, method, path, body=None, headers=None):
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(
         base + path, data=data, method=method,
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     with urllib.request.urlopen(req, timeout=120) as resp:
         return json.loads(resp.read())
+
+
+def request_with_backoff(base, method, path, body=None, headers=None,
+                         max_tries=6, rng=random.Random(0)):
+    """``request``, but honor 429 ``Retry-After`` with jittered backoff.
+
+    The server derives ``Retry-After`` from live queue depth, so
+    sleeping it (plus jitter, to decorrelate a retrying herd) is the
+    cooperative response to a shed.  Anything else re-raises.
+    """
+    for attempt in range(max_tries):
+        try:
+            return request(base, method, path, body, headers)
+        except urllib.error.HTTPError as exc:
+            if exc.code != 429 or attempt == max_tries - 1:
+                raise
+            retry_after = float(exc.headers.get("Retry-After", 1))
+            sleep = retry_after * (1 + 0.25 * rng.random())
+            print(f"    429 shed; honoring Retry-After={retry_after:.0f}s "
+                  f"(sleeping {sleep:.2f}s)")
+            time.sleep(min(sleep, 5.0))  # cap for demo purposes
+    raise RuntimeError("unreachable")
 
 
 def main() -> None:
@@ -80,10 +109,42 @@ def main() -> None:
             stats = request(base, "GET", "/stats")
             print(f"stats: hits={stats['hits']} misses={stats['misses']} "
                   f"hit_ratio={stats['hit_ratio']:.2f} "
-                  f"solves_by_backend={stats['solves_by_backend']}")
+                  f"solves_by_backend={stats['solves_by_backend']}\n")
         finally:
             server.shutdown()
             server.server_close()
+            thread.join(timeout=10)
+
+        # 5. Overload posture: a rate-limited server sheds the second
+        #    cold request from the same client with 429 + Retry-After;
+        #    the client backs off and succeeds on retry.
+        overloaded = build_server(
+            port=0, catalog_path=f"{tmp}/catalog2.sqlite", workers=2,
+            client_rate=0.5, client_burst=1, retry_after_base=0.5,
+        )
+        host, port = overloaded.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=overloaded.serve_forever, daemon=True)
+        thread.start()
+        print(f"overload demo on {base} (client_rate=0.5/s, burst=1)")
+        try:
+            request(base, "POST", "/datasets", {
+                "name": "flickr", "dataset": "flickr_sim", "scale": 0.05,
+            })
+            ident = {"X-Client-Id": "demo-client"}
+            for eps in (0.2, 0.3):
+                got = request_with_backoff(base, "POST", "/solve", {
+                    "dataset": "flickr",
+                    "problem": {"kind": "densest_subgraph", "epsilon": eps},
+                    "wait": 120,
+                }, headers=ident)
+                print(f"  eps={eps}: density={got['density']:.3f} "
+                      f"(cached={got['cached']})")
+            stats = request(base, "GET", "/stats")
+            print(f"  sheds absorbed by backoff: {stats['shed']}")
+        finally:
+            overloaded.shutdown()
+            overloaded.server_close()
             thread.join(timeout=10)
 
 

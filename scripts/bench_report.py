@@ -66,6 +66,17 @@ Three suites, selected with ``--suite``:
   catalog hits (p50/p99/QPS), asserting every warm payload is
   byte-identical to its cold counterpart.  ``--min-speedup`` gates
   the warm-hit p50 speedup over the cold p50.
+* ``chaos`` soaks the serving layer under overload *and* injected
+  faults (DESIGN.md §14) and writes ``BENCH_chaos.json`` (fault log:
+  ``BENCH_chaos_plan.json``): four concurrent clients — warm hammering
+  one key, cold distinct keys (some with unaffordable deadlines),
+  oversized requests, and a cancel loop — against a server armed with
+  solver delays, a catalog-corruption streak (which must trip the
+  circuit breaker), and a SIGKILLed MapReduce worker.  In-driver
+  gates: goodput positive, p99 time-to-answer of admitted requests
+  bounded, every shed carries ``Retry-After``, every degraded/stale
+  answer is labeled, and every *unlabeled* 200 is byte-identical to a
+  clean offline solve of the same problem.
 
 Both reports are machine-readable so successive PRs can track the
 trajectory of the hot paths instead of eyeballing pytest-benchmark
@@ -1335,6 +1346,388 @@ def run_serve_benches(scale_factor: float, repeats: int):
     return records
 
 
+def run_chaos_benches(scale_factor: float, repeats: int):
+    """Chaos/soak: mixed traffic + armed faults against one server.
+
+    One in-process server runs with the full overload posture switched
+    on (per-request cost cap, admission budget, deadline cost model,
+    queue-fraction degradation, catalog circuit breaker) *and* a fault
+    plan arming solver delays, a 20-op ``catalog.read`` corruption
+    streak, and a ``kill_worker`` on MapReduce map task 0.  Four
+    client personas hit it concurrently:
+
+    * **warm** — pre-solves one key, then hammers it.  During
+      breaker-open windows hits become deterministic re-solves; either
+      way the answer must match the clean reference bytes.
+    * **cold** — distinct-ε streaming solves (new keys), plus
+      unaffordable-deadline requests that must come back *labeled*
+      (``stale`` for a kind with cached history, ``degraded`` for a
+      kind without), plus one MapReduce solve that eats the SIGKILL.
+    * **oversized** — requests over ``max_cost_edges``; every response
+      must be a 429 carrying ``Retry-After``.
+    * **cancel** — submit-without-wait then ``DELETE /jobs/<id>``,
+      polled to a terminal state.
+
+    In-driver gates (asserted, not just reported): goodput > 0; p99
+    time-to-answer over admitted requests bounded; at least one shed,
+    one stale, and one degraded response; and every unlabeled 200
+    byte-identical to an offline clean solve of the same problem on
+    the same deterministic dataset.
+    """
+    import json as _json
+    import os
+    import tempfile
+    import threading
+    import urllib.error
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro import solve as _solve
+    from repro.api.problems import DensestAtLeastK, DensestSubgraph
+    from repro.datasets import registry as dataset_registry
+    from repro.faults import FaultPlan, FaultPoint
+    from repro.serve import build_server
+
+    seed = 7
+    scale_small = round(0.3 * scale_factor, 4)
+    scale_big = round(1.5 * scale_factor, 4)
+    p99_bound = 60.0  # generous, but *bounded*: the no-hang gate
+    cold_requests = max(4, 4 * repeats)
+    warm_requests = max(20, 20 * repeats)
+    cancel_requests = max(3, 2 * repeats)
+    oversized_requests = max(3, 2 * repeats)
+
+    small = dataset_registry.load("grqc_sim", scale=scale_small, seed=seed)
+    big = dataset_registry.load("grqc_sim", scale=scale_big, seed=seed)
+    assert big.num_edges > small.num_edges
+    fixture = f"grqc_sim@scale={scale_small}/{scale_big}"
+    print(f"fixture {fixture}: small m={small.num_edges}, big m={big.num_edges}")
+
+    plan = FaultPlan(
+        [
+            # stragglers: two delayed solve jobs + one slow peel pass
+            FaultPoint("serve.solve", 1, "delay", 0.3),
+            FaultPoint("serve.solve", 3, "delay", 0.3),
+            FaultPoint("streaming.pass", 2, "delay", 0.1),
+            # a sick catalog: 10 consecutive read ops fail -> the
+            # breaker must open and the service go cache-less
+            *[FaultPoint("catalog.read", i, "corrupt") for i in range(20, 30)],
+            # a dying worker: MapReduce map task 0 is SIGKILLed once
+            FaultPoint("mapreduce.map", 0, "kill_worker"),
+        ]
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = build_server(
+            port=0,
+            catalog_path=os.path.join(tmp, "catalog.sqlite"),
+            workers=2,
+            spill_dir=os.path.join(tmp, "spill"),
+            max_queue=8,
+            degrade_at=0.9,
+            admit_budget_edges=6 * small.num_edges,
+            max_cost_edges=(small.num_edges + big.num_edges) // 2,
+            edges_per_second=float(small.num_edges),  # => exact ~1 s estimate
+            retry_after_base=0.1,
+            breaker_threshold=3,
+            breaker_reset_seconds=0.25,
+            fault_plan=plan,
+        )
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://{host}:{port}"
+
+        def request(method, path, body=None, client="chaos", timeout=600):
+            data = _json.dumps(body).encode() if body is not None else None
+            req = urllib.request.Request(
+                base + path, data=data, method=method,
+                headers={"Content-Type": "application/json",
+                         "X-Client-Id": client},
+            )
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, _json.loads(resp.read()), dict(resp.headers)
+
+        def solve_body(kind, wait=600, backend=None, deadline=None, **params):
+            body = {"dataset": "g", "problem": {"kind": kind, **params}}
+            if wait is not None:
+                body["wait"] = wait
+            if backend is not None:
+                body["backend"] = backend
+            if deadline is not None:
+                body["deadline"] = deadline
+            return body
+
+        # shared tallies (lists are append-atomic under the GIL)
+        admitted_times: list = []  # seconds to a terminal 200/202-resolved
+        ok_payloads: list = []     # every 200 payload for the label audit
+        shed_count = [0]
+        retry_after_missing = [0]
+        cancelled = [0]
+        errors: list = []
+
+        def timed(client, body):
+            t0 = time.perf_counter()
+            status, payload, _ = request("POST", "/solve", body, client=client)
+            admitted_times.append(time.perf_counter() - t0)
+            assert status in (200, 202), (status, payload)
+            if status == 200:
+                ok_payloads.append(payload)
+            return status, payload
+
+        try:
+            for name, scale in (
+                ("g", scale_small),
+                ("big", scale_big),
+                # the cancel client solves its own dataset so its
+                # (possibly completed-before-cancel) densest_at_least_k
+                # rows never satisfy the stale rung for dataset "g" --
+                # the post-soak degraded-rung assert depends on that
+                ("cds", round(scale_small * 0.9, 4)),
+            ):
+                status, payload, _ = request(
+                    "POST", "/datasets",
+                    {"name": name, "dataset": "grqc_sim",
+                     "scale": scale, "seed": seed},
+                )
+                assert status == 201, payload
+
+            def warm_client():
+                try:
+                    for _ in range(warm_requests):
+                        timed("warm", solve_body("densest_subgraph", epsilon=0.5))
+                except Exception as exc:  # noqa: BLE001 - recorded for assert
+                    errors.append(("warm", exc))
+
+            def cold_client():
+                try:
+                    # one MapReduce solve eats the SIGKILLed worker and
+                    # must still answer exactly (recovery is invisible)
+                    timed("cold", solve_body(
+                        "densest_subgraph", epsilon=0.55, backend="mapreduce"
+                    ))
+                    for i in range(cold_requests):
+                        timed("cold", solve_body(
+                            "densest_subgraph", epsilon=0.6 + 0.01 * i,
+                            backend="streaming",
+                        ))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("cold", exc))
+
+            def oversized_client():
+                try:
+                    for i in range(oversized_requests):
+                        body = solve_body("densest_subgraph",
+                                          epsilon=0.5 + 0.01 * i)
+                        body["dataset"] = "big"
+                        try:
+                            request("POST", "/solve", body, client="oversized")
+                        except urllib.error.HTTPError as err:
+                            assert err.code == 429, err.code
+                            shed_count[0] += 1
+                            if "Retry-After" not in err.headers:
+                                retry_after_missing[0] += 1
+                            else:
+                                time.sleep(
+                                    min(float(err.headers["Retry-After"]), 0.2)
+                                )
+                        else:
+                            raise AssertionError(
+                                "oversized request was not shed"
+                            )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("oversized", exc))
+
+            def cancel_client():
+                try:
+                    for i in range(cancel_requests):
+                        body = solve_body(
+                            "densest_at_least_k", wait=None,
+                            k=40, epsilon=0.001 + 0.001 * i,
+                            backend="streaming",
+                        )
+                        body["dataset"] = "cds"
+                        status, payload, _ = request(
+                            "POST", "/solve", body, client="cancel"
+                        )
+                        if status != 202:
+                            continue  # ladder/coalescing answered inline
+                        job_id = payload["job"]["id"]
+                        try:
+                            request("DELETE", f"/jobs/{job_id}",
+                                    client="cancel")
+                        except urllib.error.HTTPError as err:
+                            assert err.code == 409, err.code  # already done
+                        for _ in range(600):
+                            _, job, _ = request(
+                                "GET", f"/jobs/{job_id}", client="cancel"
+                            )
+                            if job["job"]["status"] not in (
+                                "PENDING", "RUNNING", "CANCELLING",
+                            ):
+                                break
+                            time.sleep(0.05)
+                        else:
+                            raise AssertionError(
+                                f"job {job_id} never reached a terminal state"
+                            )
+                        if job["job"]["status"] == "CANCELLED":
+                            cancelled[0] += 1
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(("cancel", exc))
+
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                for fn in (warm_client, cold_client,
+                           oversized_client, cancel_client):
+                    pool.submit(fn)
+            soak_wall = time.perf_counter() - t0
+            assert not errors, errors
+
+            # ---- deterministic ladder phase --------------------------
+            # Drain whatever is left of the corruption streak (the
+            # breaker freezes the catalog.read op counter while open,
+            # so warm requests + short sleeps walk the half-open probes
+            # through the remaining corrupt ops), then let one healthy
+            # probe close the breaker.
+            drain_deadline = time.monotonic() + 120
+            while any(p.site == "catalog.read" for p in plan.pending()):
+                assert time.monotonic() < drain_deadline, (
+                    f"corruption streak never drained: {plan.pending()}"
+                )
+                timed("warm", solve_body("densest_subgraph", epsilon=0.5))
+                time.sleep(0.3)
+            time.sleep(0.3)
+            timed("warm", solve_body("densest_subgraph", epsilon=0.5))
+
+            # The ladder's stale rung: an unaffordable deadline on a
+            # kind WITH cached history on "g" must come back labeled
+            # ``stale`` (the nearest prior answer, not a fresh solve).
+            for i in range(max(2, repeats)):
+                status, payload = timed("cold", solve_body(
+                    "densest_subgraph", epsilon=0.31 + 0.01 * i,
+                    deadline=0.05,
+                ))
+                assert status == 200 and payload.get("stale"), payload
+            # The degraded rung: same unaffordable deadline on a kind
+            # WITHOUT history on "g" (the cancel client solved its k
+            # problems on "cds") must come back labeled ``degraded``
+            # from the cheap greedy fallback.
+            for i in range(max(2, repeats)):
+                status, payload = timed("cold", solve_body(
+                    "densest_at_least_k", k=20 + i,
+                    epsilon=0.5, deadline=0.05,
+                ))
+                if i == 0:
+                    assert status == 200 and payload.get("degraded"), payload
+                else:
+                    # the first degraded answer is now cached history,
+                    # so later unaffordable requests may legitimately
+                    # ride the (cheaper) stale rung instead
+                    assert status == 200 and (
+                        payload.get("degraded") or payload.get("stale")
+                    ), payload
+
+            status, stats, _ = request("GET", "/stats")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+        plan_log = os.path.abspath("BENCH_chaos_plan.json")
+        plan.save_log(plan_log)
+
+        # ---- gates -------------------------------------------------
+        goodput = len(ok_payloads)
+        assert goodput > 0, "no request ever succeeded under chaos"
+        admitted_times.sort()
+        p50 = statistics.median(admitted_times)
+        p99 = admitted_times[int(len(admitted_times) * 0.99)]
+        assert p99 <= p99_bound, (
+            f"p99 time-to-answer {p99:.1f}s blew the {p99_bound:.0f}s bound"
+        )
+        assert shed_count[0] > 0, "oversized traffic was never shed"
+        assert retry_after_missing[0] == 0, (
+            f"{retry_after_missing[0]} sheds lacked a Retry-After header"
+        )
+        assert stats["stale_served"] > 0, stats
+        assert stats["degraded"] > 0, stats
+        # the corruption streak must actually have exercised the breaker
+        read_faults = [
+            f for f in plan.fired if f["site"] == "catalog.read"
+        ]
+        assert len(read_faults) >= 3, (
+            f"only {len(read_faults)} catalog.read faults fired; the "
+            f"breaker was never really tested"
+        )
+        kill_fired = any(f["mode"] == "kill_worker" for f in plan.fired)
+        assert kill_fired, "the MapReduce kill_worker fault never fired"
+
+        # ---- the no-silent-wrong-answer audit ----------------------
+        # Every UNLABELED 200 must be byte-identical to a clean offline
+        # solve of the same problem (same deterministic dataset, no
+        # faults, no server).  Labeled answers are exempt — that is
+        # what the label is for.
+        problems = {
+            "densest_subgraph": lambda p: DensestSubgraph(
+                small, epsilon=p["epsilon"]
+            ),
+            "densest_at_least_k": lambda p: DensestAtLeastK(
+                small, k=p["k"], epsilon=p["epsilon"]
+            ),
+        }
+        references: dict = {}
+        labeled = unlabeled = 0
+        for payload in ok_payloads:
+            if payload.get("stale") or payload.get("degraded"):
+                labeled += 1
+                continue
+            unlabeled += 1
+            ref_key = payload["key"]
+            if ref_key not in references:
+                problem = problems[payload["problem_kind"]](payload["params"])
+                clean = _solve(problem, backend=payload["backend"])
+                references[ref_key] = _json.loads(clean.to_json())
+            assert _json.dumps(payload["solution"], sort_keys=True) == \
+                _json.dumps(references[ref_key], sort_keys=True), (
+                    f"UNLABELED response for key {ref_key} diverged from "
+                    f"the clean solve (kind={payload['problem_kind']}, "
+                    f"params={payload['params']})"
+                )
+
+    record = {
+        "bench": "chaos_soak",
+        "fixture": fixture,
+        "engine": "http-chaos",
+        "median_seconds": p50,
+        "p99_seconds": p99,
+        "p99_bound_seconds": p99_bound,
+        "soak_wall_seconds": soak_wall,
+        "goodput": goodput,
+        "admitted": len(admitted_times),
+        "unlabeled_verified": unlabeled,
+        "labeled": labeled,
+        "distinct_keys_verified": len(references),
+        "shed": stats["shed"],
+        "degraded": stats["degraded"],
+        "stale_served": stats["stale_served"],
+        "cancelled": cancelled[0],
+        "coalesced": stats["coalesced"],
+        "faults_fired": len(plan.fired),
+        "faults_pending": len(plan.pending()),
+        "breaker_state": stats["breaker_state"],
+        "plan_log": plan_log,
+    }
+    print(f"{'chaos_soak':28s} goodput {goodput:4d}   "
+          f"p50 {p50 * 1e3:8.1f} ms   p99 {p99 * 1e3:8.1f} ms   "
+          f"shed {stats['shed']}   degraded {stats['degraded']}   "
+          f"stale {stats['stale_served']}   cancelled {cancelled[0]}   "
+          f"faults {len(plan.fired)}")
+    print(f"{'':28s} verified {unlabeled} unlabeled responses "
+          f"({len(references)} distinct keys) byte-identical to clean solves")
+    return [record]
+
+
 #: Per-suite configuration: bench driver, default report path, and the
 #: benches the ``--min-speedup`` gate applies to.
 SUITES = {
@@ -1372,6 +1765,14 @@ SUITES = {
         "run": run_serve_benches,
         "output": "BENCH_serve.json",
         "gate": {"serve_warm_hit"},
+    },
+    "chaos": {
+        "run": run_chaos_benches,
+        "output": "BENCH_chaos.json",
+        # Every chaos gate (goodput, bounded p99, labeled degradation,
+        # Retry-After on sheds, byte-identity of unlabeled answers) is
+        # asserted in-driver; there is no speedup row to gate.
+        "gate": set(),
     },
     "kernels": {
         "run": run_kernels_benches,

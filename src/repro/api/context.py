@@ -42,11 +42,16 @@ event       passes; setting it unwinds the solve with
             tier's cooperative DELETE /jobs/<id>)
 deadline_   ``streaming`` — wall-clock budget in seconds from solve
 seconds     start; overrunning it raises
-            :class:`~repro.errors.DeadlineExceededError`
+            :class:`~repro.errors.DeadlineExceededError`.  The serving
+            tier also feeds it (min'd with a per-request ``deadline``)
+            into the degradation ladder's affordability check
+            (DESIGN.md §14)
 fault_plan  fault-injection schedule
             (:class:`~repro.faults.FaultPlan`) consulted by the store
-            writer, the peel engines, and the process executor;
-            ``None`` (production) short-circuits every consultation
+            writer, the peel engines, the process executor, and the
+            serving tier's ``serve.solve`` / ``catalog.read`` /
+            ``catalog.write`` sites; ``None`` (production)
+            short-circuits every consultation
 ========== ==========================================================
 """
 

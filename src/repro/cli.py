@@ -330,6 +330,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    overload = p_serve.add_argument_group(
+        "overload control",
+        "admission + degradation knobs (DESIGN.md §14); all default off",
+    )
+    overload.add_argument(
+        "--client-rate", type=float, default=None,
+        help="per-client cold-request rate limit (requests/second)",
+    )
+    overload.add_argument(
+        "--client-burst", type=int, default=10,
+        help="token-bucket burst capacity per client",
+    )
+    overload.add_argument(
+        "--max-cost-edges", type=int, default=None,
+        help="shed any solve over a dataset with more manifest edges",
+    )
+    overload.add_argument(
+        "--admit-budget-edges", type=int, default=None,
+        help="global budget on outstanding admitted solve cost (edges); "
+        "past it, requests enter the degradation ladder",
+    )
+    overload.add_argument(
+        "--degrade-at", type=float, default=None,
+        help="queue fraction (waiting/capacity) at which the degradation "
+        "ladder arms (e.g. 0.5)",
+    )
+    overload.add_argument(
+        "--edges-per-second", type=float, default=None,
+        help="cost model for deadline affordability: degrade when "
+        "edges/this exceeds the request deadline",
+    )
+    overload.add_argument(
+        "--degrade-epsilon", type=float, default=1.0,
+        help="coarsened epsilon a degraded ladder solve runs at",
+    )
+    overload.add_argument(
+        "--no-stale", action="store_true",
+        help="never serve stale cached answers from the ladder",
+    )
+    overload.add_argument(
+        "--retry-after-base", type=float, default=1.0,
+        help="seconds per queued-or-running job when deriving Retry-After",
+    )
+    overload.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive catalog errors that open the circuit breaker "
+        "(0 disables the breaker)",
+    )
+    overload.add_argument(
+        "--breaker-reset", type=float, default=30.0,
+        help="seconds an open breaker waits before a half-open probe",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
@@ -744,6 +796,17 @@ def _cmd_serve(args) -> int:
         max_queue=args.max_queue,
         deadline_seconds=args.deadline,
         verbose=args.verbose,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        max_cost_edges=args.max_cost_edges,
+        admit_budget_edges=args.admit_budget_edges,
+        degrade_at=args.degrade_at,
+        edges_per_second=args.edges_per_second,
+        degrade_epsilon=args.degrade_epsilon,
+        stale_ok=not args.no_stale,
+        retry_after_base=args.retry_after_base,
+        breaker_threshold=args.breaker_threshold or None,
+        breaker_reset_seconds=args.breaker_reset,
     )
     return 0
 

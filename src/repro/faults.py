@@ -44,6 +44,16 @@ site                      consulted by
                           flips a payload byte of a committed run while
                           reporting the pristine checksum, so the
                           reduce-side CRC check must catch it
+``serve.solve``           the serving tier once per submitted solve job
+                          (index = submission number); ``delay`` models
+                          a straggler solver, ``raise`` a solve that
+                          dies before producing an answer
+``catalog.read``          the result catalog once per guarded read /
+``catalog.write``         write (index = per-site op number); ``raise``
+                          and ``corrupt`` surface as
+                          ``sqlite3.DatabaseError`` — the signal the
+                          catalog circuit breaker trips on — and
+                          ``delay`` models a slow page read
 ========================  ==================================================
 
 Nothing here runs unless a plan is explicitly armed: production
@@ -67,7 +77,10 @@ from .errors import (
 )
 
 #: Fault modes a :class:`FaultPoint` may request.
-FAULT_MODES = ("raise", "kill_worker", "corrupt")
+FAULT_MODES = ("raise", "kill_worker", "corrupt", "delay")
+
+#: Seconds a ``delay`` point sleeps when its payload gives no duration.
+DEFAULT_DELAY_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -78,7 +91,9 @@ class FaultPoint:
     ``mode="kill_worker"`` asks the executor to SIGKILL the worker
     process running the task; ``mode="corrupt"`` is consumed by
     :func:`corrupt_shard`-style helpers (``payload`` carries the byte
-    offset).
+    offset); ``mode="delay"`` sleeps ``payload`` seconds at the site —
+    straggler injection, the one mode that perturbs *latency* while
+    leaving results untouched.
     """
 
     site: str
@@ -136,6 +151,18 @@ class FaultPlan:
         """Plan: raise at the top of peel pass ``pass_index``."""
         return cls([FaultPoint("streaming.pass", pass_index, "raise")], **kw)
 
+    @classmethod
+    def delay_at(
+        cls,
+        site: str,
+        index: int,
+        seconds: float = DEFAULT_DELAY_SECONDS,
+        **kw,
+    ) -> "FaultPlan":
+        """Plan: sleep ``seconds`` when ``site`` reaches ``index``
+        (deterministic straggler injection; one-shot like every point)."""
+        return cls([FaultPoint(site, index, "delay", float(seconds))], **kw)
+
     # -- consultation --------------------------------------------------
     def take(self, site: str, index: int) -> Optional[FaultPoint]:
         """Return the armed point matching ``(site, index)``, at most once.
@@ -149,17 +176,24 @@ class FaultPlan:
             for i, point in enumerate(self._armed):
                 if point.site == site and point.index == index:
                     del self._armed[i]
-                    self.fired.append(
-                        {"site": site, "index": index, "mode": point.mode}
-                    )
+                    record = {"site": site, "index": index, "mode": point.mode}
+                    if point.payload is not None:
+                        record["payload"] = point.payload
+                    self.fired.append(record)
                     return point
         return None
 
     def fire(self, site: str, index: int) -> None:
-        """Raise :class:`InjectedFaultError` if a ``"raise"`` point matches."""
+        """Fire the matching point in-line: ``"raise"`` raises
+        :class:`InjectedFaultError`, ``"delay"`` sleeps the point's
+        payload seconds (straggler) and returns normally."""
         point = self.take(site, index)
-        if point is not None and point.mode == "raise":
+        if point is None:
+            return
+        if point.mode == "raise":
             raise InjectedFaultError(f"injected fault at {site}[{index}]")
+        if point.mode == "delay":
+            time.sleep(delay_seconds(point))
 
     # -- reporting -----------------------------------------------------
     def pending(self) -> List[FaultPoint]:
@@ -180,6 +214,15 @@ class FaultPlan:
         with open(path, "w") as handle:
             json.dump(serializable, handle, indent=2)
             handle.write("\n")
+
+
+def delay_seconds(point: FaultPoint) -> float:
+    """The sleep duration a ``delay``-mode point requests."""
+    return (
+        float(point.payload)
+        if point.payload is not None
+        else DEFAULT_DELAY_SECONDS
+    )
 
 
 class RunControl:

@@ -6,12 +6,22 @@
   ``(dataset fingerprint, problem kind, canonical params, backend)``;
 * :mod:`~repro.serve.jobs` — bounded thread-pool job manager with
   single-flight coalescing and cancellation;
-* :mod:`~repro.serve.app` — the stdlib ``ThreadingHTTPServer`` routes.
+* :mod:`~repro.serve.app` — the stdlib ``ThreadingHTTPServer`` routes;
+* :mod:`~repro.serve.admission` — overload control: per-client token
+  buckets, the global admission gate, the catalog circuit breaker, and
+  the degradation-ladder knobs (DESIGN.md §14).
 
 Start one with ``python -m repro.cli serve --port 8080`` or embed one
 via :func:`~repro.serve.app.build_server` (see ``examples/serving.py``).
 """
 
+from .admission import (
+    AdmissionGate,
+    CircuitBreaker,
+    ClientRateLimiter,
+    OverloadConfig,
+    TokenBucket,
+)
 from .app import (
     DensestHTTPServer,
     DensestService,
@@ -23,14 +33,19 @@ from .catalog import CatalogError, ResultCatalog, params_json, problem_key, resu
 from .jobs import Job, JobManager, QueueFullError
 
 __all__ = [
+    "AdmissionGate",
     "CatalogError",
+    "CircuitBreaker",
+    "ClientRateLimiter",
     "DensestHTTPServer",
     "DensestService",
     "HTTPError",
     "Job",
     "JobManager",
+    "OverloadConfig",
     "QueueFullError",
     "ResultCatalog",
+    "TokenBucket",
     "build_server",
     "params_json",
     "problem_key",

@@ -1,0 +1,344 @@
+"""Overload control for the serving tier: admit, degrade, or shed.
+
+The crash-robustness layer (DESIGN.md §12) handles *failures*; this
+module handles *demand exceeding capacity*, which the ROADMAP's
+"heavy traffic" north star makes the more common emergency.  The
+pieces compose into the overload model of DESIGN.md §14:
+
+* :class:`TokenBucket` / :class:`ClientRateLimiter` — per-client
+  request-rate policing for cold (solver-consuming) work.  Warm
+  catalog hits are orders of magnitude cheaper and stay unmetered.
+* :class:`AdmissionGate` — a global budget on *outstanding solve
+  cost*, estimated from the dataset manifest (edges).  A request the
+  budget cannot absorb is not queued; it enters the degradation
+  ladder and, at worst, is shed with a ``Retry-After``.
+* :class:`CircuitBreaker` — wraps the SQLite result catalog: repeated
+  ``sqlite3`` errors open the breaker and the service runs cache-less
+  (every answer re-solved, none wrong) until a half-open probe
+  succeeds.
+* :class:`OverloadConfig` — the declarative knob bag
+  (:func:`~repro.serve.app.build_server` arguments, CLI flags).
+
+Everything here is stdlib-only and clock-injectable so the unit tests
+run on a fake clock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "AdmissionGate",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "ClientRateLimiter",
+    "OverloadConfig",
+    "TokenBucket",
+    "retry_after_seconds",
+]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` either admits (returns ``None``) or returns the
+    seconds until the requested tokens will exist — the honest
+    ``Retry-After`` for the caller.  Thread-safe; refill is computed
+    lazily from the injected monotonic clock, so an idle bucket costs
+    nothing.
+    """
+
+    def __init__(
+        self, rate: float, burst: float, *, clock: Clock = time.monotonic
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, cost: float = 1.0) -> Optional[float]:
+        """Take ``cost`` tokens; ``None`` on success, else retry delay."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return None
+            return (cost - self._tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """One :class:`TokenBucket` per client id, with bounded residency.
+
+    The client id is whatever the transport hands over (the
+    ``X-Client-Id`` header, else the peer address); unknown clients get
+    a fresh full bucket.  At most ``max_clients`` buckets are retained
+    — beyond that the least-recently-seen bucket is dropped, which
+    *refills* that client on return (fail-open: an eviction must never
+    manufacture a rejection).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        max_clients: int = 1024,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, client: str) -> Optional[float]:
+        """Admit one request for ``client``; ``None`` or retry delay."""
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket  # re-insert = most recent
+            while len(self._buckets) > self.max_clients:
+                self._buckets.pop(next(iter(self._buckets)))
+        return bucket.try_acquire()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class AdmissionGate:
+    """Global budget on outstanding admitted solve cost (in edges).
+
+    Cold solves are admitted by :meth:`try_admit` (cost estimated from
+    the dataset manifest) and must be released when the job reaches a
+    terminal state.  ``budget=None`` disables the limit but still
+    tracks the gauge for ``/stats``.
+    """
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        self.budget = int(budget) if budget is not None else None
+        self._outstanding = 0
+        self._admitted = 0
+        self._lock = threading.Lock()
+
+    def try_admit(self, cost: int) -> bool:
+        """Reserve ``cost``; ``False`` when the budget cannot absorb it."""
+        cost = max(0, int(cost))
+        with self._lock:
+            if (
+                self.budget is not None
+                and self._outstanding > 0
+                and self._outstanding + cost > self.budget
+            ):
+                return False
+            self._outstanding += cost
+            self._admitted += 1
+            return True
+
+    def release(self, cost: int) -> None:
+        """Return a previously admitted reservation."""
+        with self._lock:
+            self._outstanding = max(0, self._outstanding - max(0, int(cost)))
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    def gauges(self) -> Dict[str, Optional[int]]:
+        with self._lock:
+            return {
+                "outstanding_cost": self._outstanding,
+                "budget": self.budget,
+                "admitted_total": self._admitted,
+            }
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probes.
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, :meth:`allow` answers ``False`` (the caller serves its
+    degraded path — for the catalog, cache-less).  After
+    ``reset_seconds`` the next :meth:`allow` admits exactly one probe
+    (half-open); its success closes the breaker, its failure reopens
+    the window.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        *,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds <= 0:
+            raise ValueError(f"reset_seconds must be positive, got {reset_seconds}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._tick_locked()
+            return self._state
+
+    def _tick_locked(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded operation right now?"""
+        with self._lock:
+            self._tick_locked()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN and not self._probing:
+                self._probing = True  # exactly one in-flight probe
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == BREAKER_HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Declarative overload knobs for one :class:`DensestService`.
+
+    Every field defaults to *off*, so a bare service behaves exactly
+    like the pre-overload stack; :func:`~repro.serve.app.build_server`
+    and the CLI expose each knob.
+
+    ================== ===============================================
+    field               meaning
+    ================== ===============================================
+    client_rate         per-client cold-request rate (requests/second)
+                        admitted by the token bucket; ``None`` = no
+                        per-client policing
+    client_burst        bucket capacity (burst absorbed before the
+                        rate applies)
+    max_cost_edges      per-request hard cost cap: a solve over a
+                        dataset with more manifest edges is shed
+                        outright (429 + ``Retry-After``)
+    admit_budget_edges  global budget on *outstanding* admitted cold
+                        cost; exceeding it arms the degradation ladder
+    degrade_at          queue fraction (waiting / capacity) at which
+                        the ladder arms; ``None`` disables load-based
+                        degradation
+    edges_per_second    cost model for deadline affordability: the
+                        exact solve is considered unaffordable when
+                        ``edges / edges_per_second`` exceeds the
+                        request's deadline budget; ``None`` disables
+    degrade_epsilon     the coarsened ε a ladder solve runs at (the
+                        paper's quality/cost dial, turned toward cheap)
+    stale_ok            whether the ladder may serve a stale cached
+                        result (same dataset + problem kind, different
+                        parameters) marked ``"stale": true``
+    retry_after_base    seconds per queued-or-running job when deriving
+                        ``Retry-After`` from queue depth
+    ================== ===============================================
+    """
+
+    client_rate: Optional[float] = None
+    client_burst: int = 10
+    max_cost_edges: Optional[int] = None
+    admit_budget_edges: Optional[int] = None
+    degrade_at: Optional[float] = None
+    edges_per_second: Optional[float] = None
+    degrade_epsilon: float = 1.0
+    stale_ok: bool = True
+    retry_after_base: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.client_rate is not None and self.client_rate <= 0:
+            raise ValueError(f"client_rate must be positive, got {self.client_rate}")
+        if self.degrade_at is not None and not (0.0 <= self.degrade_at <= 1.0):
+            raise ValueError(f"degrade_at must be in [0, 1], got {self.degrade_at}")
+        if self.edges_per_second is not None and self.edges_per_second <= 0:
+            raise ValueError(
+                f"edges_per_second must be positive, got {self.edges_per_second}"
+            )
+        if self.degrade_epsilon <= 0:
+            raise ValueError(
+                f"degrade_epsilon must be positive, got {self.degrade_epsilon}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Is any admission/degradation behavior switched on?"""
+        return any(
+            v is not None
+            for v in (
+                self.client_rate,
+                self.max_cost_edges,
+                self.admit_budget_edges,
+                self.degrade_at,
+                self.edges_per_second,
+            )
+        )
+
+
+def retry_after_seconds(
+    depth: Dict[str, int], *, base: float = 1.0, extra: float = 0.0
+) -> int:
+    """``Retry-After`` derived from live queue depth.
+
+    One ``base`` per queued-or-running job plus one for the caller's
+    own turn: an emptier queue invites a faster retry, a deep one
+    pushes the herd out proportionally.  Always at least 1 second —
+    integral, as the HTTP header field wants.
+    """
+    waiting = int(depth.get("pending", 0)) + int(depth.get("running", 0))
+    return max(1, math.ceil(base * (1 + waiting) + max(0.0, extra)))

@@ -32,17 +32,24 @@ GET      ``/results/<key>``       one solution (member list paginated)
      "problem": {"kind": "densest_subgraph", "epsilon": 0.1, ...},
      "backend": "auto",          # optional
      "options": {"engine": "numpy"},  # optional solver knobs
-     "wait": 30.0}               # optional: block up to N seconds
+     "wait": 30.0,               # optional: block up to N seconds
+     "deadline": 5.0}            # optional: per-request latency budget
 
 A catalog hit answers ``200`` immediately with the stored solution
 bytes; a miss submits a job and answers ``202`` with the job id (or
 ``200`` after joining it when ``wait`` is given); a full queue answers
-``429``.
+``429``.  Every ``429`` carries a ``Retry-After`` header derived from
+live queue depth.  Under overload (or an unaffordable ``deadline``)
+the service degrades *explicitly* — a stale cached answer marked
+``"stale": true``, a cheap coarser-ε solve marked ``"degraded": true``,
+or a shed — never a silently-wrong or unbounded-latency answer
+(DESIGN.md §14).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import threading
 import time
@@ -55,11 +62,19 @@ from ..api.problems import (
     DensestAtLeastK,
     DensestSubgraph,
     DirectedDensest,
+    MODE_GRAPH,
     Problem,
 )
 from ..datasets import registry as dataset_registry
 from ..datasets.registry import ServedDataset
 from ..errors import ParameterError, ReproError
+from .admission import (
+    AdmissionGate,
+    CircuitBreaker,
+    ClientRateLimiter,
+    OverloadConfig,
+    retry_after_seconds,
+)
 from .catalog import CatalogError, ResultCatalog, params_json, result_key
 from .jobs import DONE, FAILED, JobManager, QueueFullError
 
@@ -74,11 +89,26 @@ DEFAULT_PAGE = 1000
 
 
 class HTTPError(ReproError):
-    """A service error with an HTTP status code."""
+    """A service error with an HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` ride onto the HTTP response (``Retry-After`` on a shed)
+    and ``payload`` keys are merged into the JSON error body, so a
+    machine-readable mirror of the header reaches clients that only
+    parse the body.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
+        self.payload = dict(payload or {})
 
 
 class DensestService:
@@ -95,10 +125,19 @@ class DensestService:
         *,
         context: Optional[ExecutionContext] = None,
         max_queue: int = 64,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.catalog = catalog
         self.context = context or ExecutionContext(workers=2)
         self.jobs = JobManager(self.context.workers, max_queue=max_queue)
+        self.overload = overload or OverloadConfig()
+        self.limiter = (
+            ClientRateLimiter(self.overload.client_rate, self.overload.client_burst)
+            if self.overload.client_rate is not None
+            else None
+        )
+        self.gate = AdmissionGate(self.overload.admit_budget_edges)
+        self._solve_ops = itertools.count()  # serve.solve fault-site index
         self.started_at = time.time()
         self._inputs: Dict[str, Any] = {}  # fingerprint -> resolved input
         self._inputs_lock = threading.Lock()
@@ -259,8 +298,28 @@ class DensestService:
         except ParameterError as exc:
             raise HTTPError(400, str(exc)) from None
 
-    def solve_request(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
-        """Handle ``POST /solve``; returns ``(http_status, payload)``."""
+    def solve_request(
+        self, body: Dict[str, Any], *, client: Optional[str] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Handle ``POST /solve``; returns ``(http_status, payload)``.
+
+        The overload pipeline (DESIGN.md §14) runs between the catalog
+        consult and the job submission, and only for *fresh cold* work:
+        warm hits ship cached bytes for microseconds and stay
+        unmetered, and attaching to an in-flight solve adds no solver
+        cost, so neither consumes admission budget.
+
+        1. per-client token bucket (cold request rate) — over → shed;
+        2. per-request cost cap (manifest edges) — over → shed;
+        3. ladder triggers: queue fraction past ``degrade_at``, a
+           ``deadline`` the cost model says the exact solve cannot
+           meet, or the global admission gate refusing the cost — any
+           → :meth:`_degrade_or_shed` (stale answer, coarser cheap
+           solve, or shed; every rung labeled in the payload).
+
+        A shed is an :class:`HTTPError` 429 whose ``Retry-After``
+        header is derived from live queue depth.
+        """
         record = self._dataset_or_404(body.get("dataset"))
         backend = body.get("backend", "auto")
         if not isinstance(backend, str):
@@ -276,13 +335,198 @@ class DensestService:
         if row is not None:
             return 200, self._result_payload(row, cached=True)
 
+        wait = body.get("wait")
+        deadline = self._deadline_budget(body)
+        cfg = self.overload
+        cost = int(record.num_edges or 0)
+        reserved: Optional[int] = None
+        if cfg.enabled and self.jobs.in_flight(key) is None:
+            if self.limiter is not None and client is not None:
+                delay = self.limiter.try_acquire(client)
+                if delay is not None:
+                    self._shed(
+                        f"client {client!r} is over its cold-request rate",
+                        extra=delay,
+                    )
+            if cfg.max_cost_edges is not None and cost > cfg.max_cost_edges:
+                self._shed(
+                    f"dataset {record.name!r} costs {cost} edges, over the "
+                    f"per-request cap of {cfg.max_cost_edges}"
+                )
+            depth = self.jobs.queue_depth()
+            overloaded = (
+                cfg.degrade_at is not None
+                and depth["pending"] / max(1, depth["capacity"]) >= cfg.degrade_at
+            )
+            unaffordable = (
+                deadline is not None
+                and cfg.edges_per_second is not None
+                and cost / cfg.edges_per_second > deadline
+            )
+            if overloaded or unaffordable or not self.gate.try_admit(cost):
+                reason = (
+                    "queue past the degrade threshold"
+                    if overloaded
+                    else "exact solve cannot meet the deadline"
+                    if unaffordable
+                    else "admission budget exhausted"
+                )
+                return self._degrade_or_shed(
+                    record, problem, backend, key, wait=wait, reason=reason
+                )
+            reserved = cost  # admitted: released when the job is terminal
+        return self._submit_solve(
+            record,
+            problem,
+            params,
+            backend,
+            options,
+            key,
+            wait=wait,
+            deadline=deadline,
+            reserved=reserved,
+        )
+
+    def _deadline_budget(self, body: Dict[str, Any]) -> Optional[float]:
+        """The request's effective latency budget (request ∧ server)."""
+        deadline = body.get("deadline")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise HTTPError(
+                    400, "'deadline' must be a number of seconds"
+                ) from None
+            if deadline <= 0:
+                raise HTTPError(400, "'deadline' must be positive")
+        budgets = [
+            b for b in (deadline, self.context.deadline_seconds) if b is not None
+        ]
+        return min(budgets) if budgets else None
+
+    def _shed(self, reason: str, *, extra: float = 0.0) -> None:
+        """Reject with 429 + ``Retry-After`` and count the shed."""
+        self.catalog.bump_counter("shed")
+        retry = retry_after_seconds(
+            self.jobs.queue_depth(),
+            base=self.overload.retry_after_base,
+            extra=extra,
+        )
+        raise HTTPError(
+            429,
+            f"overloaded: {reason}; retry after {retry}s",
+            headers={"Retry-After": str(retry)},
+            payload={"retry_after": retry, "shed": True},
+        )
+
+    def _degrade_plan(self, problem: Problem) -> Optional[Tuple[str, Problem]]:
+        """The cheaper ``(backend, problem)`` a ladder solve runs.
+
+        Coarsen ε to ``degrade_epsilon`` (never *refine* a coarser
+        request) and pick the cheapest capable backend: the sketch for
+        plain densest-subgraph on any input, the greedy exact solver
+        for in-memory graphs, a coarse streaming peel otherwise.
+        ``None`` means no rung is cheaper than the request — shed.
+        """
+        eps = getattr(problem, "epsilon", None)
+        coarse = max(self.overload.degrade_epsilon, eps or 0.0)
+        degraded = (
+            dataclasses.replace(problem, epsilon=coarse)
+            if eps is not None
+            else problem
+        )
+        if problem.kind == DensestSubgraph.kind:
+            return "sketch", degraded
+        if problem.input_mode == MODE_GRAPH:
+            return "greedy", degraded
+        if eps is not None and coarse > eps:
+            return "streaming", degraded
+        return None
+
+    def _degrade_or_shed(
+        self,
+        record: ServedDataset,
+        problem: Problem,
+        backend: str,
+        key: str,
+        *,
+        wait: Any,
+        reason: str,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Walk the degradation ladder for an unadmittable exact solve.
+
+        Rung 1 — a *stale* cached answer: the most recent stored result
+        for the same dataset + problem kind (any parameters/backend),
+        marked ``"stale": true``.  Rung 2 — a *degraded* fresh solve:
+        :meth:`_degrade_plan`'s cheap backend at coarse ε, marked
+        ``"degraded": true``.  Rung 3 — shed.  Labeled payloads carry
+        ``requested_key`` (what an unconstrained retry would hit) and
+        ``degrade_reason``; stored catalog rows are never mutated, so
+        warm byte-identity is untouched.
+        """
+        label = {"requested_key": key, "degrade_reason": reason}
+        if self.overload.stale_ok:
+            row = self.catalog.latest_for(record.fingerprint, problem.kind)
+            if row is not None:
+                self.catalog.bump_counter("stale_served")
+                payload = self._result_payload(row, cached=True)
+                payload.update(label, stale=True)
+                return 200, payload
+        plan = self._degrade_plan(problem)
+        if plan is None:
+            self._shed(f"no cheaper plan for {problem.kind} ({reason})")
+        d_backend, d_problem = plan
+        d_params = params_json(d_problem)
+        d_key = result_key(
+            record.fingerprint, d_problem.kind, d_params, d_backend
+        )
+        label["degraded"] = True
+        d_row = self.catalog.get(d_key)
+        if d_row is not None:
+            self.catalog.bump_counter("degraded")
+            payload = self._result_payload(d_row, cached=True)
+            payload.update(label)
+            return 200, payload
+        status, payload = self._submit_solve(
+            record, d_problem, d_params, d_backend, {}, d_key,
+            wait=wait, label=label,
+        )
+        self.catalog.bump_counter("degraded")
+        return status, payload
+
+    def _submit_solve(
+        self,
+        record: ServedDataset,
+        problem: Problem,
+        params: str,
+        backend: str,
+        options: Dict[str, Any],
+        key: str,
+        *,
+        wait: Any,
+        deadline: Optional[float] = None,
+        reserved: Optional[int] = None,
+        label: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Submit a cold solve and answer 200/202/500 (or shed on a
+        full queue).  ``reserved`` is admission-gate cost to release
+        when the job reaches any terminal state; ``label`` keys are
+        merged into the response payload (degradation markers)."""
         # Each job gets its own cancel event, threaded into the solve
         # through the context so DELETE /jobs/<id> can interrupt a
         # running peel at its next pass boundary.
         cancel_event = threading.Event()
         job_context = dataclasses.replace(self.context, cancel_event=cancel_event)
+        if deadline is not None:
+            job_context = dataclasses.replace(
+                job_context, deadline_seconds=deadline
+            )
+        plan = self.context.fault_plan
+        op = next(self._solve_ops)
 
         def run():
+            if plan is not None:
+                plan.fire("serve.solve", op)
             start = time.perf_counter()
             solution = solve(
                 problem, backend=backend, context=job_context, **options
@@ -304,23 +548,39 @@ class DensestService:
             "params": json.loads(params),
             "backend": backend,
         }
+        if label:
+            description["degraded"] = bool(label.get("degraded"))
+        on_done = (
+            (lambda job: self.gate.release(reserved))
+            if reserved is not None
+            else None
+        )
         try:
             job, created = self.jobs.submit(
-                key, run, description, cancel_event=cancel_event
+                key, run, description, cancel_event=cancel_event, on_done=on_done
             )
         except QueueFullError as exc:
-            raise HTTPError(429, str(exc)) from None
+            if reserved is not None:
+                self.gate.release(reserved)
+            self._shed(str(exc))
         if not created:
+            if reserved is not None:
+                self.gate.release(reserved)  # attached: no new cost
             self.catalog.bump_counter("coalesced")
 
-        wait = body.get("wait")
         if wait is not None:
             job.wait(float(wait))
         if job.status == DONE:
-            return 200, self._result_payload(job.result, cached=False)
+            payload = self._result_payload(job.result, cached=False)
+            if label:
+                payload.update(label)
+            return 200, payload
         if job.status == FAILED:
             return 500, {"job": job.to_jsonable()}
-        return 202, {"job": job.to_jsonable()}
+        payload = {"job": job.to_jsonable()}
+        if label:
+            payload.update(label)
+        return 202, payload
 
     def _dataset_or_404(self, name: Any) -> ServedDataset:
         if not name or not isinstance(name, str):
@@ -381,6 +641,12 @@ class DensestService:
     def stats(self) -> Dict[str, Any]:
         payload = self.catalog.stats()
         payload["queue"] = self.jobs.queue_depth()
+        admission = dict(self.gate.gauges())
+        admission["clients_tracked"] = (
+            len(self.limiter) if self.limiter is not None else 0
+        )
+        admission["overload_enabled"] = self.overload.enabled
+        payload["admission"] = admission
         payload["uptime_seconds"] = time.time() - self.started_at
         try:
             from ..kernels import tier_report
@@ -417,11 +683,18 @@ class DensestRequestHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # -- plumbing ------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -444,15 +717,17 @@ class DensestRequestHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         parts = [p for p in split.path.split("/") if p]
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        headers: Optional[Dict[str, str]] = None
         try:
             status, payload = self._route(method, parts, query)
         except HTTPError as exc:
-            status, payload = exc.status, {"error": str(exc)}
+            status, payload = exc.status, {"error": str(exc), **exc.payload}
+            headers = exc.headers
         except ReproError as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - a handler must answer
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers)
 
     # -- routing -------------------------------------------------------
     def _route(self, method, parts, query) -> Tuple[int, Dict[str, Any]]:
@@ -471,7 +746,10 @@ class DensestRequestHandler(BaseHTTPRequestHandler):
             record = service.register_dataset(self._read_json())
             return 201, {"dataset": record.to_jsonable()}
         if method == "POST" and parts == ["solve"]:
-            return service.solve_request(self._read_json())
+            # the rate-limiter's client identity: an explicit header
+            # when the client offers one, else the peer address
+            client = self.headers.get("X-Client-Id") or self.client_address[0]
+            return service.solve_request(self._read_json(), client=client)
         if method == "GET" and parts == ["jobs"]:
             limit = int(query.get("limit", 100))
             return 200, {
@@ -545,21 +823,63 @@ def build_server(
     max_queue: int = 64,
     deadline_seconds: Optional[float] = None,
     verbose: bool = False,
+    client_rate: Optional[float] = None,
+    client_burst: int = 10,
+    max_cost_edges: Optional[int] = None,
+    admit_budget_edges: Optional[int] = None,
+    degrade_at: Optional[float] = None,
+    edges_per_second: Optional[float] = None,
+    degrade_epsilon: float = 1.0,
+    stale_ok: bool = True,
+    retry_after_base: float = 1.0,
+    breaker_threshold: Optional[int] = 5,
+    breaker_reset_seconds: float = 30.0,
+    fault_plan=None,
 ) -> DensestHTTPServer:
     """Construct a ready-to-run server (``port=0`` picks a free port).
 
     ``deadline_seconds`` is the per-job wall-clock budget: a solve that
     overruns it unwinds cooperatively and the job reports
     ``FAILED`` with a ``timeout:`` error instead of running forever.
+
+    The overload knobs (``client_rate`` … ``retry_after_base``) map
+    one-to-one onto :class:`~repro.serve.admission.OverloadConfig`; all
+    default to off, so a bare server behaves exactly as before.
+    ``breaker_threshold``/``breaker_reset_seconds`` size the catalog's
+    circuit breaker (``breaker_threshold=None`` disables it — catalog
+    errors then propagate as before).  ``fault_plan`` arms a
+    :class:`~repro.faults.FaultPlan` against both the solver tier and
+    the catalog's ``catalog.read``/``catalog.write``/``serve.solve``
+    sites — the chaos harness's entry point.
     """
     context = ExecutionContext(
         workers=workers,
         spill_dir=spill_dir,
         shard_count=shard_count,
         deadline_seconds=deadline_seconds,
+        fault_plan=fault_plan,
+    )
+    overload = OverloadConfig(
+        client_rate=client_rate,
+        client_burst=client_burst,
+        max_cost_edges=max_cost_edges,
+        admit_budget_edges=admit_budget_edges,
+        degrade_at=degrade_at,
+        edges_per_second=edges_per_second,
+        degrade_epsilon=degrade_epsilon,
+        stale_ok=stale_ok,
+        retry_after_base=retry_after_base,
+    )
+    breaker = (
+        CircuitBreaker(breaker_threshold, breaker_reset_seconds)
+        if breaker_threshold is not None
+        else None
     )
     service = DensestService(
-        ResultCatalog(catalog_path), context=context, max_queue=max_queue
+        ResultCatalog(catalog_path, breaker=breaker, fault_plan=fault_plan),
+        context=context,
+        max_queue=max_queue,
+        overload=overload,
     )
     return DensestHTTPServer((host, port), service, verbose=verbose)
 

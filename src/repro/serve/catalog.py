@@ -26,19 +26,31 @@ Schema
     produced — a hit ships the cold solve's bytes), density/size for
     listing without decoding, solve wall time, and a hit counter.
 ``counters``
-    Monotonic service counters (hits / misses / coalesced) surviving
+    Monotonic service counters (hits / misses / coalesced, plus the
+    overload ladder's shed / degraded / stale_served) surviving
     restarts.
+
+Failure posture (DESIGN.md §14): the catalog is an *accelerator*, not
+a dependency.  An optional
+:class:`~repro.serve.admission.CircuitBreaker` guards the result
+read/write paths — repeated ``sqlite3`` errors open it and every
+guarded call falls back to cache-less behavior (reads miss, writes
+return an in-memory row) until a half-open probe succeeds.  The fault
+sites ``catalog.read`` / ``catalog.write`` let tests and the chaos
+suite inject exactly those errors deterministically.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import sqlite3
 import threading
+import time
 from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..api.problems import Problem
 from ..api.solution import Solution, canonical_json
@@ -128,6 +140,18 @@ def problem_key(
     )
 
 
+#: Per-path locks serializing corrupt-catalog rebuilds, so concurrent
+#: readers (or concurrent constructors) racing the same wrecked file
+#: produce exactly one quarantine and one fresh catalog.
+_REBUILD_LOCKS: Dict[str, threading.Lock] = {}
+_REBUILD_LOCKS_GUARD = threading.Lock()
+
+
+def _rebuild_lock(path: Path) -> threading.Lock:
+    with _REBUILD_LOCKS_GUARD:
+        return _REBUILD_LOCKS.setdefault(str(path), threading.Lock())
+
+
 class ResultCatalog:
     """WAL-mode SQLite catalog of datasets and cached solutions.
 
@@ -137,6 +161,13 @@ class ResultCatalog:
     call :meth:`close` to drop this thread's connection; connections in
     other threads close with their threads.
 
+    ``breaker`` (a :class:`~repro.serve.admission.CircuitBreaker`)
+    guards the result read/write paths: while it is open those calls
+    serve cache-less fallbacks instead of raising.  ``fault_plan``
+    arms the deterministic ``catalog.read`` / ``catalog.write`` sites
+    (per-site op index; ``raise``/``corrupt`` surface as
+    ``sqlite3.DatabaseError``, ``delay`` sleeps).
+
     Examples
     --------
     >>> import tempfile, os
@@ -145,9 +176,21 @@ class ResultCatalog:
     0
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        breaker: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.breaker = breaker
+        self.fault_plan = fault_plan
+        self._site_ops = {
+            "catalog.read": itertools.count(),
+            "catalog.write": itertools.count(),
+        }
         self._local = threading.local()
         self._write_lock = threading.Lock()
         with self._write_lock:
@@ -162,27 +205,89 @@ class ResultCatalog:
                 self._rebuild_corrupt(exc)
 
     def _rebuild_corrupt(self, cause: sqlite3.DatabaseError) -> None:
-        """Quarantine an unreadable database file and re-init the schema."""
+        """Quarantine an unreadable database file and re-init the schema.
+
+        Safe under concurrency: rebuilds for one path serialize on a
+        module-level lock, and each rebuilder first drops its stale
+        file descriptor and re-probes — if another thread already
+        swapped a fresh catalog in, there is nothing left to do, and a
+        healthy replacement is never quarantined by a late loser.
+        """
         import warnings
 
-        self.close()
-        moved = self.path.with_name(self.path.name + ".corrupt")
-        counter = 0
-        while moved.exists():
-            counter += 1
-            moved = self.path.with_name(f"{self.path.name}.corrupt.{counter}")
-        self.path.replace(moved)
-        for suffix in ("-wal", "-shm"):
-            sidecar = Path(str(self.path) + suffix)
-            if sidecar.exists():
-                sidecar.replace(Path(str(moved) + suffix))
-        warnings.warn(
-            f"result catalog {self.path} was unreadable ({cause}); moved it "
-            f"to {moved} and rebuilt an empty catalog",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        self._conn().executescript(_SCHEMA)
+        with _rebuild_lock(self.path):
+            self.close()  # drop the fd still bound to the corrupt inode
+            try:
+                self._conn().executescript(_SCHEMA)
+                return  # another rebuilder already swapped in a fresh file
+            except sqlite3.DatabaseError:
+                self.close()
+            moved = self.path.with_name(self.path.name + ".corrupt")
+            counter = 0
+            while moved.exists():
+                counter += 1
+                moved = self.path.with_name(f"{self.path.name}.corrupt.{counter}")
+            self.path.replace(moved)
+            for suffix in ("-wal", "-shm"):
+                sidecar = Path(str(self.path) + suffix)
+                if sidecar.exists():
+                    sidecar.replace(Path(str(moved) + suffix))
+            warnings.warn(
+                f"result catalog {self.path} was unreadable ({cause}); moved it "
+                f"to {moved} and rebuilt an empty catalog",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._conn().executescript(_SCHEMA)
+
+    # -- guarded access (breaker + fault sites) ------------------------
+    def _consult(self, site: str) -> None:
+        """Fire this op's armed fault point, if any.
+
+        ``raise`` and ``corrupt`` points surface as
+        ``sqlite3.DatabaseError`` — exactly the failure class a torn
+        page or sick disk produces, and what the breaker counts.
+        ``delay`` sleeps in place (a slow read, not a wrong one).
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        point = plan.take(site, next(self._site_ops[site]))
+        if point is None:
+            return
+        if point.mode == "delay":
+            from ..faults import delay_seconds
+
+            time.sleep(delay_seconds(point))
+        elif point.mode in ("raise", "corrupt"):
+            raise sqlite3.DatabaseError(
+                f"injected {point.mode} fault at {site}"
+            )
+
+    def _guarded(
+        self, site: str, op: Callable[[], Any], fallback: Callable[[], Any]
+    ) -> Any:
+        """Run a catalog op under the breaker; degrade, never crash.
+
+        Open breaker → the fallback (cache-less).  ``sqlite3`` errors
+        → counted against the breaker, then the fallback.  Without a
+        breaker the error propagates unchanged (library users keep
+        plain SQLite semantics; the serving tier always passes one).
+        """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            return fallback()
+        try:
+            self._consult(site)
+            result = op()
+        except sqlite3.Error:
+            if breaker is None:
+                raise
+            breaker.record_failure()
+            return fallback()
+        if breaker is not None:
+            breaker.record_success()
+        return result
 
     def _conn(self) -> sqlite3.Connection:
         conn = getattr(self._local, "conn", None)
@@ -278,27 +383,60 @@ class ResultCatalog:
         """Fetch a cached result row; counts a hit (or miss) by default.
 
         Returns the row as a plain dict with ``solution_json`` holding
-        the stored canonical bytes, or ``None`` on a miss.
+        the stored canonical bytes, or ``None`` on a miss.  While the
+        breaker is open (or a read fails) the answer is ``None`` — a
+        cache outage looks like a miss, never an error.
         """
-        row = self._conn().execute(
-            "SELECT * FROM results WHERE key = ?", (key,)
-        ).fetchone()
-        if row is None:
+
+        def read():
+            row = self._conn().execute(
+                "SELECT * FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            return dict(row) if row is not None else None
+
+        result = self._guarded("catalog.read", read, lambda: None)
+        if result is None:
             if count_hit:
                 self.bump_counter("misses")
             return None
-        result = dict(row)
         if count_hit:
-            with self._write_lock:
-                with self._conn() as conn:
-                    conn.execute(
-                        "UPDATE results SET hits = hits + 1, last_hit_at = ?"
-                        " WHERE key = ?",
-                        (_utcnow(), key),
-                    )
-                    _bump(conn, "hits", 1)
+
+            def bump():
+                with self._write_lock:
+                    with self._conn() as conn:
+                        conn.execute(
+                            "UPDATE results SET hits = hits + 1, last_hit_at = ?"
+                            " WHERE key = ?",
+                            (_utcnow(), key),
+                        )
+                        _bump(conn, "hits", 1)
+                return True
+
+            self._guarded("catalog.write", bump, lambda: None)
             result["hits"] += 1
         return result
+
+    def latest_for(
+        self, dataset_fingerprint: str, problem_kind: str
+    ) -> Optional[Dict[str, Any]]:
+        """The most recent cached result for ``(dataset, kind)``.
+
+        The stale-serving rung of the degradation ladder: an answer to
+        a *nearby* question (same dataset and problem kind, whatever
+        parameters were last solved), served labeled rather than
+        computing a fresh one the service cannot afford.
+        """
+
+        def read():
+            row = self._conn().execute(
+                "SELECT * FROM results WHERE dataset_fingerprint = ?"
+                " AND problem_kind = ?"
+                " ORDER BY created_at DESC, key LIMIT 1",
+                (dataset_fingerprint, problem_kind),
+            ).fetchone()
+            return dict(row) if row is not None else None
+
+        return self._guarded("catalog.read", read, lambda: None)
 
     def put(
         self,
@@ -314,33 +452,58 @@ class ResultCatalog:
         """Store one solve's answer (idempotent: first write wins).
 
         The solution is stored as its canonical JSON; a later hit
-        returns exactly these bytes.
+        returns exactly these bytes.  While the breaker is open (or
+        the write fails) the row is *not* persisted but an equivalent
+        in-memory row is still returned — the solve path keeps
+        answering through a catalog outage, cache-less.
         """
         if not isinstance(params, str):
             params = canonical_json(params)
         solution_json = solution.to_json()
-        with self._write_lock:
-            with self._conn() as conn:
-                conn.execute(
-                    "INSERT OR IGNORE INTO results (key, dataset_fingerprint,"
-                    " problem_kind, params_json, backend, solved_backend,"
-                    " solution_json, density, size, solve_seconds, created_at)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        key,
-                        dataset_fingerprint,
-                        problem_kind,
-                        params,
-                        backend,
-                        solution.backend,
-                        solution_json,
-                        float(solution.density),
-                        int(solution.size),
-                        float(solve_seconds),
-                        _utcnow(),
-                    ),
-                )
-        return self.get(key, count_hit=False)
+
+        def write():
+            with self._write_lock:
+                with self._conn() as conn:
+                    conn.execute(
+                        "INSERT OR IGNORE INTO results (key, dataset_fingerprint,"
+                        " problem_kind, params_json, backend, solved_backend,"
+                        " solution_json, density, size, solve_seconds, created_at)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            key,
+                            dataset_fingerprint,
+                            problem_kind,
+                            params,
+                            backend,
+                            solution.backend,
+                            solution_json,
+                            float(solution.density),
+                            int(solution.size),
+                            float(solve_seconds),
+                            _utcnow(),
+                        ),
+                    )
+            return True
+
+        stored = self._guarded("catalog.write", write, lambda: False)
+        row = self.get(key, count_hit=False) if stored else None
+        if row is None:
+            row = {  # cache-less fallback, shaped like a results row
+                "key": key,
+                "dataset_fingerprint": dataset_fingerprint,
+                "problem_kind": problem_kind,
+                "params_json": params,
+                "backend": backend,
+                "solved_backend": solution.backend,
+                "solution_json": solution_json,
+                "density": float(solution.density),
+                "size": int(solution.size),
+                "solve_seconds": float(solve_seconds),
+                "created_at": _utcnow(),
+                "hits": 0,
+                "last_hit_at": None,
+            }
+        return row
 
     def list_results(
         self, *, offset: int = 0, limit: int = 100
@@ -357,10 +520,16 @@ class ResultCatalog:
 
     # -- counters and stats -------------------------------------------
     def bump_counter(self, name: str, amount: int = 1) -> None:
-        """Increment a monotonic service counter."""
-        with self._write_lock:
-            with self._conn() as conn:
-                _bump(conn, name, amount)
+        """Increment a monotonic service counter (best-effort under the
+        breaker: a counter bump is never worth failing a request for)."""
+
+        def write():
+            with self._write_lock:
+                with self._conn() as conn:
+                    _bump(conn, name, amount)
+            return True
+
+        self._guarded("catalog.write", write, lambda: None)
 
     def counters(self) -> Dict[str, int]:
         rows = self._conn().execute("SELECT name, value FROM counters").fetchall()
@@ -387,6 +556,15 @@ class ResultCatalog:
             "coalesced": counters.get("coalesced", 0),
             "hit_ratio": hits / (hits + misses) if hits + misses else None,
             "solves_by_backend": per_backend,
+            # Overload-ladder counters (DESIGN.md §14) and the catalog
+            # breaker's live state; "disabled" when no breaker guards
+            # this catalog (bare library use).
+            "shed": counters.get("shed", 0),
+            "degraded": counters.get("degraded", 0),
+            "stale_served": counters.get("stale_served", 0),
+            "breaker_state": (
+                self.breaker.state if self.breaker is not None else "disabled"
+            ),
         }
 
 

@@ -55,7 +55,22 @@ _LIVE = (PENDING, RUNNING, CANCELLING)
 
 
 class QueueFullError(ReproError):
-    """Raised when the job queue is at capacity (HTTP 429)."""
+    """Raised when the job queue is at capacity (HTTP 429).
+
+    Carries the queue gauges at rejection time so the HTTP layer can
+    derive an honest ``Retry-After`` without re-querying the manager.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending: Optional[int] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.capacity = capacity
 
 
 class Job:
@@ -72,6 +87,7 @@ class Job:
         key: str,
         description: Dict[str, Any],
         cancel_event: Optional[threading.Event] = None,
+        on_done: Optional[Callable[["Job"], None]] = None,
     ) -> None:
         self.id = job_id
         self.key = key
@@ -86,7 +102,25 @@ class Job:
         self.solve_seconds: Optional[float] = None
         self.cancel_event = cancel_event if cancel_event is not None else threading.Event()
         self._done = threading.Event()
+        self._on_done = on_done
         self._future = None
+
+    def _signal_done(self) -> None:
+        """Mark terminal exactly once: set the event, fire the callback.
+
+        Runs on whichever thread finishes the job (worker or a
+        cancel-in-place caller); the callback must never take the
+        manager's lock down a path that re-enters the manager.
+        """
+        if self._done.is_set():
+            return
+        self._done.set()
+        callback = self._on_done
+        if callback is not None:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - accounting must not kill jobs
+                pass
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until terminal (DONE/FAILED/CANCELLED); False on timeout."""
@@ -158,6 +192,7 @@ class JobManager:
         description: Optional[Dict[str, Any]] = None,
         *,
         cancel_event: Optional[threading.Event] = None,
+        on_done: Optional[Callable[[Job], None]] = None,
     ) -> Tuple[Job, bool]:
         """Enqueue ``fn`` under ``key``; returns ``(job, created)``.
 
@@ -166,6 +201,10 @@ class JobManager:
         ``cancel_event``, when given, is the event ``fn`` watches for
         cooperative cancellation; :meth:`cancel` sets it for a running
         job (otherwise the job carries a private, unobserved event).
+        ``on_done`` fires exactly once when the job reaches *any*
+        terminal state — including cancelled-while-queued, where ``fn``
+        never runs — which is how the serving tier's admission gate
+        releases reserved cost without leaks.
 
         Raises
         ------
@@ -181,10 +220,16 @@ class JobManager:
             if self._pending >= self.max_queue:
                 raise QueueFullError(
                     f"job queue is full ({self._pending} waiting, "
-                    f"limit {self.max_queue}); retry later"
+                    f"limit {self.max_queue}); retry later",
+                    pending=self._pending,
+                    capacity=self.max_queue,
                 )
             job = Job(
-                f"job-{next(self._ids)}", key, description or {}, cancel_event
+                f"job-{next(self._ids)}",
+                key,
+                description or {},
+                cancel_event,
+                on_done,
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -235,7 +280,7 @@ class JobManager:
                 self._running -= 1
             if self._in_flight.get(job.key) is job:
                 del self._in_flight[job.key]
-        job._done.set()
+        job._signal_done()
 
     def _evict_locked(self) -> None:
         while len(self._order) > self.max_history:
@@ -301,7 +346,7 @@ class JobManager:
                     if self._in_flight.get(job.key) is job:
                         del self._in_flight[job.key]
                     job.finished_at = time.time()
-                    job._done.set()
+                    job._signal_done()
                     return "cancelled"
                 # The pool grabbed the task between our check and the
                 # cancel, but its thread has not marked it RUNNING yet.

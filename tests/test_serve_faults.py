@@ -138,6 +138,77 @@ class TestCatalogRecovery:
         assert not caught
         assert not os.path.exists(path + ".corrupt")
 
+    def test_concurrent_rebuilders_quarantine_exactly_once(self, tmp_path):
+        """Many threads hitting one wrecked file: one quarantine, no
+        healthy-replacement clobber, every catalog usable after."""
+        path = str(tmp_path / "cat.sqlite")
+        with open(path, "wb") as handle:
+            handle.write(b"not a sqlite database " * 500)
+        catalogs, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def build():
+            barrier.wait()
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    catalogs.append(ResultCatalog(path))
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert len(catalogs) == 8
+        corpses = [
+            name
+            for name in os.listdir(tmp_path)
+            if ".corrupt" in name and not name.endswith(("-wal", "-shm"))
+        ]
+        assert corpses == ["cat.sqlite.corrupt"], corpses
+        for catalog in catalogs:
+            assert catalog.stats()["results"] == 0
+            catalog.close()
+
+    def test_concurrent_readers_survive_injected_rot(self, tmp_path):
+        """Readers racing injected sqlite errors + the breaker never see
+        an exception: a sick catalog degrades to misses, not crashes."""
+        from repro.faults import FaultPlan, FaultPoint
+        from repro.serve.admission import CircuitBreaker
+
+        plan = FaultPlan(
+            [FaultPoint("catalog.read", i, "raise") for i in range(0, 40, 3)]
+        )
+        catalog = ResultCatalog(
+            str(tmp_path / "cat.sqlite"),
+            breaker=CircuitBreaker(3, 0.05),
+            fault_plan=plan,
+        )
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def read():
+            barrier.wait()
+            try:
+                for i in range(10):
+                    assert catalog.get(f"k{i}", count_hit=False) is None
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert catalog.stats()["breaker_state"] in (
+            "closed", "open", "half_open",
+        )
+        catalog.close()
+
 
 class TestJobManagerLifecycle:
     def test_cancelling_transitions_and_slot_release(self, tmp_path):

@@ -1,0 +1,551 @@
+"""Overload resilience: admission control, degradation ladder, breaker.
+
+The serving tier's DESIGN.md §14 contract: under overload every
+response is *admitted and exact*, *explicitly degraded* (``stale`` /
+``degraded`` labels), or *shed* with an honest ``Retry-After`` —
+never silently wrong, never unbounded.  These tests drive the
+primitives on fake clocks and the service end-to-end in-process.
+"""
+
+import json
+import sqlite3
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ExecutionContext
+from repro.faults import (
+    DEFAULT_DELAY_SECONDS,
+    FaultPlan,
+    FaultPoint,
+    RunControl,
+    delay_seconds,
+)
+from repro.serve import build_server
+from repro.serve.admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionGate,
+    CircuitBreaker,
+    ClientRateLimiter,
+    OverloadConfig,
+    TokenBucket,
+    retry_after_seconds,
+)
+from repro.serve.app import DensestService, HTTPError
+from repro.serve.catalog import ResultCatalog
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _service(tmp_path, overload=None, name="cat.sqlite", **context_kwargs):
+    catalog = ResultCatalog(str(tmp_path / name))
+    return DensestService(
+        catalog,
+        context=ExecutionContext(workers=2, **context_kwargs),
+        overload=overload,
+    )
+
+
+def _register(service, scale=0.2):
+    return service.register_dataset(
+        {"name": "g", "dataset": "grqc_sim", "scale": scale, "seed": 7}
+    )
+
+
+def _solve_body(epsilon, **extra):
+    return {
+        "dataset": "g",
+        "problem": {"kind": "densest_subgraph", "epsilon": epsilon},
+        "wait": 60,
+        **extra,
+    }
+
+
+# ----------------------------------------------------------------------
+# primitives on fake clocks
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        delay = bucket.try_acquire()
+        assert delay == pytest.approx(1.0)
+        clock.advance(1.0)  # one token refilled
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() == pytest.approx(1.0)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        clock.advance(100.0)
+        for _ in range(3):
+            assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestClientRateLimiter:
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.try_acquire("a") is None
+        assert limiter.try_acquire("a") is not None  # a is drained
+        assert limiter.try_acquire("b") is None  # b has its own bucket
+
+    def test_eviction_fails_open(self):
+        clock = FakeClock()
+        limiter = ClientRateLimiter(rate=0.001, burst=1, max_clients=2, clock=clock)
+        assert limiter.try_acquire("a") is None
+        assert limiter.try_acquire("b") is None
+        assert limiter.try_acquire("c") is None  # evicts a (LRU)
+        assert len(limiter) == 2
+        # a comes back with a *fresh* bucket: eviction never rejects
+        assert limiter.try_acquire("a") is None
+
+
+class TestAdmissionGate:
+    def test_budget_rejects_only_when_busy(self):
+        gate = AdmissionGate(budget=100)
+        # an idle gate always admits, even over budget (progress beats
+        # starvation for a single oversized-but-capped request)
+        assert gate.try_admit(1000)
+        assert not gate.try_admit(1)  # 1000 outstanding > 100
+        gate.release(1000)
+        assert gate.outstanding == 0
+        assert gate.try_admit(60)
+        assert gate.try_admit(40)
+        assert not gate.try_admit(1)
+
+    def test_unbudgeted_gate_tracks_gauges(self):
+        gate = AdmissionGate(budget=None)
+        assert gate.try_admit(10**9)
+        assert gate.try_admit(10**9)
+        gauges = gate.gauges()
+        assert gauges["budget"] is None
+        assert gauges["outstanding_cost"] == 2 * 10**9
+        assert gauges["admitted_total"] == 2
+
+    def test_release_never_goes_negative(self):
+        gate = AdmissionGate(budget=10)
+        gate.release(999)
+        assert gate.outstanding == 0
+
+
+class TestCircuitBreaker:
+    def test_open_half_open_close_cycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 10.0, clock=clock)
+        assert breaker.state == BREAKER_CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # exactly one probe
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED and breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()  # window restarted
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(2, 5.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED  # not consecutive
+
+
+class TestRetryAfter:
+    def test_scales_with_depth(self):
+        assert retry_after_seconds({"pending": 0, "running": 0}) == 1
+        assert retry_after_seconds({"pending": 3, "running": 2}) == 6
+        assert retry_after_seconds({"pending": 1, "running": 0}, base=0.25) == 1
+        assert retry_after_seconds({}, extra=4.5) == 6
+
+
+# ----------------------------------------------------------------------
+# the delay fault mode
+# ----------------------------------------------------------------------
+class TestDelayFaultMode:
+    def test_delay_sleeps_once_and_logs_payload(self, tmp_path):
+        plan = FaultPlan.delay_at("serve.solve", 2, seconds=0.05)
+        start = time.perf_counter()
+        plan.fire("serve.solve", 2)
+        assert time.perf_counter() - start >= 0.05
+        start = time.perf_counter()
+        plan.fire("serve.solve", 2)  # one-shot: consumed
+        assert time.perf_counter() - start < 0.05
+        assert plan.fired == [
+            {"site": "serve.solve", "index": 2, "mode": "delay", "payload": 0.05}
+        ]
+        log = tmp_path / "plan.json"
+        plan.save_log(log)
+        saved = json.loads(log.read_text())
+        assert saved["fired"][0]["payload"] == 0.05
+        assert saved["pending"] == []
+
+    def test_default_delay_payload(self):
+        point = FaultPoint("streaming.pass", 1, "delay")
+        assert delay_seconds(point) == DEFAULT_DELAY_SECONDS
+
+    def test_delay_rides_through_run_control(self):
+        plan = FaultPlan([FaultPoint("streaming.pass", 3, "delay", 0.05)])
+        control = RunControl(fault_plan=plan)
+        control.check_pass(1)
+        start = time.perf_counter()
+        control.check_pass(3)  # sleeps, does not raise
+        assert time.perf_counter() - start >= 0.05
+        assert plan.pending() == []
+
+
+# ----------------------------------------------------------------------
+# service-level admission and the ladder
+# ----------------------------------------------------------------------
+class TestServiceAdmission:
+    def test_rate_limited_client_is_shed_with_retry_after(self, tmp_path):
+        service = _service(
+            tmp_path, OverloadConfig(client_rate=0.001, client_burst=1)
+        )
+        try:
+            _register(service)
+            status, _ = service.solve_request(_solve_body(0.4), client="c1")
+            assert status == 200
+            with pytest.raises(HTTPError) as err:
+                service.solve_request(_solve_body(0.45), client="c1")
+            assert err.value.status == 429
+            assert int(err.value.headers["Retry-After"]) >= 1
+            assert err.value.payload["shed"] is True
+            assert err.value.payload["retry_after"] >= 1
+            # a different client is not affected
+            status, _ = service.solve_request(_solve_body(0.45), client="c2")
+            assert status == 200
+            assert service.stats()["shed"] == 1
+        finally:
+            service.close()
+
+    def test_warm_hits_are_never_rate_limited(self, tmp_path):
+        service = _service(
+            tmp_path, OverloadConfig(client_rate=0.001, client_burst=1)
+        )
+        try:
+            _register(service)
+            status, cold = service.solve_request(_solve_body(0.4), client="c1")
+            assert status == 200
+            for _ in range(5):  # same key: catalog hits, unmetered
+                status, warm = service.solve_request(_solve_body(0.4), client="c1")
+                assert status == 200 and warm["cached"]
+                assert warm["solution"] == cold["solution"]
+        finally:
+            service.close()
+
+    def test_oversized_request_is_shed(self, tmp_path):
+        service = _service(tmp_path, OverloadConfig(max_cost_edges=10))
+        try:
+            _register(service)  # well over 10 edges
+            with pytest.raises(HTTPError) as err:
+                service.solve_request(_solve_body(0.4))
+            assert err.value.status == 429
+            assert "per-request cap" in str(err.value)
+        finally:
+            service.close()
+
+
+class TestDegradationLadder:
+    def test_overload_degrades_to_sketch_with_label(self, tmp_path):
+        service = _service(
+            tmp_path, OverloadConfig(degrade_at=0.0, stale_ok=False)
+        )
+        try:
+            _register(service)
+            status, payload = service.solve_request(_solve_body(0.1))
+            assert status == 200
+            assert payload["degraded"] is True
+            assert payload["backend"] == "sketch"
+            assert payload["requested_key"] != payload["key"]
+            assert "degrade_reason" in payload
+            assert service.stats()["degraded"] == 1
+        finally:
+            service.close()
+
+    def test_stale_rung_serves_nearby_cached_answer(self, tmp_path):
+        service = _service(tmp_path, OverloadConfig(degrade_at=0.0))
+        try:
+            _register(service)
+            status, first = service.solve_request(_solve_body(0.3))
+            assert status == 200  # no stale row yet: degraded solve
+            status, second = service.solve_request(_solve_body(0.2))
+            assert status == 200
+            assert second["stale"] is True
+            assert second["key"] == first["key"]  # the prior answer
+            assert service.stats()["stale_served"] == 1
+        finally:
+            service.close()
+
+    def test_unaffordable_deadline_degrades(self, tmp_path):
+        service = _service(
+            tmp_path,
+            OverloadConfig(edges_per_second=1.0, stale_ok=False),
+        )
+        try:
+            _register(service)  # thousands of edges at 1 edge/s: hopeless
+            status, payload = service.solve_request(
+                _solve_body(0.1, deadline=2.0)
+            )
+            assert status == 200
+            assert payload["degraded"] is True
+            assert payload["degrade_reason"] == (
+                "exact solve cannot meet the deadline"
+            )
+            # without a deadline the same request runs exactly
+            status, exact = service.solve_request(_solve_body(0.15))
+            assert status == 200 and "degraded" not in exact
+        finally:
+            service.close()
+
+    def test_admission_budget_arms_ladder(self, tmp_path):
+        service = _service(
+            tmp_path, OverloadConfig(admit_budget_edges=1, stale_ok=False)
+        )
+        try:
+            _register(service)
+            # hold the gate's budget with an artificial reservation
+            assert service.gate.try_admit(10)
+            status, payload = service.solve_request(_solve_body(0.1))
+            assert status == 200 and payload["degraded"] is True
+            assert payload["degrade_reason"] == "admission budget exhausted"
+            service.gate.release(10)
+            status, payload = service.solve_request(_solve_body(0.12))
+            assert status == 200 and "degraded" not in payload
+        finally:
+            service.close()
+
+    def test_gate_cost_released_on_job_completion(self, tmp_path):
+        service = _service(
+            tmp_path, OverloadConfig(admit_budget_edges=10**9)
+        )
+        try:
+            _register(service)
+            status, _ = service.solve_request(_solve_body(0.4))
+            assert status == 200
+            assert service.gate.outstanding == 0  # released via on_done
+        finally:
+            service.close()
+
+    def test_default_config_leaves_responses_unlabeled(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            _register(service)
+            status, payload = service.solve_request(_solve_body(0.1))
+            assert status == 200
+            for label in ("stale", "degraded", "shed"):
+                assert label not in payload
+        finally:
+            service.close()
+
+
+class TestServeSolveFaultSite:
+    def test_delay_point_slows_but_does_not_change_answer(self, tmp_path):
+        plan = FaultPlan.delay_at("serve.solve", 0, seconds=0.1)
+        service = _service(tmp_path, fault_plan=plan)
+        clean = _service(tmp_path, name="clean.sqlite")
+        try:
+            _register(service)
+            _register(clean)
+            start = time.perf_counter()
+            status, slow = service.solve_request(_solve_body(0.2))
+            assert time.perf_counter() - start >= 0.1
+            assert status == 200
+            status, fast = clean.solve_request(_solve_body(0.2))
+            assert slow["solution"] == fast["solution"]
+            assert plan.pending() == []
+        finally:
+            service.close()
+            clean.close()
+
+
+# ----------------------------------------------------------------------
+# catalog circuit breaker
+# ----------------------------------------------------------------------
+class TestCatalogBreaker:
+    def _seeded_catalog(self, tmp_path, **kwargs):
+        """A catalog holding one result row, reopened with ``kwargs``."""
+        path = str(tmp_path / "cat.sqlite")
+        from repro import solve
+        from repro.api.problems import DensestSubgraph
+        from repro.graph.generators import clique
+
+        plain = ResultCatalog(path)
+        solution = solve(DensestSubgraph(clique(6), epsilon=0.5))
+        row = plain.put(
+            "k1",
+            dataset_fingerprint="fp",
+            problem_kind="densest_subgraph",
+            params={"epsilon": 0.5},
+            backend="auto",
+            solution=solution,
+            solve_seconds=0.01,
+        )
+        plain.close()
+        return ResultCatalog(path, **kwargs), row
+
+    def test_read_faults_open_breaker_and_serve_cacheless(self, tmp_path):
+        clock = FakeClock()
+        breaker = CircuitBreaker(3, 5.0, clock=clock)
+        plan = FaultPlan([FaultPoint("catalog.read", i, "raise") for i in range(3)])
+        catalog, row = self._seeded_catalog(
+            tmp_path, breaker=breaker, fault_plan=plan
+        )
+        try:
+            for _ in range(3):  # injected sqlite errors -> misses
+                assert catalog.get("k1", count_hit=False) is None
+            assert breaker.state == BREAKER_OPEN
+            assert catalog.get("k1", count_hit=False) is None  # open: no touch
+            assert plan.pending() == []
+            clock.advance(5.0)  # half-open probe (no fault armed) heals
+            got = catalog.get("k1", count_hit=False)
+            assert got is not None
+            assert got["solution_json"] == row["solution_json"]
+            assert breaker.state == BREAKER_CLOSED
+        finally:
+            catalog.close()
+
+    def test_put_under_open_breaker_returns_inmemory_row(self, tmp_path):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 60.0, clock=clock)
+        catalog, _ = self._seeded_catalog(tmp_path, breaker=breaker)
+        try:
+            breaker.record_failure()  # force open
+            from repro import solve
+            from repro.api.problems import DensestSubgraph
+            from repro.graph.generators import clique
+
+            solution = solve(DensestSubgraph(clique(5), epsilon=0.5))
+            row = catalog.put(
+                "k2",
+                dataset_fingerprint="fp",
+                problem_kind="densest_subgraph",
+                params={"epsilon": 0.25},
+                backend="auto",
+                solution=solution,
+                solve_seconds=0.01,
+            )
+            # the caller still gets a complete row (service answers)...
+            assert row["key"] == "k2"
+            assert json.loads(row["solution_json"])["density"] == solution.density
+            # ...but nothing was persisted while the breaker was open
+            clock.advance(60.0)
+            catalog.get("k2", count_hit=False)  # successful probe, closes
+            assert breaker.state == BREAKER_CLOSED
+            assert catalog.get("k2", count_hit=False) is None
+        finally:
+            catalog.close()
+
+    def test_without_breaker_sqlite_errors_propagate(self, tmp_path):
+        plan = FaultPlan([FaultPoint("catalog.read", 0, "raise")])
+        catalog, _ = self._seeded_catalog(tmp_path, fault_plan=plan)
+        try:
+            with pytest.raises(sqlite3.DatabaseError):
+                catalog.get("k1", count_hit=False)
+        finally:
+            catalog.close()
+
+
+# ----------------------------------------------------------------------
+# stats schema and HTTP transport
+# ----------------------------------------------------------------------
+class TestStatsSchema:
+    def test_overload_fields_present(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            stats = service.stats()
+            assert stats["shed"] == 0
+            assert stats["degraded"] == 0
+            assert stats["stale_served"] == 0
+            assert stats["breaker_state"] == "disabled"
+            assert stats["admission"]["outstanding_cost"] == 0
+            assert stats["admission"]["overload_enabled"] is False
+        finally:
+            service.close()
+
+
+class TestHTTPRetryAfter:
+    def test_shed_response_carries_header_and_body(self, tmp_path):
+        import threading
+
+        server = build_server(
+            port=0,
+            catalog_path=str(tmp_path / "cat.sqlite"),
+            workers=2,
+            client_rate=0.001,
+            client_burst=1,
+        )
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            def post(path, body, client="t1"):
+                req = urllib.request.Request(
+                    base + path,
+                    data=json.dumps(body).encode(),
+                    method="POST",
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Client-Id": client,
+                    },
+                )
+                with urllib.request.urlopen(req, timeout=60) as resp:
+                    return resp.status, json.loads(resp.read())
+
+            post("/datasets", {"name": "g", "dataset": "grqc_sim",
+                               "scale": 0.2, "seed": 7})
+            status, _ = post("/solve", _solve_body(0.4))
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post("/solve", _solve_body(0.45))
+            assert err.value.code == 429
+            assert int(err.value.headers["Retry-After"]) >= 1
+            body = json.loads(err.value.read())
+            assert body["shed"] is True and body["retry_after"] >= 1
+            # stats over HTTP exposes the breaker + ladder counters
+            with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
+                stats = json.loads(resp.read())
+            assert stats["shed"] == 1
+            assert stats["breaker_state"] == BREAKER_CLOSED
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
